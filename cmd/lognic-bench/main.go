@@ -1,0 +1,151 @@
+// Command lognic-bench regenerates the data behind every result figure of
+// the paper's evaluation (§4) and prints each as an aligned table — the
+// same rows and series the paper plots. With no arguments it runs all
+// fourteen figures; otherwise it runs the listed figure ids (fig5, fig6,
+// fig7, fig9..fig19). It also prints the optimizer-suggested
+// configurations the paper quotes as anchors (Figure 9 saturation cores,
+// Figure 15 credits, Figure 18 parallel degrees).
+//
+// Usage:
+//
+//	lognic-bench [-scale f] [-seed n] [-format text|csv|md] [fig5 fig9 ...]
+//	lognic-bench -summary [-scale f] [-seed n]
+//
+// -summary prints the paper-vs-reproduction comparison table recorded in
+// EXPERIMENTS.md (regenerates every figure; takes a few minutes at full
+// scale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"lognic/internal/experiments"
+	"lognic/internal/report"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "simulated-duration multiplier (smaller = faster, noisier)")
+	seed := flag.Int64("seed", 1, "simulator random seed")
+	format := flag.String("format", "text", "output format: text, csv or md")
+	summary := flag.Bool("summary", false, "print the paper-vs-reproduction summary table")
+	parallel := flag.Bool("parallel", false, "regenerate figures concurrently (output order preserved)")
+	flag.Parse()
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	if *summary {
+		rows, err := report.Summary(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(report.SummaryMarkdown(rows))
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, g := range experiments.All() {
+			ids = append(ids, g.ID)
+		}
+	}
+	type outcome struct {
+		fig     experiments.Figure
+		err     error
+		elapsed time.Duration
+	}
+	results := make([]outcome, len(ids))
+	run := func(i int) {
+		g, err := experiments.ByID(ids[i])
+		if err != nil {
+			results[i].err = err
+			return
+		}
+		start := time.Now()
+		fig, err := g.Run(opts)
+		results[i] = outcome{fig: fig, err: err, elapsed: time.Since(start)}
+	}
+	if *parallel {
+		var wg sync.WaitGroup
+		for i := range ids {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range ids {
+			run(i)
+		}
+	}
+
+	failed := false
+	for i, id := range ids {
+		res := results[i]
+		if res.err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, res.err)
+			failed = true
+			continue
+		}
+		switch *format {
+		case "csv":
+			fmt.Print(report.CSV(res.fig))
+		case "md":
+			fmt.Println(report.Markdown(res.fig))
+		default:
+			fmt.Printf("%s  (%.1fs)\n%s\n", id, res.elapsed.Seconds(), res.fig.Format())
+			printAnchors(id)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// printAnchors emits the optimizer-suggested configurations associated
+// with a figure, when the paper quotes them.
+func printAnchors(id string) {
+	switch id {
+	case "fig9":
+		sat, err := experiments.Fig9SaturationCores()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig9 anchors: %v\n", err)
+			return
+		}
+		fmt.Printf("# model-derived saturation parallelism (paper: md5=9 kasumi=8 hfa=11):\n")
+		printIntMap(sat)
+	case "fig15":
+		credits, err := experiments.Fig15SuggestedCredits()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig15 anchors: %v\n", err)
+			return
+		}
+		fmt.Printf("# LogNIC-suggested minimal credits (paper: 5/4/4/4):\n")
+		printIntMap(credits)
+	case "fig18", "fig19":
+		lanes, err := experiments.Fig18SuggestedLanes()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig18 anchors: %v\n", err)
+			return
+		}
+		fmt.Printf("# LogNIC-suggested IP4 parallel degrees (paper: 6 and 4):\n")
+		printIntMap(lanes)
+	}
+}
+
+func printIntMap(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("#   %-28s %d\n", k, m[k])
+	}
+	fmt.Println()
+}

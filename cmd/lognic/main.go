@@ -1,0 +1,79 @@
+// Command lognic evaluates a LogNIC model described in a JSON spec file
+// (see internal/spec for the format): it prints the estimated attainable
+// throughput with the full constraint list (Equation 4), the average
+// latency with its per-path breakdown (Equation 8), and the queue
+// drop-rate estimate.
+//
+// Usage:
+//
+//	lognic [-json] [-sweep lo:hi:steps] model.json
+//	lognic -optimize latency|throughput|goodput -knob v.parallelism=1..16 [-knob ...] model.json
+//
+// With -sweep, the ingress bandwidth is swept across the given range
+// (accepts unit strings, e.g. -sweep 1Gbps:25Gbps:10) and one row per
+// operating point is printed — the latency-vs-throughput curves of the
+// paper's Figure 6. With -optimize, the model's optimizer mode searches
+// the named integer knobs (a vertex's parallelism degree D or queue
+// capacity N) for the configuration that best meets the goal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lognic/internal/cli"
+)
+
+type knobList []string
+
+func (k *knobList) String() string     { return fmt.Sprint(*k) }
+func (k *knobList) Set(v string) error { *k = append(*k, v); return nil }
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
+	sweep := flag.String("sweep", "", "sweep ingress bandwidth: lo:hi:steps (e.g. 1Gbps:25Gbps:10)")
+	optimize := flag.String("optimize", "", "optimizer mode goal: latency, throughput or goodput")
+	mixOut := flag.Bool("mix", false, "evaluate the spec's traffic mix (Extension #2)")
+	var knobs knobList
+	flag.Var(&knobs, "knob", "optimizer knob vertex.param=lo..hi (repeatable; param: parallelism|queue)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lognic [-json] [-sweep lo:hi:steps] model.json")
+		os.Exit(2)
+	}
+	if *mixOut {
+		f, err := cli.LoadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		if err := cli.RunMix(os.Stdout, f, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	m, err := cli.LoadModel(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *optimize != "" {
+		if err := cli.RunOptimize(os.Stdout, m, *optimize, knobs, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *sweep != "" {
+		if err := cli.RunSweep(os.Stdout, m, *sweep, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := cli.RunPoint(os.Stdout, m, *jsonOut); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lognic:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+package lognic_test
+
+import (
+	"fmt"
+	"log"
+
+	"lognic"
+)
+
+// buildExample constructs the model used by the runnable examples: an
+// 8-core echo server behind a 50 Gbps interconnect, offered 12 Gbps of
+// MTU traffic.
+func buildExample() lognic.Model {
+	g, err := lognic.NewBuilder("udp-echo").
+		AddIngress("rx").
+		AddIP("nic-cores", 2e9, 8, 64).
+		AddEgress("tx").
+		Connect("rx", "nic-cores", 1).
+		Connect("nic-cores", "tx", 1).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return lognic.Model{
+		Hardware: lognic.Hardware{InterfaceBW: lognic.Gbps(50).BytesPerSecond()},
+		Graph:    g,
+		Traffic:  lognic.Traffic{IngressBW: lognic.Gbps(12).BytesPerSecond(), Granularity: 1500},
+	}
+}
+
+// Estimate a model and read off throughput and bottleneck.
+func Example() {
+	m := buildExample()
+	est, err := m.Estimate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("throughput:", lognic.Bandwidth(est.Throughput.Attainable))
+	fmt.Println("bottleneck:", est.Throughput.Bottleneck.Kind)
+	// Output:
+	// throughput: 12Gbps
+	// bottleneck: ingress
+}
+
+// Saturation analysis ignores the offered load and reports the graph's
+// own capacity.
+func ExampleModel_saturation() {
+	m := buildExample()
+	sat, err := m.SaturationThroughput()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("capacity:  ", lognic.Bandwidth(sat.Attainable))
+	fmt.Println("limited by:", sat.Bottleneck.Kind, sat.Bottleneck.Name)
+	// Output:
+	// capacity:   16Gbps
+	// limited by: ip-compute nic-cores
+}
+
+// The optimizer searches a parameter space; here, a load that meets a
+// throughput floor while keeping modeled latency under 20µs.
+func ExampleSatisfy() {
+	base := buildExample()
+	res, err := lognic.Satisfy(lognic.FeasibilityProblem{
+		Build: func(x []float64) (lognic.Model, error) {
+			m := base
+			m.Traffic.IngressBW = x[0]
+			return m, nil
+		},
+		Bounds: lognic.Bounds{Lo: []float64{1e8}, Hi: []float64{1.9e9}},
+		Requirements: []lognic.Requirement{
+			lognic.ThroughputFloor(1e9),
+			lognic.LatencyBound(20e-6),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("feasible:", res.Feasible)
+	fmt.Println("meets floor:", res.X[0] >= 1e9)
+	// Output:
+	// feasible: true
+	// meets floor: true
+}
+
+// Extension #3: a rate limiter models a non-work-conserving IP.
+func ExampleInsertRateLimiter() {
+	m := buildExample()
+	g, err := lognic.InsertRateLimiter(m.Graph, "nic-cores", 1e9, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Graph = g
+	sat, err := m.SaturationThroughput()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("capacity:", lognic.Bandwidth(sat.Attainable))
+	fmt.Println("limited by:", sat.Bottleneck.Name)
+	// Output:
+	// capacity: 8Gbps
+	// limited by: ratelimit:nic-cores
+}
+
+// Extension #2: estimate a mixed traffic profile as the dist_size-weighted
+// combination of per-size models.
+func ExampleEstimateMix() {
+	small := buildExample()
+	small.Traffic.Granularity = 64
+	large := buildExample()
+	large.Traffic.Granularity = 1500
+	mix, err := lognic.EstimateMix([]lognic.MixComponent{
+		{Weight: 0.5, Model: small},
+		{Weight: 0.5, Model: large},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mixed throughput:", lognic.Bandwidth(mix.Throughput))
+	// Output:
+	// mixed throughput: 12Gbps
+}

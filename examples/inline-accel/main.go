@@ -1,0 +1,78 @@
+// Inline acceleration (paper case study #1, §4.2): a bump-in-the-wire UDP
+// echo server on the LiquidIO-II CN2360 that pushes every packet through a
+// crypto or pattern-matching engine. The example shows how the model
+// locates the data-path bottleneck as the NIC-core parallelism, the
+// accelerator rate, and the interconnect ceilings trade places.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lognic"
+	"lognic/internal/apps"
+	"lognic/internal/devices"
+)
+
+func main() {
+	d := devices.LiquidIO2CN2360()
+
+	fmt.Println("== MD5 inline acceleration at MTU, sweeping NIC cores ==")
+	for _, cores := range []int{2, 6, 9, 16} {
+		m, err := apps.InlineAccel(apps.InlineAccelConfig{
+			Device: d, Accel: "md5", Cores: cores, PacketBytes: 1500,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := m.Throughput()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2d cores: %8.3f Mpps  bottleneck %s\n",
+			cores, rep.Attainable/1500/1e6, rep.Bottleneck)
+	}
+
+	fmt.Println("\n== CRC with growing data-access granularity (1KB packets) ==")
+	for _, chunk := range []float64{512, 2048, 4096, 16384} {
+		m, err := apps.InlineAccel(apps.InlineAccelConfig{
+			Device: d, Accel: "crc", Cores: d.Cores,
+			PacketBytes: 1024, ChunkBytes: chunk,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := m.SaturationThroughput()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %6.0fB fetches: %8.3f MOPS  bottleneck %s\n",
+			chunk, rep.Attainable/1024/1e6, rep.Bottleneck)
+	}
+
+	fmt.Println("\n== model vs simulator, HFA at line rate, 11 cores ==")
+	m, err := apps.InlineAccel(apps.InlineAccelConfig{
+		Device: d, Accel: "hfa", Cores: 11, PacketBytes: 1500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := m.Estimate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := lognic.Simulate(lognic.SimConfig{
+		Graph:    m.Graph,
+		Hardware: m.Hardware,
+		Profile:  lognic.FixedProfile("mtu", lognic.Bandwidth(m.Traffic.IngressBW), 1500),
+		Seed:     1,
+		Duration: 0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  model:    %s, latency %s\n",
+		lognic.Bandwidth(est.Throughput.Attainable), lognic.Duration(est.Latency.Attainable))
+	fmt.Printf("  measured: %s, latency %s\n",
+		lognic.Bandwidth(res.Throughput), lognic.Duration(res.MeanLatency))
+}

@@ -1,0 +1,106 @@
+// Microservice parallelism tuning (paper case study #3, §4.4): the LogNIC
+// optimizer picks the NIC-core allocation for an E3 service chain, and the
+// simulator compares it against E3's round-robin run-to-completion
+// dispatch and an equal partition of the cores. The tail of the example
+// exercises E3's orchestrator: when the offered load outgrows the NIC,
+// stages migrate to host cores across PCIe.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lognic"
+	"lognic/internal/apps"
+	"lognic/internal/devices"
+	"lognic/internal/optimizer"
+)
+
+func main() {
+	d := devices.LiquidIO2CN2360()
+
+	for _, chain := range apps.E3Workloads() {
+		opt, err := optimizer.TuneParallelism(d, chain, d.Cores, 1e9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s (%d stages, %.1fus/request) ==\n",
+			chain.Name, len(chain.Stages), chain.TotalCost()*1e6)
+		fmt.Printf("  LogNIC-Opt core allocation: %v\n", opt.Cores)
+
+		// Offer 80%% of the optimized configuration's capacity to all
+		// three schemes and measure.
+		ref, err := apps.MicroserviceModel(d, chain, opt, 1e9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sat, err := ref.SaturationThroughput()
+		if err != nil {
+			log.Fatal(err)
+		}
+		offered := 0.8 * sat.Attainable
+
+		for _, alloc := range []apps.Allocation{
+			apps.RoundRobin(),
+			apps.EqualPartition(chain, d.Cores),
+			opt,
+		} {
+			m, err := apps.MicroserviceModel(d, chain, alloc, offered)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := lognic.Simulate(lognic.SimConfig{
+				Graph:    m.Graph,
+				Hardware: m.Hardware,
+				Profile: lognic.FixedProfile(chain.Name,
+					lognic.Bandwidth(offered), lognic.Size(chain.RequestBytes)),
+				Seed:     1,
+				Duration: 0.1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-16s %8.3f MRPS   avg latency %s\n",
+				alloc.Name, res.Throughput/chain.RequestBytes/1e6,
+				lognic.Duration(res.MeanLatency))
+		}
+		fmt.Println()
+	}
+
+	// E3's orchestrator under overload: offer twice what the NIC can
+	// serve for the heaviest chain and let the planner migrate stages.
+	chain := apps.E3Workloads()[2] // RTA-SF
+	host := apps.DefaultHost()
+	opt, err := optimizer.TuneParallelism(d, chain, d.Cores, 1e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := apps.MicroserviceModel(d, chain, opt, 1e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sat, err := ref.SaturationThroughput()
+	if err != nil {
+		log.Fatal(err)
+	}
+	offered := 1.5 * sat.Attainable
+	onHost, cores, migrated, err := apps.PlanMigration(d, chain, host, offered, 1.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== orchestrator: %s at 1.5x NIC capacity ==\n", chain.Name)
+	for i, st := range chain.Stages {
+		where := "NIC"
+		if onHost[i] {
+			where = "host"
+		}
+		fmt.Printf("  %-10s -> %s\n", st.Name, where)
+	}
+	msat, err := migrated.SaturationThroughput()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  NIC cores for resident stages: %v\n", cores)
+	fmt.Printf("  capacity: %.3f MRPS (offered %.3f MRPS)\n",
+		msat.Attainable/chain.RequestBytes/1e6, offered/chain.RequestBytes/1e6)
+}

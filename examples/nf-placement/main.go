@@ -1,0 +1,69 @@
+// NF placement (paper case study #4, §4.5): place a FW→LB→DPI→NAT→PE
+// middlebox chain across the BlueField-2's ARM cores and hardware engines.
+// The optimizer enumerates every feasible placement per packet size and
+// picks the fastest — offloading the per-byte-heavy functions for large
+// packets while avoiding costly off-chip transfers for small ones.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"lognic/internal/apps"
+	"lognic/internal/devices"
+	"lognic/internal/optimizer"
+	"lognic/internal/unit"
+)
+
+func main() {
+	d := devices.BlueField2DPU()
+	chain := apps.MiddleboxChain()
+
+	describe := func(p apps.Placement) string {
+		var names []string
+		for _, f := range chain {
+			if p[f.Name] {
+				names = append(names, f.Name)
+			}
+		}
+		sort.Strings(names)
+		if len(names) == 0 {
+			return "(all on ARM)"
+		}
+		return fmt.Sprintf("offload %v", names)
+	}
+
+	capacity := func(p apps.Placement, size float64) float64 {
+		m, err := apps.NFChainModel(d, chain, p, size, d.LineRate.BytesPerSecond())
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := m.SaturationThroughput()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep.Attainable
+	}
+
+	fmt.Println("pkt(B)   ARM-only   Accel-only  LogNIC-opt   chosen placement")
+	for _, size := range []float64{64, 256, 512, 1500} {
+		opt, err := optimizer.PlaceNFs(d, chain, size, d.LineRate.BytesPerSecond())
+		if err != nil {
+			log.Fatal(err)
+		}
+		arm := capacity(apps.ARMOnly(chain), size)
+		acc := capacity(apps.AcceleratorOnly(chain), size)
+		best := capacity(opt, size)
+		fmt.Printf("%-8.0f %-10.6s %-11.6s %-12.6s %s\n",
+			size,
+			unit.Bandwidth(arm).String(),
+			unit.Bandwidth(acc).String(),
+			unit.Bandwidth(best).String(),
+			describe(opt))
+	}
+
+	fmt.Println("\nWhy the answer changes with packet size: each engine charges a")
+	fmt.Println("fixed ARM-side transfer overhead per packet, while its speedup is")
+	fmt.Println("per byte. Small packets pay the overhead without the win.")
+}

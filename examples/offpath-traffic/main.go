@@ -1,0 +1,105 @@
+// Off-path SmartNICs and traffic-profile effects (paper §2.1 and §2.4):
+// this example models a BlueField-2-style off-path card whose NIC switch
+// bypasses host-bound flows around the SoC, then uses the simulator to
+// show two effects the analytical model's Poisson assumption abstracts
+// away — burstiness inflating latency at identical average load, and
+// load-aware (join-shortest-queue) steering versus the model's static
+// split.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lognic"
+	"lognic/internal/apps"
+	"lognic/internal/devices"
+	"lognic/internal/sim"
+	"lognic/internal/traffic"
+	"lognic/internal/unit"
+)
+
+func main() {
+	d := devices.BlueField2DPU()
+
+	fmt.Println("== off-path bypass: host share vs device capacity ==")
+	for _, hostShare := range []float64{0, 0.5, 0.9} {
+		m, err := apps.OffPath(apps.OffPathConfig{
+			Device: d, HostShare: hostShare, NICServiceTime: 2e-6,
+			PacketBytes: 1500, OfferedBW: 5e9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sat, err := m.SaturationThroughput()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %3.0f%% bypassed: capacity %-10s bottleneck %s\n",
+			hostShare*100, lognic.Bandwidth(sat.Attainable), sat.Bottleneck.Kind)
+	}
+
+	fmt.Println("\n== burst degree at identical average load (60% of an IP) ==")
+	g, err := lognic.NewBuilder("burst").
+		AddIngress("in").
+		AddIP("ip", 1e9, 1, 256).
+		AddEgress("out").
+		Connect("in", "ip", 1).
+		Connect("ip", "out", 1).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, burst := range []float64{1, 4, 16} {
+		prof := traffic.Fixed("b", unit.Bandwidth(0.6e9), 1000)
+		prof.BurstDegree = burst
+		res, err := lognic.Simulate(lognic.SimConfig{
+			Graph: g, Profile: prof, Seed: 1, Duration: 0.3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  burst %4.0f: mean %-10s p99 %s\n",
+			burst, lognic.Duration(res.MeanLatency), lognic.Duration(res.P99))
+	}
+
+	fmt.Println("\n== static capability split vs load-aware JSQ steering ==")
+	steer, err := lognic.NewBuilder("steer").
+		AddIngress("in").
+		AddIP("sched", 100e9, 1, 0).
+		AddIP("fast", 2e9, 1, 64).
+		AddIP("slow", 1e9, 1, 64).
+		AddEgress("out").
+		AddEdge(lognic.Edge{From: "in", To: "sched", Delta: 1}).
+		AddEdge(lognic.Edge{From: "sched", To: "fast", Delta: 2.0 / 3}).
+		AddEdge(lognic.Edge{From: "sched", To: "slow", Delta: 1.0 / 3}).
+		AddEdge(lognic.Edge{From: "fast", To: "out", Delta: 2.0 / 3}).
+		AddEdge(lognic.Edge{From: "slow", To: "out", Delta: 1.0 / 3}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name   string
+		policy map[string]sim.RoutePolicy
+	}{
+		{"static 2:1 (model's split)", nil},
+		{"join-shortest-queue", map[string]sim.RoutePolicy{"sched": sim.RouteJSQ}},
+	} {
+		res, err := lognic.Simulate(lognic.SimConfig{
+			Graph:       steer,
+			Profile:     traffic.Fixed("s", unit.Bandwidth(2.4e9), 1000),
+			Seed:        2,
+			Duration:    0.3,
+			RoutePolicy: mode.policy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s mean %-10s p99 %s\n",
+			mode.name, lognic.Duration(res.MeanLatency), lognic.Duration(res.P99))
+	}
+	fmt.Println("\nThe capability-proportional static split — exactly what the LogNIC")
+	fmt.Println("optimizer suggests — lands close to the dynamic scheduler without")
+	fmt.Println("any run-time queue feedback.")
+}

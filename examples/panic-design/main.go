@@ -1,0 +1,64 @@
+// Hardware design-space exploration (paper case study #5, §4.6): use the
+// LogNIC model to provision the PANIC prototype — size compute-unit
+// request queues (credits), steer traffic across heterogeneous units, and
+// pick the minimal execution parallelism of a scaled-out unit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lognic/internal/apps"
+	"lognic/internal/core"
+	"lognic/internal/devices"
+	"lognic/internal/experiments"
+	"lognic/internal/optimizer"
+)
+
+func main() {
+	d := devices.PANICPrototype()
+
+	fmt.Println("== scenario 1: minimal credits per traffic profile ==")
+	credits, err := experiments.Fig15SuggestedCredits()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tp := range []string{
+		"TP1(64/512)", "TP2(64/512/1024)",
+		"TP3(64/256/512/1500)", "TP4(64/128/256/1024/1500)",
+	} {
+		fmt.Printf("  %-28s %d credits (PANIC default: %d)\n", tp, credits[tp], d.DefaultCredits)
+	}
+
+	fmt.Println("\n== scenario 2: steering across units with capability 4:7:3 ==")
+	// A1 is pinned at 20% of traffic; find the A2 share X minimizing
+	// average latency at 512B packets.
+	offered := 12e9
+	x, err := optimizer.SteerTraffic(func(x float64) (core.Model, error) {
+		return apps.PANICParallelized(d, 512, offered, 0.2, x, 0.8-x, 64)
+	}, 0.05, 0.75)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  suggested A2 share: %.1f%% (capability-proportional would be %.1f%%)\n",
+		x*100, 0.8*7.0/10*100)
+	for _, static := range []float64{0.10, 0.40, x} {
+		m, err := apps.PANICParallelized(d, 512, offered, 0.2, static, 0.8-static, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lr, err := m.Latency()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  A2=%4.1f%%: model latency %8.3fus\n", static*100, lr.Attainable*1e6)
+	}
+
+	fmt.Println("\n== scenario 3: minimal parallel degree of the scaled-out unit ==")
+	lanes, err := experiments.Fig18SuggestedLanes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  50/50 split: %d lanes;  80/20 split: %d lanes (paper: 6 and 4)\n",
+		lanes["Traffic Profile 1"], lanes["Traffic Profile 2"])
+}

@@ -1,0 +1,3 @@
+module lognic
+
+go 1.22

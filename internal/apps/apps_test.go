@@ -1,0 +1,641 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"lognic/internal/core"
+	"lognic/internal/devices"
+	"lognic/internal/nvme"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestInlineAccelBuild(t *testing.T) {
+	d := devices.LiquidIO2CN2360()
+	m, err := InlineAccel(InlineAccelConfig{
+		Device: d, Accel: "md5", Cores: 16, PacketBytes: 1500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// With all 16 cores the bottleneck at MTU must be the MD5 engine
+	// (1.8 Mpps < 2.08 Mpps line rate < 16-core capacity).
+	rep, err := m.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bottleneck.Kind != core.ConstraintIPCompute || rep.Bottleneck.Name != "md5" {
+		t.Fatalf("bottleneck = %+v", rep.Bottleneck)
+	}
+	wantBps := 1.8e6 * 1500
+	if !approx(rep.Attainable, wantBps, 1e-9) {
+		t.Fatalf("attainable = %v, want %v", rep.Attainable, wantBps)
+	}
+}
+
+func TestInlineAccelCoreBound(t *testing.T) {
+	d := devices.LiquidIO2CN2360()
+	// With 2 cores the NIC cores bind, not the accelerator.
+	m, err := InlineAccel(InlineAccelConfig{Device: d, Accel: "md5", Cores: 2, PacketBytes: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := m.Throughput()
+	if rep.Bottleneck.Name != "nic-cores" {
+		t.Fatalf("bottleneck = %+v", rep.Bottleneck)
+	}
+}
+
+func TestInlineAccelChunkGranularityHitsInterconnect(t *testing.T) {
+	d := devices.LiquidIO2CN2360()
+	// 16KB fetches per 1KB packet: interface ceiling binds (Figure 5).
+	m, err := InlineAccel(InlineAccelConfig{
+		Device: d, Accel: "crc", Cores: 16, PacketBytes: 1024, ChunkBytes: 16384,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.SaturationThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bottleneck.Kind != core.ConstraintInterface {
+		t.Fatalf("bottleneck = %+v", rep.Bottleneck)
+	}
+	// Ops/s at the ceiling = CMI / 16KB ≈ 381 kops — 13.6% of CRC max.
+	ops := rep.Attainable / 1024
+	crc, _ := d.Accel("crc")
+	if !approx(ops/crc.PacketRate, 0.136, 0.02) {
+		t.Fatalf("fraction = %v, want 0.136", ops/crc.PacketRate)
+	}
+}
+
+func TestInlineAccelErrors(t *testing.T) {
+	d := devices.LiquidIO2CN2360()
+	cases := []InlineAccelConfig{
+		{Device: d, Accel: "nope", Cores: 4, PacketBytes: 1500},
+		{Device: d, Accel: "md5", Cores: 0, PacketBytes: 1500},
+		{Device: d, Accel: "md5", Cores: 99, PacketBytes: 1500},
+		{Device: d, Accel: "md5", Cores: 4, PacketBytes: 0},
+		{Device: d, Accel: "md5", Cores: 4, PacketBytes: 1500, ChunkBytes: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := InlineAccel(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestNVMeoFBuild(t *testing.T) {
+	d := devices.StingrayPS1100R()
+	m, err := NVMeoF(NVMeoFConfig{
+		Device: d, Drive: nvme.StingrayDrive(false),
+		Kind: nvme.RandRead, IOBytes: 4096, OfferedBW: 1e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 2(c) topology.
+	for _, v := range []string{"eth-in", "ip1", "ssd", "ip3", "eth-out"} {
+		if _, ok := m.Graph.Vertex(v); !ok {
+			t.Fatalf("vertex %q missing", v)
+		}
+	}
+	paths, err := m.Graph.Paths()
+	if err != nil || len(paths) != 1 {
+		t.Fatalf("paths = %v err = %v", paths, err)
+	}
+	// γ partitions must sum to 1 over the core pool.
+	ip1, _ := m.Graph.Vertex("ip1")
+	ip3, _ := m.Graph.Vertex("ip3")
+	if !approx(ip1.Partition+ip3.Partition, 1, 1e-12) {
+		t.Fatalf("γ1+γ3 = %v", ip1.Partition+ip3.Partition)
+	}
+	// Both virtual core IPs expose the same effective capacity.
+	e1 := ip1.Partition * ip1.Throughput
+	e3 := ip3.Partition * ip3.Throughput
+	if !approx(e1, e3, 1e-9) {
+		t.Fatalf("effective capacities differ: %v vs %v", e1, e3)
+	}
+}
+
+func TestNVMeoFSSDBottleneckAtHighLoad(t *testing.T) {
+	d := devices.StingrayPS1100R()
+	m, err := NVMeoF(NVMeoFConfig{
+		Device: d, Drive: nvme.StingrayDrive(false),
+		Kind: nvme.RandRead, IOBytes: 4096, OfferedBW: 100e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.SaturationThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bottleneck.Name != "ssd" {
+		t.Fatalf("bottleneck = %+v (want ssd)", rep.Bottleneck)
+	}
+}
+
+func TestNVMeoFCapacityOverride(t *testing.T) {
+	d := devices.StingrayPS1100R()
+	m, err := NVMeoF(NVMeoFConfig{
+		Device: d, Drive: nvme.StingrayDrive(false),
+		Kind: nvme.RandRead, IOBytes: 4096, OfferedBW: 100e9,
+		SSDCapacityOverride: 123456789,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Graph.Vertex("ssd")
+	if v.Throughput != 123456789 {
+		t.Fatalf("override not applied: %v", v.Throughput)
+	}
+}
+
+func TestNVMeoFMixedModelInterpolates(t *testing.T) {
+	d := devices.StingrayPS1100R()
+	cfg := NVMeoFConfig{
+		Device: d, Drive: nvme.StingrayDrive(true),
+		IOBytes: 4096, OfferedBW: 100e9,
+	}
+	drive, _ := nvme.New(cfg.Drive)
+	pr := drive.CharacterizedCapacity(nvme.RandRead, 4096)
+	pw := drive.CharacterizedCapacity(nvme.RandWrite, 4096)
+	mAll, err := NVMeoFMixedModel(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vAll, _ := mAll.Graph.Vertex("ssd")
+	if !approx(vAll.Throughput, pr, 1e-9) {
+		t.Fatalf("r=1 capacity %v, want %v", vAll.Throughput, pr)
+	}
+	mW, _ := NVMeoFMixedModel(cfg, 0)
+	vW, _ := mW.Graph.Vertex("ssd")
+	if !approx(vW.Throughput, pw, 1e-9) {
+		t.Fatalf("r=0 capacity %v, want %v", vW.Throughput, pw)
+	}
+	mHalf, _ := NVMeoFMixedModel(cfg, 0.5)
+	vHalf, _ := mHalf.Graph.Vertex("ssd")
+	if !(vHalf.Throughput > pw && vHalf.Throughput < pr) {
+		t.Fatalf("mixed capacity %v outside (%v, %v)", vHalf.Throughput, pw, pr)
+	}
+	if _, err := NVMeoFMixedModel(cfg, 1.5); err == nil {
+		t.Fatal("ratio > 1 should fail")
+	}
+}
+
+func TestNVMeoFServiceTimers(t *testing.T) {
+	cfg := NVMeoFConfig{
+		Device: devices.StingrayPS1100R(), Drive: nvme.StingrayDrive(false),
+		Kind: nvme.RandRead, IOBytes: 4096, OfferedBW: 1e9,
+	}
+	timers, err := NVMeoFServiceTimers(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timers["ssd"] == nil {
+		t.Fatal("missing ssd timer")
+	}
+	mix, err := NVMeoFMixServiceTimers(cfg, 0.7)
+	if err != nil || mix["ssd"] == nil {
+		t.Fatalf("mix timers: %v", err)
+	}
+	if _, err := NVMeoFMixServiceTimers(cfg, -0.1); err == nil {
+		t.Fatal("bad ratio should fail")
+	}
+}
+
+func TestNVMeoFErrors(t *testing.T) {
+	d := devices.StingrayPS1100R()
+	bad := []NVMeoFConfig{
+		{Device: d, Drive: nvme.StingrayDrive(false), IOBytes: 0, OfferedBW: 1},
+		{Device: d, Drive: nvme.StingrayDrive(false), IOBytes: 4096, OfferedBW: 0},
+		{Device: d, Drive: nvme.Config{}, IOBytes: 4096, OfferedBW: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := NVMeoF(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestE3Workloads(t *testing.T) {
+	ws := E3Workloads()
+	if len(ws) != 5 {
+		t.Fatalf("workloads = %d, want 5", len(ws))
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		names[w.Name] = true
+		if len(w.Stages) < 3 {
+			t.Errorf("%s: only %d stages", w.Name, len(w.Stages))
+		}
+		if w.TotalCost() <= 0 {
+			t.Errorf("%s: non-positive total cost", w.Name)
+		}
+		if w.RequestBytes <= 0 {
+			t.Errorf("%s: non-positive request size", w.Name)
+		}
+	}
+	for _, want := range []string{"NFV-FIN", "NFV-DIN", "RTA-SF", "RTA-SHM", "IOT-DH"} {
+		if !names[want] {
+			t.Errorf("missing workload %s", want)
+		}
+	}
+}
+
+func TestEqualPartition(t *testing.T) {
+	chain := E3Workloads()[0] // 3 stages
+	a := EqualPartition(chain, 16)
+	if len(a.Cores) != 3 {
+		t.Fatalf("cores = %v", a.Cores)
+	}
+	sum := 0
+	for _, c := range a.Cores {
+		sum += c
+		if c < 1 {
+			t.Fatal("zero-core stage")
+		}
+	}
+	if sum != 16 {
+		t.Fatalf("total = %d, want 16", sum)
+	}
+	// 16/3: leftmost stages get the remainder.
+	if a.Cores[0] != 6 || a.Cores[1] != 5 || a.Cores[2] != 5 {
+		t.Fatalf("cores = %v", a.Cores)
+	}
+}
+
+func TestMicroserviceModelSchemes(t *testing.T) {
+	d := devices.LiquidIO2CN2360()
+	chain := E3Workloads()[0]
+	// Monolithic run-to-completion.
+	mono, err := MicroserviceModel(d, chain, RoundRobin(), 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repMono, _ := mono.SaturationThroughput()
+	// P = 16·size/(total·penalty).
+	want := 16 * chain.RequestBytes / (chain.TotalCost() * MonolithPenalty)
+	if !approx(repMono.Attainable, want, 1e-9) {
+		t.Fatalf("mono attainable = %v, want %v", repMono.Attainable, want)
+	}
+	// Pipelined equal partition.
+	eq, err := MicroserviceModel(d, chain, EqualPartition(chain, d.Cores), 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repEq, _ := eq.SaturationThroughput()
+	if repEq.Attainable <= 0 {
+		t.Fatal("equal partition attainable must be positive")
+	}
+	// Cost-proportional allocation beats equal partition for skewed
+	// chains.
+	prop := Allocation{Name: "prop", Cores: []int{2, 10, 4}}
+	pm, err := MicroserviceModel(d, chain, prop, 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repProp, _ := pm.SaturationThroughput()
+	if repProp.Attainable <= repEq.Attainable {
+		t.Fatalf("proportional %v should beat equal %v", repProp.Attainable, repEq.Attainable)
+	}
+}
+
+func TestMicroserviceModelErrors(t *testing.T) {
+	d := devices.LiquidIO2CN2360()
+	chain := E3Workloads()[0]
+	if _, err := MicroserviceModel(d, ServiceChain{Name: "x"}, RoundRobin(), 1e8); err == nil {
+		t.Fatal("empty chain should fail")
+	}
+	if _, err := MicroserviceModel(d, chain, RoundRobin(), 0); err == nil {
+		t.Fatal("zero load should fail")
+	}
+	if _, err := MicroserviceModel(d, chain, Allocation{Cores: []int{1, 1}}, 1e8); err == nil {
+		t.Fatal("stage count mismatch should fail")
+	}
+	if _, err := MicroserviceModel(d, chain, Allocation{Cores: []int{0, 1, 1}}, 1e8); err == nil {
+		t.Fatal("zero-core stage should fail")
+	}
+	if _, err := MicroserviceModel(d, chain, Allocation{Cores: []int{10, 10, 10}}, 1e8); err == nil {
+		t.Fatal("over-allocation should fail")
+	}
+}
+
+func TestMiddleboxChainAndPlacements(t *testing.T) {
+	chain := MiddleboxChain()
+	if len(chain) != 5 {
+		t.Fatalf("chain = %d NFs", len(chain))
+	}
+	// DPI has no engine.
+	for _, f := range chain {
+		if f.Name == "dpi" && f.Engine != "" {
+			t.Fatal("dpi should have no engine")
+		}
+	}
+	ps := Placements(chain)
+	if len(ps) != 16 { // 4 offloadable NFs
+		t.Fatalf("placements = %d, want 16", len(ps))
+	}
+	ao := AcceleratorOnly(chain)
+	if ao["dpi"] {
+		t.Fatal("dpi can never be offloaded")
+	}
+	if !ao["fw"] || !ao["pe"] {
+		t.Fatal("accelerator-only should offload fw and pe")
+	}
+	armOnly := ARMOnly(chain)
+	for _, f := range chain {
+		if armOnly[f.Name] {
+			t.Fatal("ARM-only should offload nothing")
+		}
+	}
+}
+
+func TestNFChainModelBuildsAllPlacements(t *testing.T) {
+	d := devices.BlueField2DPU()
+	chain := MiddleboxChain()
+	for i, p := range Placements(chain) {
+		m, err := NFChainModel(d, chain, p, 1500, 10e9)
+		if err != nil {
+			t.Fatalf("placement %d: %v", i, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("placement %d: %v", i, err)
+		}
+		if _, err := m.Estimate(); err != nil {
+			t.Fatalf("placement %d estimate: %v", i, err)
+		}
+	}
+}
+
+func TestNFChainPlacementTradeoffCrossover(t *testing.T) {
+	d := devices.BlueField2DPU()
+	chain := MiddleboxChain()
+	cap := func(place Placement, size float64) float64 {
+		m, err := NFChainModel(d, chain, place, size, 10e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := m.SaturationThroughput()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Attainable / size // packets/s
+	}
+	arm := ARMOnly(chain)
+	acc := AcceleratorOnly(chain)
+	// At MTU, offloading the per-byte-heavy NFs must win.
+	if !(cap(acc, 1500) > cap(arm, 1500)) {
+		t.Fatalf("at MTU accel-only (%v pps) should beat ARM-only (%v pps)",
+			cap(acc, 1500), cap(arm, 1500))
+	}
+	// The ARM pool's γ partitioning must keep aggregate ARM capacity
+	// consistent: chain pps can never exceed cores/totalARMTime.
+	armPPS := cap(arm, 1500)
+	totalCost := 0.0
+	for _, f := range chain {
+		totalCost += f.ARMCost(1500)
+	}
+	if !approx(armPPS, float64(d.Cores)/totalCost, 1e-9) {
+		t.Fatalf("ARM-only pps = %v, want %v", armPPS, float64(d.Cores)/totalCost)
+	}
+}
+
+func TestNFChainModelErrors(t *testing.T) {
+	d := devices.BlueField2DPU()
+	chain := MiddleboxChain()
+	if _, err := NFChainModel(d, chain, ARMOnly(chain), 0, 1e9); err == nil {
+		t.Fatal("zero size should fail")
+	}
+	if _, err := NFChainModel(d, chain, ARMOnly(chain), 1500, 0); err == nil {
+		t.Fatal("zero load should fail")
+	}
+	badChain := []NF{{Name: "x", ARMBase: 1e-6, Engine: "ghost"}}
+	if _, err := NFChainModel(d, badChain, Placement{"x": true}, 1500, 1e9); err == nil {
+		t.Fatal("unknown engine should fail")
+	}
+}
+
+func TestPANICPipelined(t *testing.T) {
+	d := devices.PANICPrototype()
+	m, err := PANICPipelined(d, 1500, 50e9/8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"rmt", "sched", "a1", "a2"} {
+		if _, ok := m.Graph.Vertex(v); !ok {
+			t.Fatalf("vertex %q missing", v)
+		}
+	}
+	// Credits map to queue capacity.
+	a1, _ := m.Graph.Vertex("a1")
+	if a1.QueueCapacity != 8 {
+		t.Fatalf("credits = %d", a1.QueueCapacity)
+	}
+	if _, err := PANICPipelined(d, 1500, 1e9, 0); err == nil {
+		t.Fatal("zero credits should fail")
+	}
+	if _, err := PANICPipelined(d, 0, 1e9, 4); err == nil {
+		t.Fatal("zero size should fail")
+	}
+}
+
+func TestPANICParallelizedShares(t *testing.T) {
+	d := devices.PANICPrototype()
+	m, err := PANICParallelized(d, 1500, 10e9, 0.2, 0.56, 0.24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := m.Graph.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("paths = %d, want 3", len(paths))
+	}
+	// Heaviest path goes through a2.
+	found := false
+	for _, v := range paths[0].Vertices {
+		if v == "a2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("heaviest path should use a2: %v", paths[0].Vertices)
+	}
+	if !approx(paths[0].Weight, 0.56, 1e-9) {
+		t.Fatalf("a2 weight = %v", paths[0].Weight)
+	}
+	// Shares normalize.
+	m2, err := PANICParallelized(d, 1500, 10e9, 2, 5.6, 2.4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := m2.Graph.Paths()
+	if !approx(p2[0].Weight, 0.56, 1e-9) {
+		t.Fatalf("normalized a2 weight = %v", p2[0].Weight)
+	}
+	if _, err := PANICParallelized(d, 1500, 1e9, -0.1, 0.6, 0.5, 8); err == nil {
+		t.Fatal("negative share should fail")
+	}
+}
+
+func TestPANICHybridLanesRaiseCapacity(t *testing.T) {
+	d := devices.PANICPrototype()
+	capAt := func(lanes int) float64 {
+		m, err := PANICHybrid(d, 1500, 80e9/8, 0.5, 0.5, lanes, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := m.SaturationThroughput()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Attainable
+	}
+	if !(capAt(4) > capAt(1)) {
+		t.Fatalf("capacity should grow with IP4 lanes: %v vs %v", capAt(1), capAt(4))
+	}
+	if _, err := PANICHybrid(d, 1500, 1e9, 0.5, 0.5, 0, 8); err == nil {
+		t.Fatal("zero lanes should fail")
+	}
+	if _, err := PANICHybrid(d, 1500, 1e9, 1.5, 0.5, 1, 8); err == nil {
+		t.Fatal("share > 1 should fail")
+	}
+}
+
+func TestPANICHybridPathStructure(t *testing.T) {
+	d := devices.PANICPrototype()
+	m, err := PANICHybrid(d, 1500, 10e9, 0.6, 0.5, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := m.Graph.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three execution paths: a1→a3, a1→a4, a2→a4.
+	if len(paths) != 3 {
+		t.Fatalf("paths = %d, want 3", len(paths))
+	}
+	w := 0.0
+	for _, p := range paths {
+		w += p.Weight
+	}
+	if !approx(w, 1, 1e-9) {
+		t.Fatalf("weights sum to %v", w)
+	}
+}
+
+func TestOffPathBypassInsulatesHostTraffic(t *testing.T) {
+	d := devices.BlueField2DPU()
+	base := OffPathConfig{
+		Device: d, HostShare: 0.6, NICServiceTime: 2e-6,
+		PacketBytes: 1500, OfferedBW: 40e9 / 8,
+	}
+	m, err := OffPath(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Two endpoints, two paths.
+	paths, err := m.Graph.Paths()
+	if err != nil || len(paths) != 2 {
+		t.Fatalf("paths = %v err = %v", len(paths), err)
+	}
+	// The ARM complex caps only its 40% slice: capacity = armP/0.4.
+	sat, err := m.SaturationThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	armP := float64(d.Cores) * 1500 / 2e-6
+	if !approx(sat.Attainable, armP/0.4, 1e-9) {
+		t.Fatalf("capacity = %v, want %v", sat.Attainable, armP/0.4)
+	}
+	// Shifting traffic to the host raises total capacity — the off-path
+	// scaling argument.
+	more := base
+	more.HostShare = 0.9
+	m2, err := OffPath(more)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat2, err := m2.SaturationThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sat2.Attainable > sat.Attainable) {
+		t.Fatalf("more bypass should raise capacity: %v vs %v", sat2.Attainable, sat.Attainable)
+	}
+	// The bypass path is far faster than the SoC path.
+	lr, err := m.Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hostLat, socLat float64
+	for _, p := range lr.Paths {
+		last := p.Vertices[len(p.Vertices)-1]
+		if last == "host" {
+			hostLat = p.Total
+		} else {
+			socLat = p.Total
+		}
+	}
+	if !(hostLat < socLat/3) {
+		t.Fatalf("bypass latency %v should be well under SoC path %v", hostLat, socLat)
+	}
+}
+
+func TestOffPathEdgeCases(t *testing.T) {
+	d := devices.BlueField2DPU()
+	// All traffic to the host: no SoC vertices at all.
+	all, err := OffPath(OffPathConfig{
+		Device: d, HostShare: 1, NICServiceTime: 2e-6,
+		PacketBytes: 1500, OfferedBW: 1e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := all.Graph.Vertex("arm"); ok {
+		t.Fatal("full bypass should not build the ARM complex")
+	}
+	// No bypass: no host endpoint.
+	none, err := OffPath(OffPathConfig{
+		Device: d, HostShare: 0, NICServiceTime: 2e-6,
+		PacketBytes: 1500, OfferedBW: 1e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := none.Graph.Vertex("host"); ok {
+		t.Fatal("on-path configuration should not build the host egress")
+	}
+	bad := []OffPathConfig{
+		{Device: d, HostShare: -0.1, NICServiceTime: 1e-6, PacketBytes: 64, OfferedBW: 1},
+		{Device: d, HostShare: 1.1, NICServiceTime: 1e-6, PacketBytes: 64, OfferedBW: 1},
+		{Device: d, HostShare: 0.5, NICServiceTime: 0, PacketBytes: 64, OfferedBW: 1},
+		{Device: d, HostShare: 0.5, NICServiceTime: 1e-6, PacketBytes: 0, OfferedBW: 1},
+		{Device: d, HostShare: 0.5, NICServiceTime: 1e-6, PacketBytes: 64, OfferedBW: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := OffPath(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

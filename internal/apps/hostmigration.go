@@ -1,0 +1,230 @@
+package apps
+
+import (
+	"fmt"
+
+	"lognic/internal/core"
+	"lognic/internal/devices"
+)
+
+// This file models E3's orchestrator (§4.4): E3 runs each microservice on
+// the SmartNIC by default and migrates services to the host when the NIC
+// overloads (it watches the traffic-manager queue length). Here the same
+// decision is made analytically: stages move to host cores — faster, but
+// behind a PCIe crossing — until the modeled NIC capacity covers the
+// offered load.
+
+// Host describes the host side of an E3 deployment.
+type Host struct {
+	// Cores is the number of host cores available to migrated stages.
+	Cores int
+	// SpeedFactor scales stage costs on a host core (a 3 GHz Xeon core
+	// runs a stage several times faster than a 1.5 GHz cnMIPS core).
+	SpeedFactor float64
+	// PCIeOverhead is the per-request cost of crossing to the host and
+	// back (seconds) — DMA descriptor handling and doorbells.
+	PCIeOverhead float64
+	// PCIeBW is the host link bandwidth (bytes/second).
+	PCIeBW float64
+}
+
+// Validate checks the host parameters.
+func (h Host) Validate() error {
+	if h.Cores < 1 {
+		return fmt.Errorf("apps: host needs at least one core")
+	}
+	if h.SpeedFactor <= 0 {
+		return fmt.Errorf("apps: invalid host speed factor %v", h.SpeedFactor)
+	}
+	if h.PCIeOverhead < 0 || h.PCIeBW <= 0 {
+		return fmt.Errorf("apps: invalid PCIe parameters")
+	}
+	return nil
+}
+
+// DefaultHost returns the E3 testbed's host side: a Xeon with cores twice
+// as fast as the cnMIPS, a ~1µs PCIe round trip, and a Gen3 x8 link.
+func DefaultHost() Host {
+	return Host{Cores: 8, SpeedFactor: 2.0, PCIeOverhead: 1.0e-6, PCIeBW: 7.9e9}
+}
+
+// MigratedModel builds the chain with stages marked in onHost running on
+// host cores. NIC-resident stages split the NIC cores per alloc (which
+// indexes only the NIC-resident stages, in chain order); host stages split
+// the host cores proportionally to cost. Each NIC↔host boundary crossing
+// rides the PCIe link and pays its overhead.
+func MigratedModel(d devices.LiquidIO2, chain ServiceChain, onHost []bool, nicCores []int, host Host, offeredBW float64) (core.Model, error) {
+	if len(onHost) != len(chain.Stages) {
+		return core.Model{}, fmt.Errorf("apps: onHost has %d entries for %d stages", len(onHost), len(chain.Stages))
+	}
+	if err := host.Validate(); err != nil {
+		return core.Model{}, err
+	}
+	if offeredBW <= 0 {
+		return core.Model{}, fmt.Errorf("apps: invalid offered bandwidth %v", offeredBW)
+	}
+	// Host cores split by cost share across host stages.
+	hostCost := 0.0
+	nicStageCount := 0
+	for i, st := range chain.Stages {
+		if onHost[i] {
+			hostCost += st.Cost
+		} else {
+			nicStageCount++
+		}
+	}
+	if len(nicCores) != nicStageCount {
+		return core.Model{}, fmt.Errorf("apps: nicCores has %d entries for %d NIC stages", len(nicCores), nicStageCount)
+	}
+
+	b := core.NewBuilder(fmt.Sprintf("%s-migrated", chain.Name)).AddIngress("rx")
+	prev := "rx"
+	prevOnHost := false
+	nicIdx := 0
+	for i, st := range chain.Stages {
+		name := fmt.Sprintf("s%d-%s", i, st.Name)
+		var v core.Vertex
+		if onHost[i] {
+			gamma := st.Cost / hostCost
+			hostStageCost := st.Cost / host.SpeedFactor
+			v = core.Vertex{
+				Name: "host-" + name, Kind: core.KindIP,
+				Throughput:  float64(host.Cores) * chain.RequestBytes / hostStageCost,
+				Parallelism: host.Cores, QueueCapacity: 64,
+				Partition:  gamma,
+				QueueModel: core.QueueMMcK,
+			}
+		} else {
+			cores := nicCores[nicIdx]
+			nicIdx++
+			if cores < 1 {
+				return core.Model{}, fmt.Errorf("apps: NIC stage %q needs at least one core", st.Name)
+			}
+			v = core.Vertex{
+				Name: name, Kind: core.KindIP,
+				Throughput:  float64(cores) * chain.RequestBytes / st.Cost,
+				Parallelism: cores, QueueCapacity: 64,
+				Overhead: 0.2e-6,
+			}
+		}
+		crossing := onHost[i] != prevOnHost
+		if crossing {
+			// The stage on the far side of a NIC↔host boundary pays the
+			// PCIe round-trip overhead on its onward hop.
+			v.Overhead += host.PCIeOverhead
+		}
+		b.AddVertex(v)
+		e := core.Edge{From: prev, To: v.Name, Delta: 1}
+		if crossing {
+			e.Bandwidth = host.PCIeBW
+		}
+		b.AddEdge(e)
+		prev = v.Name
+		prevOnHost = onHost[i]
+	}
+	b.AddEgress("tx")
+	last := core.Edge{From: prev, To: "tx", Delta: 1}
+	if prevOnHost {
+		last.Bandwidth = host.PCIeBW // response returns over PCIe
+	}
+	b.AddEdge(last)
+	g, err := b.Build()
+	if err != nil {
+		return core.Model{}, err
+	}
+	return core.Model{
+		Hardware: d.Hardware(),
+		Graph:    g,
+		Traffic:  core.Traffic{IngressBW: offeredBW, Granularity: chain.RequestBytes},
+	}, nil
+}
+
+// PlanMigration is the analytical orchestrator: starting NIC-resident, it
+// migrates the costliest stages to the host until the modeled capacity
+// covers the offered load (plus headroom), then allocates the NIC cores
+// cost-proportionally among the stages that stayed. It returns the
+// migration mask, the NIC core allocation, and the resulting model.
+func PlanMigration(d devices.LiquidIO2, chain ServiceChain, host Host, offeredBW, headroom float64) ([]bool, []int, core.Model, error) {
+	if headroom < 1 {
+		headroom = 1.1
+	}
+	k := len(chain.Stages)
+	onHost := make([]bool, k)
+	var (
+		bestMask  []bool
+		bestCores []int
+		bestModel core.Model
+		bestSat   = -1.0
+	)
+	for migrated := 0; migrated <= k; migrated++ {
+		nicCores := proportionalNICCores(chain, onHost, d.Cores)
+		m, err := MigratedModel(d, chain, onHost, nicCores, host, offeredBW)
+		if err != nil {
+			return nil, nil, core.Model{}, err
+		}
+		sat, err := m.SaturationThroughput()
+		if err != nil {
+			return nil, nil, core.Model{}, err
+		}
+		if sat.Attainable >= headroom*offeredBW {
+			return onHost, nicCores, m, nil
+		}
+		if sat.Attainable > bestSat {
+			bestSat = sat.Attainable
+			bestMask = append([]bool(nil), onHost...)
+			bestCores = nicCores
+			bestModel = m
+		}
+		if migrated == k {
+			// No configuration covers the demand; return the highest-
+			// capacity state found (E3 would shed load on top of it).
+			return bestMask, bestCores, bestModel, nil
+		}
+		// Migrate the costliest NIC-resident stage next (it frees the
+		// most NIC cycles per request).
+		next, nextCost := -1, 0.0
+		for i, st := range chain.Stages {
+			if !onHost[i] && st.Cost > nextCost {
+				next, nextCost = i, st.Cost
+			}
+		}
+		onHost[next] = true
+	}
+	return nil, nil, core.Model{}, fmt.Errorf("apps: migration plan did not converge")
+}
+
+// proportionalNICCores splits the NIC cores across NIC-resident stages in
+// proportion to their costs (minimum one each).
+func proportionalNICCores(chain ServiceChain, onHost []bool, total int) []int {
+	nicCost := 0.0
+	count := 0
+	for i, st := range chain.Stages {
+		if !onHost[i] {
+			nicCost += st.Cost
+			count++
+		}
+	}
+	if count == 0 {
+		return nil
+	}
+	out := make([]int, 0, count)
+	used := 0
+	for i, st := range chain.Stages {
+		if onHost[i] {
+			continue
+		}
+		c := int(float64(total) * st.Cost / nicCost)
+		if c < 1 {
+			c = 1
+		}
+		if used+c > total-(count-len(out)-1) {
+			c = total - (count - len(out) - 1) - used
+			if c < 1 {
+				c = 1
+			}
+		}
+		used += c
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package apps
+
+import (
+	"testing"
+
+	"lognic/internal/devices"
+)
+
+func TestHostValidate(t *testing.T) {
+	if err := DefaultHost().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Host{
+		{Cores: 0, SpeedFactor: 1, PCIeBW: 1},
+		{Cores: 1, SpeedFactor: 0, PCIeBW: 1},
+		{Cores: 1, SpeedFactor: 1, PCIeOverhead: -1, PCIeBW: 1},
+		{Cores: 1, SpeedFactor: 1, PCIeBW: 0},
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestMigratedModelAllOnNIC(t *testing.T) {
+	d := devices.LiquidIO2CN2360()
+	chain := E3Workloads()[0]
+	onHost := make([]bool, len(chain.Stages))
+	cores := proportionalNICCores(chain, onHost, d.Cores)
+	m, err := MigratedModel(d, chain, onHost, cores, DefaultHost(), 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing host-resident, nothing crosses PCIe.
+	for _, v := range m.Graph.Vertices() {
+		if len(v.Name) > 5 && v.Name[:5] == "host-" {
+			t.Fatalf("unexpected host vertex %q", v.Name)
+		}
+	}
+	for _, e := range m.Graph.Edges() {
+		if e.Bandwidth != 0 {
+			t.Fatalf("unexpected PCIe edge %s->%s", e.From, e.To)
+		}
+	}
+}
+
+func TestMigratedModelCrossings(t *testing.T) {
+	d := devices.LiquidIO2CN2360()
+	chain := E3Workloads()[0] // parse, flow-track, export
+	onHost := []bool{false, true, false}
+	m, err := MigratedModel(d, chain, onHost, []int{8, 8}, DefaultHost(), 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Graph.Vertex("host-s1-flow-track"); !ok {
+		t.Fatal("migrated stage missing")
+	}
+	// Two PCIe crossings: into the host stage and back out.
+	crossings := 0
+	for _, e := range m.Graph.Edges() {
+		if e.Bandwidth > 0 {
+			crossings++
+		}
+	}
+	if crossings != 2 {
+		t.Fatalf("crossings = %d, want 2", crossings)
+	}
+	// The migrated stage and its successor both carry the PCIe overhead.
+	hostV, _ := m.Graph.Vertex("host-s1-flow-track")
+	if hostV.Overhead < DefaultHost().PCIeOverhead {
+		t.Fatal("host stage missing PCIe overhead")
+	}
+}
+
+func TestMigratedModelErrors(t *testing.T) {
+	d := devices.LiquidIO2CN2360()
+	chain := E3Workloads()[0]
+	h := DefaultHost()
+	if _, err := MigratedModel(d, chain, []bool{true}, nil, h, 1e9); err == nil {
+		t.Fatal("mask length mismatch should fail")
+	}
+	onHost := make([]bool, len(chain.Stages))
+	if _, err := MigratedModel(d, chain, onHost, []int{1}, h, 1e9); err == nil {
+		t.Fatal("core list mismatch should fail")
+	}
+	if _, err := MigratedModel(d, chain, onHost, []int{1, 1, 0}, h, 1e9); err == nil {
+		t.Fatal("zero-core stage should fail")
+	}
+	if _, err := MigratedModel(d, chain, onHost, []int{1, 1, 1}, Host{}, 1e9); err == nil {
+		t.Fatal("bad host should fail")
+	}
+	if _, err := MigratedModel(d, chain, onHost, []int{1, 1, 1}, h, 0); err == nil {
+		t.Fatal("zero load should fail")
+	}
+}
+
+func TestPlanMigrationRelievesOverload(t *testing.T) {
+	d := devices.LiquidIO2CN2360()
+	chain := E3Workloads()[2] // RTA-SF: costliest chain
+	host := DefaultHost()
+
+	// NIC-only capacity.
+	nicOnly := make([]bool, len(chain.Stages))
+	nicCores := proportionalNICCores(chain, nicOnly, d.Cores)
+	m0, err := MigratedModel(d, chain, nicOnly, nicCores, host, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat0, err := m0.SaturationThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Offer 1.8× the NIC-only capacity: the orchestrator must migrate.
+	offered := 1.8 * sat0.Attainable
+	onHost, cores, m, err := PlanMigration(d, chain, host, offered, 1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrated := 0
+	for _, h := range onHost {
+		if h {
+			migrated++
+		}
+	}
+	if migrated == 0 {
+		t.Fatal("orchestrator should migrate at least one stage")
+	}
+	sat, err := m.SaturationThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat.Attainable < 1.05*offered*0.999 {
+		t.Fatalf("migrated capacity %v does not cover offer %v", sat.Attainable, offered)
+	}
+	if len(cores) != len(chain.Stages)-migrated {
+		t.Fatalf("cores = %v for %d NIC stages", cores, len(chain.Stages)-migrated)
+	}
+	// The crossing itself is visible in the latency decomposition: the
+	// migrated path pays PCIe overhead and link movement the NIC-only
+	// path does not. (Total latency may still drop — host cores are
+	// faster — which is exactly why E3 migrates under pressure.)
+	m0.Traffic.IngressBW = 0.3 * sat0.Attainable
+	m.Traffic.IngressBW = m0.Traffic.IngressBW
+	lr0, err := m0.Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := m.Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lr.Paths[0].Overhead > lr0.Paths[0].Overhead) {
+		t.Fatalf("PCIe overhead missing: %v vs %v", lr.Paths[0].Overhead, lr0.Paths[0].Overhead)
+	}
+	if !(lr.Paths[0].Movement > lr0.Paths[0].Movement) {
+		t.Fatalf("PCIe movement missing: %v vs %v", lr.Paths[0].Movement, lr0.Paths[0].Movement)
+	}
+}
+
+func TestPlanMigrationNoOpWhenNICSuffices(t *testing.T) {
+	d := devices.LiquidIO2CN2360()
+	chain := E3Workloads()[0]
+	onHost, _, _, err := PlanMigration(d, chain, DefaultHost(), 1e8, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range onHost {
+		if h {
+			t.Fatalf("stage %d migrated at trivial load", i)
+		}
+	}
+}
+
+func TestProportionalNICCores(t *testing.T) {
+	chain := E3Workloads()[0]
+	onHost := []bool{false, true, false}
+	cores := proportionalNICCores(chain, onHost, 16)
+	if len(cores) != 2 {
+		t.Fatalf("cores = %v", cores)
+	}
+	total := 0
+	for _, c := range cores {
+		if c < 1 {
+			t.Fatalf("zero-core stage in %v", cores)
+		}
+		total += c
+	}
+	if total > 16 {
+		t.Fatalf("allocated %d cores of 16", total)
+	}
+	if proportionalNICCores(chain, []bool{true, true, true}, 16) != nil {
+		t.Fatal("all-host chain should yield nil cores")
+	}
+}

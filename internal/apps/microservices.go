@@ -1,0 +1,198 @@
+package apps
+
+import (
+	"fmt"
+
+	"lognic/internal/core"
+	"lognic/internal/devices"
+)
+
+// Microservice is one stage of an E3 service chain (case study #3, §4.4).
+type Microservice struct {
+	// Name identifies the stage.
+	Name string
+	// Cost is the per-request NIC-core time of the stage (seconds).
+	Cost float64
+}
+
+// ServiceChain is an E3 application: a pipeline of microservices.
+type ServiceChain struct {
+	// Name is the application name (NFV-FIN, RTA-SF, ...).
+	Name string
+	// RequestBytes is the mean request size.
+	RequestBytes float64
+	// Stages is the pipeline, ingress to egress.
+	Stages []Microservice
+}
+
+// TotalCost is the per-request cost of the whole chain (seconds).
+func (c ServiceChain) TotalCost() float64 {
+	sum := 0.0
+	for _, s := range c.Stages {
+		sum += s.Cost
+	}
+	return sum
+}
+
+// MonolithPenalty is the run-to-completion inflation factor: when one core
+// executes the entire chain per request (E3's default round-robin
+// dispatch), instruction-cache and state working sets of all stages thrash
+// against each other. The E3 paper motivates pipelining with exactly this
+// effect; 1.8 is the synthetic value DESIGN.md documents (the chains'
+// combined working sets far exceed a cnMIPS core's caches).
+const MonolithPenalty = 1.8
+
+// E3Workloads returns the five §4.4 applications with synthetic per-stage
+// costs. Stage costs are deliberately skewed — the gap between uniform
+// core allocation and cost-proportional allocation is what the LogNIC
+// optimizer exploits.
+func E3Workloads() []ServiceChain {
+	return []ServiceChain{
+		{
+			Name: "NFV-FIN", RequestBytes: 512,
+			Stages: []Microservice{
+				{Name: "parse", Cost: 0.8e-6},
+				{Name: "flow-track", Cost: 2.9e-6},
+				{Name: "export", Cost: 1.4e-6},
+			},
+		},
+		{
+			Name: "NFV-DIN", RequestBytes: 1024,
+			Stages: []Microservice{
+				{Name: "parse", Cost: 0.9e-6},
+				{Name: "reassemble", Cost: 2.2e-6},
+				{Name: "inspect", Cost: 3.4e-6},
+				{Name: "verdict", Cost: 1.5e-6},
+			},
+		},
+		{
+			Name: "RTA-SF", RequestBytes: 2048,
+			Stages: []Microservice{
+				{Name: "tokenize", Cost: 2.8e-6},
+				{Name: "classify", Cost: 5.8e-6},
+				{Name: "score", Cost: 1.6e-6},
+			},
+		},
+		{
+			Name: "RTA-SHM", RequestBytes: 256,
+			Stages: []Microservice{
+				{Name: "decode", Cost: 0.9e-6},
+				{Name: "aggregate", Cost: 1.2e-6},
+				{Name: "alert", Cost: 2.8e-6},
+			},
+		},
+		{
+			Name: "IOT-DH", RequestBytes: 512,
+			Stages: []Microservice{
+				{Name: "auth", Cost: 2.4e-6},
+				{Name: "transform", Cost: 1.0e-6},
+				{Name: "route", Cost: 0.9e-6},
+				{Name: "persist", Cost: 3.2e-6},
+			},
+		},
+	}
+}
+
+// Allocation assigns NIC cores to chain stages; Cores[i] belongs to
+// Stages[i]. A nil Cores means run-to-completion on all cores.
+type Allocation struct {
+	// Name labels the scheme ("Round-Robin", "Equal-Partition",
+	// "LogNIC-Opt").
+	Name string
+	// Cores[i] is the parallelism of stage i; empty means monolithic
+	// run-to-completion across every core.
+	Cores []int
+}
+
+// EqualPartition splits the device's cores evenly across stages, leftmost
+// stages receiving the remainder — the "equal partition mechanism" baseline
+// of §4.4.
+func EqualPartition(chain ServiceChain, totalCores int) Allocation {
+	k := len(chain.Stages)
+	cores := make([]int, k)
+	for i := range cores {
+		cores[i] = totalCores / k
+		if i < totalCores%k {
+			cores[i]++
+		}
+		if cores[i] < 1 {
+			cores[i] = 1
+		}
+	}
+	return Allocation{Name: "Equal-Partition", Cores: cores}
+}
+
+// RoundRobin is E3's default: every request is dispatched to the next
+// available core, which runs the whole chain to completion. Modeled as a
+// single monolithic stage over all cores with the MonolithPenalty applied.
+func RoundRobin() Allocation {
+	return Allocation{Name: "Round-Robin"}
+}
+
+// MicroserviceModel builds the LogNIC model for a chain under an
+// allocation on the LiquidIO-II. Pipelined allocations produce one virtual
+// IP per stage, each with γ = cores_i/totalCores of the physical core pool
+// and P_i = cores_i·reqBytes/cost_i; the monolithic allocation produces a
+// single IP at the penalized rate. offeredBW is BW_in.
+func MicroserviceModel(d devices.LiquidIO2, chain ServiceChain, alloc Allocation, offeredBW float64) (core.Model, error) {
+	if len(chain.Stages) == 0 {
+		return core.Model{}, fmt.Errorf("apps: chain %q has no stages", chain.Name)
+	}
+	if offeredBW <= 0 {
+		return core.Model{}, fmt.Errorf("apps: invalid offered bandwidth %v", offeredBW)
+	}
+	b := core.NewBuilder(fmt.Sprintf("%s-%s", chain.Name, alloc.Name)).
+		AddIngress("rx")
+	prev := "rx"
+	if len(alloc.Cores) == 0 {
+		// Monolithic run-to-completion: one stage, all cores, penalized.
+		cost := chain.TotalCost() * MonolithPenalty
+		p := float64(d.Cores) * chain.RequestBytes / cost
+		b.AddVertex(core.Vertex{
+			Name: "chain", Kind: core.KindIP,
+			Throughput: p, Parallelism: d.Cores, QueueCapacity: 64,
+		})
+		b.AddEdge(core.Edge{From: prev, To: "chain", Delta: 1})
+		prev = "chain"
+	} else {
+		if len(alloc.Cores) != len(chain.Stages) {
+			return core.Model{}, fmt.Errorf("apps: allocation has %d entries for %d stages", len(alloc.Cores), len(chain.Stages))
+		}
+		total := 0
+		for _, c := range alloc.Cores {
+			if c < 1 {
+				return core.Model{}, fmt.Errorf("apps: stage core count %d < 1", c)
+			}
+			total += c
+		}
+		if total > d.Cores {
+			return core.Model{}, fmt.Errorf("apps: allocation uses %d cores, device has %d", total, d.Cores)
+		}
+		for i, st := range chain.Stages {
+			cores := alloc.Cores[i]
+			p := float64(cores) * chain.RequestBytes / st.Cost
+			name := fmt.Sprintf("s%d-%s", i, st.Name)
+			b.AddVertex(core.Vertex{
+				Name: name, Kind: core.KindIP,
+				Throughput: p, Parallelism: cores, QueueCapacity: 64,
+				Partition: 1,
+				Overhead:  0.2e-6, // inter-core handoff
+			})
+			// Stage handoffs ride core-to-core through shared L2, not the
+			// accelerator interconnect, so the edges carry no α.
+			b.AddEdge(core.Edge{From: prev, To: name, Delta: 1})
+			prev = name
+		}
+	}
+	b.AddEgress("tx")
+	b.AddEdge(core.Edge{From: prev, To: "tx", Delta: 1})
+	g, err := b.Build()
+	if err != nil {
+		return core.Model{}, err
+	}
+	return core.Model{
+		Hardware: d.Hardware(),
+		Graph:    g,
+		Traffic:  core.Traffic{IngressBW: offeredBW, Granularity: chain.RequestBytes},
+	}, nil
+}

@@ -1,0 +1,175 @@
+package apps
+
+import (
+	"fmt"
+
+	"lognic/internal/core"
+	"lognic/internal/devices"
+)
+
+// NF is one network function of the case-study-#4 middlebox chain (§4.5).
+type NF struct {
+	// Name identifies the function ("fw", "lb", "dpi", "nat", "pe").
+	Name string
+	// ARMBase/ARMPerByte give the software cost on an ARM core:
+	// base + perByte·size seconds per packet.
+	ARMBase, ARMPerByte float64
+	// Engine names the BlueField-2 hardware engine that can host this NF,
+	// or "" when none exists (DPI).
+	Engine string
+}
+
+// ARMCost is the software per-packet cost at the given size.
+func (f NF) ARMCost(packetBytes float64) float64 {
+	return f.ARMBase + f.ARMPerByte*packetBytes
+}
+
+// MiddleboxChain returns the FW→LB→DPI→NAT→PE chain with synthetic ARM
+// costs. Per-byte-heavy functions (DPI, PE) benefit from offload at large
+// packets; at 64B the engines' transfer overheads dominate — the trade-off
+// Figures 13/14 sweep.
+func MiddleboxChain() []NF {
+	return []NF{
+		{Name: "fw", ARMBase: 0.45e-6, ARMPerByte: 0.05e-9, Engine: "conntrack"},
+		{Name: "lb", ARMBase: 0.40e-6, ARMPerByte: 0.04e-9, Engine: "hash"},
+		{Name: "dpi", ARMBase: 0.70e-6, ARMPerByte: 1.60e-9, Engine: ""},
+		{Name: "nat", ARMBase: 0.35e-6, ARMPerByte: 0.03e-9, Engine: "conntrack"},
+		{Name: "pe", ARMBase: 0.55e-6, ARMPerByte: 2.60e-9, Engine: "crypto"},
+	}
+}
+
+// Placement maps NF name → true when the NF runs on its hardware engine,
+// false for the ARM cores. NFs without an engine are always on ARM.
+type Placement map[string]bool
+
+// ARMOnly places every NF on the ARM cores.
+func ARMOnly(chain []NF) Placement {
+	p := Placement{}
+	for _, f := range chain {
+		p[f.Name] = false
+	}
+	return p
+}
+
+// AcceleratorOnly places every NF with an engine on that engine.
+func AcceleratorOnly(chain []NF) Placement {
+	p := Placement{}
+	for _, f := range chain {
+		p[f.Name] = f.Engine != ""
+	}
+	return p
+}
+
+// Placements enumerates every feasible placement of the chain (2^k for the
+// k offloadable NFs) — the §4.5 optimizer's search space.
+func Placements(chain []NF) []Placement {
+	var offloadable []string
+	for _, f := range chain {
+		if f.Engine != "" {
+			offloadable = append(offloadable, f.Name)
+		}
+	}
+	n := len(offloadable)
+	out := make([]Placement, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		p := ARMOnly(chain)
+		for i, name := range offloadable {
+			if mask&(1<<i) != 0 {
+				p[name] = true
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// NFChainModel builds the case-study-#4 model for one placement and packet
+// size on the BlueField-2. ARM-resident NFs share the 8 cores, partitioned
+// (γ) proportionally to their per-packet costs — the best static split.
+// Engine-resident NFs become their own vertices; the ARM-side transfer
+// overhead of an offloaded NF is charged to the ARM pool (raising its
+// effective per-packet cost) and the packet crosses the SoC interconnect
+// to reach the engine (α=1 per crossing).
+func NFChainModel(d devices.BlueField2, chain []NF, place Placement, packetBytes, offeredBW float64) (core.Model, error) {
+	if packetBytes <= 0 || offeredBW <= 0 {
+		return core.Model{}, fmt.Errorf("apps: invalid packet size %v or load %v", packetBytes, offeredBW)
+	}
+	// ARM pool: per-packet time spent on ARM across the chain = software
+	// NFs' costs + offloaded NFs' transfer overheads.
+	armTime := map[string]float64{} // per NF on-ARM seconds
+	for _, f := range chain {
+		if place[f.Name] && f.Engine != "" {
+			e, err := d.Engine(f.Engine)
+			if err != nil {
+				return core.Model{}, err
+			}
+			armTime[f.Name] = e.TransferOverhead
+		} else {
+			armTime[f.Name] = f.ARMCost(packetBytes)
+		}
+	}
+	totalARM := 0.0
+	for _, t := range armTime {
+		totalARM += t
+	}
+	// Engines can host several NFs (FW and NAT both use conntrack): the
+	// physical engine is γ-partitioned by per-packet engine time, like the
+	// ARM pool.
+	engineTotal := map[string]float64{}
+	for _, f := range chain {
+		if place[f.Name] && f.Engine != "" {
+			e, err := d.Engine(f.Engine)
+			if err != nil {
+				return core.Model{}, err
+			}
+			engineTotal[f.Engine] += e.ServiceTime(packetBytes)
+		}
+	}
+
+	b := core.NewBuilder(fmt.Sprintf("nfchain-%dB", int(packetBytes))).AddIngress("rx")
+	prev := "rx"
+	for _, f := range chain {
+		offloaded := place[f.Name] && f.Engine != ""
+		gamma := armTime[f.Name] / totalARM
+		// γ-share of the 8 ARM cores handles this NF's ARM-side work.
+		armP := float64(d.Cores) * packetBytes / armTime[f.Name]
+		armName := "arm-" + f.Name
+		b.AddVertex(core.Vertex{
+			Name: armName, Kind: core.KindIP,
+			Throughput:    armP, // physical pool rate for this work item
+			Parallelism:   d.Cores,
+			Partition:     gamma,
+			QueueCapacity: 64,
+		})
+		b.AddEdge(core.Edge{From: prev, To: armName, Delta: 1})
+		prev = armName
+		if offloaded {
+			e, _ := d.Engine(f.Engine)
+			// One packet of B bytes occupies the engine for its service
+			// time, so the engine's rate is B/service(B) bytes/second.
+			engP := packetBytes / e.ServiceTime(packetBytes)
+			engName := f.Engine + "-" + f.Name
+			b.AddVertex(core.Vertex{
+				Name: engName, Kind: core.KindIP,
+				Throughput:  engP,
+				Parallelism: 1, QueueCapacity: 64,
+				Partition: e.ServiceTime(packetBytes) / engineTotal[f.Engine],
+			})
+			// Crossing to the engine and back traverses the SoC
+			// interconnect.
+			b.AddEdge(core.Edge{From: prev, To: engName, Delta: 1, Alpha: 1})
+			prev = engName
+		}
+	}
+	b.AddEgress("tx")
+	b.AddEdge(core.Edge{From: prev, To: "tx", Delta: 1})
+	g, err := b.Build()
+	if err != nil {
+		return core.Model{}, err
+	}
+	return core.Model{
+		Hardware: d.Hardware(),
+		Graph:    g,
+		Traffic:  core.Traffic{IngressBW: offeredBW, Granularity: packetBytes},
+	}, nil
+}

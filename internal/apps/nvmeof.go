@@ -1,0 +1,151 @@
+package apps
+
+import (
+	"fmt"
+
+	"lognic/internal/core"
+	"lognic/internal/devices"
+	"lognic/internal/nvme"
+	"lognic/internal/sim"
+)
+
+// NVMeoFConfig parameterizes case study #2 (§4.3): the target-side
+// NVMe-over-RDMA protocol on a Stingray JBOF, Figure 2(c)'s graph.
+type NVMeoFConfig struct {
+	// Device is the Stingray catalog.
+	Device devices.Stingray
+	// Drive is the SSD configuration (see nvme.StingrayDrive).
+	Drive nvme.Config
+	// Kind is the I/O pattern.
+	Kind nvme.IOKind
+	// IOBytes is the I/O request size (4KB, 128KB, ...).
+	IOBytes float64
+	// OfferedBW is the ingress data rate (bytes/second).
+	OfferedBW float64
+	// SSDCapacityOverride, when positive, replaces the drive's analytic
+	// capacity as the SSD vertex's P — this is how curve-fitted
+	// characterization parameters (§4.3's remedy for opaque IPs) are
+	// injected back into the model.
+	SSDCapacityOverride float64
+}
+
+// NVMeoF builds the case-study-#2 model: eth-in → ip1 (submission cores) →
+// ssd → ip3 (completion cores) → eth-out. The 8 ARM cores are partitioned
+// between submission and completion handling with γ proportional to their
+// per-IO costs; I/O payloads stage through DRAM on both SSD edges (β=1),
+// matching edges 2/3 of Figure 2(c).
+func NVMeoF(cfg NVMeoFConfig) (core.Model, error) {
+	d := cfg.Device
+	if cfg.IOBytes <= 0 {
+		return core.Model{}, fmt.Errorf("apps: invalid IO size %v", cfg.IOBytes)
+	}
+	if cfg.OfferedBW <= 0 {
+		return core.Model{}, fmt.Errorf("apps: invalid offered bandwidth %v", cfg.OfferedBW)
+	}
+	drive, err := nvme.New(cfg.Drive)
+	if err != nil {
+		return core.Model{}, err
+	}
+	totalCoreCost := d.SubmissionCost + d.CompletionCost
+	gammaSub := d.SubmissionCost / totalCoreCost
+	gammaComp := 1 - gammaSub
+	// With γ-partitioned cores, both stages sustain
+	// cores·IOBytes/totalCoreCost bytes/s.
+	coreP := float64(d.Cores) * cfg.IOBytes / totalCoreCost
+
+	ssdP := cfg.SSDCapacityOverride
+	if ssdP <= 0 {
+		ssdP = drive.Capacity(cfg.Kind, cfg.IOBytes)
+	}
+
+	g, err := core.NewBuilder(fmt.Sprintf("nvmeof-%s-%dB", cfg.Kind, int(cfg.IOBytes))).
+		AddIngress("eth-in").
+		AddVertex(core.Vertex{
+			Name: "ip1", Kind: core.KindIP,
+			Throughput:  coreP / gammaSub, // physical rate; γ scales it back
+			Parallelism: d.Cores, QueueCapacity: 128,
+			Partition:  gammaSub,
+			QueueModel: core.QueueMMcK,
+			Overhead:   0.4e-6, // NVMe doorbell
+		}).
+		AddVertex(core.Vertex{
+			Name: "ssd", Kind: core.KindIP,
+			Throughput:  ssdP,
+			Parallelism: cfg.Drive.Channels, QueueCapacity: 256,
+			QueueModel: core.QueueMMcK,
+			Overhead:   0.3e-6, // completion interrupt/poll
+		}).
+		AddVertex(core.Vertex{
+			Name: "ip3", Kind: core.KindIP,
+			Throughput:  coreP / gammaComp,
+			Parallelism: d.Cores, QueueCapacity: 128,
+			Partition:  gammaComp,
+			QueueModel: core.QueueMMcK,
+		}).
+		AddEgress("eth-out").
+		AddEdge(core.Edge{From: "eth-in", To: "ip1", Delta: 1, Alpha: 1}).
+		AddEdge(core.Edge{From: "ip1", To: "ssd", Delta: 1, Alpha: 1, Beta: 1}).
+		AddEdge(core.Edge{From: "ssd", To: "ip3", Delta: 1, Alpha: 1, Beta: 1}).
+		AddEdge(core.Edge{From: "ip3", To: "eth-out", Delta: 1, Alpha: 1}).
+		Build()
+	if err != nil {
+		return core.Model{}, err
+	}
+	return core.Model{
+		Hardware: d.Hardware(),
+		Graph:    g,
+		Traffic:  core.Traffic{IngressBW: cfg.OfferedBW, Granularity: cfg.IOBytes},
+	}, nil
+}
+
+// NVMeoFServiceTimers returns the simulator service-time hooks for a
+// NVMeoF run: the SSD vertex follows the drive's IO-kind process (with GC
+// when the drive is fragmented). A fresh drive instance is created per call
+// so GC state never leaks across runs.
+func NVMeoFServiceTimers(cfg NVMeoFConfig) (map[string]sim.ServiceTimer, error) {
+	drive, err := nvme.New(cfg.Drive)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]sim.ServiceTimer{
+		"ssd": drive.Timer(cfg.Kind),
+	}, nil
+}
+
+// NVMeoFMixServiceTimers returns simulator hooks for a read/write mixed
+// run (Figure 7): each SSD command is a read with probability readRatio.
+func NVMeoFMixServiceTimers(cfg NVMeoFConfig, readRatio float64) (map[string]sim.ServiceTimer, error) {
+	if readRatio < 0 || readRatio > 1 {
+		return nil, fmt.Errorf("apps: read ratio %v outside [0,1]", readRatio)
+	}
+	drive, err := nvme.New(cfg.Drive)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]sim.ServiceTimer{
+		"ssd": drive.MixTimer(readRatio),
+	}, nil
+}
+
+// NVMeoFMixedModel builds the Figure 7 analytical estimate: the SSD's
+// effective rate under an r/(1−r) read/write mix is the time-weighted
+// harmonic combination of the two pure-stream *characterized* capacities —
+// the best a static model can do for a drive whose GC couples the two
+// classes dynamically (the pure-write characterization bakes in worst-case
+// GC, so the model underpredicts mixed workloads; §4.3).
+func NVMeoFMixedModel(cfg NVMeoFConfig, readRatio float64) (core.Model, error) {
+	if readRatio < 0 || readRatio > 1 {
+		return core.Model{}, fmt.Errorf("apps: read ratio %v outside [0,1]", readRatio)
+	}
+	drive, err := nvme.New(cfg.Drive)
+	if err != nil {
+		return core.Model{}, err
+	}
+	pr := drive.CharacterizedCapacity(nvme.RandRead, cfg.IOBytes)
+	pw := drive.CharacterizedCapacity(nvme.RandWrite, cfg.IOBytes)
+	mixed := 1 / (readRatio/pr + (1-readRatio)/pw)
+	out := cfg
+	out.SSDCapacityOverride = mixed
+	out.Kind = nvme.RandRead // direction irrelevant once P is fixed
+	return NVMeoF(out)
+}

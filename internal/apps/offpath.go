@@ -1,0 +1,93 @@
+package apps
+
+import (
+	"fmt"
+
+	"lognic/internal/core"
+	"lognic/internal/devices"
+)
+
+// OffPathConfig parameterizes the §2.1 off-path SmartNIC pattern: the
+// device exposes itself as a second network endpoint behind a NIC switch.
+// Flows matching host rules take the bypass path (traffic manager →
+// TX pipeline → host PCIe) without entering the SoC; the rest trigger the
+// NIC-resident program. BlueField-2 and Stingray are off-path cards.
+type OffPathConfig struct {
+	// Device is the BlueField-2 catalog (switch + ARM complex).
+	Device devices.BlueField2
+	// HostShare is the fraction of ingress traffic bypassing to the host.
+	HostShare float64
+	// NICServiceTime is the per-packet ARM cost of the NIC-resident
+	// program (seconds).
+	NICServiceTime float64
+	// PacketBytes is the traffic packet size.
+	PacketBytes float64
+	// OfferedBW is the ingress rate (bytes/second).
+	OfferedBW float64
+	// SwitchRate is the NIC switch's forwarding rate (packets/second);
+	// zero uses 200 Mpps, far above any evaluated load.
+	SwitchRate float64
+}
+
+// OffPath builds the off-path model: rx → nic-switch → {host egress
+// (bypass, δ=HostShare), arm complex → soc egress}. The bypass path
+// crosses no SoC interconnect and carries no compute, so host-bound
+// traffic is insulated from SoC overload — the property off-path designs
+// are chosen for.
+func OffPath(cfg OffPathConfig) (core.Model, error) {
+	if cfg.HostShare < 0 || cfg.HostShare > 1 {
+		return core.Model{}, fmt.Errorf("apps: host share %v outside [0,1]", cfg.HostShare)
+	}
+	if cfg.PacketBytes <= 0 || cfg.OfferedBW <= 0 || cfg.NICServiceTime <= 0 {
+		return core.Model{}, fmt.Errorf("apps: invalid off-path parameters")
+	}
+	switchRate := cfg.SwitchRate
+	if switchRate == 0 {
+		switchRate = 200e6
+	}
+	d := cfg.Device
+	nicShare := 1 - cfg.HostShare
+
+	vertices := []core.Vertex{
+		{Name: "rx", Kind: core.KindIngress},
+		{
+			Name: "nic-switch", Kind: core.KindIP,
+			Throughput:  switchRate * cfg.PacketBytes,
+			Parallelism: 1, QueueCapacity: 128,
+		},
+	}
+	var edges []core.Edge
+	edges = append(edges, core.Edge{From: "rx", To: "nic-switch", Delta: 1})
+	if cfg.HostShare > 0 {
+		vertices = append(vertices, core.Vertex{Name: "host", Kind: core.KindEgress})
+		// The bypass path goes straight to the host PCIe: no SoC
+		// interconnect crossing (α=0), no compute.
+		edges = append(edges, core.Edge{From: "nic-switch", To: "host", Delta: cfg.HostShare})
+	}
+	if nicShare > 0 {
+		armP := float64(d.Cores) * cfg.PacketBytes / cfg.NICServiceTime
+		vertices = append(vertices,
+			core.Vertex{
+				Name: "arm", Kind: core.KindIP,
+				Throughput:  armP,
+				Parallelism: d.Cores, QueueCapacity: 64,
+				QueueModel: core.QueueMMcK,
+			},
+			core.Vertex{Name: "soc-tx", Kind: core.KindEgress},
+		)
+		// The default path enters the SoC over the interconnect.
+		edges = append(edges,
+			core.Edge{From: "nic-switch", To: "arm", Delta: nicShare, Alpha: nicShare},
+			core.Edge{From: "arm", To: "soc-tx", Delta: nicShare, Alpha: nicShare},
+		)
+	}
+	g, err := core.NewGraph("offpath", vertices, edges)
+	if err != nil {
+		return core.Model{}, err
+	}
+	return core.Model{
+		Hardware: d.Hardware(),
+		Graph:    g,
+		Traffic:  core.Traffic{IngressBW: cfg.OfferedBW, Granularity: cfg.PacketBytes},
+	}, nil
+}

@@ -1,0 +1,198 @@
+package apps
+
+import (
+	"fmt"
+
+	"lognic/internal/core"
+	"lognic/internal/devices"
+)
+
+// This file builds the PANIC prototype scenarios of case study #5 (§4.6):
+// Model 1 "Pipelined Chain" (credit sizing, Figure 15), Model 2
+// "Parallelized Chain" (traffic steering, Figures 16/17), and the modified
+// Model 3 "Hybrid Chain" (unit parallelism, Figures 18/19).
+
+// panicFrontend adds the common RMT-pipeline and central-scheduler
+// vertices: rx → rmt → sched, returning the scheduler vertex name. Packet
+// descriptors cross the switching fabric on every hop (α=1).
+func panicFrontend(b *core.Builder, d devices.PANIC, packetBytes float64) string {
+	b.AddIngress("rx").
+		AddVertex(core.Vertex{
+			Name: "rmt", Kind: core.KindIP,
+			Throughput:  d.RMTRate * packetBytes,
+			Parallelism: 1, QueueCapacity: 128,
+		}).
+		AddVertex(core.Vertex{
+			Name: "sched", Kind: core.KindIP,
+			Throughput:  d.SchedulerRate * packetBytes,
+			Parallelism: 1, QueueCapacity: 128,
+			Overhead: 0.05e-6, // credit grant round trip
+		}).
+		AddEdge(core.Edge{From: "rx", To: "rmt", Delta: 1, Alpha: 1}).
+		AddEdge(core.Edge{From: "rmt", To: "sched", Delta: 1, Alpha: 1})
+	return "sched"
+}
+
+// unitVertex builds a compute-unit vertex: credits map to the unit's
+// request-queue capacity (the PANIC credit mechanism), parallel engine
+// lanes to Parallelism.
+func unitVertex(u devices.PANICUnit, packetBytes float64, credits, lanes int) core.Vertex {
+	if lanes < 1 {
+		lanes = 1
+	}
+	perLane := packetBytes / u.ServiceTime(packetBytes)
+	return core.Vertex{
+		Name: u.Name, Kind: core.KindIP,
+		Throughput:    perLane * float64(lanes),
+		Parallelism:   lanes,
+		QueueCapacity: credits,
+		// Engine lanes serve packets independently, so the multi-server
+		// queue extension matches the hardware (and the simulator).
+		QueueModel: core.QueueMMcK,
+	}
+}
+
+// PANICPipelined builds Model 1: rx → rmt → sched → a1 → a2 → tx, every
+// unit provisioned with the given credits (queue capacity). Figure 15
+// sweeps credits under four mixed traffic profiles.
+func PANICPipelined(d devices.PANIC, packetBytes, offeredBW float64, credits int) (core.Model, error) {
+	if credits < 1 {
+		return core.Model{}, fmt.Errorf("apps: credits %d < 1", credits)
+	}
+	if packetBytes <= 0 || offeredBW <= 0 {
+		return core.Model{}, fmt.Errorf("apps: invalid packet size %v or load %v", packetBytes, offeredBW)
+	}
+	a1, err := d.Unit("a1")
+	if err != nil {
+		return core.Model{}, err
+	}
+	a2, err := d.Unit("a2")
+	if err != nil {
+		return core.Model{}, err
+	}
+	b := core.NewBuilder(fmt.Sprintf("panic-m1-c%d", credits))
+	sched := panicFrontend(b, d, packetBytes)
+	b.AddVertex(unitVertex(a1, packetBytes, credits, 1)).
+		AddVertex(unitVertex(a2, packetBytes, credits, 1)).
+		AddEgress("tx").
+		AddEdge(core.Edge{From: sched, To: "a1", Delta: 1, Alpha: 1}).
+		AddEdge(core.Edge{From: "a1", To: "a2", Delta: 1, Alpha: 1}).
+		AddEdge(core.Edge{From: "a2", To: "tx", Delta: 1, Alpha: 1})
+	g, err := b.Build()
+	if err != nil {
+		return core.Model{}, err
+	}
+	return core.Model{
+		Hardware: d.Hardware(),
+		Graph:    g,
+		Traffic:  core.Traffic{IngressBW: offeredBW, Granularity: packetBytes},
+	}, nil
+}
+
+// PANICParallelized builds Model 2: the scheduler steers traffic across
+// units a1/a2/a3 in parallel with the given shares (each in [0,1], summing
+// to 1). Figure 16/17's experiment fixes share1 = 0.2 and sweeps share2
+// (the paper's X%), leaving 0.8−share2 for a3.
+func PANICParallelized(d devices.PANIC, packetBytes, offeredBW float64, share1, share2, share3 float64, credits int) (core.Model, error) {
+	if credits < 1 {
+		return core.Model{}, fmt.Errorf("apps: credits %d < 1", credits)
+	}
+	if packetBytes <= 0 || offeredBW <= 0 {
+		return core.Model{}, fmt.Errorf("apps: invalid packet size %v or load %v", packetBytes, offeredBW)
+	}
+	sum := share1 + share2 + share3
+	if share1 < 0 || share2 < 0 || share3 < 0 || sum <= 0 {
+		return core.Model{}, fmt.Errorf("apps: invalid shares %v/%v/%v", share1, share2, share3)
+	}
+	share1, share2, share3 = share1/sum, share2/sum, share3/sum
+	b := core.NewBuilder(fmt.Sprintf("panic-m2-%.0f", share2*100))
+	sched := panicFrontend(b, d, packetBytes)
+	b.AddEgress("tx")
+	units := []struct {
+		name  string
+		share float64
+	}{{"a1", share1}, {"a2", share2}, {"a3", share3}}
+	for _, us := range units {
+		name, share := us.name, us.share
+		u, err := d.Unit(name)
+		if err != nil {
+			return core.Model{}, err
+		}
+		if share == 0 {
+			continue
+		}
+		b.AddVertex(unitVertex(u, packetBytes, credits, 1)).
+			AddEdge(core.Edge{From: sched, To: name, Delta: share, Alpha: share}).
+			AddEdge(core.Edge{From: name, To: "tx", Delta: share, Alpha: share})
+	}
+	g, err := b.Build()
+	if err != nil {
+		return core.Model{}, err
+	}
+	return core.Model{
+		Hardware: d.Hardware(),
+		Graph:    g,
+		Traffic:  core.Traffic{IngressBW: offeredBW, Granularity: packetBytes},
+	}, nil
+}
+
+// PANICHybrid builds the modified Model 3 of §4.6 scenario #3: three
+// execution paths IP1→IP3, IP1→IP4 and IP2→IP4 between ingress and egress.
+// splitIP1ToIP3 is the fraction of IP1's traffic continuing to IP3 (the
+// paper sweeps 50%/50% and 80%/20%); shareIP1 is the ingress fraction
+// entering IP1 (the rest enters IP2); lanes4 is IP4's parallel degree, the
+// Figure 18/19 sweep variable.
+func PANICHybrid(d devices.PANIC, packetBytes, offeredBW, shareIP1, splitIP1ToIP3 float64, lanes4, credits int) (core.Model, error) {
+	if credits < 1 || lanes4 < 1 {
+		return core.Model{}, fmt.Errorf("apps: invalid credits %d or lanes %d", credits, lanes4)
+	}
+	if packetBytes <= 0 || offeredBW <= 0 {
+		return core.Model{}, fmt.Errorf("apps: invalid packet size %v or load %v", packetBytes, offeredBW)
+	}
+	if shareIP1 < 0 || shareIP1 > 1 || splitIP1ToIP3 < 0 || splitIP1ToIP3 > 1 {
+		return core.Model{}, fmt.Errorf("apps: invalid split %v/%v", shareIP1, splitIP1ToIP3)
+	}
+	u1, err := d.Unit("a1")
+	if err != nil {
+		return core.Model{}, err
+	}
+	u2, err := d.Unit("a2")
+	if err != nil {
+		return core.Model{}, err
+	}
+	u3, err := d.Unit("a3")
+	if err != nil {
+		return core.Model{}, err
+	}
+	u4, err := d.Unit("a4")
+	if err != nil {
+		return core.Model{}, err
+	}
+	d13 := shareIP1 * splitIP1ToIP3       // ingress fraction on IP1→IP3
+	d14 := shareIP1 * (1 - splitIP1ToIP3) // IP1→IP4
+	d24 := 1 - shareIP1                   // IP2→IP4
+
+	b := core.NewBuilder(fmt.Sprintf("panic-m3-l%d", lanes4))
+	sched := panicFrontend(b, d, packetBytes)
+	b.AddVertex(unitVertex(u1, packetBytes, credits, 1)).
+		AddVertex(unitVertex(u2, packetBytes, credits, 1)).
+		AddVertex(unitVertex(u3, packetBytes, credits, 1)).
+		AddVertex(unitVertex(u4, packetBytes, credits, lanes4)).
+		AddEgress("tx").
+		AddEdge(core.Edge{From: sched, To: "a1", Delta: shareIP1, Alpha: shareIP1}).
+		AddEdge(core.Edge{From: sched, To: "a2", Delta: d24, Alpha: d24}).
+		AddEdge(core.Edge{From: "a1", To: "a3", Delta: d13, Alpha: d13}).
+		AddEdge(core.Edge{From: "a1", To: "a4", Delta: d14, Alpha: d14}).
+		AddEdge(core.Edge{From: "a2", To: "a4", Delta: d24, Alpha: d24}).
+		AddEdge(core.Edge{From: "a3", To: "tx", Delta: d13, Alpha: d13}).
+		AddEdge(core.Edge{From: "a4", To: "tx", Delta: d14 + d24, Alpha: d14 + d24})
+	g, err := b.Build()
+	if err != nil {
+		return core.Model{}, err
+	}
+	return core.Model{
+		Hardware: d.Hardware(),
+		Graph:    g,
+		Traffic:  core.Traffic{IngressBW: offeredBW, Granularity: packetBytes},
+	}, nil
+}

@@ -1,0 +1,332 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lognic/internal/apps"
+	"lognic/internal/devices"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func md5LogCA() LogCA {
+	// A LiquidIO-flavored instance: host (NIC core) hashing at ~0.5 GB/s,
+	// engine 10× faster, 1.7µs invocation overhead, CMI moving bytes at
+	// 6.25 GB/s.
+	return LogCA{
+		Compute:      2e-9, // 0.5 GB/s host hashing
+		Acceleration: 10,
+		Overhead:     1.7e-6,
+		Latency:      0.16e-9, // 6.25 GB/s interconnect
+	}
+}
+
+func TestLogCAValidate(t *testing.T) {
+	if err := md5LogCA().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []LogCA{
+		{Compute: 0, Acceleration: 2},
+		{Compute: 1e-9, Acceleration: 1},
+		{Compute: 1e-9, Acceleration: 2, Overhead: -1},
+		{Compute: 1e-9, Acceleration: 2, Latency: -1},
+		{Compute: math.NaN(), Acceleration: 2},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLogCASpeedupShape(t *testing.T) {
+	m := md5LogCA()
+	// Tiny offloads lose (overhead dominates); big ones approach the
+	// asymptote from below, monotonically.
+	if m.Speedup(64) >= 1 {
+		t.Fatalf("64B speedup = %v, should lose to overhead", m.Speedup(64))
+	}
+	asym := m.AsymptoticSpeedup()
+	prev := 0.0
+	for _, g := range []float64{64, 256, 1024, 4096, 65536, 1 << 20} {
+		s := m.Speedup(g)
+		if s < prev {
+			t.Fatalf("speedup not monotone at g=%v", g)
+		}
+		if s > asym+1e-9 {
+			t.Fatalf("speedup %v exceeds asymptote %v", s, asym)
+		}
+		prev = s
+	}
+	if !approx(m.Speedup(1e12), asym, 1e-3) {
+		t.Fatalf("speedup at huge g = %v, want ≈ %v", m.Speedup(1e12), asym)
+	}
+}
+
+func TestLogCABreakEven(t *testing.T) {
+	m := md5LogCA()
+	g1, ok := m.BreakEven()
+	if !ok {
+		t.Fatal("expected a break-even granularity")
+	}
+	if !approx(m.Speedup(g1), 1, 1e-9) {
+		t.Fatalf("speedup at g1 = %v, want 1", m.Speedup(g1))
+	}
+	// Below g1 the host wins; above, the accelerator.
+	if m.Speedup(g1*0.9) >= 1 || m.Speedup(g1*1.1) <= 1 {
+		t.Fatal("break-even is not a crossing")
+	}
+	// An accelerator whose communication costs exceed its gain never
+	// breaks even.
+	hopeless := LogCA{Compute: 1e-9, Acceleration: 2, Overhead: 1e-6, Latency: 1e-9}
+	if _, ok := hopeless.BreakEven(); ok {
+		t.Fatal("hopeless accelerator should not break even")
+	}
+}
+
+func TestLogCAOverlapped(t *testing.T) {
+	m := md5LogCA()
+	ov := m
+	ov.Overlapped = true
+	// Overlap can only help.
+	for _, g := range []float64{64, 1024, 1 << 20} {
+		if ov.AcceleratedTime(g) > m.AcceleratedTime(g)+1e-15 {
+			t.Fatalf("overlap made things worse at g=%v", g)
+		}
+	}
+	if ov.AsymptoticSpeedup() < m.AsymptoticSpeedup() {
+		t.Fatal("overlapped asymptote should be at least the unoverlapped one")
+	}
+	g1, ok := ov.BreakEven()
+	if !ok || !approx(ov.Speedup(g1), 1, 1e-9) {
+		t.Fatalf("overlapped break-even wrong: g1=%v ok=%v", g1, ok)
+	}
+	// Communication-bound overlapped instance exercises the other branch.
+	commBound := LogCA{Compute: 1e-9, Acceleration: 100, Overhead: 1e-6, Latency: 0.5e-9, Overlapped: true}
+	g1c, ok := commBound.BreakEven()
+	if !ok || !approx(commBound.Speedup(g1c), 1, 1e-9) {
+		t.Fatalf("comm-bound break-even wrong: %v ok=%v", g1c, ok)
+	}
+}
+
+func TestLogCAGHalf(t *testing.T) {
+	m := md5LogCA()
+	gh, ok := m.GHalf()
+	if !ok {
+		t.Fatal("expected gHalf")
+	}
+	if !approx(m.Speedup(gh), m.AsymptoticSpeedup()/2, 1e-6) {
+		t.Fatalf("speedup at gHalf = %v, want %v", m.Speedup(gh), m.AsymptoticSpeedup()/2)
+	}
+	g1, _ := m.BreakEven()
+	if gh <= g1 {
+		// Half the asymptote can land below break-even only when the
+		// asymptote is below 2; not the case for this instance.
+		t.Fatalf("gHalf %v should exceed g1 %v here", gh, g1)
+	}
+}
+
+func TestLogCASpeedupBoundedProperty(t *testing.T) {
+	f := func(cRaw, aRaw, oRaw, lRaw, gRaw uint16) bool {
+		m := LogCA{
+			Compute:      float64(cRaw%1000+1) * 1e-10,
+			Acceleration: float64(aRaw%50) + 1.5,
+			Overhead:     float64(oRaw%1000) * 1e-8,
+			Latency:      float64(lRaw%100) * 1e-11,
+		}
+		g := float64(gRaw) + 1
+		s := m.Speedup(g)
+		return s >= 0 && s <= m.Acceleration+1e-9 && !math.IsNaN(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The §2.4 argument, executable: LogCA's offload verdict is traffic-blind —
+// its speedup depends only on granularity — while LogNIC's attainable
+// throughput for the same scenario shifts with the offered profile and
+// attributes the binding component.
+func TestLogCAIsTrafficBlindLogNICIsNot(t *testing.T) {
+	m := md5LogCA()
+	// Same granularity, any offered rate: LogCA's answer is one number.
+	s := m.Speedup(1500)
+	if !(s > 1) {
+		t.Fatalf("MTU offload should win under LogCA: %v", s)
+	}
+	// LogNIC on the corresponding LiquidIO scenario: the bottleneck moves
+	// from the NIC cores (low parallelism) to the accelerator as cores
+	// are added — an attribution LogCA cannot express at all.
+	d := devices.LiquidIO2CN2360()
+	m2, err := apps.InlineAccel(apps.InlineAccelConfig{Device: d, Accel: "md5", Cores: 2, PacketBytes: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := m2.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m16, err := apps.InlineAccel(apps.InlineAccelConfig{Device: d, Accel: "md5", Cores: 16, PacketBytes: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep16, err := m16.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Bottleneck.Name != "nic-cores" || rep16.Bottleneck.Name != "md5" {
+		t.Fatalf("LogNIC attribution: %s then %s", rep2.Bottleneck.Name, rep16.Bottleneck.Name)
+	}
+}
+
+func TestGablesValidate(t *testing.T) {
+	good := Gables{
+		IPs:      []GablesIP{{Name: "cpu", Peak: 1e9, Intensity: 2}},
+		MemoryBW: 10e9,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Gables{
+		{MemoryBW: 1e9},
+		{IPs: good.IPs, MemoryBW: 0},
+		{IPs: []GablesIP{{Name: "x", Peak: 0, Intensity: 1}}, MemoryBW: 1e9},
+		{IPs: []GablesIP{{Name: "x", Peak: 1, Intensity: 0}}, MemoryBW: 1e9},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestGablesAttainable(t *testing.T) {
+	m := Gables{
+		IPs: []GablesIP{
+			{Name: "cpu", Peak: 10e9, Intensity: 4},
+			{Name: "dsp", Peak: 40e9, Intensity: 8},
+		},
+		MemoryBW: 4e9,
+	}
+	// All work on the CPU: roof = min(10e9, 4·4e9) = 10e9... memory roof
+	// = 4e9·4 = 16e9, so compute binds.
+	perf, binding, err := m.Attainable([]float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(perf, 10e9, 1e-9) || binding != "cpu" {
+		t.Fatalf("perf=%v binding=%s", perf, binding)
+	}
+	// Splitting work raises attainable performance until memory binds.
+	best, bestPerf, err := m.BestSplit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestPerf <= perf {
+		t.Fatalf("best split %v should beat single-IP %v", bestPerf, perf)
+	}
+	if len(best) != 2 || best[0] < 0 || best[1] < 0 {
+		t.Fatalf("split = %v", best)
+	}
+	// Errors.
+	if _, _, err := m.Attainable([]float64{1}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, _, err := m.Attainable([]float64{-1, 2}); err == nil {
+		t.Fatal("negative fraction should fail")
+	}
+	if _, _, err := m.Attainable([]float64{0, 0}); err == nil {
+		t.Fatal("zero fractions should fail")
+	}
+}
+
+func TestGablesMemoryBinding(t *testing.T) {
+	// Low intensity on both IPs: shared DRAM binds and the report says so.
+	m := Gables{
+		IPs: []GablesIP{
+			{Name: "a", Peak: 100e9, Intensity: 0.5},
+			{Name: "b", Peak: 100e9, Intensity: 0.5},
+		},
+		MemoryBW: 4e9,
+	}
+	perf, binding, err := m.Attainable([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-IP roof: min(100e9, 0.5·4e9)/0.5 = 4e9; memory roof:
+	// 4e9/(1/0.5) = 2e9 → memory binds.
+	if !approx(perf, 2e9, 1e-9) || binding != "memory" {
+		t.Fatalf("perf=%v binding=%s", perf, binding)
+	}
+	// Gables normalizes unnormalized splits.
+	perf2, _, err := m.Attainable([]float64{5, 5})
+	if err != nil || !approx(perf2, perf, 1e-9) {
+		t.Fatalf("normalization broken: %v vs %v (%v)", perf2, perf, err)
+	}
+}
+
+func TestGablesSingleIPAndHeuristic(t *testing.T) {
+	one := Gables{IPs: []GablesIP{{Name: "cpu", Peak: 5e9, Intensity: 10}}, MemoryBW: 1e9}
+	f, perf, err := one.BestSplit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 1 || f[0] != 1 {
+		t.Fatalf("split = %v", f)
+	}
+	// min(5e9, 10·1e9) = 5e9 compute roof vs memory roof 1e9·10 = 10e9.
+	if !approx(perf, 5e9, 1e-9) {
+		t.Fatalf("perf = %v", perf)
+	}
+	three := Gables{
+		IPs: []GablesIP{
+			{Name: "a", Peak: 1e9, Intensity: 4},
+			{Name: "b", Peak: 2e9, Intensity: 4},
+			{Name: "c", Peak: 3e9, Intensity: 4},
+		},
+		MemoryBW: 100e9,
+	}
+	f3, perf3, err := three.BestSplit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3) != 3 || perf3 <= 0 {
+		t.Fatalf("split = %v perf = %v", f3, perf3)
+	}
+	// Proportional split across compute-bound IPs achieves the aggregate.
+	if !approx(perf3, 6e9, 0.01) {
+		t.Fatalf("perf = %v, want ~6e9", perf3)
+	}
+}
+
+// Cross-model consistency: LogCA's break-even granularity for the crypto
+// offload lands in the same packet-size region where LogNIC's placement
+// optimizer flips from ARM to engine (the Figure 13 crossover at
+// ~128–512B) — the models agree on the offload question even though only
+// LogNIC can answer the data-path ones.
+func TestLogCABreakEvenMatchesPlacementCrossover(t *testing.T) {
+	d := devices.BlueField2DPU()
+	chain := apps.MiddleboxChain()
+	pe := chain[4]
+	eng, err := d.Engine("crypto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := LogCA{
+		Compute:      pe.ARMPerByte,
+		Acceleration: pe.ARMPerByte / eng.PerByte,
+		Overhead:     eng.TransferOverhead + eng.PacketBase,
+		Latency:      1 / d.InterfaceBW.BytesPerSecond(),
+	}
+	g1, ok := m.BreakEven()
+	if !ok {
+		t.Fatal("crypto offload should break even")
+	}
+	if g1 < 100 || g1 > 600 {
+		t.Fatalf("break-even %vB outside the Fig13 crossover region", g1)
+	}
+}

@@ -1,0 +1,141 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gables is a simplified form of the Gables mobile-SoC Roofline (Hill &
+// Reddi, HPCA'19): N IPs run concurrently, IP i receiving work fraction
+// f_i of the kernel's operations at operational intensity I_i (operations
+// per byte of memory traffic), bounded by its peak P_i and by the shared
+// DRAM bandwidth B. Attainable performance is limited by the slowest IP
+// (they finish together only if perfectly balanced) and by the aggregate
+// memory traffic:
+//
+//	Perf ≤ min_i  min(P_i, I_i·B) / f_i        (per-IP roof on its slice)
+//	Perf ≤ B · (Σ_i f_i / I_i)⁻¹               (shared-DRAM roof)
+//
+// The paper's §2.4 calls Gables "the closest one that might be applicable"
+// to SmartNICs but notes it cannot capture an IP's I/O behavior — there is
+// no notion of per-packet invocation cost, finite queues, or traffic
+// profiles, which is what the comparison tests demonstrate.
+type Gables struct {
+	// IPs lists the SoC's engines.
+	IPs []GablesIP
+	// MemoryBW is the shared DRAM bandwidth (bytes/second).
+	MemoryBW float64
+}
+
+// GablesIP is one engine of the SoC.
+type GablesIP struct {
+	// Name identifies the engine.
+	Name string
+	// Peak is the engine's compute roof (operations/second).
+	Peak float64
+	// Intensity is the kernel's operational intensity on this engine
+	// (operations per byte of memory traffic).
+	Intensity float64
+}
+
+// Validate checks the parameters.
+func (m Gables) Validate() error {
+	if len(m.IPs) == 0 {
+		return fmt.Errorf("baselines: gables needs at least one IP")
+	}
+	if m.MemoryBW <= 0 {
+		return fmt.Errorf("baselines: invalid memory bandwidth %v", m.MemoryBW)
+	}
+	for _, ip := range m.IPs {
+		if ip.Peak <= 0 || ip.Intensity <= 0 {
+			return fmt.Errorf("baselines: IP %q needs positive peak and intensity", ip.Name)
+		}
+	}
+	return nil
+}
+
+// Attainable returns the performance roof (operations/second) for a work
+// split f (fractions per IP, matching len(IPs), summing to ~1), and the
+// name of the binding component ("memory" or an IP name).
+func (m Gables) Attainable(f []float64) (float64, string, error) {
+	if err := m.Validate(); err != nil {
+		return 0, "", err
+	}
+	if len(f) != len(m.IPs) {
+		return 0, "", fmt.Errorf("baselines: split has %d entries for %d IPs", len(f), len(m.IPs))
+	}
+	sum := 0.0
+	for _, v := range f {
+		if v < 0 {
+			return 0, "", fmt.Errorf("baselines: negative work fraction %v", v)
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return 0, "", fmt.Errorf("baselines: work fractions sum to zero")
+	}
+	best := math.Inf(1)
+	binding := ""
+	memTraffic := 0.0 // bytes per operation, aggregated
+	for i, ip := range m.IPs {
+		fi := f[i] / sum
+		if fi == 0 {
+			continue
+		}
+		roof := math.Min(ip.Peak, ip.Intensity*m.MemoryBW) / fi
+		if roof < best {
+			best = roof
+			binding = ip.Name
+		}
+		memTraffic += fi / ip.Intensity
+	}
+	if memTraffic > 0 {
+		memRoof := m.MemoryBW / memTraffic
+		if memRoof < best {
+			best = memRoof
+			binding = "memory"
+		}
+	}
+	return best, binding, nil
+}
+
+// BestSplit searches (by dense enumeration for two IPs, proportional
+// heuristic beyond) for the work split maximizing attainable performance.
+func (m Gables) BestSplit() ([]float64, float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := len(m.IPs)
+	if n == 1 {
+		perf, _, err := m.Attainable([]float64{1})
+		return []float64{1}, perf, err
+	}
+	if n == 2 {
+		bestF := []float64{0.5, 0.5}
+		bestP := 0.0
+		for i := 0; i <= 1000; i++ {
+			x := float64(i) / 1000
+			p, _, err := m.Attainable([]float64{x, 1 - x})
+			if err != nil {
+				return nil, 0, err
+			}
+			if p > bestP {
+				bestP = p
+				bestF = []float64{x, 1 - x}
+			}
+		}
+		return bestF, bestP, nil
+	}
+	// Proportional-to-roof heuristic for wider SoCs.
+	f := make([]float64, n)
+	total := 0.0
+	for i, ip := range m.IPs {
+		f[i] = math.Min(ip.Peak, ip.Intensity*m.MemoryBW)
+		total += f[i]
+	}
+	for i := range f {
+		f[i] /= total
+	}
+	p, _, err := m.Attainable(f)
+	return f, p, err
+}

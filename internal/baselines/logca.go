@@ -1,0 +1,136 @@
+// Package baselines implements the prior architectural models the paper
+// positions LogNIC against (Table 1 / §2.4): the LogCA accelerator model
+// and a Gables-style multi-IP SoC Roofline. They exist so the repository
+// can *demonstrate* the paper's argument — that execution-flow models
+// answer "is offloading this kernel worth it?" but cannot attribute
+// SmartNIC data-path bottlenecks or react to traffic profiles — with
+// running code rather than prose. The comparisons live in the package
+// tests and in BenchmarkAblationLogCA.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LogCA is the five-parameter accelerator model of Altaf & Wood (ISCA'17):
+// for a kernel of granularity g (bytes offloaded per invocation),
+//
+//	unaccelerated time  T0(g) = C·g
+//	accelerated time    T1(g) = o + L·g + C·g/A
+//
+// with C the host computation index (seconds per byte), A the peak
+// acceleration, o the fixed offload overhead (seconds per invocation) and
+// L the communication latency per byte. The Overlapped flag models a
+// design that hides communication behind computation (T1's L·g term and
+// C·g/A term overlap, taking their max).
+type LogCA struct {
+	// Compute is C: host seconds per byte.
+	Compute float64
+	// Acceleration is A: the accelerator's peak speedup over the host.
+	Acceleration float64
+	// Overhead is o: fixed host seconds per offload invocation.
+	Overhead float64
+	// Latency is L: communication seconds per byte moved.
+	Latency float64
+	// Overlapped selects max(L·g, C·g/A) instead of their sum.
+	Overlapped bool
+}
+
+// Validate checks the parameters.
+func (m LogCA) Validate() error {
+	if m.Compute <= 0 || math.IsNaN(m.Compute) || math.IsInf(m.Compute, 0) {
+		return fmt.Errorf("baselines: invalid computation index %v", m.Compute)
+	}
+	if m.Acceleration <= 1 {
+		return errors.New("baselines: acceleration must exceed 1")
+	}
+	if m.Overhead < 0 || m.Latency < 0 {
+		return errors.New("baselines: negative overhead or latency")
+	}
+	return nil
+}
+
+// HostTime returns T0(g).
+func (m LogCA) HostTime(g float64) float64 { return m.Compute * g }
+
+// AcceleratedTime returns T1(g).
+func (m LogCA) AcceleratedTime(g float64) float64 {
+	comm := m.Latency * g
+	comp := m.Compute * g / m.Acceleration
+	if m.Overlapped {
+		return m.Overhead + math.Max(comm, comp)
+	}
+	return m.Overhead + comm + comp
+}
+
+// Speedup returns T0(g)/T1(g).
+func (m LogCA) Speedup(g float64) float64 {
+	if g <= 0 {
+		return 0
+	}
+	return m.HostTime(g) / m.AcceleratedTime(g)
+}
+
+// BreakEven returns g1, the granularity where offloading starts to pay
+// (speedup = 1), and false when the accelerator never breaks even (the
+// per-byte communication cost eats the whole computational gain).
+func (m LogCA) BreakEven() (float64, bool) {
+	// C·g = o + L·g + C·g/A  ⇒  g = o / (C(1−1/A) − L)   (unoverlapped)
+	gain := m.Compute * (1 - 1/m.Acceleration)
+	if !m.Overlapped {
+		den := gain - m.Latency
+		if den <= 0 {
+			return 0, false
+		}
+		return m.Overhead / den, true
+	}
+	// Overlapped: T1 = o + max(L·g, C·g/A). Try both regimes.
+	// Communication-hidden regime (C·g/A ≥ L·g):
+	if m.Compute/m.Acceleration >= m.Latency {
+		if gain <= 0 {
+			return 0, false
+		}
+		return m.Overhead / gain, true
+	}
+	// Communication-bound regime:
+	den := m.Compute - m.Latency
+	if den <= 0 {
+		return 0, false
+	}
+	g := m.Overhead / den
+	return g, true
+}
+
+// AsymptoticSpeedup returns the g→∞ speedup limit: C/(L + C/A)
+// (unoverlapped) or C/max(L, C/A) (overlapped).
+func (m LogCA) AsymptoticSpeedup() float64 {
+	if m.Overlapped {
+		return m.Compute / math.Max(m.Latency, m.Compute/m.Acceleration)
+	}
+	return m.Compute / (m.Latency + m.Compute/m.Acceleration)
+}
+
+// GHalf returns g_{A/2}, the granularity achieving half of the asymptotic
+// speedup — LogCA's characteristic "how big must offloads be" metric —
+// found by bisection.
+func (m LogCA) GHalf() (float64, bool) {
+	target := m.AsymptoticSpeedup() / 2
+	if m.Speedup(1e15) < target {
+		return 0, false
+	}
+	lo, hi := 1e-12, 1e15
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi) // log-space bisection
+		if m.Speedup(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi/lo < 1+1e-12 {
+			break
+		}
+	}
+	return math.Sqrt(lo * hi), true
+}

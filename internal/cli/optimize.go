@@ -1,0 +1,188 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"lognic/internal/core"
+	"lognic/internal/numopt"
+	"lognic/internal/optimizer"
+	"lognic/internal/unit"
+)
+
+// Knob is one integer parameter the CLI optimizer may turn: a vertex's
+// parallelism degree (D_vi) or queue capacity (N_vi), swept over an
+// inclusive range.
+type Knob struct {
+	// Vertex names the target vertex.
+	Vertex string
+	// Param is "parallelism" or "queue".
+	Param string
+	// Lo and Hi bound the search (inclusive).
+	Lo, Hi int
+}
+
+// ParseKnob parses "vertex.param=lo..hi", e.g. "ip.parallelism=1..16" or
+// "ssd.queue=8..256".
+func ParseKnob(arg string) (Knob, error) {
+	eq := strings.SplitN(arg, "=", 2)
+	if len(eq) != 2 {
+		return Knob{}, fmt.Errorf("cli: bad knob %q, want vertex.param=lo..hi", arg)
+	}
+	target := strings.SplitN(eq[0], ".", 2)
+	if len(target) != 2 || target[0] == "" {
+		return Knob{}, fmt.Errorf("cli: bad knob target %q, want vertex.param", eq[0])
+	}
+	param := target[1]
+	if param != "parallelism" && param != "queue" {
+		return Knob{}, fmt.Errorf("cli: unknown knob parameter %q (parallelism|queue)", param)
+	}
+	bounds := strings.SplitN(eq[1], "..", 2)
+	if len(bounds) != 2 {
+		return Knob{}, fmt.Errorf("cli: bad knob range %q, want lo..hi", eq[1])
+	}
+	lo, err := strconv.Atoi(bounds[0])
+	if err != nil {
+		return Knob{}, fmt.Errorf("cli: bad knob lower bound %q", bounds[0])
+	}
+	hi, err := strconv.Atoi(bounds[1])
+	if err != nil {
+		return Knob{}, fmt.Errorf("cli: bad knob upper bound %q", bounds[1])
+	}
+	if lo < 1 || hi < lo {
+		return Knob{}, fmt.Errorf("cli: bad knob range %d..%d", lo, hi)
+	}
+	return Knob{Vertex: target[0], Param: param, Lo: lo, Hi: hi}, nil
+}
+
+// ParseGoal maps a CLI goal name.
+func ParseGoal(s string) (optimizer.Goal, error) {
+	switch s {
+	case "latency", "min-latency":
+		return optimizer.MinimizeLatency, nil
+	case "throughput", "max-throughput":
+		return optimizer.MaximizeThroughput, nil
+	case "goodput", "max-goodput":
+		return optimizer.MaximizeGoodput, nil
+	default:
+		return 0, fmt.Errorf("cli: unknown goal %q (latency|throughput|goodput)", s)
+	}
+}
+
+// applyKnobs returns a copy of the model with the knob values set.
+func applyKnobs(m core.Model, knobs []Knob, values []int) (core.Model, error) {
+	g := m.Graph
+	for i, k := range knobs {
+		v, ok := g.Vertex(k.Vertex)
+		if !ok {
+			return core.Model{}, fmt.Errorf("cli: knob references unknown vertex %q", k.Vertex)
+		}
+		switch k.Param {
+		case "parallelism":
+			v.Parallelism = values[i]
+		case "queue":
+			v.QueueCapacity = values[i]
+		}
+		var err error
+		g, err = g.WithVertex(v)
+		if err != nil {
+			return core.Model{}, err
+		}
+	}
+	out := m
+	out.Graph = g
+	return out, nil
+}
+
+// OptimizeResult is the outcome of RunOptimize.
+type OptimizeResult struct {
+	// Goal names the optimized metric.
+	Goal string `json:"goal"`
+	// Knobs maps "vertex.param" to the chosen value.
+	Knobs map[string]int `json:"knobs"`
+	// Objective is the metric value at the chosen point (seconds for
+	// latency, bytes/second otherwise).
+	Objective float64 `json:"objective"`
+	// Evaluated counts model evaluations spent.
+	Evaluated int `json:"evaluated"`
+	// Exhaustive reports whether the search covered the whole space.
+	Exhaustive bool `json:"exhaustive"`
+}
+
+// RunOptimize searches the knob space for the best configuration under the
+// goal and renders the result — the CLI face of the model's optimizer mode
+// (Figure 4-a's "apply for optimization" output).
+func RunOptimize(w io.Writer, m core.Model, goalName string, knobArgs []string, jsonOut bool) error {
+	if len(knobArgs) == 0 {
+		return fmt.Errorf("cli: -optimize needs at least one -knob")
+	}
+	goal, err := ParseGoal(goalName)
+	if err != nil {
+		return err
+	}
+	knobs := make([]Knob, 0, len(knobArgs))
+	ranges := make([]numopt.IntRange, 0, len(knobArgs))
+	for _, arg := range knobArgs {
+		k, err := ParseKnob(arg)
+		if err != nil {
+			return err
+		}
+		if _, ok := m.Graph.Vertex(k.Vertex); !ok {
+			return fmt.Errorf("cli: knob references unknown vertex %q", k.Vertex)
+		}
+		knobs = append(knobs, k)
+		ranges = append(ranges, numopt.IntRange{Lo: k.Lo, Hi: k.Hi})
+	}
+	eval := func(values []int) float64 {
+		mm, err := applyKnobs(m, knobs, values)
+		if err != nil {
+			return math.Inf(1)
+		}
+		v, err := optimizer.Score(mm, goal)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return v
+	}
+	res, err := numopt.IntSearch(eval, ranges, 1<<16)
+	if err != nil {
+		return err
+	}
+	if math.IsInf(res.F, 1) {
+		return fmt.Errorf("cli: no feasible knob setting found")
+	}
+	objective := res.F
+	if goal != optimizer.MinimizeLatency {
+		objective = -objective
+	}
+	out := OptimizeResult{
+		Goal:       goal.String(),
+		Knobs:      map[string]int{},
+		Objective:  objective,
+		Evaluated:  res.Evaluated,
+		Exhaustive: res.Exhaustive,
+	}
+	for i, k := range knobs {
+		out.Knobs[k.Vertex+"."+k.Param] = res.X[i]
+	}
+	if jsonOut {
+		return json.NewEncoder(w).Encode(out)
+	}
+	fmt.Fprintf(w, "goal:      %s\n", out.Goal)
+	for i, k := range knobs {
+		fmt.Fprintf(w, "knob:      %s.%s = %d  (searched %d..%d)\n",
+			k.Vertex, k.Param, res.X[i], k.Lo, k.Hi)
+	}
+	switch goal {
+	case optimizer.MinimizeLatency:
+		fmt.Fprintf(w, "objective: %s\n", unit.Duration(objective))
+	default:
+		fmt.Fprintf(w, "objective: %s\n", unit.Bandwidth(objective))
+	}
+	fmt.Fprintf(w, "evaluated: %d configurations (exhaustive: %v)\n", out.Evaluated, out.Exhaustive)
+	return nil
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file provides design-space exploration helpers on top of the base
+// model: parameter sensitivity analysis (which knob moves the estimate
+// most — the "suggest optimization opportunities" use case of §2.3) and
+// recirculation unrolling (the RX-pipeline recirculate path of Figure 1,
+// expressed in DAG form).
+
+// ParamKind identifies a configurable model parameter for sensitivity
+// analysis (Table 2's CONF rows plus the hardware bandwidths).
+type ParamKind int
+
+// Sensitivity parameter kinds.
+const (
+	// ParamIngressBW is BW_in.
+	ParamIngressBW ParamKind = iota
+	// ParamGranularity is g_in.
+	ParamGranularity
+	// ParamInterfaceBW is BW_INTF.
+	ParamInterfaceBW
+	// ParamMemoryBW is BW_MEM.
+	ParamMemoryBW
+	// ParamVertexThroughput is one vertex's P_vi.
+	ParamVertexThroughput
+	// ParamVertexParallelism is one vertex's D_vi.
+	ParamVertexParallelism
+	// ParamVertexQueue is one vertex's N_vi.
+	ParamVertexQueue
+)
+
+// String names the parameter kind.
+func (k ParamKind) String() string {
+	switch k {
+	case ParamIngressBW:
+		return "ingress-bw"
+	case ParamGranularity:
+		return "granularity"
+	case ParamInterfaceBW:
+		return "interface-bw"
+	case ParamMemoryBW:
+		return "memory-bw"
+	case ParamVertexThroughput:
+		return "vertex-throughput"
+	case ParamVertexParallelism:
+		return "vertex-parallelism"
+	case ParamVertexQueue:
+		return "vertex-queue"
+	default:
+		return fmt.Sprintf("param(%d)", int(k))
+	}
+}
+
+// Sensitivity is the estimated response of the model outputs to a relative
+// perturbation of one parameter.
+type Sensitivity struct {
+	// Param identifies the perturbed parameter.
+	Param ParamKind
+	// Vertex names the vertex for per-vertex parameters ("" otherwise).
+	Vertex string
+	// ThroughputElasticity ≈ (ΔP/P)/(Δx/x): the relative throughput
+	// change per relative parameter increase.
+	ThroughputElasticity float64
+	// LatencyElasticity ≈ (ΔT/T)/(Δx/x).
+	LatencyElasticity float64
+}
+
+// perturb builds a copy of the model with one parameter scaled by f (or
+// stepped, for integer parameters).
+func (m Model) perturb(s Sensitivity, f float64) (Model, bool, error) {
+	out := m
+	switch s.Param {
+	case ParamIngressBW:
+		out.Traffic.IngressBW *= f
+	case ParamGranularity:
+		out.Traffic.Granularity *= f
+	case ParamInterfaceBW:
+		if m.Hardware.InterfaceBW == 0 {
+			return out, false, nil
+		}
+		out.Hardware.InterfaceBW *= f
+	case ParamMemoryBW:
+		if m.Hardware.MemoryBW == 0 {
+			return out, false, nil
+		}
+		out.Hardware.MemoryBW *= f
+	case ParamVertexThroughput, ParamVertexParallelism, ParamVertexQueue:
+		v, ok := m.Graph.Vertex(s.Vertex)
+		if !ok {
+			return out, false, fmt.Errorf("core: sensitivity: unknown vertex %q", s.Vertex)
+		}
+		switch s.Param {
+		case ParamVertexThroughput:
+			if v.Throughput == 0 {
+				return out, false, nil
+			}
+			v.Throughput *= f
+		case ParamVertexParallelism:
+			step := int(float64(v.Parallelism)*(f-1) + 0.5)
+			if step == 0 {
+				step = 1
+			}
+			v.Parallelism += step
+			if v.Parallelism < 1 {
+				return out, false, nil
+			}
+		case ParamVertexQueue:
+			if v.QueueCapacity == 0 {
+				return out, false, nil
+			}
+			step := int(float64(v.QueueCapacity)*(f-1) + 0.5)
+			if step == 0 {
+				step = 1
+			}
+			v.QueueCapacity += step
+			if v.QueueCapacity < 1 {
+				return out, false, nil
+			}
+		}
+		g, err := m.Graph.WithVertex(v)
+		if err != nil {
+			return out, false, err
+		}
+		out.Graph = g
+	default:
+		return out, false, fmt.Errorf("core: sensitivity: unknown parameter %v", s.Param)
+	}
+	return out, true, nil
+}
+
+// SensitivityOptions tunes the analysis.
+type SensitivityOptions struct {
+	// Step is the relative perturbation (default 0.05 = +5%).
+	Step float64
+}
+
+// Sensitivities estimates, by finite differences, how the attainable
+// throughput and latency respond to each configurable parameter, sorted by
+// descending absolute latency elasticity. Parameters that are unset on the
+// model (zero bandwidths, queueless vertices) are skipped.
+func (m Model) Sensitivities(opts SensitivityOptions) ([]Sensitivity, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	step := opts.Step
+	if step <= 0 {
+		step = 0.05
+	}
+	base, err := m.Estimate()
+	if err != nil {
+		return nil, err
+	}
+	var targets []Sensitivity
+	targets = append(targets,
+		Sensitivity{Param: ParamIngressBW},
+		Sensitivity{Param: ParamGranularity},
+		Sensitivity{Param: ParamInterfaceBW},
+		Sensitivity{Param: ParamMemoryBW},
+	)
+	for _, v := range m.Graph.Vertices() {
+		if v.Kind != KindIP && v.Kind != KindRateLimiter {
+			continue
+		}
+		targets = append(targets,
+			Sensitivity{Param: ParamVertexThroughput, Vertex: v.Name},
+			Sensitivity{Param: ParamVertexParallelism, Vertex: v.Name},
+			Sensitivity{Param: ParamVertexQueue, Vertex: v.Name},
+		)
+	}
+	var out []Sensitivity
+	for _, tgt := range targets {
+		pm, ok, err := m.perturb(tgt, 1+step)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		est, err := pm.Estimate()
+		if err != nil {
+			// Perturbation made the model infeasible; skip.
+			continue
+		}
+		if base.Throughput.Attainable > 0 {
+			tgt.ThroughputElasticity = (est.Throughput.Attainable/base.Throughput.Attainable - 1) / step
+		}
+		if base.Latency.Attainable > 0 {
+			tgt.LatencyElasticity = (est.Latency.Attainable/base.Latency.Attainable - 1) / step
+		}
+		out = append(out, tgt)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return abs(out[i].LatencyElasticity) > abs(out[j].LatencyElasticity)
+	})
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// UnrollRecirculation expresses the RX-pipeline recirculate path of
+// Figure 1 in DAG form: the named vertex is replicated `times` extra
+// times ("name#1", "name#2", ...) in series, each pass receiving the
+// same δ/α/β as the vertex's original in-edges and a 1/(times+1) share of
+// the physical engine (γ divided across passes). A packet that would loop
+// through the vertex k+1 times instead flows through the k+1 replicas.
+func UnrollRecirculation(g *Graph, name string, times int) (*Graph, error) {
+	orig, ok := g.Vertex(name)
+	if !ok {
+		return nil, fmt.Errorf("core: UnrollRecirculation: unknown vertex %q", name)
+	}
+	if orig.Kind != KindIP {
+		return nil, fmt.Errorf("core: can only recirculate through IP vertices")
+	}
+	if times < 1 {
+		return nil, fmt.Errorf("core: recirculation count %d < 1", times)
+	}
+	passes := times + 1
+	// Each pass owns an equal share of the physical engine.
+	share := orig.Partition / float64(passes)
+
+	vertices := make([]Vertex, 0, len(g.Vertices())+times)
+	for _, v := range g.Vertices() {
+		if v.Name == name {
+			v.Partition = share
+		}
+		vertices = append(vertices, v)
+	}
+	replicas := make([]string, 0, times)
+	for i := 1; i <= times; i++ {
+		r := orig
+		r.Name = fmt.Sprintf("%s#%d", name, i)
+		r.Partition = share
+		if _, dup := g.Vertex(r.Name); dup {
+			return nil, fmt.Errorf("core: replica name %q already exists", r.Name)
+		}
+		vertices = append(vertices, r)
+		replicas = append(replicas, r.Name)
+	}
+
+	// Rewire: out-edges of the original move to the last replica; the
+	// chain original -> #1 -> ... -> #times carries the original's
+	// aggregate incoming fractions.
+	deltaIn, alphaIn, betaIn := 0.0, 0.0, 0.0
+	for _, e := range g.InEdges(name) {
+		deltaIn += e.Delta
+		alphaIn += e.Alpha
+		betaIn += e.Beta
+	}
+	last := replicas[len(replicas)-1]
+	var edges []Edge
+	for _, e := range g.Edges() {
+		if e.From == name {
+			e.From = last
+		}
+		edges = append(edges, e)
+	}
+	prev := name
+	for _, r := range replicas {
+		edges = append(edges, Edge{
+			From: prev, To: r,
+			Delta: deltaIn, Alpha: alphaIn, Beta: betaIn,
+		})
+		prev = r
+	}
+	return NewGraph(g.Name(), vertices, edges)
+}

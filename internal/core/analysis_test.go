@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func sensModel(t *testing.T) Model {
+	t.Helper()
+	g, err := NewBuilder("sens").
+		AddIngress("in").
+		AddIP("ip", 1e9, 2, 32).
+		AddEgress("out").
+		AddEdge(Edge{From: "in", To: "ip", Delta: 1, Alpha: 1}).
+		AddEdge(Edge{From: "ip", To: "out", Delta: 1, Alpha: 1}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Model{
+		Hardware: Hardware{InterfaceBW: 50e9, MemoryBW: 100e9},
+		Graph:    g,
+		Traffic:  Traffic{IngressBW: 0.8e9, Granularity: 1024},
+	}
+}
+
+func findSens(out []Sensitivity, k ParamKind, vertex string) (Sensitivity, bool) {
+	for _, s := range out {
+		if s.Param == k && s.Vertex == vertex {
+			return s, true
+		}
+	}
+	return Sensitivity{}, false
+}
+
+func TestSensitivitiesDirections(t *testing.T) {
+	m := sensModel(t)
+	out, err := m.Sensitivities(SensitivityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no sensitivities")
+	}
+	// More offered load raises latency (queueing at ρ=0.8) and raises
+	// attained throughput (ingress-bound).
+	in, ok := findSens(out, ParamIngressBW, "")
+	if !ok {
+		t.Fatal("ingress sensitivity missing")
+	}
+	if in.LatencyElasticity <= 0 {
+		t.Errorf("latency should rise with load: %v", in.LatencyElasticity)
+	}
+	if in.ThroughputElasticity <= 0 {
+		t.Errorf("throughput should rise with offered load: %v", in.ThroughputElasticity)
+	}
+	// A faster IP cuts latency; throughput unchanged (ingress-bound).
+	p, ok := findSens(out, ParamVertexThroughput, "ip")
+	if !ok {
+		t.Fatal("vertex throughput sensitivity missing")
+	}
+	if p.LatencyElasticity >= 0 {
+		t.Errorf("latency should fall with a faster IP: %v", p.LatencyElasticity)
+	}
+	if math.Abs(p.ThroughputElasticity) > 1e-9 {
+		t.Errorf("throughput should be insensitive below the knee: %v", p.ThroughputElasticity)
+	}
+	// Sorted by |latency elasticity| descending.
+	for i := 1; i < len(out); i++ {
+		if math.Abs(out[i].LatencyElasticity) > math.Abs(out[i-1].LatencyElasticity)+1e-12 {
+			t.Fatal("not sorted by latency elasticity")
+		}
+	}
+}
+
+func TestSensitivitiesSkipUnsetParams(t *testing.T) {
+	m := sensModel(t)
+	m.Hardware.MemoryBW = 0
+	out, err := m.Sensitivities(SensitivityOptions{Step: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findSens(out, ParamMemoryBW, ""); ok {
+		t.Fatal("unset memory bandwidth should be skipped")
+	}
+}
+
+func TestSensitivitiesInvalidModel(t *testing.T) {
+	if _, err := (Model{}).Sensitivities(SensitivityOptions{}); err == nil {
+		t.Fatal("invalid model should fail")
+	}
+}
+
+func TestParamKindString(t *testing.T) {
+	names := map[ParamKind]string{
+		ParamIngressBW:         "ingress-bw",
+		ParamGranularity:       "granularity",
+		ParamInterfaceBW:       "interface-bw",
+		ParamMemoryBW:          "memory-bw",
+		ParamVertexThroughput:  "vertex-throughput",
+		ParamVertexParallelism: "vertex-parallelism",
+		ParamVertexQueue:       "vertex-queue",
+		ParamKind(99):          "param(99)",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestUnrollRecirculation(t *testing.T) {
+	m := sensModel(t)
+	g2, err := UnrollRecirculation(m.Graph, "ip", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replicas exist with γ split three ways.
+	for _, name := range []string{"ip", "ip#1", "ip#2"} {
+		v, ok := g2.Vertex(name)
+		if !ok {
+			t.Fatalf("vertex %q missing", name)
+		}
+		if math.Abs(v.Partition-1.0/3) > 1e-12 {
+			t.Fatalf("%s partition = %v, want 1/3", name, v.Partition)
+		}
+	}
+	// Chain rewired: in → ip → ip#1 → ip#2 → out.
+	paths, err := g2.Paths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	want := []string{"in", "ip", "ip#1", "ip#2", "out"}
+	for i, v := range want {
+		if paths[0].Vertices[i] != v {
+			t.Fatalf("path = %v", paths[0].Vertices)
+		}
+	}
+	// Throughput: three passes through a γ=1/3 engine → capacity P/3.
+	m2 := m
+	m2.Graph = g2
+	rep, err := m2.SaturationThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Attainable-1e9/3) > 1e-3 {
+		t.Fatalf("recirculated capacity = %v, want P/3", rep.Attainable)
+	}
+}
+
+func TestUnrollRecirculationErrors(t *testing.T) {
+	m := sensModel(t)
+	if _, err := UnrollRecirculation(m.Graph, "ghost", 1); err == nil {
+		t.Fatal("unknown vertex should fail")
+	}
+	if _, err := UnrollRecirculation(m.Graph, "in", 1); err == nil {
+		t.Fatal("non-IP vertex should fail")
+	}
+	if _, err := UnrollRecirculation(m.Graph, "ip", 0); err == nil {
+		t.Fatal("zero passes should fail")
+	}
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the §3.7 generalizations: Extension #1 (consolidate
+// multiple execution graphs for multi-tenancy), Extension #2 (mixed traffic
+// profiles), and Extension #3 (rate limiters for non-work-conserving IPs).
+
+// MixComponent is one slice of a mixed traffic profile: an execution graph
+// specialized for one packet size (per-IP C, δ and O vary with size, so the
+// paper applies a different graph per size) plus that size's share of the
+// traffic.
+type MixComponent struct {
+	// Weight is the dist_size probability of this component. Weights are
+	// normalized across the mix.
+	Weight float64
+	// Model is the per-size model; its Traffic carries the component's
+	// granularity and its share of the ingress bandwidth.
+	Model Model
+}
+
+// MixEstimate aggregates a mixed profile.
+type MixEstimate struct {
+	// Throughput is Σ dist_size × P_attainable (bytes/second).
+	Throughput float64
+	// Latency is Σ dist_size × T_attainable (seconds).
+	Latency float64
+	// Components holds each component's estimate in input order.
+	Components []Estimate
+}
+
+// EstimateMix evaluates Extension #2: every component is estimated with its
+// own execution graph and the results are combined as the dist_size-weighted
+// averages of Equations 3 and 8.
+func EstimateMix(components []MixComponent) (MixEstimate, error) {
+	if len(components) == 0 {
+		return MixEstimate{}, fmt.Errorf("core: empty traffic mix")
+	}
+	total := 0.0
+	for _, c := range components {
+		if c.Weight < 0 || !finite(c.Weight) {
+			return MixEstimate{}, fmt.Errorf("core: invalid mix weight %v", c.Weight)
+		}
+		total += c.Weight
+	}
+	if total <= 0 {
+		return MixEstimate{}, fmt.Errorf("core: mix weights sum to zero")
+	}
+	var out MixEstimate
+	for _, c := range components {
+		est, err := c.Model.Estimate()
+		if err != nil {
+			return MixEstimate{}, err
+		}
+		w := c.Weight / total
+		out.Throughput += w * est.Throughput.Attainable
+		out.Latency += w * est.Latency.Attainable
+		out.Components = append(out.Components, est)
+	}
+	return out, nil
+}
+
+// Tenant is one offloaded program sharing the SmartNIC (Extension #1).
+type Tenant struct {
+	// Weight is w_Gi: this tenant's share of the total ingress data W.
+	Weight float64
+	// Graph is the tenant's execution graph. Vertices with equal names
+	// across tenants denote the same physical IP; use the Partition (γ)
+	// field to express how the physical engine is multiplexed.
+	Graph *Graph
+	// Granularity optionally overrides the shared ingress granularity for
+	// this tenant (bytes). Zero uses MultiTenant.Traffic.Granularity.
+	Granularity float64
+}
+
+// MultiTenant consolidates several execution graphs over one device.
+type MultiTenant struct {
+	Hardware Hardware
+	// Traffic is the aggregate profile; IngressBW is the total offered
+	// load split across tenants by weight.
+	Traffic Traffic
+	Tenants []Tenant
+}
+
+// TenantEstimate is one tenant's view of the consolidated estimate.
+type TenantEstimate struct {
+	// Weight is the normalized share of ingress data.
+	Weight float64
+	// Throughput is the tenant's attainable share (bytes/second): its
+	// weight times the device-wide attainable rate, further capped by the
+	// tenant graph's own constraints at its offered share.
+	Throughput float64
+	// Latency is the tenant's average latency at its offered share.
+	Latency LatencyReport
+}
+
+// MultiTenantEstimate is the device-wide result of consolidation.
+type MultiTenantEstimate struct {
+	// Attainable is the total ingress rate the device sustains with every
+	// tenant active (bytes/second).
+	Attainable float64
+	// Bottleneck is the tightest aggregated constraint.
+	Bottleneck Constraint
+	// Constraints lists all aggregated constraints, tightest first.
+	Constraints []Constraint
+	// Latency is the tenant-weighted average latency (seconds).
+	Latency float64
+	// Tenants holds per-tenant results in input order.
+	Tenants []TenantEstimate
+}
+
+// Estimate consolidates the tenants per Extension #1: it splits W across
+// graphs by weight, aggregates each shared resource's usage (Σ w_Gi·α etc.),
+// and derives the overall attainable throughput and the per-tenant and
+// weighted-average latencies.
+func (mt MultiTenant) Estimate() (MultiTenantEstimate, error) {
+	if len(mt.Tenants) == 0 {
+		return MultiTenantEstimate{}, fmt.Errorf("core: no tenants")
+	}
+	if err := mt.Hardware.validate(); err != nil {
+		return MultiTenantEstimate{}, err
+	}
+	if err := mt.Traffic.validate(); err != nil {
+		return MultiTenantEstimate{}, err
+	}
+	total := 0.0
+	for i, t := range mt.Tenants {
+		if t.Graph == nil {
+			return MultiTenantEstimate{}, fmt.Errorf("core: tenant %d has no graph", i)
+		}
+		if t.Weight <= 0 || !finite(t.Weight) {
+			return MultiTenantEstimate{}, fmt.Errorf("core: tenant %d: invalid weight %v", i, t.Weight)
+		}
+		total += t.Weight
+	}
+
+	// Aggregate resource usage across tenants, in fractions of total W.
+	var sumAlpha, sumBeta float64
+	ipLoad := map[string]float64{}      // physical IP name -> Σ w·Σδ_in
+	ipRate := map[string]float64{}      // physical IP name -> P (max seen)
+	edgeLoad := map[[2]string]float64{} // characterized edge -> Σ w·δ
+	edgeRate := map[[2]string]float64{} // characterized edge -> BW
+	for _, t := range mt.Tenants {
+		w := t.Weight / total
+		for _, e := range t.Graph.Edges() {
+			sumAlpha += w * e.Alpha
+			sumBeta += w * e.Beta
+			if e.Bandwidth > 0 && e.Delta > 0 {
+				k := [2]string{e.From, e.To}
+				edgeLoad[k] += w * e.Delta
+				if e.Bandwidth > edgeRate[k] {
+					edgeRate[k] = e.Bandwidth
+				}
+			}
+		}
+		for _, v := range t.Graph.Vertices() {
+			if v.Throughput <= 0 {
+				continue
+			}
+			din := t.Graph.DeltaIn(v.Name)
+			if din <= 0 {
+				continue
+			}
+			// The physical engine's full rate serves the aggregated load;
+			// γ only shapes the per-tenant latency view.
+			ipLoad[v.Name] += w * din
+			if v.Throughput > ipRate[v.Name] {
+				ipRate[v.Name] = v.Throughput
+			}
+		}
+	}
+
+	var cs []Constraint
+	cs = append(cs, Constraint{Kind: ConstraintIngress, Limit: mt.Traffic.IngressBW})
+	for name, load := range ipLoad {
+		cs = append(cs, Constraint{Kind: ConstraintIPCompute, Name: name, Limit: ipRate[name] / load})
+	}
+	for k, load := range edgeLoad {
+		cs = append(cs, Constraint{Kind: ConstraintEdge, Name: k[0] + "->" + k[1], Limit: edgeRate[k] / load})
+	}
+	if mt.Hardware.InterfaceBW > 0 && sumAlpha > 0 {
+		cs = append(cs, Constraint{Kind: ConstraintInterface, Limit: mt.Hardware.InterfaceBW / sumAlpha})
+	}
+	if mt.Hardware.MemoryBW > 0 && sumBeta > 0 {
+		cs = append(cs, Constraint{Kind: ConstraintMemory, Limit: mt.Hardware.MemoryBW / sumBeta})
+	}
+	sort.SliceStable(cs, func(i, j int) bool { return cs[i].Limit < cs[j].Limit })
+
+	out := MultiTenantEstimate{
+		Attainable:  cs[0].Limit,
+		Bottleneck:  cs[0],
+		Constraints: cs,
+	}
+	// Per-tenant latency at the tenant's admitted share of the attainable
+	// rate.
+	for _, t := range mt.Tenants {
+		w := t.Weight / total
+		gIn := t.Granularity
+		if gIn == 0 {
+			gIn = mt.Traffic.Granularity
+		}
+		share := w * minf(out.Attainable, mt.Traffic.IngressBW)
+		m := Model{
+			Hardware: mt.Hardware,
+			Graph:    t.Graph,
+			Traffic:  Traffic{IngressBW: share, Granularity: gIn},
+		}
+		lr, err := m.Latency()
+		if err != nil {
+			return MultiTenantEstimate{}, err
+		}
+		out.Tenants = append(out.Tenants, TenantEstimate{
+			Weight:     w,
+			Throughput: share,
+			Latency:    lr,
+		})
+		out.Latency += w * lr.Attainable
+	}
+	return out, nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// InsertRateLimiter implements Extension #3: it places a rate-limiter
+// vertex in front of the named vertex, rewiring all of its incoming edges
+// through a block that only enqueues/dequeues at the given rate
+// (bytes/second) behind a queue of the given capacity. The limiter's queue
+// captures the computation-resource idleness of a non-work-conserving IP.
+func InsertRateLimiter(g *Graph, before string, rate float64, queueCap int) (*Graph, error) {
+	target, ok := g.Vertex(before)
+	if !ok {
+		return nil, fmt.Errorf("core: InsertRateLimiter: unknown vertex %q", before)
+	}
+	if target.Kind == KindIngress {
+		return nil, fmt.Errorf("core: cannot rate limit ingress engine %q", before)
+	}
+	if rate <= 0 || !finite(rate) {
+		return nil, fmt.Errorf("core: invalid rate-limit %v", rate)
+	}
+	if queueCap < 1 {
+		return nil, fmt.Errorf("core: rate limiter needs a queue capacity >= 1")
+	}
+	limiter := "ratelimit:" + before
+	if _, exists := g.Vertex(limiter); exists {
+		return nil, fmt.Errorf("core: vertex %q already rate limited", before)
+	}
+	vs := g.Vertices()
+	vs = append(vs, Vertex{
+		Name:          limiter,
+		Kind:          KindRateLimiter,
+		Throughput:    rate,
+		QueueCapacity: queueCap,
+	})
+	var es []Edge
+	deltaIn := 0.0
+	for _, e := range g.Edges() {
+		if e.To == before {
+			deltaIn += e.Delta
+			e.To = limiter
+		}
+		es = append(es, e)
+	}
+	// The limiter forwards everything it admits; the hop itself moves no
+	// extra data over interface or memory.
+	es = append(es, Edge{From: limiter, To: before, Delta: deltaIn})
+	return NewGraph(g.Name(), vs, es)
+}

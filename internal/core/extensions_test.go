@@ -1,0 +1,354 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimateMixWeightedAverage(t *testing.T) {
+	// Two sizes with different graphs: small packets bound by compute,
+	// large by ingress.
+	build := func(gran, bw float64, p float64) Model {
+		g, err := NewBuilder("mix").
+			AddIngress("in").
+			AddIP("ip", p, 1, 0).
+			AddEgress("out").
+			Connect("in", "ip", 1).
+			Connect("ip", "out", 1).
+			Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Model{Graph: g, Traffic: Traffic{IngressBW: bw, Granularity: gran}}
+	}
+	small := build(64, 10e9, 1e9)  // compute bound at 1e9
+	large := build(1500, 2e9, 4e9) // ingress bound at 2e9
+	mix, err := EstimateMix([]MixComponent{
+		{Weight: 0.25, Model: small},
+		{Weight: 0.75, Model: large},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.25*1e9 + 0.75*2e9
+	if !approx(mix.Throughput, want, 1e-12) {
+		t.Fatalf("Throughput = %v, want %v", mix.Throughput, want)
+	}
+	sEst, _ := small.Estimate()
+	lEst, _ := large.Estimate()
+	wantLat := 0.25*sEst.Latency.Attainable + 0.75*lEst.Latency.Attainable
+	if !approx(mix.Latency, wantLat, 1e-12) {
+		t.Fatalf("Latency = %v, want %v", mix.Latency, wantLat)
+	}
+	if len(mix.Components) != 2 {
+		t.Fatalf("components = %d", len(mix.Components))
+	}
+}
+
+func TestEstimateMixNormalizesWeights(t *testing.T) {
+	g := linearGraph(t, 1e9, 1, 0)
+	m := Model{Graph: g, Traffic: Traffic{IngressBW: 1e8, Granularity: 512}}
+	a, err := EstimateMix([]MixComponent{{Weight: 1, Model: m}, {Weight: 1, Model: m}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateMix([]MixComponent{{Weight: 10, Model: m}, {Weight: 10, Model: m}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(a.Throughput, b.Throughput, 1e-12) || !approx(a.Latency, b.Latency, 1e-12) {
+		t.Fatal("weights should be normalized")
+	}
+}
+
+func TestEstimateMixErrors(t *testing.T) {
+	if _, err := EstimateMix(nil); err == nil {
+		t.Fatal("empty mix should fail")
+	}
+	g := linearGraph(t, 1e9, 1, 0)
+	m := Model{Graph: g, Traffic: Traffic{IngressBW: 1, Granularity: 64}}
+	if _, err := EstimateMix([]MixComponent{{Weight: -1, Model: m}}); err == nil {
+		t.Fatal("negative weight should fail")
+	}
+	if _, err := EstimateMix([]MixComponent{{Weight: 0, Model: m}}); err == nil {
+		t.Fatal("zero total weight should fail")
+	}
+	bad := Model{Graph: g, Traffic: Traffic{IngressBW: 1, Granularity: 0}}
+	if _, err := EstimateMix([]MixComponent{{Weight: 1, Model: bad}}); err == nil {
+		t.Fatal("invalid component model should fail")
+	}
+}
+
+// tenantGraph builds a one-IP graph whose IP is named after the physical
+// engine so consolidation can aggregate.
+func tenantGraph(t *testing.T, ipName string, p float64, gamma float64) *Graph {
+	t.Helper()
+	g, err := NewBuilder("tenant-"+ipName).
+		AddIngress("in").
+		AddVertex(Vertex{Name: ipName, Kind: KindIP, Throughput: p, Parallelism: 1, QueueCapacity: 16, Partition: gamma}).
+		AddEgress("out").
+		Connect("in", ipName, 1).
+		Connect(ipName, "out", 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMultiTenantSharedIPBottleneck(t *testing.T) {
+	// Two tenants hammering the same physical IP (same vertex name): the
+	// aggregate ceiling is P / Σ(w·Σδ) = P since both have Σδ=1 and the
+	// weights sum to 1.
+	mt := MultiTenant{
+		Hardware: Hardware{InterfaceBW: 100e9},
+		Traffic:  Traffic{IngressBW: 50e9, Granularity: 1024},
+		Tenants: []Tenant{
+			{Weight: 1, Graph: tenantGraph(t, "arm", 2e9, 0.5)},
+			{Weight: 1, Graph: tenantGraph(t, "arm", 2e9, 0.5)},
+		},
+	}
+	est, err := mt.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(est.Attainable, 2e9, 1e-12) {
+		t.Fatalf("Attainable = %v, want 2e9", est.Attainable)
+	}
+	if est.Bottleneck.Kind != ConstraintIPCompute || est.Bottleneck.Name != "arm" {
+		t.Fatalf("Bottleneck = %+v", est.Bottleneck)
+	}
+	if len(est.Tenants) != 2 {
+		t.Fatalf("tenants = %d", len(est.Tenants))
+	}
+	// Each tenant gets half of the attainable rate.
+	for _, te := range est.Tenants {
+		if !approx(te.Throughput, 1e9, 1e-12) {
+			t.Fatalf("tenant throughput = %v, want 1e9", te.Throughput)
+		}
+		if !approx(te.Weight, 0.5, 1e-12) {
+			t.Fatalf("tenant weight = %v", te.Weight)
+		}
+	}
+	// Weighted latency equals the mean of the per-tenant latencies here.
+	want := 0.5*est.Tenants[0].Latency.Attainable + 0.5*est.Tenants[1].Latency.Attainable
+	if !approx(est.Latency, want, 1e-12) {
+		t.Fatalf("Latency = %v, want %v", est.Latency, want)
+	}
+}
+
+func TestMultiTenantDisjointIPs(t *testing.T) {
+	// Disjoint engines: the device sustains the offered load until the
+	// slower tenant's weighted ceiling binds. Tenant B (weight 0.5, P=1e9)
+	// caps total W at P/(w·Σδ) = 2e9.
+	mt := MultiTenant{
+		Traffic: Traffic{IngressBW: 50e9, Granularity: 1024},
+		Tenants: []Tenant{
+			{Weight: 1, Graph: tenantGraph(t, "armA", 10e9, 1)},
+			{Weight: 1, Graph: tenantGraph(t, "armB", 1e9, 1)},
+		},
+	}
+	est, err := mt.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(est.Attainable, 2e9, 1e-12) {
+		t.Fatalf("Attainable = %v, want 2e9", est.Attainable)
+	}
+	if est.Bottleneck.Name != "armB" {
+		t.Fatalf("Bottleneck = %+v", est.Bottleneck)
+	}
+}
+
+func TestMultiTenantInterfaceAggregation(t *testing.T) {
+	// Each tenant graph uses Σα = 2; aggregate Σ w·α = 2 regardless of
+	// tenant count, so the interface ceiling is BW/2.
+	mt := MultiTenant{
+		Hardware: Hardware{InterfaceBW: 8e9},
+		Traffic:  Traffic{IngressBW: 50e9, Granularity: 1024},
+		Tenants: []Tenant{
+			{Weight: 3, Graph: tenantGraph(t, "a", 100e9, 1)},
+			{Weight: 1, Graph: tenantGraph(t, "b", 100e9, 1)},
+		},
+	}
+	est, err := mt.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(est.Attainable, 4e9, 1e-12) {
+		t.Fatalf("Attainable = %v, want 4e9", est.Attainable)
+	}
+	if est.Bottleneck.Kind != ConstraintInterface {
+		t.Fatalf("Bottleneck = %+v", est.Bottleneck)
+	}
+	// Weight-proportional shares.
+	if !approx(est.Tenants[0].Throughput, 3e9, 1e-9) || !approx(est.Tenants[1].Throughput, 1e9, 1e-9) {
+		t.Fatalf("shares = %v, %v", est.Tenants[0].Throughput, est.Tenants[1].Throughput)
+	}
+}
+
+func TestMultiTenantGranularityOverride(t *testing.T) {
+	gA := tenantGraph(t, "a", 10e9, 1)
+	mt := MultiTenant{
+		Traffic: Traffic{IngressBW: 1e9, Granularity: 1024},
+		Tenants: []Tenant{
+			{Weight: 1, Graph: gA, Granularity: 4096},
+		},
+	}
+	est, err := mt.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute = D·g·Σδ/(P·indeg) with g=4096.
+	vt := est.Tenants[0].Latency.Vertices["a"]
+	if !approx(vt.Compute, 4096/10e9, 1e-12) {
+		t.Fatalf("Compute = %v, want %v", vt.Compute, 4096/10e9)
+	}
+}
+
+func TestMultiTenantErrors(t *testing.T) {
+	g := tenantGraph(t, "a", 1e9, 1)
+	cases := []MultiTenant{
+		{Traffic: Traffic{IngressBW: 1, Granularity: 64}},
+		{Traffic: Traffic{IngressBW: 1, Granularity: 64}, Tenants: []Tenant{{Weight: 0, Graph: g}}},
+		{Traffic: Traffic{IngressBW: 1, Granularity: 64}, Tenants: []Tenant{{Weight: 1, Graph: nil}}},
+		{Traffic: Traffic{IngressBW: 1, Granularity: 0}, Tenants: []Tenant{{Weight: 1, Graph: g}}},
+		{Hardware: Hardware{InterfaceBW: -1}, Traffic: Traffic{IngressBW: 1, Granularity: 64}, Tenants: []Tenant{{Weight: 1, Graph: g}}},
+		{Traffic: Traffic{IngressBW: 1, Granularity: 64}, Tenants: []Tenant{{Weight: math.Inf(1), Graph: g}}},
+	}
+	for i, mt := range cases {
+		if _, err := mt.Estimate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestInsertRateLimiter(t *testing.T) {
+	g := linearGraph(t, 1e9, 1, 0)
+	g2, err := InsertRateLimiter(g, "ip", 0.5e9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, ok := g2.Vertex("ratelimit:ip")
+	if !ok {
+		t.Fatal("rate limiter vertex missing")
+	}
+	if rl.Kind != KindRateLimiter || rl.Throughput != 0.5e9 || rl.QueueCapacity != 8 {
+		t.Fatalf("limiter = %+v", rl)
+	}
+	// Edges rewired: rx -> limiter -> ip.
+	if _, ok := g2.Edge("rx", "ratelimit:ip"); !ok {
+		t.Fatal("rx edge not rewired into limiter")
+	}
+	if _, ok := g2.Edge("ratelimit:ip", "ip"); !ok {
+		t.Fatal("limiter->ip edge missing")
+	}
+	if _, ok := g2.Edge("rx", "ip"); ok {
+		t.Fatal("old edge survived rewiring")
+	}
+	// The limiter becomes the throughput bottleneck.
+	m := Model{Graph: g2, Traffic: Traffic{IngressBW: 10e9, Granularity: 1024}}
+	rep, err := m.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rep.Attainable, 0.5e9, 1e-12) {
+		t.Fatalf("Attainable = %v, want 5e8", rep.Attainable)
+	}
+	if rep.Bottleneck.Name != "ratelimit:ip" {
+		t.Fatalf("Bottleneck = %+v", rep.Bottleneck)
+	}
+	// And it adds queueing delay at load.
+	lr, err := Model{Graph: g2, Traffic: Traffic{IngressBW: 0.45e9, Granularity: 1024}}.Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Vertices["ratelimit:ip"].Queue <= 0 {
+		t.Fatal("limiter should contribute queueing delay at 90% of its rate")
+	}
+}
+
+func TestInsertRateLimiterErrors(t *testing.T) {
+	g := linearGraph(t, 1e9, 1, 0)
+	if _, err := InsertRateLimiter(g, "ghost", 1e9, 4); err == nil {
+		t.Fatal("unknown vertex should fail")
+	}
+	if _, err := InsertRateLimiter(g, "rx", 1e9, 4); err == nil {
+		t.Fatal("rate limiting ingress should fail")
+	}
+	if _, err := InsertRateLimiter(g, "ip", 0, 4); err == nil {
+		t.Fatal("zero rate should fail")
+	}
+	if _, err := InsertRateLimiter(g, "ip", 1e9, 0); err == nil {
+		t.Fatal("zero capacity should fail")
+	}
+	g2, err := InsertRateLimiter(g, "ip", 1e9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InsertRateLimiter(g2, "ip", 1e9, 4); err == nil {
+		t.Fatal("double limiting should fail")
+	}
+}
+
+// §2.4's motivating example, executable: a firewall realized as a
+// match-action table for known flows and as a regex engine for unknown
+// ones. The two execution paths embody different bottlenecks, and
+// Extension #2 mixes them by traffic demand — something a fixed-input
+// model cannot express.
+func TestTrafficInducedExecutionPaths(t *testing.T) {
+	// Match-action path: very fast lookup, bounded by the table engine.
+	matchAction, err := NewBuilder("fw-match").
+		AddIngress("in").
+		AddIP("mat", 20e9, 4, 64).
+		AddEgress("out").
+		Connect("in", "mat", 1).
+		Connect("mat", "out", 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regex path: payload-scanning engine an order of magnitude slower.
+	regex, err := NewBuilder("fw-regex").
+		AddIngress("in").
+		AddIP("regex", 2e9, 2, 64).
+		AddEgress("out").
+		Connect("in", "regex", 1).
+		Connect("regex", "out", 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := func(g *Graph, bw float64) Model {
+		return Model{Graph: g, Traffic: Traffic{IngressBW: bw, Granularity: 512}}
+	}
+	// Mostly-known traffic: the mix estimate sits near the match-action
+	// numbers; mostly-unknown traffic drags it toward the regex engine.
+	mixAt := func(knownShare float64) MixEstimate {
+		est, err := EstimateMix([]MixComponent{
+			{Weight: knownShare, Model: model(matchAction, knownShare*10e9)},
+			{Weight: 1 - knownShare, Model: model(regex, (1-knownShare)*10e9)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+	known := mixAt(0.9)
+	unknown := mixAt(0.1)
+	if !(known.Throughput > unknown.Throughput) {
+		t.Fatalf("known-heavy mix %v should out-throughput unknown-heavy %v",
+			known.Throughput, unknown.Throughput)
+	}
+	// The per-component reports name different bottlenecks.
+	kb := known.Components[0].Throughput.Bottleneck
+	ub := unknown.Components[1].Throughput.Bottleneck
+	if kb.Name == ub.Name && kb.Kind == ub.Kind {
+		t.Fatalf("paths should embody different bottlenecks: %v vs %v", kb, ub)
+	}
+	// The regex slice saturates its engine under unknown-heavy demand.
+	if unknown.Components[1].Throughput.Bottleneck.Name != "regex" {
+		t.Fatalf("unknown-heavy regex slice bottleneck = %v",
+			unknown.Components[1].Throughput.Bottleneck)
+	}
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lognic/internal/graph"
+)
+
+// Graph is a validated LogNIC execution graph: a DAG whose vertices are IP
+// blocks plus ingress/egress engines and whose edges are data movements
+// (paper §3.3). Construct with NewGraph or incrementally with a Builder.
+type Graph struct {
+	name     string
+	vertices map[string]Vertex
+	order    []string // vertex insertion order
+	edges    []Edge
+	edgeIdx  map[[2]string]int
+	dag      *graph.Directed
+}
+
+// Builder assembles a Graph incrementally; errors accumulate and surface at
+// Build so call sites stay linear.
+type Builder struct {
+	name     string
+	vertices []Vertex
+	edges    []Edge
+	errs     []error
+}
+
+// NewBuilder returns a Builder for a named execution graph.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// AddVertex appends a vertex.
+func (b *Builder) AddVertex(v Vertex) *Builder {
+	b.vertices = append(b.vertices, v)
+	return b
+}
+
+// AddIngress appends an ingress engine vertex with the given name.
+func (b *Builder) AddIngress(name string) *Builder {
+	return b.AddVertex(Vertex{Name: name, Kind: KindIngress})
+}
+
+// AddEgress appends an egress engine vertex with the given name.
+func (b *Builder) AddEgress(name string) *Builder {
+	return b.AddVertex(Vertex{Name: name, Kind: KindEgress})
+}
+
+// AddIP appends an IP vertex with the given compute throughput
+// (bytes/second), parallelism degree and queue capacity; further fields can
+// be set with AddVertex instead.
+func (b *Builder) AddIP(name string, throughput float64, parallelism, queueCap int) *Builder {
+	return b.AddVertex(Vertex{
+		Name:          name,
+		Kind:          KindIP,
+		Throughput:    throughput,
+		Parallelism:   parallelism,
+		QueueCapacity: queueCap,
+	})
+}
+
+// AddEdge appends an edge.
+func (b *Builder) AddEdge(e Edge) *Builder {
+	b.edges = append(b.edges, e)
+	return b
+}
+
+// Connect appends a plain edge carrying the full traffic (δ=frac) over the
+// interface medium (α=frac).
+func (b *Builder) Connect(from, to string, frac float64) *Builder {
+	return b.AddEdge(Edge{From: from, To: to, Delta: frac, Alpha: frac})
+}
+
+// Build validates and freezes the graph.
+func (b *Builder) Build() (*Graph, error) {
+	return NewGraph(b.name, b.vertices, b.edges)
+}
+
+// NewGraph validates vertices and edges and returns an immutable execution
+// graph. Rules enforced (beyond per-field validation):
+//   - at least one ingress and one egress vertex;
+//   - vertex names unique, edge endpoints declared, no duplicate edges;
+//   - the graph is a DAG;
+//   - every vertex lies on some ingress→egress path (no dead data ends);
+//   - ingress vertices have no incoming edges, egress no outgoing.
+func NewGraph(name string, vertices []Vertex, edges []Edge) (*Graph, error) {
+	if name == "" {
+		name = "graph"
+	}
+	g := &Graph{
+		name:     name,
+		vertices: make(map[string]Vertex, len(vertices)),
+		edgeIdx:  make(map[[2]string]int, len(edges)),
+		dag:      graph.New(),
+	}
+	var ingress, egress int
+	for _, v := range vertices {
+		v = v.normalized()
+		if err := v.validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := g.vertices[v.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate vertex %q", v.Name)
+		}
+		g.vertices[v.Name] = v
+		g.order = append(g.order, v.Name)
+		g.dag.AddVertex(v.Name)
+		switch v.Kind {
+		case KindIngress:
+			ingress++
+		case KindEgress:
+			egress++
+		}
+	}
+	if ingress == 0 {
+		return nil, fmt.Errorf("core: graph %q has no ingress vertex", name)
+	}
+	if egress == 0 {
+		return nil, fmt.Errorf("core: graph %q has no egress vertex", name)
+	}
+	for _, e := range edges {
+		if err := e.validate(); err != nil {
+			return nil, err
+		}
+		if _, ok := g.vertices[e.From]; !ok {
+			return nil, fmt.Errorf("core: edge references unknown vertex %q", e.From)
+		}
+		if _, ok := g.vertices[e.To]; !ok {
+			return nil, fmt.Errorf("core: edge references unknown vertex %q", e.To)
+		}
+		key := [2]string{e.From, e.To}
+		if _, dup := g.edgeIdx[key]; dup {
+			return nil, fmt.Errorf("core: duplicate edge %s->%s", e.From, e.To)
+		}
+		if g.vertices[e.To].Kind == KindIngress {
+			return nil, fmt.Errorf("core: edge %s->%s enters an ingress engine", e.From, e.To)
+		}
+		if g.vertices[e.From].Kind == KindEgress {
+			return nil, fmt.Errorf("core: edge %s->%s leaves an egress engine", e.From, e.To)
+		}
+		if err := g.dag.AddEdge(e.From, e.To); err != nil {
+			return nil, err
+		}
+		g.edgeIdx[key] = len(g.edges)
+		g.edges = append(g.edges, e)
+	}
+	if !g.dag.IsDAG() {
+		return nil, fmt.Errorf("core: graph %q contains a cycle", name)
+	}
+	// Every vertex must be reachable from an ingress and reach an egress.
+	fromIngress := map[string]bool{}
+	for _, v := range g.order {
+		if g.vertices[v].Kind == KindIngress {
+			for r := range g.dag.Reachable(v) {
+				fromIngress[r] = true
+			}
+		}
+	}
+	reversed := g.reverse()
+	toEgress := map[string]bool{}
+	for _, v := range g.order {
+		if g.vertices[v].Kind == KindEgress {
+			for r := range reversed.Reachable(v) {
+				toEgress[r] = true
+			}
+		}
+	}
+	for _, v := range g.order {
+		if !fromIngress[v] {
+			return nil, fmt.Errorf("core: vertex %q unreachable from any ingress", v)
+		}
+		if !toEgress[v] {
+			return nil, fmt.Errorf("core: vertex %q cannot reach any egress", v)
+		}
+	}
+	return g, nil
+}
+
+func (g *Graph) reverse() *graph.Directed {
+	r := graph.New()
+	for _, v := range g.order {
+		r.AddVertex(v)
+	}
+	for _, e := range g.edges {
+		_ = r.AddEdge(e.To, e.From)
+	}
+	return r
+}
+
+// Name returns the graph's name.
+func (g *Graph) Name() string { return g.name }
+
+// Vertices returns the vertices in insertion order.
+func (g *Graph) Vertices() []Vertex {
+	out := make([]Vertex, 0, len(g.order))
+	for _, n := range g.order {
+		out = append(out, g.vertices[n])
+	}
+	return out
+}
+
+// Vertex returns the named vertex.
+func (g *Graph) Vertex(name string) (Vertex, bool) {
+	v, ok := g.vertices[name]
+	return v, ok
+}
+
+// Edges returns the edges in insertion order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Edge returns the edge between two vertices.
+func (g *Graph) Edge(from, to string) (Edge, bool) {
+	i, ok := g.edgeIdx[[2]string{from, to}]
+	if !ok {
+		return Edge{}, false
+	}
+	return g.edges[i], true
+}
+
+// InEdges returns the edges entering a vertex, ordered by source insertion.
+func (g *Graph) InEdges(name string) []Edge {
+	var out []Edge
+	for _, p := range g.dag.Predecessors(name) {
+		e, _ := g.Edge(p, name)
+		out = append(out, e)
+	}
+	return out
+}
+
+// OutEdges returns the edges leaving a vertex.
+func (g *Graph) OutEdges(name string) []Edge {
+	var out []Edge
+	for _, s := range g.dag.Successors(name) {
+		e, _ := g.Edge(name, s)
+		out = append(out, e)
+	}
+	return out
+}
+
+// InDegree returns the number of edges entering a vertex — the
+// indegree(v_i) of Equations 7 and 11.
+func (g *Graph) InDegree(name string) int { return g.dag.InDegree(name) }
+
+// DeltaIn returns Σ_j δ_{e_ji}, the total incoming data-transfer fraction
+// of a vertex.
+func (g *Graph) DeltaIn(name string) float64 {
+	sum := 0.0
+	for _, e := range g.InEdges(name) {
+		sum += e.Delta
+	}
+	return sum
+}
+
+// Ingresses returns ingress vertex names in insertion order.
+func (g *Graph) Ingresses() []string { return g.byKind(KindIngress) }
+
+// Egresses returns egress vertex names in insertion order.
+func (g *Graph) Egresses() []string { return g.byKind(KindEgress) }
+
+func (g *Graph) byKind(k VertexKind) []string {
+	var out []string
+	for _, n := range g.order {
+		if g.vertices[n].Kind == k {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// maxPaths caps path enumeration; evaluation graphs are tiny, so hitting
+// this means a malformed input.
+const maxPaths = 4096
+
+// Paths enumerates every ingress→egress path, each with its traffic weight
+// w_Pk. The weight of a path is the product over its vertices of the branch
+// fraction taken at each fan-out: δ_e / Σ_out δ (paper §3.6, "weight is
+// calculated using traffic partition parameters"). Weights are normalized
+// to sum to 1.
+func (g *Graph) Paths() ([]Path, error) {
+	var all []Path
+	for _, in := range g.Ingresses() {
+		for _, out := range g.Egresses() {
+			ps, err := g.dag.Paths(in, out, maxPaths)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range ps {
+				w := 1.0
+				for i := 0; i+1 < len(p); i++ {
+					e, _ := g.Edge(p[i], p[i+1])
+					total := 0.0
+					for _, oe := range g.OutEdges(p[i]) {
+						total += oe.Delta
+					}
+					if total > 0 {
+						w *= e.Delta / total
+					}
+				}
+				all = append(all, Path{Vertices: p, Weight: w})
+			}
+		}
+	}
+	total := 0.0
+	for _, p := range all {
+		total += p.Weight
+	}
+	if total > 0 {
+		for i := range all {
+			all[i].Weight /= total
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Weight > all[j].Weight })
+	return all, nil
+}
+
+// Path is one ingress→egress route with its traffic weight.
+type Path struct {
+	Vertices []string
+	Weight   float64
+}
+
+// WithVertex returns a copy of the graph with the named vertex replaced.
+// It is the mutation primitive the optimizer uses to explore configurable
+// parameters (D_vi, N_vi, γ_vi) without rebuilding graphs by hand.
+func (g *Graph) WithVertex(v Vertex) (*Graph, error) {
+	if _, ok := g.vertices[v.Name]; !ok {
+		return nil, fmt.Errorf("core: WithVertex: unknown vertex %q", v.Name)
+	}
+	vs := g.Vertices()
+	for i := range vs {
+		if vs[i].Name == v.Name {
+			vs[i] = v
+		}
+	}
+	return NewGraph(g.name, vs, g.Edges())
+}
+
+// WithEdge returns a copy of the graph with the matching edge replaced.
+func (g *Graph) WithEdge(e Edge) (*Graph, error) {
+	if _, ok := g.edgeIdx[[2]string{e.From, e.To}]; !ok {
+		return nil, fmt.Errorf("core: WithEdge: unknown edge %s->%s", e.From, e.To)
+	}
+	es := g.Edges()
+	for i := range es {
+		if es[i].From == e.From && es[i].To == e.To {
+			es[i] = e
+		}
+	}
+	return NewGraph(g.name, g.Vertices(), es)
+}

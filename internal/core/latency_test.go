@@ -1,0 +1,307 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lognic/internal/queueing"
+)
+
+// latModel builds a simple model: in -> ip -> out, P = 1 GB/s, packet 1 KB,
+// offered at the given utilization of the IP.
+func latModel(t *testing.T, util float64, qcap int) Model {
+	t.Helper()
+	g := linearGraph(t, 1e9, 1, qcap)
+	return Model{
+		Hardware: Hardware{InterfaceBW: 100e9, MemoryBW: 100e9},
+		Graph:    g,
+		Traffic:  Traffic{IngressBW: util * 1e9, Granularity: 1024},
+	}
+}
+
+func TestLatencyComputeComponent(t *testing.T) {
+	m := latModel(t, 0.1, 0)
+	rep, err := m.Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C/A = D·g·Σδ/(P·indeg) = 1·1024·1/(1e9·1) = 1.024 µs.
+	vt := rep.Vertices["ip"]
+	if !approx(vt.Compute, 1024/1e9, 1e-12) {
+		t.Fatalf("Compute = %v, want 1.024e-6", vt.Compute)
+	}
+	if vt.Queue != 0 {
+		t.Fatalf("Queue = %v, want 0 when capacity unset", vt.Queue)
+	}
+	if len(rep.Paths) != 1 {
+		t.Fatalf("paths = %d", len(rep.Paths))
+	}
+	p := rep.Paths[0]
+	if !approx(p.Total, p.Queueing+p.Compute+p.Overhead+p.Movement, 1e-12) {
+		t.Fatal("component sum mismatch")
+	}
+	if !approx(rep.Attainable, p.Total, 1e-12) {
+		t.Fatal("single path should equal weighted average")
+	}
+}
+
+func TestLatencyMovementComponent(t *testing.T) {
+	// g/BW per edge: 1024·α/BW_INTF + 1024·β/BW_MEM.
+	g, err := NewBuilder("move").
+		AddIngress("in").
+		AddIP("ip", 1e12, 1, 0).
+		AddEgress("out").
+		AddEdge(Edge{From: "in", To: "ip", Delta: 1, Alpha: 1, Beta: 1}).
+		AddEdge(Edge{From: "ip", To: "out", Delta: 1, Alpha: 1}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Model{
+		Hardware: Hardware{InterfaceBW: 10e9, MemoryBW: 5e9},
+		Graph:    g,
+		Traffic:  Traffic{IngressBW: 1e9, Granularity: 1024},
+	}
+	rep, err := m.Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1024.0/10e9 + 1024.0/5e9 + 1024.0/10e9
+	if !approx(rep.Paths[0].Movement, want, 1e-12) {
+		t.Fatalf("Movement = %v, want %v", rep.Paths[0].Movement, want)
+	}
+}
+
+func TestLatencyExplicitEdgeBandwidth(t *testing.T) {
+	// An edge with no medium fractions but a characterized bandwidth
+	// charges g·δ/BW.
+	g, err := NewBuilder("exp").
+		AddIngress("in").
+		AddIP("ip", 1e12, 1, 0).
+		AddEgress("out").
+		AddEdge(Edge{From: "in", To: "ip", Delta: 1, Bandwidth: 2e9}).
+		AddEdge(Edge{From: "ip", To: "out", Delta: 1}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Model{Graph: g, Traffic: Traffic{IngressBW: 1e9, Granularity: 4096}}
+	rep, err := m.Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rep.Paths[0].Movement, 4096/2e9, 1e-12) {
+		t.Fatalf("Movement = %v, want %v", rep.Paths[0].Movement, 4096/2e9)
+	}
+}
+
+func TestLatencyOverheadComponent(t *testing.T) {
+	g := linearGraph(t, 1e9, 1, 0)
+	v, _ := g.Vertex("ip")
+	v.Overhead = 5e-6
+	g2, _ := g.WithVertex(v)
+	m := Model{Graph: g2, Traffic: Traffic{IngressBW: 1e8, Granularity: 1024}}
+	rep, err := m.Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ip is not terminal (edge to egress exists) so O is paid once.
+	if !approx(rep.Paths[0].Overhead, 5e-6, 1e-12) {
+		t.Fatalf("Overhead = %v, want 5e-6", rep.Paths[0].Overhead)
+	}
+}
+
+func TestLatencyQueueingMatchesMM1N(t *testing.T) {
+	m := latModel(t, 0.8, 16)
+	rep, err := m.Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt := rep.Vertices["ip"]
+	// Cross-check against a hand-built queue with Equation 11 parameters.
+	q := queueing.MM1N{
+		Lambda:   0.8e9 * 1 / (1 * 1024),
+		Mu:       1e9 * 1 / (1 * 1024 * 1),
+		Capacity: 16,
+	}
+	if !approx(vt.Lambda, q.Lambda, 1e-12) || !approx(vt.Mu, q.Mu, 1e-12) {
+		t.Fatalf("λ=%v µ=%v, want λ=%v µ=%v", vt.Lambda, vt.Mu, q.Lambda, q.Mu)
+	}
+	if !approx(vt.Rho, 0.8, 1e-12) {
+		t.Fatalf("ρ = %v, want 0.8", vt.Rho)
+	}
+	if !approx(vt.Queue, q.QueueingDelayClosedForm(), 1e-12) {
+		t.Fatalf("Q = %v, want %v", vt.Queue, q.QueueingDelayClosedForm())
+	}
+	if !approx(vt.DropRate, q.BlockingProb(), 1e-12) {
+		t.Fatalf("drop = %v, want %v", vt.DropRate, q.BlockingProb())
+	}
+	if rep.DropRate <= 0 {
+		t.Fatal("report drop rate should be positive at 80% load")
+	}
+}
+
+func TestLatencyGrowsWithLoad(t *testing.T) {
+	prev := 0.0
+	for _, u := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		rep, err := latModel(t, u, 32).Latency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Attainable < prev {
+			t.Fatalf("latency decreased with load at u=%v", u)
+		}
+		prev = rep.Attainable
+	}
+}
+
+func TestLatencyParallelismReducesQueueing(t *testing.T) {
+	// Higher D at the same P reduces λ per engine, cutting the queueing
+	// term; compute per request rises but the knee moves right. At a fixed
+	// moderate load the total should not explode with D.
+	g := linearGraph(t, 1e9, 1, 16)
+	for d := 1; d <= 8; d *= 2 {
+		v, _ := g.Vertex("ip")
+		v.Parallelism = d
+		g2, _ := g.WithVertex(v)
+		m := Model{Graph: g2, Traffic: Traffic{IngressBW: 0.5e9, Granularity: 1024}}
+		rep, err := m.Latency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vt := rep.Vertices["ip"]
+		if !approx(vt.Rho, 0.5, 1e-12) {
+			t.Fatalf("ρ must be independent of D (Equation 11); got %v at D=%d", vt.Rho, d)
+		}
+		wantCompute := float64(d) * 1024 / 1e9
+		if !approx(vt.Compute, wantCompute, 1e-12) {
+			t.Fatalf("compute = %v, want %v at D=%d", vt.Compute, wantCompute, d)
+		}
+	}
+}
+
+func TestLatencyMultiPathWeighting(t *testing.T) {
+	// 70% fast path, 30% slow path.
+	g, err := NewBuilder("split").
+		AddIngress("in").
+		AddIP("fast", 10e9, 1, 0).
+		AddIP("slow", 0.1e9, 1, 0).
+		AddEgress("out").
+		AddEdge(Edge{From: "in", To: "fast", Delta: 0.7, Alpha: 0.7}).
+		AddEdge(Edge{From: "in", To: "slow", Delta: 0.3, Alpha: 0.3}).
+		AddEdge(Edge{From: "fast", To: "out", Delta: 0.7, Alpha: 0.7}).
+		AddEdge(Edge{From: "slow", To: "out", Delta: 0.3, Alpha: 0.3}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Model{Graph: g, Traffic: Traffic{IngressBW: 1e8, Granularity: 1024}}
+	rep, err := m.Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Paths) != 2 {
+		t.Fatalf("paths = %d", len(rep.Paths))
+	}
+	var want float64
+	for _, p := range rep.Paths {
+		want += p.Weight * p.Total
+	}
+	if !approx(rep.Attainable, want, 1e-12) {
+		t.Fatalf("Attainable = %v, want %v", rep.Attainable, want)
+	}
+	// The fast path must be faster.
+	var fast, slow PathLatency
+	for _, p := range rep.Paths {
+		if p.Vertices[1] == "fast" {
+			fast = p
+		} else {
+			slow = p
+		}
+	}
+	if fast.Total >= slow.Total {
+		t.Fatalf("fast %v >= slow %v", fast.Total, slow.Total)
+	}
+	if !approx(fast.Weight, 0.7, 1e-12) || !approx(slow.Weight, 0.3, 1e-12) {
+		t.Fatalf("weights: fast=%v slow=%v", fast.Weight, slow.Weight)
+	}
+}
+
+func TestEstimateBundles(t *testing.T) {
+	m := latModel(t, 0.5, 8)
+	est, err := m.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := m.Throughput()
+	lr, _ := m.Latency()
+	if est.Throughput.Attainable != tr.Attainable {
+		t.Fatal("Estimate throughput mismatch")
+	}
+	if est.Latency.Attainable != lr.Attainable {
+		t.Fatal("Estimate latency mismatch")
+	}
+}
+
+func TestStableLoad(t *testing.T) {
+	ok, err := latModel(t, 0.8, 16).StableLoad()
+	if err != nil || !ok {
+		t.Fatalf("80%% load should be stable: ok=%v err=%v", ok, err)
+	}
+	ok, err = latModel(t, 1.5, 16).StableLoad()
+	if err != nil || ok {
+		t.Fatalf("150%% load should be unstable: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestLoadAtUtilization(t *testing.T) {
+	m := latModel(t, 0.5, 0)
+	bw, err := m.LoadAtUtilization(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(bw, 0.8e9, 1e-12) {
+		t.Fatalf("LoadAtUtilization = %v, want 8e8", bw)
+	}
+	if _, err := m.LoadAtUtilization(0); err == nil {
+		t.Fatal("expected error for u=0")
+	}
+	if _, err := m.LoadAtUtilization(math.NaN()); err == nil {
+		t.Fatal("expected error for NaN")
+	}
+}
+
+func TestLatencyNonNegativeProperty(t *testing.T) {
+	f := func(uRaw, gRaw, qRaw uint16) bool {
+		u := float64(uRaw%120)/100 + 0.01 // 0.01..1.2 utilization
+		gran := float64(gRaw%4096) + 64
+		qcap := int(qRaw % 64)
+		g, err := NewBuilder("p").
+			AddIngress("in").
+			AddIP("ip", 1e9, 1, qcap).
+			AddEgress("out").
+			Connect("in", "ip", 1).
+			Connect("ip", "out", 1).
+			Build()
+		if err != nil {
+			return false
+		}
+		m := Model{
+			Hardware: Hardware{InterfaceBW: 50e9},
+			Graph:    g,
+			Traffic:  Traffic{IngressBW: u * 1e9, Granularity: gran},
+		}
+		rep, err := m.Latency()
+		if err != nil {
+			return false
+		}
+		if rep.Attainable < 0 || math.IsNaN(rep.Attainable) || math.IsInf(rep.Attainable, 0) {
+			return false
+		}
+		return rep.DropRate >= 0 && rep.DropRate <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

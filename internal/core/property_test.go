@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests over the model's structural invariants: the monotonicity
+// and scaling laws Equations 1–12 imply, checked over randomized
+// parameters.
+
+// propModel builds a 2-stage pipeline from raw generator values.
+func propModel(p1, p2, bwIn, gran float64, qcap int) (Model, error) {
+	g, err := NewBuilder("prop").
+		AddIngress("in").
+		AddIP("a", p1, 2, qcap).
+		AddIP("b", p2, 4, qcap).
+		AddEgress("out").
+		AddEdge(Edge{From: "in", To: "a", Delta: 1, Alpha: 1}).
+		AddEdge(Edge{From: "a", To: "b", Delta: 1, Alpha: 1, Beta: 1}).
+		AddEdge(Edge{From: "b", To: "out", Delta: 1, Alpha: 1}).
+		Build()
+	if err != nil {
+		return Model{}, err
+	}
+	return Model{
+		Hardware: Hardware{InterfaceBW: 80e9, MemoryBW: 40e9},
+		Graph:    g,
+		Traffic:  Traffic{IngressBW: bwIn, Granularity: gran},
+	}, nil
+}
+
+func decode(raw [4]uint16) (p1, p2, bwIn, gran float64, qcap int) {
+	p1 = float64(raw[0]%900+100) * 1e7 // 1e9 .. 1e10
+	p2 = float64(raw[1]%900+100) * 1e7 // 1e9 .. 1e10
+	bwIn = float64(raw[2]%95+1) * 1e7  // up to 0.95e9 (below min capacity)
+	gran = float64(raw[3]%4032) + 64   // 64 .. 4095
+	qcap = int(raw[3]%48) + 4          //nolint:staticcheck // reuse entropy
+	return
+}
+
+// Throughput never exceeds the tightest constraint and is monotone
+// non-decreasing in any IP's compute rate.
+func TestPropThroughputMonotoneInComputeRate(t *testing.T) {
+	f := func(raw [4]uint16) bool {
+		p1, p2, bwIn, gran, qcap := decode(raw)
+		m, err := propModel(p1, p2, bwIn, gran, qcap)
+		if err != nil {
+			return false
+		}
+		base, err := m.SaturationThroughput()
+		if err != nil {
+			return false
+		}
+		faster, err := propModel(p1*1.5, p2, bwIn, gran, qcap)
+		if err != nil {
+			return false
+		}
+		up, err := faster.SaturationThroughput()
+		if err != nil {
+			return false
+		}
+		return up.Attainable >= base.Attainable-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Attained throughput equals the offered load whenever the offer is below
+// every capacity constraint.
+func TestPropThroughputTracksOfferBelowKnee(t *testing.T) {
+	f := func(raw [4]uint16) bool {
+		p1, p2, bwIn, gran, qcap := decode(raw)
+		m, err := propModel(p1, p2, bwIn, gran, qcap)
+		if err != nil {
+			return false
+		}
+		sat, err := m.SaturationThroughput()
+		if err != nil {
+			return false
+		}
+		if bwIn >= sat.Attainable {
+			return true // not below the knee; nothing to assert
+		}
+		rep, err := m.Throughput()
+		if err != nil {
+			return false
+		}
+		return math.Abs(rep.Attainable-bwIn) < 1e-6*bwIn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Latency is monotone non-decreasing in offered load (below saturation).
+func TestPropLatencyMonotoneInLoad(t *testing.T) {
+	f := func(raw [4]uint16) bool {
+		p1, p2, bwIn, gran, qcap := decode(raw)
+		m, err := propModel(p1, p2, bwIn, gran, qcap)
+		if err != nil {
+			return false
+		}
+		lr1, err := m.Latency()
+		if err != nil {
+			return false
+		}
+		m2 := m
+		m2.Traffic.IngressBW = bwIn * 1.05
+		lr2, err := m2.Latency()
+		if err != nil {
+			return false
+		}
+		return lr2.Attainable >= lr1.Attainable-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Latency decomposition is exact: total = queueing + compute + overhead +
+// movement on every path, and the weighted average matches.
+func TestPropLatencyDecomposition(t *testing.T) {
+	f := func(raw [4]uint16) bool {
+		p1, p2, bwIn, gran, qcap := decode(raw)
+		m, err := propModel(p1, p2, bwIn, gran, qcap)
+		if err != nil {
+			return false
+		}
+		lr, err := m.Latency()
+		if err != nil {
+			return false
+		}
+		var avg float64
+		for _, p := range lr.Paths {
+			sum := p.Queueing + p.Compute + p.Overhead + p.Movement
+			if math.Abs(sum-p.Total) > 1e-12*math.Max(1, p.Total) {
+				return false
+			}
+			avg += p.Weight * p.Total
+		}
+		return math.Abs(avg-lr.Attainable) < 1e-12*math.Max(1, lr.Attainable)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Acceleration (A) and a pure compute-rate increase are interchangeable in
+// the throughput model: γ·A·P is one effective rate.
+func TestPropAccelerationEquivalence(t *testing.T) {
+	f := func(raw [4]uint16) bool {
+		p1, p2, bwIn, gran, qcap := decode(raw)
+		m, err := propModel(p1, p2, bwIn, gran, qcap)
+		if err != nil {
+			return false
+		}
+		// Variant 1: A = 2 on vertex a.
+		va, _ := m.Graph.Vertex("a")
+		va.Acceleration = 2
+		g1, err := m.Graph.WithVertex(va)
+		if err != nil {
+			return false
+		}
+		m1 := m
+		m1.Graph = g1
+		// Variant 2: P doubled.
+		m2, err := propModel(p1*2, p2, bwIn, gran, qcap)
+		if err != nil {
+			return false
+		}
+		r1, err := m1.SaturationThroughput()
+		if err != nil {
+			return false
+		}
+		r2, err := m2.SaturationThroughput()
+		if err != nil {
+			return false
+		}
+		return math.Abs(r1.Attainable-r2.Attainable) < 1e-6*r2.Attainable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Larger queues never increase the modeled drop rate.
+func TestPropDropRateMonotoneInQueueCapacity(t *testing.T) {
+	f := func(raw [4]uint16) bool {
+		p1, p2, bwIn, gran, qcap := decode(raw)
+		// Push the load near capacity so drops are visible.
+		m, err := propModel(p1, p2, bwIn, gran, qcap)
+		if err != nil {
+			return false
+		}
+		sat, err := m.SaturationThroughput()
+		if err != nil {
+			return false
+		}
+		m.Traffic.IngressBW = 0.95 * sat.Attainable
+		lr1, err := m.Latency()
+		if err != nil {
+			return false
+		}
+		bigger, err := propModel(p1, p2, m.Traffic.IngressBW, gran, qcap+16)
+		if err != nil {
+			return false
+		}
+		// propModel resets IngressBW; align it.
+		bigger.Traffic.IngressBW = m.Traffic.IngressBW
+		lr2, err := bigger.Latency()
+		if err != nil {
+			return false
+		}
+		return lr2.DropRate <= lr1.DropRate+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

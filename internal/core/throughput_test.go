@@ -1,0 +1,285 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestThroughputComputeBound(t *testing.T) {
+	// A single IP with P = 1 GB/s and full traffic through it must cap the
+	// system at 1 GB/s when offered more.
+	g := linearGraph(t, 1e9, 1, 0)
+	m := Model{
+		Hardware: Hardware{InterfaceBW: 100e9, MemoryBW: 100e9},
+		Graph:    g,
+		Traffic:  Traffic{IngressBW: 10e9, Granularity: 1500},
+	}
+	rep, err := m.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rep.Attainable, 1e9, 1e-12) {
+		t.Fatalf("Attainable = %v, want 1e9", rep.Attainable)
+	}
+	if rep.Bottleneck.Kind != ConstraintIPCompute || rep.Bottleneck.Name != "ip" {
+		t.Fatalf("Bottleneck = %+v", rep.Bottleneck)
+	}
+}
+
+func TestThroughputIngressBound(t *testing.T) {
+	// Offered load below every capacity: ingress is the binding term.
+	g := linearGraph(t, 10e9, 1, 0)
+	m := Model{
+		Hardware: Hardware{InterfaceBW: 100e9, MemoryBW: 100e9},
+		Graph:    g,
+		Traffic:  Traffic{IngressBW: 1e9, Granularity: 1500},
+	}
+	rep, err := m.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rep.Attainable, 1e9, 1e-12) {
+		t.Fatalf("Attainable = %v", rep.Attainable)
+	}
+	if rep.Bottleneck.Kind != ConstraintIngress {
+		t.Fatalf("Bottleneck = %+v", rep.Bottleneck)
+	}
+}
+
+func TestThroughputInterfaceBound(t *testing.T) {
+	// Every edge over the interface, Σα = 2, BW_INTF = 1 GB/s → cap 0.5 GB/s.
+	g := linearGraph(t, 100e9, 1, 0)
+	m := Model{
+		Hardware: Hardware{InterfaceBW: 1e9},
+		Graph:    g,
+		Traffic:  Traffic{IngressBW: 10e9, Granularity: 1500},
+	}
+	rep, err := m.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rep.Attainable, 0.5e9, 1e-12) {
+		t.Fatalf("Attainable = %v, want 5e8", rep.Attainable)
+	}
+	if rep.Bottleneck.Kind != ConstraintInterface {
+		t.Fatalf("Bottleneck = %+v", rep.Bottleneck)
+	}
+}
+
+func TestThroughputMemoryBound(t *testing.T) {
+	g, err := NewBuilder("mem").
+		AddIngress("in").
+		AddIP("ip", 100e9, 1, 0).
+		AddEgress("out").
+		AddEdge(Edge{From: "in", To: "ip", Delta: 1, Beta: 1}).
+		AddEdge(Edge{From: "ip", To: "out", Delta: 1, Beta: 1}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Model{
+		Hardware: Hardware{InterfaceBW: 100e9, MemoryBW: 4e9},
+		Graph:    g,
+		Traffic:  Traffic{IngressBW: 50e9, Granularity: 4096},
+	}
+	rep, err := m.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rep.Attainable, 2e9, 1e-12) {
+		t.Fatalf("Attainable = %v, want 2e9 (BW_MEM/Σβ)", rep.Attainable)
+	}
+	if rep.Bottleneck.Kind != ConstraintMemory {
+		t.Fatalf("Bottleneck = %+v", rep.Bottleneck)
+	}
+}
+
+func TestThroughputEdgeBound(t *testing.T) {
+	g, err := NewBuilder("edge").
+		AddIngress("in").
+		AddIP("ip", 100e9, 1, 0).
+		AddEgress("out").
+		AddEdge(Edge{From: "in", To: "ip", Delta: 1, Bandwidth: 3e9}).
+		AddEdge(Edge{From: "ip", To: "out", Delta: 1}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Model{Graph: g, Traffic: Traffic{IngressBW: 50e9, Granularity: 1500}}
+	rep, err := m.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rep.Attainable, 3e9, 1e-12) {
+		t.Fatalf("Attainable = %v, want 3e9", rep.Attainable)
+	}
+	if rep.Bottleneck.Kind != ConstraintEdge || rep.Bottleneck.Name != "in->ip" {
+		t.Fatalf("Bottleneck = %+v", rep.Bottleneck)
+	}
+}
+
+func TestThroughputPartialDelta(t *testing.T) {
+	// An IP that only sees half of W (δ=0.5) doubles its effective ceiling
+	// in ingress terms: P/Σδ.
+	g, err := NewBuilder("partial").
+		AddIngress("in").
+		AddIP("ip", 1e9, 1, 0).
+		AddEgress("out").
+		AddEdge(Edge{From: "in", To: "ip", Delta: 0.5, Alpha: 0.5}).
+		AddEdge(Edge{From: "in", To: "out", Delta: 0.5, Alpha: 0.5}).
+		AddEdge(Edge{From: "ip", To: "out", Delta: 0.5, Alpha: 0.5}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Model{Graph: g, Traffic: Traffic{IngressBW: 100e9, Granularity: 1500}}
+	rep, err := m.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rep.Attainable, 2e9, 1e-12) {
+		t.Fatalf("Attainable = %v, want 2e9 (P/δ = 1e9/0.5)", rep.Attainable)
+	}
+}
+
+func TestThroughputPartitionAndAcceleration(t *testing.T) {
+	g := linearGraph(t, 1e9, 1, 0)
+	v, _ := g.Vertex("ip")
+	v.Partition = 0.5
+	v.Acceleration = 3
+	g2, err := g.WithVertex(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Model{Graph: g2, Traffic: Traffic{IngressBW: 100e9, Granularity: 1500}}
+	rep, err := m.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rep.Attainable, 1.5e9, 1e-12) {
+		t.Fatalf("Attainable = %v, want γ·A·P = 1.5e9", rep.Attainable)
+	}
+}
+
+func TestSaturationThroughputIgnoresOfferedLoad(t *testing.T) {
+	g := linearGraph(t, 1e9, 1, 0)
+	m := Model{Graph: g, Traffic: Traffic{IngressBW: 1, Granularity: 1500}}
+	rep, err := m.SaturationThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rep.Attainable, 1e9, 1e-12) {
+		t.Fatalf("Attainable = %v, want 1e9", rep.Attainable)
+	}
+	for _, c := range rep.Constraints {
+		if c.Kind == ConstraintIngress {
+			t.Fatal("saturation constraints should not include ingress")
+		}
+	}
+}
+
+func TestThroughputConstraintsSorted(t *testing.T) {
+	g := nvmeofGraph(t)
+	m := Model{
+		Hardware: Hardware{InterfaceBW: 12e9, MemoryBW: 20e9},
+		Graph:    g,
+		Traffic:  Traffic{IngressBW: 100e9, Granularity: 4096},
+	}
+	rep, err := m.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rep.Constraints); i++ {
+		if rep.Constraints[i].Limit < rep.Constraints[i-1].Limit {
+			t.Fatal("constraints not sorted tightest-first")
+		}
+	}
+	if rep.Bottleneck != rep.Constraints[0] {
+		t.Fatal("bottleneck is not the first constraint")
+	}
+	if rep.Attainable != rep.Constraints[0].Limit {
+		t.Fatal("attainable must equal tightest limit")
+	}
+}
+
+func TestThroughputMinPropertyNeverExceedsAnyConstraint(t *testing.T) {
+	f := func(pRaw, bwRaw, inRaw uint32) bool {
+		p := float64(pRaw%1000+1) * 1e7
+		bw := float64(bwRaw%1000+1) * 1e7
+		in := float64(inRaw%1000+1) * 1e7
+		g, err := NewBuilder("prop").
+			AddIngress("in").
+			AddIP("ip", p, 1, 0).
+			AddEgress("out").
+			Connect("in", "ip", 1).
+			Connect("ip", "out", 1).
+			Build()
+		if err != nil {
+			return false
+		}
+		m := Model{
+			Hardware: Hardware{InterfaceBW: bw},
+			Graph:    g,
+			Traffic:  Traffic{IngressBW: in, Granularity: 1500},
+		}
+		rep, err := m.Throughput()
+		if err != nil {
+			return false
+		}
+		want := math.Min(in, math.Min(p, bw/2))
+		return approx(rep.Attainable, want, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	g := linearGraph(t, 1e9, 1, 0)
+	cases := []Model{
+		{Graph: nil, Traffic: Traffic{IngressBW: 1, Granularity: 1}},
+		{Graph: g, Traffic: Traffic{IngressBW: -1, Granularity: 1}},
+		{Graph: g, Traffic: Traffic{IngressBW: 1, Granularity: 0}},
+		{Graph: g, Hardware: Hardware{InterfaceBW: -1}, Traffic: Traffic{IngressBW: 1, Granularity: 1}},
+		{Graph: g, Hardware: Hardware{MemoryBW: math.NaN()}, Traffic: Traffic{IngressBW: 1, Granularity: 1}},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+		if _, err := m.Throughput(); err == nil {
+			t.Errorf("case %d: Throughput should fail validation", i)
+		}
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	c := Constraint{Kind: ConstraintIPCompute, Name: "ip1", Limit: 1e9}
+	if got := c.String(); !strings.Contains(got, "ip-compute(ip1)") {
+		t.Fatalf("String = %q", got)
+	}
+	c2 := Constraint{Kind: ConstraintMemory, Limit: 2e9}
+	if got := c2.String(); !strings.Contains(got, "memory limit") {
+		t.Fatalf("String = %q", got)
+	}
+	kinds := map[ConstraintKind]string{
+		ConstraintIngress:   "ingress",
+		ConstraintEdge:      "edge-bandwidth",
+		ConstraintInterface: "interface",
+		ConstraintKind(99):  "constraint(99)",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

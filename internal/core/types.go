@@ -1,0 +1,267 @@
+// Package core implements the LogNIC analytical model (paper §3): the
+// software execution graph abstraction, throughput modeling (Equations
+// 1–4), latency modeling (Equations 5–8 and the M/M/1/N queueing delay of
+// Equation 12), and the §3.7 generalizations (multi-tenant graph
+// consolidation, per-packet-size traffic mixes, and rate-limiter vertices
+// for non-work-conserving IPs).
+//
+// Quantities are plain float64s in SI base units — bytes, bytes/second and
+// seconds — so the formula code reads like the paper. The public lognic
+// package wraps these in the typed quantities of internal/unit.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// VertexKind distinguishes the roles a vertex can play in an execution
+// graph.
+type VertexKind int
+
+// Vertex kinds.
+const (
+	// KindIP is an intellectual-property block: a general-purpose core
+	// group, domain-specific accelerator, DSP, or any other execution
+	// engine (paper §3.2).
+	KindIP VertexKind = iota
+	// KindIngress is an ingress engine moving traffic from wire/PCIe into
+	// the SmartNIC.
+	KindIngress
+	// KindEgress is an egress engine moving traffic out of the SmartNIC.
+	KindEgress
+	// KindRateLimiter is the specialized enqueue/dequeue-only block that
+	// Extension #3 places in front of a non-work-conserving IP. It has no
+	// compute cost, only a finite queue.
+	KindRateLimiter
+)
+
+// String names the kind.
+func (k VertexKind) String() string {
+	switch k {
+	case KindIP:
+		return "ip"
+	case KindIngress:
+		return "ingress"
+	case KindEgress:
+		return "egress"
+	case KindRateLimiter:
+		return "ratelimiter"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Vertex is a node of the execution graph: an IP block, ingress or egress
+// engine, or a rate limiter. The fields correspond to the software
+// parameters of Table 2.
+type Vertex struct {
+	// Name identifies the vertex within its graph.
+	Name string
+	// Kind classifies the vertex.
+	Kind VertexKind
+	// Throughput is P_vi: the computing throughput of the physical IP, in
+	// bytes/second of ingress-granularity data it can process. Zero means
+	// "no compute constraint" (pure forwarding), which is the default for
+	// ingress/egress and rate limiters.
+	Throughput float64
+	// Parallelism is D_vi: the parallelism degree of this (virtual) IP in
+	// the execution graph — how many engines concurrently serve one
+	// request batch. Defaults to 1.
+	Parallelism int
+	// QueueCapacity is N_vi: the capacity of the vertex's logical input
+	// queue for the M/M/1/N model. Zero disables queueing-delay modeling
+	// for the vertex.
+	QueueCapacity int
+	// Overhead is O_i: the computation-transfer overhead (seconds) paid
+	// when handing work from this vertex to the next — accelerator call
+	// preparation, doorbells, completion signaling. Independent of
+	// granularity and parallelism (paper §3.6).
+	Overhead float64
+	// Acceleration is A_i: the tunable kernel-optimization factor dividing
+	// the compute time (C_i/A_i). Defaults to 1.
+	Acceleration float64
+	// Partition is γ_vi: the multiplexing fraction of the physical engine
+	// this virtual IP owns under node partitioning. In (0, 1]; defaults
+	// to 1.
+	Partition float64
+	// QueueModel selects how the vertex's queueing delay is derived; the
+	// default is the paper's folded M/M/1/N (Equations 9–12).
+	QueueModel QueueModel
+}
+
+// QueueModel selects the queueing abstraction of a vertex.
+type QueueModel int
+
+// Queue models.
+const (
+	// QueueMM1N is the paper's treatment: parallelism folded into λ and μ
+	// (Equation 11) and the delay from the M/M/1/N closed form
+	// (Equation 12).
+	QueueMM1N QueueModel = iota
+	// QueueMMcK is this repository's multi-server extension: the D_vi
+	// engines are modeled as c independent exponential servers behind the
+	// shared queue (M/M/c/K with K = D+N). Wide IPs whose engines serve
+	// whole requests independently — the NVMe SSD's flash channels —
+	// queue far less than the folded form predicts; see the queue-model
+	// ablation benchmark.
+	QueueMMcK
+)
+
+// String names the queue model.
+func (q QueueModel) String() string {
+	switch q {
+	case QueueMM1N:
+		return "mm1n"
+	case QueueMMcK:
+		return "mmck"
+	default:
+		return fmt.Sprintf("queuemodel(%d)", int(q))
+	}
+}
+
+// normalized returns a copy with defaults applied.
+func (v Vertex) normalized() Vertex {
+	if v.Parallelism <= 0 {
+		v.Parallelism = 1
+	}
+	if v.Acceleration <= 0 {
+		v.Acceleration = 1
+	}
+	if v.Partition <= 0 || v.Partition > 1 {
+		if v.Partition == 0 {
+			v.Partition = 1
+		}
+	}
+	return v
+}
+
+// validate checks the vertex parameters.
+func (v Vertex) validate() error {
+	if v.Name == "" {
+		return fmt.Errorf("core: vertex with empty name")
+	}
+	if v.Throughput < 0 || !finite(v.Throughput) {
+		return fmt.Errorf("core: vertex %q: invalid throughput %v", v.Name, v.Throughput)
+	}
+	if v.Overhead < 0 || !finite(v.Overhead) {
+		return fmt.Errorf("core: vertex %q: invalid overhead %v", v.Name, v.Overhead)
+	}
+	if v.Partition < 0 || v.Partition > 1 {
+		return fmt.Errorf("core: vertex %q: partition %v outside (0,1]", v.Name, v.Partition)
+	}
+	if v.QueueCapacity < 0 {
+		return fmt.Errorf("core: vertex %q: negative queue capacity", v.Name)
+	}
+	if (v.Kind == KindIngress || v.Kind == KindEgress) && v.QueueCapacity != 0 {
+		return fmt.Errorf("core: vertex %q: ingress/egress engines do not queue", v.Name)
+	}
+	return nil
+}
+
+// effectiveThroughput returns γ·A·P, the compute rate available to this
+// virtual IP after node partitioning and kernel acceleration.
+func (v Vertex) effectiveThroughput() float64 {
+	return v.Partition * v.Acceleration * v.Throughput
+}
+
+// Edge is a directed data movement between two vertices via a communication
+// medium. Fractions are relative to W, the total data entering the
+// SmartNIC (paper §3.5).
+type Edge struct {
+	// From and To name the endpoint vertices.
+	From, To string
+	// Delta is δ_eij: the fraction of W transferred across this edge.
+	Delta float64
+	// Alpha is α_eij: the fraction of W this edge moves over the SoC
+	// interface medium.
+	Alpha float64
+	// Beta is β_eij: the fraction of W this edge moves over the memory
+	// subsystem.
+	Beta float64
+	// Bandwidth is BW_mn: an explicitly characterized IP-IP bandwidth cap
+	// for this edge, in bytes/second. Zero means uncharacterized (no
+	// dedicated cap; the shared interface/memory ceilings still apply).
+	Bandwidth float64
+}
+
+// validate checks the edge parameters.
+func (e Edge) validate() error {
+	id := fmt.Sprintf("%s->%s", e.From, e.To)
+	for name, v := range map[string]float64{"delta": e.Delta, "alpha": e.Alpha, "beta": e.Beta} {
+		if v < 0 || !finite(v) {
+			return fmt.Errorf("core: edge %s: invalid %s %v", id, name, v)
+		}
+	}
+	if e.Bandwidth < 0 || !finite(e.Bandwidth) {
+		return fmt.Errorf("core: edge %s: invalid bandwidth %v", id, e.Bandwidth)
+	}
+	return nil
+}
+
+// moveTimePerPacket returns the data-movement latency of this edge for one
+// ingress granule of size gIn bytes (Equation 7):
+// g/BW = g_in·α/BW_INTF + g_in·β/BW_MEM. When the edge carries no medium
+// fractions but has an explicitly characterized bandwidth, the movement is
+// charged against that instead.
+func (e Edge) moveTimePerPacket(gIn float64, hw Hardware) float64 {
+	t := 0.0
+	if e.Alpha > 0 && hw.InterfaceBW > 0 {
+		t += gIn * e.Alpha / hw.InterfaceBW
+	}
+	if e.Beta > 0 && hw.MemoryBW > 0 {
+		t += gIn * e.Beta / hw.MemoryBW
+	}
+	if t == 0 && e.Bandwidth > 0 && e.Delta > 0 {
+		t = gIn * e.Delta / e.Bandwidth
+	}
+	return t
+}
+
+// Hardware carries the device-wide hardware parameters of Table 2.
+type Hardware struct {
+	// InterfaceBW is BW_INTF: the maximum communication bandwidth over the
+	// SoC interface, bytes/second. Zero means unconstrained.
+	InterfaceBW float64
+	// MemoryBW is BW_MEM: the maximum transfer rate of the memory
+	// hierarchy, bytes/second. Zero means unconstrained.
+	MemoryBW float64
+}
+
+// validate checks the hardware parameters.
+func (h Hardware) validate() error {
+	if h.InterfaceBW < 0 || !finite(h.InterfaceBW) {
+		return fmt.Errorf("core: invalid interface bandwidth %v", h.InterfaceBW)
+	}
+	if h.MemoryBW < 0 || !finite(h.MemoryBW) {
+		return fmt.Errorf("core: invalid memory bandwidth %v", h.MemoryBW)
+	}
+	return nil
+}
+
+// Traffic describes one traffic profile: a single packet size offered at a
+// fixed rate, matching the base assumptions of §3.5. Mixed-size profiles
+// are handled by the Extension #2 machinery in extensions.go.
+type Traffic struct {
+	// IngressBW is BW_in: the data serving rate into the SmartNIC,
+	// bytes/second.
+	IngressBW float64
+	// Granularity is g_in: the data transfer granularity at the ingress
+	// engine, bytes — normally the packet (or I/O request) size.
+	Granularity float64
+}
+
+// validate checks the traffic parameters.
+func (t Traffic) validate() error {
+	if t.IngressBW < 0 || !finite(t.IngressBW) {
+		return fmt.Errorf("core: invalid ingress bandwidth %v", t.IngressBW)
+	}
+	if t.Granularity <= 0 || !finite(t.Granularity) {
+		return fmt.Errorf("core: invalid ingress granularity %v", t.Granularity)
+	}
+	return nil
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

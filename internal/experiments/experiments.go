@@ -1,0 +1,156 @@
+// Package experiments regenerates every result figure of the paper's
+// evaluation (§4): each FigNN function reproduces the corresponding
+// figure's data series, pairing "Measured" runs of the discrete-event
+// simulator (this repository's hardware substitute) with "LogNIC"
+// estimates from the analytical model. cmd/lognic-bench prints them, the
+// root bench_test.go wraps them in testing.B benchmarks, and
+// EXPERIMENTS.md records the paper-vs-repo comparison.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is one (x, y) sample of a series. X carries the sweep variable in
+// the paper's axis unit (packet bytes, cores, credits, percent, GB/s...).
+type Point struct {
+	X float64
+	Y float64
+	// Label optionally names a categorical x position (application or
+	// traffic-profile names).
+	Label string
+}
+
+// Series is one line/bar group of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a regenerated paper figure.
+type Figure struct {
+	// ID is the paper figure number ("fig5" ... "fig19").
+	ID string
+	// Title summarizes the experiment.
+	Title string
+	// XLabel and YLabel are the axis units.
+	XLabel, YLabel string
+	// Series holds the data, in the paper's legend order.
+	Series []Series
+}
+
+// Options tunes how expensively the simulator-backed figures run.
+type Options struct {
+	// Scale multiplies the simulated durations; 1.0 reproduces the
+	// defaults, smaller values trade statistical tightness for speed
+	// (tests use ~0.2).
+	Scale float64
+	// Seed drives all simulator randomness.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// simTime returns a scaled simulation duration.
+func (o Options) simTime(base float64) float64 { return base * o.Scale }
+
+// Format renders the figure as an aligned text table, one row per x value,
+// one column per series — the "same rows/series the paper reports".
+func (f Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "# x: %s, y: %s\n", f.XLabel, f.YLabel)
+	// Collect x positions in first-series order.
+	type key struct {
+		x     float64
+		label string
+	}
+	var xs []key
+	seen := map[key]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			k := key{p.X, p.Label}
+			if !seen[k] {
+				seen[k] = true
+				xs = append(xs, k)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-16s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%20s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, k := range xs {
+		if k.label != "" {
+			fmt.Fprintf(&b, "%-16s", k.label)
+		} else {
+			fmt.Fprintf(&b, "%-16.6g", k.x)
+		}
+		for _, s := range f.Series {
+			v, ok := lookup(s, k.x, k.label)
+			if ok {
+				fmt.Fprintf(&b, "%20.6g", v)
+			} else {
+				fmt.Fprintf(&b, "%20s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func lookup(s Series, x float64, label string) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x && p.Label == label {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Generator regenerates one figure.
+type Generator struct {
+	ID   string
+	Name string
+	Run  func(Options) (Figure, error)
+}
+
+// All returns every figure generator in paper order.
+func All() []Generator {
+	return []Generator{
+		{"fig5", "Accelerator throughput vs data access granularity", Fig5},
+		{"fig6", "NVMe-oF latency vs throughput, three I/O profiles", Fig6},
+		{"fig7", "4KB random IO bandwidth vs read ratio", Fig7},
+		{"fig9", "Throughput vs IP1 parallelism at line rate", Fig9},
+		{"fig10", "Achieved bandwidth vs packet size at line rate", Fig10},
+		{"fig11", "Microservice throughput across allocation schemes", Fig11},
+		{"fig12", "Microservice average latency across allocation schemes", Fig12},
+		{"fig13", "NF chain throughput vs packet size across placements", Fig13},
+		{"fig14", "NF chain average latency vs packet size across placements", Fig14},
+		{"fig15", "PANIC bandwidth vs provisioned credits", Fig15},
+		{"fig16", "PANIC steering latency: static vs LogNIC splits", Fig16},
+		{"fig17", "PANIC steering throughput: static vs LogNIC splits", Fig17},
+		{"fig18", "PANIC latency vs IP4 parallel degree", Fig18},
+		{"fig19", "PANIC throughput vs IP4 parallel degree", Fig19},
+	}
+}
+
+// ByID returns the generator for a figure id.
+func ByID(id string) (Generator, error) {
+	for _, g := range All() {
+		if g.ID == id {
+			return g, nil
+		}
+	}
+	return Generator{}, fmt.Errorf("experiments: unknown figure %q", id)
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lognic/internal/apps"
+	"lognic/internal/devices"
+	"lognic/internal/sim"
+	"lognic/internal/traffic"
+	"lognic/internal/unit"
+)
+
+// Fig5 — accelerator throughput (MOPS) vs data access granularity
+// 512B–16KB for CRC/3DES/MD5/HFA under 1KB traffic (§4.2). Pure model
+// output: the figure demonstrates Equation 4's interconnect terms, with
+// the CMI (50 Gbps) capping on-chip crypto fetches and the I/O
+// interconnect (40 Gbps) capping HFA.
+func Fig5(opts Options) (Figure, error) {
+	d := devices.LiquidIO2CN2360()
+	granularities := []float64{512, 1024, 2048, 4096, 8192, 16384}
+	fig := Figure{
+		ID:     "fig5",
+		Title:  "Accelerator throughput vs data access granularity (1KB traffic)",
+		XLabel: "granularity(B)",
+		YLabel: "Throughput (MOPS)",
+	}
+	for _, accel := range []string{"crc", "3des", "md5", "hfa"} {
+		s := Series{Name: accel}
+		for _, g := range granularities {
+			m, err := apps.InlineAccel(apps.InlineAccelConfig{
+				Device: d, Accel: accel, Cores: d.Cores,
+				PacketBytes: 1024, ChunkBytes: g,
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			rep, err := m.SaturationThroughput()
+			if err != nil {
+				return Figure{}, err
+			}
+			ops := rep.Attainable / 1024 // invocations per second
+			s.Points = append(s.Points, Point{X: g, Y: ops / 1e6})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// fig9Accels are the engines Figure 9 sweeps, with the paper's observed
+// saturation parallelism.
+var fig9Accels = []struct {
+	Name     string
+	PaperSat int
+}{
+	{"md5", 9},
+	{"kasumi", 8},
+	{"hfa", 11},
+}
+
+// Fig9 — throughput (MOPS) vs IP1 parallelism 1–16 under MTU line rate,
+// measured (simulator) vs LogNIC, for MD5/KASUMI/HFA (§4.2).
+func Fig9(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	d := devices.LiquidIO2CN2360()
+	fig := Figure{
+		ID:     "fig9",
+		Title:  "Throughput vs NIC-core parallelism at 25GbE line rate (MTU)",
+		XLabel: "cores",
+		YLabel: "Throughput (MOPS)",
+	}
+	for _, ac := range fig9Accels {
+		measured := Series{Name: ac.Name + "-Measured"}
+		model := Series{Name: ac.Name + "-LogNIC"}
+		for cores := 1; cores <= d.Cores; cores++ {
+			m, err := apps.InlineAccel(apps.InlineAccelConfig{
+				Device: d, Accel: ac.Name, Cores: cores, PacketBytes: 1500,
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			rep, err := m.Throughput()
+			if err != nil {
+				return Figure{}, err
+			}
+			model.Points = append(model.Points, Point{X: float64(cores), Y: rep.Attainable / 1500 / 1e6})
+
+			res, err := sim.Run(sim.Config{
+				Graph:    m.Graph,
+				Hardware: m.Hardware,
+				Profile:  traffic.Fixed("mtu", unit.Bandwidth(m.Traffic.IngressBW), 1500),
+				Seed:     opts.Seed,
+				Duration: opts.simTime(0.08),
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			measured.Points = append(measured.Points, Point{X: float64(cores), Y: res.Throughput / 1500 / 1e6})
+		}
+		fig.Series = append(fig.Series, measured, model)
+	}
+	return fig, nil
+}
+
+// Fig10 — achieved bandwidth (Gbps) vs packet size 64B–1500B under line
+// rate for six accelerators (§4.2): the achieved bandwidth tracks
+// min(P_IP2·pktsize, 25 Gbps).
+func Fig10(opts Options) (Figure, error) {
+	d := devices.LiquidIO2CN2360()
+	sizes := []float64{64, 128, 256, 512, 1024, 1500}
+	fig := Figure{
+		ID:     "fig10",
+		Title:  "Achieved bandwidth vs packet size at 25GbE line rate",
+		XLabel: "pkt(B)",
+		YLabel: "Bandwidth (Gbps)",
+	}
+	for _, accel := range []string{"crc", "aes", "md5", "sha1", "sms4", "hfa"} {
+		s := Series{Name: accel}
+		for _, size := range sizes {
+			m, err := apps.InlineAccel(apps.InlineAccelConfig{
+				Device: d, Accel: accel, Cores: d.Cores, PacketBytes: size,
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			rep, err := m.Throughput()
+			if err != nil {
+				return Figure{}, err
+			}
+			s.Points = append(s.Points, Point{X: size, Y: unit.Bandwidth(rep.Attainable).GbpsValue()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig9SaturationCores derives, from the model alone, the parallelism at
+// which each Figure 9 engine saturates — the paper's 9/8/11 anchor. Used
+// by tests and EXPERIMENTS.md.
+func Fig9SaturationCores() (map[string]int, error) {
+	d := devices.LiquidIO2CN2360()
+	out := map[string]int{}
+	for _, ac := range fig9Accels {
+		prev := -1.0
+		for cores := 1; cores <= d.Cores; cores++ {
+			m, err := apps.InlineAccel(apps.InlineAccelConfig{
+				Device: d, Accel: ac.Name, Cores: cores, PacketBytes: 1500,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rep, err := m.Throughput()
+			if err != nil {
+				return nil, err
+			}
+			if rep.Attainable <= prev*(1+1e-9) {
+				out[ac.Name] = cores - 1
+				break
+			}
+			prev = rep.Attainable
+			if cores == d.Cores {
+				out[ac.Name] = cores
+			}
+		}
+	}
+	if len(out) != len(fig9Accels) {
+		return nil, fmt.Errorf("experiments: saturation search incomplete: %v", out)
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"lognic/internal/apps"
+	"lognic/internal/devices"
+	"lognic/internal/optimizer"
+	"lognic/internal/sim"
+	"lognic/internal/traffic"
+	"lognic/internal/unit"
+)
+
+// fig13Sizes are the packet sizes Figures 13/14 sweep.
+var fig13Sizes = []float64{64, 128, 256, 512, 1024, 1500}
+
+// nfSchemes evaluates the three §4.5 placement schemes at one packet size
+// and returns (throughput bytes/s, mean latency seconds) per scheme, in
+// the order ARM-only, Accelerator-only, LogNIC-opt.
+func nfSchemes(d devices.BlueField2, chain []apps.NF, size float64, opts Options) ([3]float64, [3]float64, error) {
+	var thr, lat [3]float64
+	opt, err := optimizer.PlaceNFs(d, chain, size, d.LineRate.BytesPerSecond())
+	if err != nil {
+		return thr, lat, err
+	}
+	placements := []apps.Placement{
+		apps.ARMOnly(chain),
+		apps.AcceleratorOnly(chain),
+		opt,
+	}
+	// Common offered load for the latency comparison: 70% of the
+	// optimized placement's capacity (the paper drives identical traffic
+	// into all three).
+	ref, err := apps.NFChainModel(d, chain, opt, size, d.LineRate.BytesPerSecond())
+	if err != nil {
+		return thr, lat, err
+	}
+	sat, err := ref.SaturationThroughput()
+	if err != nil {
+		return thr, lat, err
+	}
+	latLoad := 0.7 * sat.Attainable
+
+	for i, p := range placements {
+		// Throughput: offer line rate, measure what survives.
+		m, err := apps.NFChainModel(d, chain, p, size, d.LineRate.BytesPerSecond())
+		if err != nil {
+			return thr, lat, err
+		}
+		res, err := sim.Run(sim.Config{
+			Graph:    m.Graph,
+			Hardware: m.Hardware,
+			Profile:  traffic.Fixed("line", d.LineRate, unit.Size(size)),
+			Seed:     opts.Seed,
+			Duration: opts.simTime(0.05),
+		})
+		if err != nil {
+			return thr, lat, err
+		}
+		thr[i] = res.Throughput
+
+		// Latency: offer the common sub-saturation load.
+		m2, err := apps.NFChainModel(d, chain, p, size, latLoad)
+		if err != nil {
+			return thr, lat, err
+		}
+		res2, err := sim.Run(sim.Config{
+			Graph:    m2.Graph,
+			Hardware: m2.Hardware,
+			Profile:  traffic.Fixed("load", unit.Bandwidth(latLoad), unit.Size(size)),
+			Seed:     opts.Seed + 1,
+			Duration: opts.simTime(0.05),
+		})
+		if err != nil {
+			return thr, lat, err
+		}
+		lat[i] = res2.MeanLatency
+	}
+	return thr, lat, nil
+}
+
+// fig1314 runs the case-study-#4 comparison once and splits it.
+func fig1314(opts Options) (Figure, Figure, error) {
+	opts = opts.withDefaults()
+	d := devices.BlueField2DPU()
+	chain := apps.MiddleboxChain()
+	schemes := []string{"ARM-only", "Accelerator-only", "LogNIC-opt"}
+	f13 := Figure{
+		ID: "fig13", Title: "NF chain throughput vs packet size across placements",
+		XLabel: "pkt(B)", YLabel: "Throughput (Gbps)",
+	}
+	f14 := Figure{
+		ID: "fig14", Title: "NF chain average latency vs packet size across placements",
+		XLabel: "pkt(B)", YLabel: "Avg latency (us)",
+	}
+	for i := range schemes {
+		f13.Series = append(f13.Series, Series{Name: schemes[i]})
+		f14.Series = append(f14.Series, Series{Name: schemes[i]})
+	}
+	for _, size := range fig13Sizes {
+		thr, lat, err := nfSchemes(d, chain, size, opts)
+		if err != nil {
+			return Figure{}, Figure{}, err
+		}
+		for i := range schemes {
+			f13.Series[i].Points = append(f13.Series[i].Points,
+				Point{X: size, Y: unit.Bandwidth(thr[i]).GbpsValue()})
+			f14.Series[i].Points = append(f14.Series[i].Points,
+				Point{X: size, Y: lat[i] * 1e6})
+		}
+	}
+	return f13, f14, nil
+}
+
+// Fig13 — NF chain throughput (Gbps) vs packet size for ARM-only /
+// Accelerator-only / LogNIC-opt placement on the BlueField-2 (§4.5).
+func Fig13(opts Options) (Figure, error) {
+	f13, _, err := fig1314(opts)
+	return f13, err
+}
+
+// Fig14 — NF chain average latency (µs) vs packet size for the same
+// placements (§4.5).
+func Fig14(opts Options) (Figure, error) {
+	_, f14, err := fig1314(opts)
+	return f14, err
+}

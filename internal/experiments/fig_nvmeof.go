@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lognic/internal/apps"
+	"lognic/internal/devices"
+	"lognic/internal/fit"
+	"lognic/internal/nvme"
+	"lognic/internal/sim"
+	"lognic/internal/traffic"
+	"lognic/internal/unit"
+)
+
+// fig6Profile is one I/O pattern of Figure 6.
+type fig6Profile struct {
+	Name    string
+	Kind    nvme.IOKind
+	IOBytes float64
+}
+
+func fig6Profiles() []fig6Profile {
+	return []fig6Profile{
+		{"4KB-RRD", nvme.RandRead, 4096},
+		{"128KB-RRD", nvme.RandRead, 128 * 1024},
+		{"4KB-SWR", nvme.SeqWrite, 4096},
+	}
+}
+
+// runNVMeoF simulates the NVMe-oF target at one offered rate and returns
+// (delivered bytes/s, mean latency seconds). The simulated duration is
+// stretched when the offered IOPS is low, so every run observes a few
+// hundred I/Os regardless of request size — simulated time is cheap when
+// little happens.
+func runNVMeoF(cfg apps.NVMeoFConfig, opts Options, base float64) (float64, float64, error) {
+	m, err := apps.NVMeoF(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	timers, err := apps.NVMeoFServiceTimers(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	const minIOs = 500
+	duration := opts.simTime(base)
+	if need := minIOs * cfg.IOBytes / cfg.OfferedBW; need > duration {
+		duration = need
+	}
+	res, err := sim.Run(sim.Config{
+		Graph:       m.Graph,
+		Hardware:    m.Hardware,
+		Profile:     traffic.Fixed(cfg.Kind.String(), unit.Bandwidth(cfg.OfferedBW), unit.Size(cfg.IOBytes)),
+		Seed:        opts.Seed,
+		Duration:    duration,
+		ServiceTime: timers,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Throughput, res.MeanLatency, nil
+}
+
+// CharacterizeSSD reproduces §4.3's opaque-IP remedy: sweep the offered
+// rate against the simulated drive (as one would against real hardware,
+// "increasing the IO depth"), ramping geometrically until the delivered
+// throughput stops tracking the offer. The plateau is the fitted Capacity
+// parameter that feeds the model's SSD vertex; the low-load latency is the
+// curve's Base. No internal drive parameter is read — the drive stays
+// opaque.
+func CharacterizeSSD(prof fig6Profile, drive nvme.Config, opts Options) (fit.SaturationCurve, error) {
+	opts = opts.withDefaults()
+	d := devices.StingrayPS1100R()
+	offered := 16e6 // 16 MB/s probe; well under any plausible drive
+	var base, peak float64
+	for step := 0; step < 40; step++ {
+		cfg := apps.NVMeoFConfig{
+			Device: d, Drive: drive, Kind: prof.Kind,
+			IOBytes: prof.IOBytes, OfferedBW: offered,
+		}
+		thr, lat, err := runNVMeoF(cfg, opts, 0.2)
+		if err != nil {
+			return fit.SaturationCurve{}, err
+		}
+		if base == 0 && lat > 0 {
+			base = lat
+		}
+		if thr > peak {
+			peak = thr
+		}
+		if thr < 0.8*offered {
+			// Saturated: the best delivered rate seen along the ramp is
+			// the capacity. (The ramp factor is kept small so the
+			// saturating step is only mildly overloaded and the pipeline
+			// stays stationary.)
+			return fit.SaturationCurve{Base: base, Capacity: peak}, nil
+		}
+		offered *= 1.4
+	}
+	return fit.SaturationCurve{}, fmt.Errorf("experiments: %s never saturated", prof.Name)
+}
+
+// Fig6 — NVMe-oF latency vs throughput for 4KB-RRD / 128KB-RRD / 4KB-SWR,
+// measured (simulator) vs LogNIC with curve-fitted SSD parameters (§4.3).
+func Fig6(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	d := devices.StingrayPS1100R()
+	drive := nvme.StingrayDrive(false)
+	fig := Figure{
+		ID:     "fig6",
+		Title:  "NVMe-oF target latency vs throughput (Stingray JBOF)",
+		XLabel: "Throughput(GB/s)",
+		YLabel: "Latency (us)",
+	}
+	for _, prof := range fig6Profiles() {
+		curve, err := CharacterizeSSD(prof, drive, opts)
+		if err != nil {
+			return Figure{}, fmt.Errorf("characterize %s: %w", prof.Name, err)
+		}
+		measured := Series{Name: prof.Name + "-Measured"}
+		model := Series{Name: prof.Name + "-LogNIC"}
+		for _, frac := range []float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.9} {
+			offered := frac * curve.Capacity
+			cfg := apps.NVMeoFConfig{
+				Device: d, Drive: drive, Kind: prof.Kind,
+				IOBytes: prof.IOBytes, OfferedBW: offered,
+				SSDCapacityOverride: curve.Capacity,
+			}
+			thr, lat, err := runNVMeoF(cfg, opts, 0.4)
+			if err != nil {
+				return Figure{}, err
+			}
+			measured.Points = append(measured.Points, Point{X: thr / 1e9, Y: lat * 1e6})
+
+			m, err := apps.NVMeoF(cfg)
+			if err != nil {
+				return Figure{}, err
+			}
+			lr, err := m.Latency()
+			if err != nil {
+				return Figure{}, err
+			}
+			tr, err := m.Throughput()
+			if err != nil {
+				return Figure{}, err
+			}
+			model.Points = append(model.Points, Point{X: tr.Attainable / 1e9, Y: lr.Attainable * 1e6})
+		}
+		fig.Series = append(fig.Series, measured, model)
+	}
+	return fig, nil
+}
+
+// Fig7 — 4KB random I/O bandwidth vs read ratio on a fragmented
+// (GC-active) drive (§4.3): measured read/write bandwidth from the
+// simulator against the static-model estimate, which cannot capture GC and
+// underpredicts.
+func Fig7(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	d := devices.StingrayPS1100R()
+	drive := nvme.StingrayDrive(true)
+	fig := Figure{
+		ID:     "fig7",
+		Title:  "4KB random IO bandwidth vs read ratio (fragmented drive)",
+		XLabel: "read%",
+		YLabel: "Bandwidth (MB/s)",
+	}
+	rdM := Series{Name: "RD-Measured"}
+	wrM := Series{Name: "WR-Measured"}
+	rdL := Series{Name: "RD-LogNIC"}
+	wrL := Series{Name: "WR-LogNIC"}
+	for ratio := 0.0; ratio <= 1.0001; ratio += 0.1 {
+		// Offer near the mixed capacity so the drive saturates.
+		model, err := apps.NVMeoFMixedModel(apps.NVMeoFConfig{
+			Device: d, Drive: drive, IOBytes: 4096, OfferedBW: 100e9,
+		}, ratio)
+		if err != nil {
+			return Figure{}, err
+		}
+		tr, err := model.Throughput()
+		if err != nil {
+			return Figure{}, err
+		}
+		modelTotal := tr.Attainable
+
+		cfg := apps.NVMeoFConfig{
+			Device: d, Drive: drive, Kind: nvme.RandRead,
+			IOBytes: 4096, OfferedBW: 1.2 * modelTotal,
+		}
+		m, err := apps.NVMeoF(cfg)
+		if err != nil {
+			return Figure{}, err
+		}
+		timers, err := apps.NVMeoFMixServiceTimers(cfg, ratio)
+		if err != nil {
+			return Figure{}, err
+		}
+		res, err := sim.Run(sim.Config{
+			Graph:       m.Graph,
+			Hardware:    m.Hardware,
+			Profile:     traffic.Fixed("mix", unit.Bandwidth(cfg.OfferedBW), 4096),
+			Seed:        opts.Seed,
+			Duration:    opts.simTime(0.4),
+			ServiceTime: timers,
+		})
+		if err != nil {
+			return Figure{}, err
+		}
+		x := ratio * 100
+		const mb = 1024 * 1024
+		rdM.Points = append(rdM.Points, Point{X: x, Y: res.Throughput * ratio / mb})
+		wrM.Points = append(wrM.Points, Point{X: x, Y: res.Throughput * (1 - ratio) / mb})
+		rdL.Points = append(rdL.Points, Point{X: x, Y: modelTotal * ratio / mb})
+		wrL.Points = append(wrL.Points, Point{X: x, Y: modelTotal * (1 - ratio) / mb})
+	}
+	fig.Series = []Series{rdM, wrM, rdL, wrL}
+	return fig, nil
+}

@@ -1,0 +1,224 @@
+// Package fit implements the curve-fitting utilities the paper relies on
+// for opaque IPs (§4.3, §4.7): when an IP's internals are hidden (the SSD
+// behind the Stingray's NVMe-oF target), one characterizes its
+// latency-vs-throughput behavior empirically and fits model parameters to
+// the curve. Linear least squares is solved directly via normal equations
+// and Gaussian elimination; the saturating latency curve is fit with
+// Nelder–Mead.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lognic/internal/numopt"
+)
+
+// Point is one (x, y) observation.
+type Point struct{ X, Y float64 }
+
+// SolveLinearSystem solves A·x = b by Gaussian elimination with partial
+// pivoting. A is row major, n×n; it is not modified.
+func SolveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("fit: dimension mismatch")
+	}
+	// Augmented working copy.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, errors.New("fit: non-square matrix")
+		}
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-300 {
+			return nil, errors.New("fit: singular matrix")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			factor := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= factor * m[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}
+
+// PolyFit fits a polynomial of the given degree by least squares using the
+// normal equations, returning coefficients lowest order first.
+func PolyFit(points []Point, degree int) ([]float64, error) {
+	if degree < 0 {
+		return nil, errors.New("fit: negative degree")
+	}
+	n := degree + 1
+	if len(points) < n {
+		return nil, fmt.Errorf("fit: need at least %d points for degree %d", n, degree)
+	}
+	// Normal equations: (XᵀX)c = Xᵀy with X the Vandermonde matrix.
+	xtx := make([][]float64, n)
+	xty := make([]float64, n)
+	for i := range xtx {
+		xtx[i] = make([]float64, n)
+	}
+	for _, p := range points {
+		pow := make([]float64, 2*n-1)
+		pow[0] = 1
+		for k := 1; k < len(pow); k++ {
+			pow[k] = pow[k-1] * p.X
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				xtx[i][j] += pow[i+j]
+			}
+			xty[i] += pow[i] * p.Y
+		}
+	}
+	return SolveLinearSystem(xtx, xty)
+}
+
+// PolyEval evaluates a polynomial (coefficients lowest order first).
+func PolyEval(coef []float64, x float64) float64 {
+	y := 0.0
+	for i := len(coef) - 1; i >= 0; i-- {
+		y = y*x + coef[i]
+	}
+	return y
+}
+
+// LinFit fits y = a + b·x, returning (a, b).
+func LinFit(points []Point) (a, b float64, err error) {
+	c, err := PolyFit(points, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	return c[0], c[1], nil
+}
+
+// RSquared reports the coefficient of determination of a prediction
+// function against observations; 1 is a perfect fit.
+func RSquared(points []Point, predict func(x float64) float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, p := range points {
+		mean += p.Y
+	}
+	mean /= float64(len(points))
+	var ssRes, ssTot float64
+	for _, p := range points {
+		d := p.Y - predict(p.X)
+		ssRes += d * d
+		t := p.Y - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// SaturationCurve is the latency-vs-throughput family the paper's SSD
+// characterization produces: an M/M/1-shaped hyperbola
+//
+//	latency(x) = Base + Base·x/(Capacity−x)  =  Base·Capacity/(Capacity−x)
+//
+// where Base is the unloaded service latency (seconds) and Capacity the
+// saturation throughput (same unit as x). As offered throughput x
+// approaches Capacity, latency diverges — the shape of Figure 6.
+type SaturationCurve struct {
+	Base     float64
+	Capacity float64
+}
+
+// Eval returns the latency at offered throughput x. Past 99.99% of
+// capacity the curve is clamped to keep optimizers finite.
+func (c SaturationCurve) Eval(x float64) float64 {
+	lim := 0.9999 * c.Capacity
+	if x > lim {
+		x = lim
+	}
+	if x < 0 {
+		x = 0
+	}
+	return c.Base * c.Capacity / (c.Capacity - x)
+}
+
+// FitSaturation fits a SaturationCurve to (throughput, latency)
+// observations by least squares over (Base, Capacity) with Nelder–Mead,
+// multi-started from moment-based guesses. Observations must have positive
+// latency and non-negative throughput.
+func FitSaturation(points []Point) (SaturationCurve, error) {
+	if len(points) < 2 {
+		return SaturationCurve{}, errors.New("fit: need at least 2 points")
+	}
+	var maxX, minY float64
+	minY = math.Inf(1)
+	for _, p := range points {
+		if p.Y <= 0 || p.X < 0 {
+			return SaturationCurve{}, fmt.Errorf("fit: invalid observation (%v, %v)", p.X, p.Y)
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+	}
+	if maxX == 0 {
+		return SaturationCurve{}, errors.New("fit: all throughputs are zero")
+	}
+	obj := func(v []float64) float64 {
+		c := SaturationCurve{Base: v[0], Capacity: v[1]}
+		if c.Base <= 0 || c.Capacity <= maxX {
+			return math.Inf(1)
+		}
+		sse := 0.0
+		for _, p := range points {
+			d := c.Eval(p.X) - p.Y
+			// Relative error keeps the fit balanced across decades.
+			sse += (d / p.Y) * (d / p.Y)
+		}
+		return sse
+	}
+	starts := [][]float64{
+		{minY, maxX * 1.05},
+		{minY, maxX * 1.5},
+		{minY, maxX * 4},
+		{minY / 2, maxX * 2},
+	}
+	best, err := numopt.MultiStart(obj, starts, numopt.NelderMeadOptions{MaxIter: 4000})
+	if err != nil {
+		return SaturationCurve{}, err
+	}
+	if math.IsInf(best.F, 1) {
+		return SaturationCurve{}, errors.New("fit: saturation fit diverged")
+	}
+	return SaturationCurve{Base: best.X[0], Capacity: best.X[1]}, nil
+}

@@ -1,0 +1,235 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := SolveLinearSystem(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 1, 1e-12) || !approx(x[1], 3, 1e-12) {
+		t.Fatalf("x = %v, want (1,3)", x)
+	}
+	// Input matrix untouched.
+	if a[0][0] != 2 || a[1][2-1] != 3 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestSolveLinearSystemNeedsPivot(t *testing.T) {
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 3}
+	x, err := SolveLinearSystem(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 3, 1e-12) || !approx(x[1], 2, 1e-12) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLinearSystemErrors(t *testing.T) {
+	if _, err := SolveLinearSystem(nil, nil); err == nil {
+		t.Fatal("empty should fail")
+	}
+	if _, err := SolveLinearSystem([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("non-square should fail")
+	}
+	if _, err := SolveLinearSystem([][]float64{{1, 1}, {1, 1}}, []float64{1, 2}); err == nil {
+		t.Fatal("singular should fail")
+	}
+	if _, err := SolveLinearSystem([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("b mismatch should fail")
+	}
+}
+
+func TestPolyFitExact(t *testing.T) {
+	// y = 2 - 3x + 0.5x²
+	truth := []float64{2, -3, 0.5}
+	var pts []Point
+	for x := -5.0; x <= 5; x++ {
+		pts = append(pts, Point{X: x, Y: PolyEval(truth, x)})
+	}
+	c, err := PolyFit(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if !approx(c[i], truth[i], 1e-9) {
+			t.Fatalf("coef[%d] = %v, want %v", i, c[i], truth[i])
+		}
+	}
+}
+
+func TestPolyFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	truth := []float64{1, 2}
+	var pts []Point
+	for i := 0; i < 200; i++ {
+		x := rng.Float64() * 10
+		pts = append(pts, Point{X: x, Y: PolyEval(truth, x) + rng.NormFloat64()*0.01})
+	}
+	a, b, err := LinFit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(a, 1, 0.02) || !approx(b, 2, 0.02) {
+		t.Fatalf("fit = (%v, %v), want (1, 2)", a, b)
+	}
+	r2 := RSquared(pts, func(x float64) float64 { return a + b*x })
+	if r2 < 0.999 {
+		t.Fatalf("R² = %v", r2)
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit(nil, 1); err == nil {
+		t.Fatal("too few points should fail")
+	}
+	if _, err := PolyFit([]Point{{0, 0}}, -1); err == nil {
+		t.Fatal("negative degree should fail")
+	}
+	if _, err := PolyFit([]Point{{1, 1}, {1, 2}, {1, 3}}, 2); err == nil {
+		t.Fatal("degenerate x should fail (singular)")
+	}
+}
+
+func TestPolyEval(t *testing.T) {
+	if got := PolyEval([]float64{1, 2, 3}, 2); got != 1+4+12 {
+		t.Fatalf("PolyEval = %v, want 17", got)
+	}
+	if PolyEval(nil, 5) != 0 {
+		t.Fatal("empty poly should be 0")
+	}
+}
+
+func TestRSquaredEdgeCases(t *testing.T) {
+	if RSquared(nil, func(float64) float64 { return 0 }) != 0 {
+		t.Fatal("empty points should be 0")
+	}
+	flat := []Point{{1, 5}, {2, 5}}
+	if RSquared(flat, func(float64) float64 { return 5 }) != 1 {
+		t.Fatal("perfect flat fit should be 1")
+	}
+	if RSquared(flat, func(float64) float64 { return 6 }) != 0 {
+		t.Fatal("wrong flat fit should be 0")
+	}
+}
+
+func TestPolyFitRecoversRandomLineProperty(t *testing.T) {
+	f := func(aRaw, bRaw int16) bool {
+		a := float64(aRaw) / 100
+		b := float64(bRaw) / 100
+		pts := make([]Point, 0, 10)
+		for x := 0.0; x < 10; x++ {
+			pts = append(pts, Point{X: x, Y: a + b*x})
+		}
+		ga, gb, err := LinFit(pts)
+		if err != nil {
+			return false
+		}
+		return approx(ga, a, 1e-6) && approx(gb, b, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaturationCurveEval(t *testing.T) {
+	c := SaturationCurve{Base: 100e-6, Capacity: 3e9}
+	if !approx(c.Eval(0), 100e-6, 1e-12) {
+		t.Fatalf("Eval(0) = %v", c.Eval(0))
+	}
+	// At half capacity latency doubles.
+	if !approx(c.Eval(1.5e9), 200e-6, 1e-12) {
+		t.Fatalf("Eval(cap/2) = %v", c.Eval(1.5e9))
+	}
+	// Monotone increasing.
+	prev := 0.0
+	for x := 0.0; x < 2.9e9; x += 1e8 {
+		v := c.Eval(x)
+		if v < prev {
+			t.Fatalf("not monotone at %v", x)
+		}
+		prev = v
+	}
+	// Clamped near and past capacity: finite and positive.
+	if v := c.Eval(3e9); math.IsInf(v, 0) || v <= 0 {
+		t.Fatalf("Eval(cap) = %v", v)
+	}
+	if v := c.Eval(4e9); math.IsInf(v, 0) || v <= 0 {
+		t.Fatalf("Eval(>cap) = %v", v)
+	}
+	if c.Eval(-1) != c.Eval(0) {
+		t.Fatal("negative x should clamp to 0")
+	}
+}
+
+func TestFitSaturationRecoversTruth(t *testing.T) {
+	truth := SaturationCurve{Base: 80e-6, Capacity: 2.8e9}
+	var pts []Point
+	for _, frac := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95} {
+		x := frac * truth.Capacity
+		pts = append(pts, Point{X: x, Y: truth.Eval(x)})
+	}
+	got, err := FitSaturation(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got.Base, truth.Base, 0.02) {
+		t.Fatalf("Base = %v, want %v", got.Base, truth.Base)
+	}
+	if !approx(got.Capacity, truth.Capacity, 0.02) {
+		t.Fatalf("Capacity = %v, want %v", got.Capacity, truth.Capacity)
+	}
+}
+
+func TestFitSaturationNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	truth := SaturationCurve{Base: 120e-6, Capacity: 1.2e9}
+	var pts []Point
+	for i := 0; i < 60; i++ {
+		x := rng.Float64() * 0.92 * truth.Capacity
+		y := truth.Eval(x) * (1 + rng.NormFloat64()*0.02)
+		if y <= 0 {
+			continue
+		}
+		pts = append(pts, Point{X: x, Y: y})
+	}
+	got, err := FitSaturation(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got.Base, truth.Base, 0.1) || !approx(got.Capacity, truth.Capacity, 0.1) {
+		t.Fatalf("fit = %+v, want %+v", got, truth)
+	}
+}
+
+func TestFitSaturationErrors(t *testing.T) {
+	if _, err := FitSaturation(nil); err == nil {
+		t.Fatal("empty should fail")
+	}
+	if _, err := FitSaturation([]Point{{1, 1}}); err == nil {
+		t.Fatal("single point should fail")
+	}
+	if _, err := FitSaturation([]Point{{1, -1}, {2, 1}}); err == nil {
+		t.Fatal("negative latency should fail")
+	}
+	if _, err := FitSaturation([]Point{{-1, 1}, {2, 1}}); err == nil {
+		t.Fatal("negative throughput should fail")
+	}
+	if _, err := FitSaturation([]Point{{0, 1}, {0, 2}}); err == nil {
+		t.Fatal("all-zero throughput should fail")
+	}
+}

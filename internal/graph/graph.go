@@ -1,0 +1,270 @@
+// Package graph provides the generic directed-graph machinery the LogNIC
+// execution graph (internal/core) is built on: insertion-ordered adjacency,
+// cycle detection, topological ordering, reachability, and source→sink path
+// enumeration. Vertices are identified by string names; payloads live in
+// the caller's own structures.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Edge is a directed edge between two named vertices.
+type Edge struct {
+	From, To string
+}
+
+// Directed is a simple directed graph. The zero value is not usable;
+// construct with New.
+type Directed struct {
+	order []string            // insertion order of vertices
+	index map[string]int      // vertex name -> order position
+	succ  map[string][]string // adjacency, insertion ordered
+	pred  map[string][]string
+	edges map[Edge]bool
+}
+
+// New returns an empty directed graph.
+func New() *Directed {
+	return &Directed{
+		index: map[string]int{},
+		succ:  map[string][]string{},
+		pred:  map[string][]string{},
+		edges: map[Edge]bool{},
+	}
+}
+
+// AddVertex inserts a vertex if not already present.
+func (g *Directed) AddVertex(name string) {
+	if _, ok := g.index[name]; ok {
+		return
+	}
+	g.index[name] = len(g.order)
+	g.order = append(g.order, name)
+}
+
+// HasVertex reports whether the vertex exists.
+func (g *Directed) HasVertex(name string) bool {
+	_, ok := g.index[name]
+	return ok
+}
+
+// AddEdge inserts a directed edge, creating missing endpoints. Duplicate
+// edges are ignored. Self loops are rejected because LogNIC execution
+// graphs are DAGs by construction.
+func (g *Directed) AddEdge(from, to string) error {
+	if from == to {
+		return fmt.Errorf("graph: self loop on %q", from)
+	}
+	g.AddVertex(from)
+	g.AddVertex(to)
+	e := Edge{From: from, To: to}
+	if g.edges[e] {
+		return nil
+	}
+	g.edges[e] = true
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+	return nil
+}
+
+// HasEdge reports whether the edge exists.
+func (g *Directed) HasEdge(from, to string) bool {
+	return g.edges[Edge{From: from, To: to}]
+}
+
+// Vertices returns the vertex names in insertion order (copy).
+func (g *Directed) Vertices() []string {
+	out := make([]string, len(g.order))
+	copy(out, g.order)
+	return out
+}
+
+// Edges returns all edges sorted by (from, to) insertion order.
+func (g *Directed) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if g.index[out[i].From] != g.index[out[j].From] {
+			return g.index[out[i].From] < g.index[out[j].From]
+		}
+		return g.index[out[i].To] < g.index[out[j].To]
+	})
+	return out
+}
+
+// NumVertices reports the vertex count.
+func (g *Directed) NumVertices() int { return len(g.order) }
+
+// NumEdges reports the edge count.
+func (g *Directed) NumEdges() int { return len(g.edges) }
+
+// Successors returns the out-neighbors of a vertex in insertion order.
+func (g *Directed) Successors(name string) []string {
+	out := make([]string, len(g.succ[name]))
+	copy(out, g.succ[name])
+	return out
+}
+
+// Predecessors returns the in-neighbors of a vertex in insertion order.
+func (g *Directed) Predecessors(name string) []string {
+	out := make([]string, len(g.pred[name]))
+	copy(out, g.pred[name])
+	return out
+}
+
+// InDegree returns the number of incoming edges.
+func (g *Directed) InDegree(name string) int { return len(g.pred[name]) }
+
+// OutDegree returns the number of outgoing edges.
+func (g *Directed) OutDegree(name string) int { return len(g.succ[name]) }
+
+// Sources returns vertices with no incoming edges, in insertion order.
+func (g *Directed) Sources() []string {
+	var out []string
+	for _, v := range g.order {
+		if len(g.pred[v]) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Sinks returns vertices with no outgoing edges, in insertion order.
+func (g *Directed) Sinks() []string {
+	var out []string
+	for _, v := range g.order {
+		if len(g.succ[v]) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ErrCycle is returned by TopoSort when the graph is not acyclic.
+var ErrCycle = errors.New("graph: cycle detected")
+
+// TopoSort returns a topological order of the vertices (stable with respect
+// to insertion order among ready vertices), or ErrCycle.
+func (g *Directed) TopoSort() ([]string, error) {
+	indeg := make(map[string]int, len(g.order))
+	for _, v := range g.order {
+		indeg[v] = len(g.pred[v])
+	}
+	// Kahn's algorithm with an insertion-ordered ready list.
+	ready := make([]string, 0, len(g.order))
+	for _, v := range g.order {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	out := make([]string, 0, len(g.order))
+	for len(ready) > 0 {
+		v := ready[0]
+		ready = ready[1:]
+		out = append(out, v)
+		for _, w := range g.succ[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				ready = append(ready, w)
+			}
+		}
+	}
+	if len(out) != len(g.order) {
+		return nil, ErrCycle
+	}
+	return out, nil
+}
+
+// IsDAG reports whether the graph is acyclic.
+func (g *Directed) IsDAG() bool {
+	_, err := g.TopoSort()
+	return err == nil
+}
+
+// Reachable returns the set of vertices reachable from the given start
+// (including the start itself).
+func (g *Directed) Reachable(start string) map[string]bool {
+	seen := map[string]bool{}
+	if !g.HasVertex(start) {
+		return seen
+	}
+	stack := []string{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		for _, w := range g.succ[v] {
+			if !seen[w] {
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}
+
+// Paths enumerates every simple path from one vertex to another, in a
+// deterministic order. For DAGs all paths are simple, so this enumerates
+// every execution path between ingress and egress. The limit guards against
+// combinatorial blowups; 0 means no limit. It returns an error if the limit
+// is exceeded.
+func (g *Directed) Paths(from, to string, limit int) ([][]string, error) {
+	if !g.HasVertex(from) || !g.HasVertex(to) {
+		return nil, nil
+	}
+	var out [][]string
+	var path []string
+	onPath := map[string]bool{}
+	var dfs func(v string) error
+	dfs = func(v string) error {
+		path = append(path, v)
+		onPath[v] = true
+		defer func() {
+			path = path[:len(path)-1]
+			onPath[v] = false
+		}()
+		if v == to {
+			cp := make([]string, len(path))
+			copy(cp, path)
+			out = append(out, cp)
+			if limit > 0 && len(out) > limit {
+				return fmt.Errorf("graph: more than %d paths from %q to %q", limit, from, to)
+			}
+			return nil
+		}
+		for _, w := range g.succ[v] {
+			if onPath[w] {
+				continue // skip cycles; only simple paths
+			}
+			if err := dfs(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(from); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Clone returns an independent copy of the graph.
+func (g *Directed) Clone() *Directed {
+	c := New()
+	for _, v := range g.order {
+		c.AddVertex(v)
+	}
+	for _, v := range g.order {
+		for _, w := range g.succ[v] {
+			_ = c.AddEdge(v, w)
+		}
+	}
+	return c
+}

@@ -1,0 +1,296 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func buildDiamond(t *testing.T) *Directed {
+	t.Helper()
+	g := New()
+	for _, e := range [][2]string{{"in", "a"}, {"in", "b"}, {"a", "out"}, {"b", "out"}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddVertexIdempotent(t *testing.T) {
+	g := New()
+	g.AddVertex("x")
+	g.AddVertex("x")
+	if g.NumVertices() != 1 {
+		t.Fatalf("NumVertices = %d, want 1", g.NumVertices())
+	}
+	if !g.HasVertex("x") || g.HasVertex("y") {
+		t.Fatal("HasVertex wrong")
+	}
+}
+
+func TestAddEdgeCreatesVerticesAndDedups(t *testing.T) {
+	g := New()
+	if err := g.AddEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.NumVertices() != 2 {
+		t.Fatalf("NumVertices = %d, want 2", g.NumVertices())
+	}
+	if !g.HasEdge("a", "b") || g.HasEdge("b", "a") {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	g := New()
+	if err := g.AddEdge("a", "a"); err == nil {
+		t.Fatal("expected error for self loop")
+	}
+}
+
+func TestDegreesAndNeighbors(t *testing.T) {
+	g := buildDiamond(t)
+	if g.InDegree("out") != 2 || g.OutDegree("in") != 2 {
+		t.Fatal("degree mismatch")
+	}
+	if got := g.Successors("in"); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Successors(in) = %v", got)
+	}
+	if got := g.Predecessors("out"); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Predecessors(out) = %v", got)
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := buildDiamond(t)
+	if got := g.Sources(); !reflect.DeepEqual(got, []string{"in"}) {
+		t.Fatalf("Sources = %v", got)
+	}
+	if got := g.Sinks(); !reflect.DeepEqual(got, []string{"out"}) {
+		t.Fatalf("Sinks = %v", got)
+	}
+}
+
+func TestTopoSortDiamond(t *testing.T) {
+	g := buildDiamond(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("topo order violates edge %v: %v", e, order)
+		}
+	}
+	if !g.IsDAG() {
+		t.Fatal("diamond should be a DAG")
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New()
+	_ = g.AddEdge("a", "b")
+	_ = g.AddEdge("b", "c")
+	_ = g.AddEdge("c", "a")
+	if _, err := g.TopoSort(); err != ErrCycle {
+		t.Fatalf("expected ErrCycle, got %v", err)
+	}
+	if g.IsDAG() {
+		t.Fatal("cycle should not be a DAG")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := buildDiamond(t)
+	_ = g.AddEdge("isolated1", "isolated2")
+	r := g.Reachable("in")
+	for _, v := range []string{"in", "a", "b", "out"} {
+		if !r[v] {
+			t.Errorf("%q should be reachable", v)
+		}
+	}
+	if r["isolated1"] || r["isolated2"] {
+		t.Error("isolated vertices should be unreachable from in")
+	}
+	if len(g.Reachable("nope")) != 0 {
+		t.Error("unknown start should reach nothing")
+	}
+}
+
+func TestPathsDiamond(t *testing.T) {
+	g := buildDiamond(t)
+	paths, err := g.Paths("in", "out", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"in", "a", "out"}, {"in", "b", "out"}}
+	if !reflect.DeepEqual(paths, want) {
+		t.Fatalf("Paths = %v, want %v", paths, want)
+	}
+}
+
+func TestPathsNoRoute(t *testing.T) {
+	g := New()
+	_ = g.AddEdge("a", "b")
+	g.AddVertex("c")
+	paths, err := g.Paths("a", "c", 0)
+	if err != nil || len(paths) != 0 {
+		t.Fatalf("Paths = %v err=%v, want empty", paths, err)
+	}
+	paths, err = g.Paths("nope", "c", 0)
+	if err != nil || paths != nil {
+		t.Fatalf("unknown vertex should give nil, got %v err=%v", paths, err)
+	}
+}
+
+func TestPathsLimit(t *testing.T) {
+	// Chain of diamonds: 2^5 = 32 paths.
+	g := New()
+	prev := "v0"
+	for i := 0; i < 5; i++ {
+		hi := fmt.Sprintf("h%d", i)
+		lo := fmt.Sprintf("l%d", i)
+		next := fmt.Sprintf("v%d", i+1)
+		_ = g.AddEdge(prev, hi)
+		_ = g.AddEdge(prev, lo)
+		_ = g.AddEdge(hi, next)
+		_ = g.AddEdge(lo, next)
+		prev = next
+	}
+	paths, err := g.Paths("v0", "v5", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 32 {
+		t.Fatalf("got %d paths, want 32", len(paths))
+	}
+	if _, err := g.Paths("v0", "v5", 10); err == nil {
+		t.Fatal("expected limit error")
+	}
+}
+
+func TestPathsSkipCycles(t *testing.T) {
+	g := New()
+	_ = g.AddEdge("a", "b")
+	_ = g.AddEdge("b", "a") // 2-cycle
+	_ = g.AddEdge("b", "c")
+	paths, err := g.Paths("a", "c", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || !reflect.DeepEqual(paths[0], []string{"a", "b", "c"}) {
+		t.Fatalf("Paths = %v", paths)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := buildDiamond(t)
+	c := g.Clone()
+	if !reflect.DeepEqual(g.Vertices(), c.Vertices()) {
+		t.Fatal("clone vertices differ")
+	}
+	if !reflect.DeepEqual(g.Edges(), c.Edges()) {
+		t.Fatal("clone edges differ")
+	}
+	_ = c.AddEdge("out", "new")
+	if g.HasVertex("new") {
+		t.Fatal("clone is not independent")
+	}
+}
+
+func TestEdgesDeterministicOrder(t *testing.T) {
+	g := New()
+	_ = g.AddEdge("b", "c")
+	_ = g.AddEdge("a", "b")
+	_ = g.AddEdge("a", "c")
+	want := []Edge{{"b", "c"}, {"a", "b"}, {"a", "c"}}
+	for i := 0; i < 10; i++ {
+		if got := g.Edges(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Edges = %v, want %v", got, want)
+		}
+	}
+}
+
+// randomDAG builds a DAG by only adding forward edges over a shuffled label
+// ordering.
+func randomDAG(seed int64, n, m int) *Directed {
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("n%02d", i)
+		g.AddVertex(labels[i])
+	}
+	for i := 0; i < m; i++ {
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		_ = g.AddEdge(labels[a], labels[b])
+	}
+	return g
+}
+
+func TestTopoSortRandomDAGProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 20, 40)
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := map[string]int{}
+		for i, v := range order {
+			pos[v] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return len(order) == g.NumVertices()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathsEndpointsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed, 12, 24)
+		paths, err := g.Paths("n00", "n11", 10000)
+		if err != nil {
+			return false
+		}
+		for _, p := range paths {
+			if p[0] != "n00" || p[len(p)-1] != "n11" {
+				return false
+			}
+			for i := 0; i+1 < len(p); i++ {
+				if !g.HasEdge(p[i], p[i+1]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,288 @@
+// Package numopt provides the numerical optimization machinery behind the
+// LogNIC optimizer (paper §3.8). The paper's Python implementation uses
+// SciPy's SLSQP; this stdlib-only port combines a Nelder–Mead simplex
+// search with exterior penalty functions for constraints, multi-start to
+// escape poor local minima, golden-section search for one-dimensional
+// problems, and exhaustive/coordinate integer search for the small discrete
+// knobs (parallelism degrees, queue credits) the evaluation explores. The
+// paper itself notes that a local method such as Nelder–Mead is an
+// acceptable solver choice.
+package numopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Objective is a function to minimize.
+type Objective func(x []float64) float64
+
+// Result carries the best point found and diagnostics.
+type Result struct {
+	X          []float64
+	F          float64
+	Iterations int
+	Converged  bool
+}
+
+// NelderMeadOptions tunes the simplex search.
+type NelderMeadOptions struct {
+	// MaxIter bounds the number of simplex iterations (default 2000).
+	MaxIter int
+	// TolF stops when the simplex's objective spread falls below this
+	// (default 1e-10).
+	TolF float64
+	// TolX stops when the simplex collapses spatially (default 1e-10).
+	TolX float64
+	// Step is the initial simplex size per dimension (default 5% of the
+	// start value, or 0.1 when the start coordinate is zero).
+	Step float64
+}
+
+func (o NelderMeadOptions) withDefaults() NelderMeadOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 2000
+	}
+	if o.TolF <= 0 {
+		o.TolF = 1e-10
+	}
+	if o.TolX <= 0 {
+		o.TolX = 1e-10
+	}
+	return o
+}
+
+// NelderMead minimizes f starting from x0 using the standard
+// reflection/expansion/contraction/shrink simplex method.
+func NelderMead(f Objective, x0 []float64, opts NelderMeadOptions) (Result, error) {
+	if f == nil {
+		return Result{}, errors.New("numopt: nil objective")
+	}
+	n := len(x0)
+	if n == 0 {
+		return Result{}, errors.New("numopt: empty start point")
+	}
+	opts = opts.withDefaults()
+
+	// Build the initial simplex.
+	simplex := make([][]float64, n+1)
+	fv := make([]float64, n+1)
+	simplex[0] = append([]float64(nil), x0...)
+	for i := 1; i <= n; i++ {
+		p := append([]float64(nil), x0...)
+		step := opts.Step
+		if step == 0 {
+			if p[i-1] != 0 {
+				step = 0.05 * math.Abs(p[i-1])
+			} else {
+				step = 0.1
+			}
+		}
+		p[i-1] += step
+		simplex[i] = p
+	}
+	for i := range simplex {
+		fv[i] = f(simplex[i])
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	order := func() {
+		idx := make([]int, n+1)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return fv[idx[a]] < fv[idx[b]] })
+		ns := make([][]float64, n+1)
+		nf := make([]float64, n+1)
+		for i, j := range idx {
+			ns[i], nf[i] = simplex[j], fv[j]
+		}
+		simplex, fv = ns, nf
+	}
+
+	var it int
+	for it = 0; it < opts.MaxIter; it++ {
+		order()
+		// Convergence tests.
+		spreadF := math.Abs(fv[n] - fv[0])
+		spreadX := 0.0
+		for i := 1; i <= n; i++ {
+			for j := 0; j < n; j++ {
+				spreadX = math.Max(spreadX, math.Abs(simplex[i][j]-simplex[0][j]))
+			}
+		}
+		if spreadF < opts.TolF && spreadX < opts.TolX {
+			return Result{X: simplex[0], F: fv[0], Iterations: it, Converged: true}, nil
+		}
+
+		// Centroid of all but worst.
+		centroid := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				centroid[j] += simplex[i][j] / float64(n)
+			}
+		}
+		combine := func(c float64) []float64 {
+			p := make([]float64, n)
+			for j := 0; j < n; j++ {
+				p[j] = centroid[j] + c*(simplex[n][j]-centroid[j])
+			}
+			return p
+		}
+
+		refl := combine(-alpha)
+		fr := f(refl)
+		switch {
+		case fr < fv[0]:
+			exp := combine(-alpha * gamma)
+			fe := f(exp)
+			if fe < fr {
+				simplex[n], fv[n] = exp, fe
+			} else {
+				simplex[n], fv[n] = refl, fr
+			}
+		case fr < fv[n-1]:
+			simplex[n], fv[n] = refl, fr
+		default:
+			// Contraction (outside if reflection helped at all).
+			var contr []float64
+			if fr < fv[n] {
+				contr = combine(-alpha * rho)
+			} else {
+				contr = combine(rho)
+			}
+			fc := f(contr)
+			if fc < math.Min(fr, fv[n]) {
+				simplex[n], fv[n] = contr, fc
+			} else {
+				// Shrink toward best.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						simplex[i][j] = simplex[0][j] + sigma*(simplex[i][j]-simplex[0][j])
+					}
+					fv[i] = f(simplex[i])
+				}
+			}
+		}
+	}
+	order()
+	return Result{X: simplex[0], F: fv[0], Iterations: it, Converged: false}, nil
+}
+
+// Bounds restricts each coordinate to [Lo, Hi].
+type Bounds struct {
+	Lo, Hi []float64
+}
+
+// Clamp projects x into the bounds in place and returns it.
+func (b Bounds) Clamp(x []float64) []float64 {
+	for i := range x {
+		if i < len(b.Lo) && x[i] < b.Lo[i] {
+			x[i] = b.Lo[i]
+		}
+		if i < len(b.Hi) && x[i] > b.Hi[i] {
+			x[i] = b.Hi[i]
+		}
+	}
+	return x
+}
+
+// Validate checks bound consistency against a dimension.
+func (b Bounds) Validate(dim int) error {
+	if len(b.Lo) != dim || len(b.Hi) != dim {
+		return fmt.Errorf("numopt: bounds dimension %d/%d, want %d", len(b.Lo), len(b.Hi), dim)
+	}
+	for i := range b.Lo {
+		if b.Lo[i] > b.Hi[i] {
+			return fmt.Errorf("numopt: bound %d inverted: [%v, %v]", i, b.Lo[i], b.Hi[i])
+		}
+	}
+	return nil
+}
+
+// Constraint g(x) <= 0 for the penalty wrapper.
+type Constraint func(x []float64) float64
+
+// Penalized wraps an objective with exterior quadratic penalties for the
+// constraints and box bounds: f(x) + w·Σ max(0, g_i(x))² (+ bound
+// violations). The LogNIC optimizer uses it to encode device bus speeds,
+// parallelism caps and latency bounds (Figure 4-b).
+func Penalized(f Objective, bounds *Bounds, weight float64, constraints ...Constraint) Objective {
+	if weight <= 0 {
+		weight = 1e9
+	}
+	return func(x []float64) float64 {
+		p := 0.0
+		if bounds != nil {
+			for i := range x {
+				if i < len(bounds.Lo) && x[i] < bounds.Lo[i] {
+					d := bounds.Lo[i] - x[i]
+					p += d * d
+				}
+				if i < len(bounds.Hi) && x[i] > bounds.Hi[i] {
+					d := x[i] - bounds.Hi[i]
+					p += d * d
+				}
+			}
+		}
+		for _, g := range constraints {
+			if v := g(x); v > 0 {
+				p += v * v
+			}
+		}
+		return f(x) + weight*p
+	}
+}
+
+// MultiStart runs Nelder–Mead from several start points (the grid corners
+// plus midpoints of the bounds) and returns the best result. Starts must be
+// non-empty.
+func MultiStart(f Objective, starts [][]float64, opts NelderMeadOptions) (Result, error) {
+	if len(starts) == 0 {
+		return Result{}, errors.New("numopt: no start points")
+	}
+	best := Result{F: math.Inf(1)}
+	for _, s := range starts {
+		r, err := NelderMead(f, s, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		if r.F < best.F {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// GridStarts builds start points for MultiStart: the center of the bounds
+// plus per-dimension perturbed corners, n per dimension.
+func GridStarts(b Bounds, perDim int) [][]float64 {
+	dim := len(b.Lo)
+	if dim == 0 {
+		return nil
+	}
+	if perDim < 1 {
+		perDim = 1
+	}
+	center := make([]float64, dim)
+	for i := range center {
+		center[i] = (b.Lo[i] + b.Hi[i]) / 2
+	}
+	out := [][]float64{center}
+	for i := 0; i < dim; i++ {
+		for k := 0; k < perDim; k++ {
+			frac := (float64(k) + 0.5) / float64(perDim)
+			p := append([]float64(nil), center...)
+			p[i] = b.Lo[i] + frac*(b.Hi[i]-b.Lo[i])
+			out = append(out, p)
+		}
+	}
+	return out
+}

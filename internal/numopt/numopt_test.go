@@ -1,0 +1,288 @@
+package numopt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + (x[1]+1)*(x[1]+1) + 7
+	}
+	r, err := NelderMead(f, []float64{0, 0}, NelderMeadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged {
+		t.Fatal("expected convergence")
+	}
+	if !approx(r.X[0], 3, 1e-4) || !approx(r.X[1], -1, 1e-4) {
+		t.Fatalf("X = %v, want (3,-1)", r.X)
+	}
+	if !approx(r.F, 7, 1e-6) {
+		t.Fatalf("F = %v, want 7", r.F)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	r, err := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.X[0], 1, 1e-3) || !approx(r.X[1], 1, 1e-3) {
+		t.Fatalf("X = %v, want (1,1)", r.X)
+	}
+}
+
+func TestNelderMead1D(t *testing.T) {
+	f := func(x []float64) float64 { return math.Abs(x[0] - 42) }
+	r, err := NelderMead(f, []float64{0}, NelderMeadOptions{MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.X[0], 42, 1e-3) {
+		t.Fatalf("X = %v, want 42", r.X)
+	}
+}
+
+func TestNelderMeadErrors(t *testing.T) {
+	if _, err := NelderMead(nil, []float64{0}, NelderMeadOptions{}); err == nil {
+		t.Fatal("nil objective should fail")
+	}
+	if _, err := NelderMead(func([]float64) float64 { return 0 }, nil, NelderMeadOptions{}); err == nil {
+		t.Fatal("empty start should fail")
+	}
+}
+
+func TestNelderMeadMaxIterNotConverged(t *testing.T) {
+	f := func(x []float64) float64 { return x[0] * x[0] }
+	r, err := NelderMead(f, []float64{100}, NelderMeadOptions{MaxIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Converged {
+		t.Fatal("2 iterations should not converge from x=100")
+	}
+	if r.Iterations != 2 {
+		t.Fatalf("Iterations = %d", r.Iterations)
+	}
+}
+
+func TestPenalizedConstraint(t *testing.T) {
+	// Minimize x² subject to x >= 2 (g(x) = 2 - x <= 0).
+	f := func(x []float64) float64 { return x[0] * x[0] }
+	g := func(x []float64) float64 { return 2 - x[0] }
+	pf := Penalized(f, nil, 1e8, g)
+	r, err := NelderMead(pf, []float64{5}, NelderMeadOptions{MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.X[0], 2, 1e-2) {
+		t.Fatalf("X = %v, want 2", r.X)
+	}
+}
+
+func TestPenalizedBounds(t *testing.T) {
+	f := func(x []float64) float64 { return -x[0] } // wants x → +inf
+	b := Bounds{Lo: []float64{0}, Hi: []float64{3}}
+	pf := Penalized(f, &b, 1e8)
+	r, err := NelderMead(pf, []float64{1}, NelderMeadOptions{MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.X[0], 3, 1e-2) {
+		t.Fatalf("X = %v, want 3 (upper bound)", r.X)
+	}
+}
+
+func TestPenalizedDefaultWeight(t *testing.T) {
+	f := func(x []float64) float64 { return 0 }
+	g := func(x []float64) float64 { return 1.0 } // always violated by 1
+	pf := Penalized(f, nil, 0, g)
+	if got := pf([]float64{0}); got != 1e9 {
+		t.Fatalf("default weight: got %v, want 1e9", got)
+	}
+}
+
+func TestBoundsClampAndValidate(t *testing.T) {
+	b := Bounds{Lo: []float64{0, -1}, Hi: []float64{1, 1}}
+	if err := b.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(3); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+	bad := Bounds{Lo: []float64{2}, Hi: []float64{1}}
+	if err := bad.Validate(1); err == nil {
+		t.Fatal("inverted bounds should fail")
+	}
+	x := b.Clamp([]float64{5, -7})
+	if x[0] != 1 || x[1] != -1 {
+		t.Fatalf("Clamp = %v", x)
+	}
+}
+
+func TestMultiStartFindsGlobal(t *testing.T) {
+	// Two wells: a shallow one at x=0 (f=1), deep at x=10 (f=0).
+	f := func(x []float64) float64 {
+		d0 := x[0]
+		d1 := x[0] - 10
+		return math.Min(d0*d0+1, d1*d1)
+	}
+	b := Bounds{Lo: []float64{-5}, Hi: []float64{15}}
+	r, err := MultiStart(f, GridStarts(b, 4), NelderMeadOptions{MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.X[0], 10, 1e-2) {
+		t.Fatalf("X = %v, want global minimum at 10", r.X)
+	}
+	if _, err := MultiStart(f, nil, NelderMeadOptions{}); err == nil {
+		t.Fatal("no starts should fail")
+	}
+}
+
+func TestGridStarts(t *testing.T) {
+	b := Bounds{Lo: []float64{0, 0}, Hi: []float64{10, 2}}
+	starts := GridStarts(b, 2)
+	if len(starts) != 1+2*2 {
+		t.Fatalf("got %d starts", len(starts))
+	}
+	if starts[0][0] != 5 || starts[0][1] != 1 {
+		t.Fatalf("center = %v", starts[0])
+	}
+	if GridStarts(Bounds{}, 2) != nil {
+		t.Fatal("empty bounds should yield nil")
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	x, fx, err := GoldenSection(func(x float64) float64 { return (x - 2.5) * (x - 2.5) }, 0, 10, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x, 2.5, 1e-6) || fx > 1e-12 {
+		t.Fatalf("x = %v fx = %v", x, fx)
+	}
+	// Swapped bounds work too.
+	x, _, err = GoldenSection(func(x float64) float64 { return math.Abs(x - 7) }, 10, 0, 0)
+	if err != nil || !approx(x, 7, 1e-6) {
+		t.Fatalf("x = %v err = %v", x, err)
+	}
+	if _, _, err := GoldenSection(nil, 0, 1, 1e-9); err == nil {
+		t.Fatal("nil objective should fail")
+	}
+}
+
+func TestIntExhaustive(t *testing.T) {
+	f := func(x []int) float64 {
+		return float64((x[0]-3)*(x[0]-3) + (x[1]-1)*(x[1]-1))
+	}
+	r, err := IntExhaustive(f, []IntRange{{1, 8}, {0, 4}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.X[0] != 3 || r.X[1] != 1 || r.F != 0 {
+		t.Fatalf("r = %+v", r)
+	}
+	if r.Evaluated != 8*5 {
+		t.Fatalf("Evaluated = %d, want 40", r.Evaluated)
+	}
+	if !r.Exhaustive {
+		t.Fatal("should report exhaustive")
+	}
+}
+
+func TestIntExhaustiveErrors(t *testing.T) {
+	f := func(x []int) float64 { return 0 }
+	if _, err := IntExhaustive(nil, []IntRange{{0, 1}}, 0); err == nil {
+		t.Fatal("nil objective should fail")
+	}
+	if _, err := IntExhaustive(f, nil, 0); err == nil {
+		t.Fatal("no ranges should fail")
+	}
+	if _, err := IntExhaustive(f, []IntRange{{2, 1}}, 0); err == nil {
+		t.Fatal("empty range should fail")
+	}
+	if _, err := IntExhaustive(f, []IntRange{{1, 100}, {1, 100}, {1, 100}}, 1000); err == nil {
+		t.Fatal("budget overflow should fail")
+	}
+}
+
+func TestIntCoordinateDescent(t *testing.T) {
+	f := func(x []int) float64 {
+		return float64((x[0]-5)*(x[0]-5)) + float64((x[1]+2)*(x[1]+2))
+	}
+	r, err := IntCoordinateDescent(f, []IntRange{{-10, 10}, {-10, 10}}, []int{0, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.X[0] != 5 || r.X[1] != -2 {
+		t.Fatalf("X = %v", r.X)
+	}
+	// Start clamping.
+	r, err = IntCoordinateDescent(f, []IntRange{{0, 3}, {0, 3}}, []int{99, -99}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.X[0] != 3 || r.X[1] != 0 {
+		t.Fatalf("clamped X = %v", r.X)
+	}
+	if _, err := IntCoordinateDescent(f, []IntRange{{0, 1}}, []int{0, 0}, 0); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+}
+
+func TestIntSearchPicksStrategy(t *testing.T) {
+	f := func(x []int) float64 { return float64(x[0] * x[0]) }
+	r, err := IntSearch(f, []IntRange{{-4, 4}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Exhaustive || r.X[0] != 0 {
+		t.Fatalf("r = %+v", r)
+	}
+	// Big space → coordinate descent.
+	big := []IntRange{{0, 1000}, {0, 1000}, {0, 1000}}
+	f3 := func(x []int) float64 {
+		return float64((x[0]-7)*(x[0]-7) + (x[1]-9)*(x[1]-9) + (x[2]-11)*(x[2]-11))
+	}
+	r, err = IntSearch(f3, big, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exhaustive {
+		t.Fatal("big space should not be exhaustive")
+	}
+	if r.X[0] != 7 || r.X[1] != 9 || r.X[2] != 11 {
+		t.Fatalf("X = %v", r.X)
+	}
+}
+
+func TestIntExhaustiveFindsTrueMinProperty(t *testing.T) {
+	f := func(a, b int8) bool {
+		ta := int(a%5) + 5 // target in [0..9]
+		tb := int(b%5) + 5
+		obj := func(x []int) float64 {
+			return math.Abs(float64(x[0]-ta)) + math.Abs(float64(x[1]-tb))
+		}
+		r, err := IntExhaustive(obj, []IntRange{{0, 9}, {0, 9}}, 0)
+		if err != nil {
+			return false
+		}
+		return r.X[0] == ta && r.X[1] == tb && r.F == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package numopt
+
+import (
+	"errors"
+	"math"
+)
+
+// GoldenSection minimizes a unimodal 1-D function on [lo, hi] to the given
+// x tolerance. Used for 1-D knobs like the traffic-steering fraction of
+// case study #5.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64) (x, fx float64, err error) {
+	if f == nil {
+		return 0, 0, errors.New("numopt: nil objective")
+	}
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	const invPhi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - (b-a)*invPhi
+	d := a + (b-a)*invPhi
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)*invPhi
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)*invPhi
+			fd = f(d)
+		}
+	}
+	x = (a + b) / 2
+	return x, f(x), nil
+}
+
+// IntObjective is an objective over integer-valued knobs.
+type IntObjective func(x []int) float64
+
+// IntResult is the best integer point found.
+type IntResult struct {
+	X          []int
+	F          float64
+	Evaluated  int
+	Exhaustive bool
+}
+
+// IntRange is an inclusive integer interval for one knob.
+type IntRange struct{ Lo, Hi int }
+
+func (r IntRange) size() int { return r.Hi - r.Lo + 1 }
+
+// spaceSize returns the product of range sizes, saturating at max.
+func spaceSize(ranges []IntRange, max int) int {
+	total := 1
+	for _, r := range ranges {
+		if r.size() <= 0 {
+			return 0
+		}
+		total *= r.size()
+		if total > max {
+			return max + 1
+		}
+	}
+	return total
+}
+
+// IntExhaustive enumerates the full cross product of the ranges and returns
+// the minimum. It refuses spaces larger than maxEvals to keep misuse loud.
+func IntExhaustive(f IntObjective, ranges []IntRange, maxEvals int) (IntResult, error) {
+	if f == nil {
+		return IntResult{}, errors.New("numopt: nil objective")
+	}
+	if len(ranges) == 0 {
+		return IntResult{}, errors.New("numopt: no ranges")
+	}
+	if maxEvals <= 0 {
+		maxEvals = 1 << 20
+	}
+	if n := spaceSize(ranges, maxEvals); n == 0 {
+		return IntResult{}, errors.New("numopt: empty range")
+	} else if n > maxEvals {
+		return IntResult{}, errors.New("numopt: search space exceeds eval budget")
+	}
+	x := make([]int, len(ranges))
+	for i, r := range ranges {
+		x[i] = r.Lo
+	}
+	best := IntResult{F: math.Inf(1), Exhaustive: true}
+	for {
+		v := f(x)
+		best.Evaluated++
+		if v < best.F {
+			best.F = v
+			best.X = append([]int(nil), x...)
+		}
+		// Odometer increment.
+		i := 0
+		for ; i < len(x); i++ {
+			x[i]++
+			if x[i] <= ranges[i].Hi {
+				break
+			}
+			x[i] = ranges[i].Lo
+		}
+		if i == len(x) {
+			return best, nil
+		}
+	}
+}
+
+// IntCoordinateDescent performs cyclic coordinate descent over integer
+// knobs starting from start, moving each coordinate to its best value in
+// its range while others stay fixed, until a full sweep makes no progress.
+// It handles spaces too large for IntExhaustive; the result is a local
+// optimum.
+func IntCoordinateDescent(f IntObjective, ranges []IntRange, start []int, maxSweeps int) (IntResult, error) {
+	if f == nil {
+		return IntResult{}, errors.New("numopt: nil objective")
+	}
+	if len(ranges) == 0 || len(start) != len(ranges) {
+		return IntResult{}, errors.New("numopt: bad ranges/start")
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 50
+	}
+	x := append([]int(nil), start...)
+	for i, r := range ranges {
+		if r.size() <= 0 {
+			return IntResult{}, errors.New("numopt: empty range")
+		}
+		if x[i] < r.Lo {
+			x[i] = r.Lo
+		}
+		if x[i] > r.Hi {
+			x[i] = r.Hi
+		}
+	}
+	best := IntResult{X: append([]int(nil), x...), F: f(x), Evaluated: 1}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		improved := false
+		for i, r := range ranges {
+			for v := r.Lo; v <= r.Hi; v++ {
+				if v == best.X[i] {
+					continue
+				}
+				cand := append([]int(nil), best.X...)
+				cand[i] = v
+				fv := f(cand)
+				best.Evaluated++
+				if fv < best.F {
+					best.F = fv
+					best.X = cand
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best, nil
+}
+
+// IntSearch picks a strategy: exhaustive when the space fits the budget,
+// coordinate descent from the range midpoints otherwise.
+func IntSearch(f IntObjective, ranges []IntRange, maxEvals int) (IntResult, error) {
+	if maxEvals <= 0 {
+		maxEvals = 1 << 16
+	}
+	if n := spaceSize(ranges, maxEvals); n > 0 && n <= maxEvals {
+		return IntExhaustive(f, ranges, maxEvals)
+	}
+	start := make([]int, len(ranges))
+	for i, r := range ranges {
+		start[i] = (r.Lo + r.Hi) / 2
+	}
+	return IntCoordinateDescent(f, ranges, start, 0)
+}

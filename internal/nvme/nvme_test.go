@@ -1,0 +1,222 @@
+package nvme
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lognic/internal/core"
+	"lognic/internal/sim"
+	"lognic/internal/traffic"
+	"lognic/internal/unit"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func clean(t *testing.T) *SSD {
+	t.Helper()
+	s, err := New(StingrayDrive(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := StingrayDrive(true).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Name: "ch", Channels: 0, ReadAccess: 1e-4, WriteAccess: 1e-4, SeqDiscount: 1, ChannelBW: 1e8},
+		{Name: "ra", Channels: 4, ReadAccess: 0, WriteAccess: 1e-4, SeqDiscount: 1, ChannelBW: 1e8},
+		{Name: "wa", Channels: 4, ReadAccess: 1e-4, WriteAccess: 0, SeqDiscount: 1, ChannelBW: 1e8},
+		{Name: "sd", Channels: 4, ReadAccess: 1e-4, WriteAccess: 1e-4, SeqDiscount: 0, ChannelBW: 1e8},
+		{Name: "sd2", Channels: 4, ReadAccess: 1e-4, WriteAccess: 1e-4, SeqDiscount: 1.5, ChannelBW: 1e8},
+		{Name: "bw", Channels: 4, ReadAccess: 1e-4, WriteAccess: 1e-4, SeqDiscount: 1, ChannelBW: 0},
+		{Name: "gc", Channels: 4, ReadAccess: 1e-4, WriteAccess: 1e-4, SeqDiscount: 1, ChannelBW: 1e8, Fragmented: true, GCWriteAmp: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected error", c.Name)
+		}
+		if _, err := New(c); err == nil {
+			t.Errorf("%s: New should fail", c.Name)
+		}
+	}
+}
+
+func TestIOKindPredicates(t *testing.T) {
+	if !RandWrite.IsWrite() || !SeqWrite.IsWrite() || RandRead.IsWrite() || SeqRead.IsWrite() {
+		t.Fatal("IsWrite wrong")
+	}
+	if !RandRead.IsRandom() || !RandWrite.IsRandom() || SeqRead.IsRandom() || SeqWrite.IsRandom() {
+		t.Fatal("IsRandom wrong")
+	}
+	if RandRead.String() != "rand-read" || IOKind(9).String() != "iokind(9)" {
+		t.Fatal("String wrong")
+	}
+}
+
+func TestMeanServiceTimeOrdering(t *testing.T) {
+	s := clean(t)
+	// Writes slower than reads; sequential faster than random; bigger
+	// blocks slower than small.
+	if !(s.MeanServiceTime(RandWrite, 4096) > s.MeanServiceTime(RandRead, 4096)) {
+		t.Fatal("write should be slower than read")
+	}
+	if !(s.MeanServiceTime(SeqRead, 4096) < s.MeanServiceTime(RandRead, 4096)) {
+		t.Fatal("sequential should be faster than random")
+	}
+	if !(s.MeanServiceTime(RandRead, 128*1024) > s.MeanServiceTime(RandRead, 4096)) {
+		t.Fatal("bigger IO should take longer")
+	}
+}
+
+func TestCapacityShape(t *testing.T) {
+	s := clean(t)
+	// Large blocks amortize access cost: higher byte capacity.
+	if !(s.Capacity(RandRead, 128*1024) > s.Capacity(RandRead, 4096)) {
+		t.Fatal("128KB capacity should exceed 4KB capacity")
+	}
+	// Large-block capacity approaches channels×channelBW.
+	maxBW := float64(s.Config().Channels) * s.Config().ChannelBW
+	if got := s.Capacity(RandRead, 1024*1024); got > maxBW {
+		t.Fatalf("capacity %v exceeds channel aggregate %v", got, maxBW)
+	}
+	// 4KB random read capacity in a plausible datacenter-SSD range.
+	got := s.Capacity(RandRead, 4096)
+	if got < 0.3e9 || got > 5e9 {
+		t.Fatalf("4KB RRD capacity = %v B/s, implausible", got)
+	}
+}
+
+func TestServiceTimeExponentialMean(t *testing.T) {
+	s := clean(t)
+	rng := rand.New(rand.NewSource(1))
+	mean := s.MeanServiceTime(RandRead, 4096)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.ServiceTime(RandRead, 4096, rng)
+		if v < 0 {
+			t.Fatal("negative service time")
+		}
+		sum += v
+	}
+	if got := sum / n; !approx(got, mean, 0.02) {
+		t.Fatalf("sample mean %v, want %v", got, mean)
+	}
+}
+
+func TestCleanDriveNoGC(t *testing.T) {
+	s := clean(t)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		s.ServiceTime(RandWrite, 4096, rng)
+	}
+	if s.GCDebt() != 0 {
+		t.Fatal("clean drive should accrue no GC debt")
+	}
+}
+
+func TestFragmentedDriveGCCouplesReadsAndWrites(t *testing.T) {
+	frag, err := New(StingrayDrive(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	// Writes accrue debt.
+	for i := 0; i < 50; i++ {
+		frag.ServiceTime(RandWrite, 4096, rng)
+	}
+	if frag.GCDebt() <= 0 {
+		t.Fatal("fragmented drive should accrue GC debt on writes")
+	}
+	// Subsequent reads pay it down and run slower than clean-drive reads.
+	cleanDrive := clean(t)
+	rngA := rand.New(rand.NewSource(4))
+	rngB := rand.New(rand.NewSource(4))
+	var fragSum, cleanSum float64
+	for i := 0; i < 50; i++ {
+		fragSum += frag.ServiceTime(RandRead, 4096, rngA)
+		cleanSum += cleanDrive.ServiceTime(RandRead, 4096, rngB)
+	}
+	if fragSum <= cleanSum {
+		t.Fatalf("GC should slow reads: frag %v <= clean %v", fragSum, cleanSum)
+	}
+}
+
+func TestMixTimerRatio(t *testing.T) {
+	s := clean(t)
+	timer := s.MixTimer(1.0) // all reads
+	rng := rand.New(rand.NewSource(5))
+	meanRead := s.MeanServiceTime(RandRead, 4096)
+	sum := 0.0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum += timer(4096, 0, rng)
+	}
+	if !approx(sum/n, meanRead, 0.05) {
+		t.Fatalf("all-read mix mean %v, want %v", sum/n, meanRead)
+	}
+	timerW := s.MixTimer(0.0) // all writes
+	meanWrite := s.MeanServiceTime(RandWrite, 4096)
+	sum = 0
+	for i := 0; i < n; i++ {
+		sum += timerW(4096, 0, rng)
+	}
+	if !approx(sum/n, meanWrite, 0.05) {
+		t.Fatalf("all-write mix mean %v, want %v", sum/n, meanWrite)
+	}
+}
+
+// End-to-end: drive the SSD through the simulator and verify the
+// latency-vs-throughput curve has the Figure 6 shape — flat at low load,
+// diverging near capacity.
+func TestSSDThroughSimulatorSaturates(t *testing.T) {
+	cfg := StingrayDrive(false)
+	capacity := func() float64 {
+		s, _ := New(cfg)
+		return s.Capacity(RandRead, 4096)
+	}()
+
+	run := func(frac float64) sim.Result {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := core.NewBuilder("jbof").
+			AddIngress("in").
+			AddVertex(core.Vertex{Name: "ssd", Kind: core.KindIP, Throughput: capacity, Parallelism: cfg.Channels, QueueCapacity: 256}).
+			AddEgress("out").
+			Connect("in", "ssd", 1).
+			Connect("ssd", "out", 1).
+			Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Graph:    g,
+			Profile:  traffic.Fixed("rrd", unit.Bandwidth(frac*capacity), 4096),
+			Seed:     9,
+			Duration: 0.8,
+			ServiceTime: map[string]sim.ServiceTimer{
+				"ssd": s.Timer(RandRead),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	low := run(0.2)
+	high := run(0.9)
+	if low.MeanLatency <= 0 || high.MeanLatency <= low.MeanLatency {
+		t.Fatalf("latency should grow toward saturation: %v -> %v", low.MeanLatency, high.MeanLatency)
+	}
+	if !approx(low.Throughput, 0.2*capacity, 0.1) {
+		t.Fatalf("low-load throughput %v, want %v", low.Throughput, 0.2*capacity)
+	}
+}

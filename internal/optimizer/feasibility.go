@@ -1,0 +1,223 @@
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"lognic/internal/core"
+	"lognic/internal/numopt"
+)
+
+// This file implements the interactive workflow of Figure 4-b: the user
+// states performance requirements (latency bounds, throughput floors, drop
+// ceilings) and optional weighted preferences over design alternatives;
+// the solver searches the configurable parameters for a satisfying point.
+// When none exists it reports each requirement's best achievable residual,
+// telling the user which goal or constraint to relax — the "relax
+// goals/constraints" loop of the figure.
+
+// Requirement is one performance demand on a model. Violation returns how
+// far the model is from meeting it (≤ 0 means satisfied); the units are
+// the requirement's own (seconds for latency bounds, bytes/second for
+// throughput floors).
+type Requirement struct {
+	// Name labels the requirement in reports.
+	Name string
+	// Violation measures the shortfall.
+	Violation func(core.Model) (float64, error)
+	// Scale normalizes the violation for the aggregate objective; it
+	// should be a typical magnitude of the requirement's unit (defaults
+	// to 1, which over-weights small-unit requirements like seconds —
+	// set it).
+	Scale float64
+}
+
+// LatencyBound requires T_attainable ≤ bound seconds.
+func LatencyBound(bound float64) Requirement {
+	return Requirement{
+		Name:  fmt.Sprintf("latency<=%.3gs", bound),
+		Scale: bound,
+		Violation: func(m core.Model) (float64, error) {
+			lr, err := m.Latency()
+			if err != nil {
+				return 0, err
+			}
+			return lr.Attainable - bound, nil
+		},
+	}
+}
+
+// ThroughputFloor requires min(P_attainable, BW_in) ≥ floor bytes/second.
+func ThroughputFloor(floor float64) Requirement {
+	return Requirement{
+		Name:  fmt.Sprintf("throughput>=%.3gB/s", floor),
+		Scale: floor,
+		Violation: func(m core.Model) (float64, error) {
+			tr, err := m.Throughput()
+			if err != nil {
+				return 0, err
+			}
+			return floor - tr.Attainable, nil
+		},
+	}
+}
+
+// DropCeiling requires the modeled drop probability ≤ ceiling.
+func DropCeiling(ceiling float64) Requirement {
+	return Requirement{
+		Name:  fmt.Sprintf("droprate<=%.3g", ceiling),
+		Scale: math.Max(ceiling, 1e-6),
+		Violation: func(m core.Model) (float64, error) {
+			lr, err := m.Latency()
+			if err != nil {
+				return 0, err
+			}
+			return lr.DropRate - ceiling, nil
+		},
+	}
+}
+
+// Preference is a weighted secondary objective used to rank satisfying
+// points — "an interface for developers to prioritize different design
+// alternatives by assigning weights" (§3.8).
+type Preference struct {
+	// Name labels the preference.
+	Name string
+	// Weight scales its contribution (≥ 0).
+	Weight float64
+	// Goal selects the metric to improve.
+	Goal Goal
+}
+
+// FeasibilityProblem is a Figure 4-b query.
+type FeasibilityProblem struct {
+	// Build maps a parameter vector to a model.
+	Build func(x []float64) (core.Model, error)
+	// Bounds box-constrains the parameters.
+	Bounds numopt.Bounds
+	// Requirements are the hard demands.
+	Requirements []Requirement
+	// Preferences rank satisfying points (optional).
+	Preferences []Preference
+	// MaxIter bounds each inner search.
+	MaxIter int
+}
+
+// Residual is one requirement's outcome at the returned point.
+type Residual struct {
+	// Name is the requirement's label.
+	Name string
+	// Violation is the shortfall at the point (≤ 0 = satisfied).
+	Violation float64
+}
+
+// FeasibilityResult reports a Satisfy outcome.
+type FeasibilityResult struct {
+	// Feasible tells whether every requirement is met at X.
+	Feasible bool
+	// X is the best parameter vector found.
+	X []float64
+	// Model is the model at X.
+	Model core.Model
+	// Residuals lists each requirement's violation at X, most violated
+	// first. For an infeasible problem this is the relaxation hint: the
+	// top entries are the requirements to loosen.
+	Residuals []Residual
+}
+
+// Satisfy searches for parameters meeting every requirement, preferring
+// points that score better on the weighted preferences. If no feasible
+// point is found, the returned result carries the least-violating point
+// and per-requirement residuals so the caller can relax goals (§3.8).
+func Satisfy(p FeasibilityProblem) (FeasibilityResult, error) {
+	if p.Build == nil {
+		return FeasibilityResult{}, errors.New("optimizer: nil Build")
+	}
+	if len(p.Requirements) == 0 {
+		return FeasibilityResult{}, errors.New("optimizer: no requirements")
+	}
+	dim := len(p.Bounds.Lo)
+	if dim == 0 {
+		return FeasibilityResult{}, errors.New("optimizer: empty bounds")
+	}
+	if err := p.Bounds.Validate(dim); err != nil {
+		return FeasibilityResult{}, err
+	}
+	for _, pref := range p.Preferences {
+		if pref.Weight < 0 {
+			return FeasibilityResult{}, fmt.Errorf("optimizer: negative preference weight for %q", pref.Name)
+		}
+	}
+
+	// Phase 1: minimize total normalized violation, heavily weighted, with
+	// the preferences as a light tie-breaker among feasible points.
+	objective := func(x []float64) float64 {
+		m, err := p.Build(x)
+		if err != nil {
+			return math.Inf(1)
+		}
+		total := 0.0
+		for _, r := range p.Requirements {
+			v, err := r.Violation(m)
+			if err != nil {
+				return math.Inf(1)
+			}
+			scale := r.Scale
+			if scale <= 0 {
+				scale = 1
+			}
+			if v > 0 {
+				nv := v / scale
+				total += 1e6 * nv * (1 + nv)
+			}
+		}
+		for _, pref := range p.Preferences {
+			if pref.Weight == 0 {
+				continue
+			}
+			s, err := Score(m, pref.Goal)
+			if err != nil {
+				return math.Inf(1)
+			}
+			// Score is already minimize-oriented; normalize softly.
+			total += pref.Weight * softsign(s)
+		}
+		return total
+	}
+	obj := numopt.Penalized(objective, &p.Bounds, 0)
+	best, err := numopt.MultiStart(obj, numopt.GridStarts(p.Bounds, 4),
+		numopt.NelderMeadOptions{MaxIter: p.MaxIter})
+	if err != nil {
+		return FeasibilityResult{}, err
+	}
+	x := p.Bounds.Clamp(best.X)
+	m, err := p.Build(x)
+	if err != nil {
+		return FeasibilityResult{}, fmt.Errorf("optimizer: best point infeasible to build: %w", err)
+	}
+	res := FeasibilityResult{X: x, Model: m, Feasible: true}
+	for _, r := range p.Requirements {
+		v, err := r.Violation(m)
+		if err != nil {
+			return FeasibilityResult{}, err
+		}
+		scale := r.Scale
+		if scale <= 0 {
+			scale = 1
+		}
+		res.Residuals = append(res.Residuals, Residual{Name: r.Name, Violation: v})
+		if v > 1e-9*scale {
+			res.Feasible = false
+		}
+	}
+	sort.SliceStable(res.Residuals, func(i, j int) bool {
+		return res.Residuals[i].Violation > res.Residuals[j].Violation
+	})
+	return res, nil
+}
+
+// softsign maps any score into (−1, 1) so preference magnitudes cannot
+// drown the feasibility term.
+func softsign(v float64) float64 { return v / (1 + math.Abs(v)) }

@@ -1,0 +1,166 @@
+package optimizer
+
+import (
+	"testing"
+
+	"lognic/internal/core"
+	"lognic/internal/numopt"
+)
+
+// loadModel builds a single-IP model whose offered load is the parameter.
+func loadModel(t *testing.T) func(x []float64) (core.Model, error) {
+	t.Helper()
+	g, err := core.NewBuilder("feas").
+		AddIngress("in").
+		AddIP("ip", 1e9, 1, 32).
+		AddEgress("out").
+		Connect("in", "ip", 1).
+		Connect("ip", "out", 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(x []float64) (core.Model, error) {
+		return core.Model{
+			Graph:   g,
+			Traffic: core.Traffic{IngressBW: x[0], Granularity: 1024},
+		}, nil
+	}
+}
+
+func TestSatisfyFeasible(t *testing.T) {
+	// Find a load with throughput ≥ 0.5 GB/s and latency ≤ 5µs. The
+	// latency at ρ=0.5 is ~2µs, so a band of feasible loads exists.
+	res, err := Satisfy(FeasibilityProblem{
+		Build:  loadModel(t),
+		Bounds: numopt.Bounds{Lo: []float64{1e8}, Hi: []float64{0.99e9}},
+		Requirements: []Requirement{
+			ThroughputFloor(0.5e9),
+			LatencyBound(5e-6),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("expected feasible, residuals %+v", res.Residuals)
+	}
+	if res.X[0] < 0.5e9 {
+		t.Fatalf("x = %v violates the throughput floor", res.X[0])
+	}
+	lr, err := res.Model.Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Attainable > 5e-6 {
+		t.Fatalf("latency %v violates the bound", lr.Attainable)
+	}
+	for _, r := range res.Residuals {
+		if r.Violation > 1e-9 {
+			t.Fatalf("residual %+v should be satisfied", r)
+		}
+	}
+}
+
+func TestSatisfyInfeasibleReportsRelaxation(t *testing.T) {
+	// Demand more throughput than the IP can serve AND tiny latency: no
+	// load satisfies both. The residuals must name the blockers.
+	res, err := Satisfy(FeasibilityProblem{
+		Build:  loadModel(t),
+		Bounds: numopt.Bounds{Lo: []float64{1e8}, Hi: []float64{0.99e9}},
+		Requirements: []Requirement{
+			ThroughputFloor(2e9), // impossible: capacity is 1e9
+			LatencyBound(100e-6), // easy
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("expected infeasible")
+	}
+	// Most violated first, and it's the throughput floor.
+	if len(res.Residuals) != 2 {
+		t.Fatalf("residuals = %+v", res.Residuals)
+	}
+	if res.Residuals[0].Name != ThroughputFloor(2e9).Name {
+		t.Fatalf("top residual = %+v, want the throughput floor", res.Residuals[0])
+	}
+	if res.Residuals[0].Violation <= 0 {
+		t.Fatal("top residual should be violated")
+	}
+	if res.Residuals[1].Violation > 0 {
+		t.Fatal("latency bound should be satisfiable")
+	}
+}
+
+func TestSatisfyPreferencesSteerWithinFeasibleSet(t *testing.T) {
+	// Any load in [0.3, 0.9] GB/s meets the floor; preferring max
+	// throughput should push toward the top of the band, preferring min
+	// latency toward the bottom.
+	base := FeasibilityProblem{
+		Build:  loadModel(t),
+		Bounds: numopt.Bounds{Lo: []float64{0.3e9}, Hi: []float64{0.9e9}},
+		Requirements: []Requirement{
+			ThroughputFloor(0.3e9),
+		},
+	}
+	maxT := base
+	maxT.Preferences = []Preference{{Name: "fast", Weight: 1, Goal: MaximizeThroughput}}
+	resT, err := Satisfy(maxT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minL := base
+	minL.Preferences = []Preference{{Name: "snappy", Weight: 1, Goal: MinimizeLatency}}
+	resL, err := Satisfy(minL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resT.Feasible || !resL.Feasible {
+		t.Fatal("both should be feasible")
+	}
+	if !(resT.X[0] > resL.X[0]) {
+		t.Fatalf("preferences had no effect: maxT at %v, minL at %v", resT.X[0], resL.X[0])
+	}
+}
+
+func TestSatisfyErrors(t *testing.T) {
+	build := loadModel(t)
+	bounds := numopt.Bounds{Lo: []float64{1}, Hi: []float64{2}}
+	reqs := []Requirement{LatencyBound(1)}
+	cases := []FeasibilityProblem{
+		{Bounds: bounds, Requirements: reqs},
+		{Build: build, Bounds: bounds},
+		{Build: build, Requirements: reqs},
+		{Build: build, Bounds: numopt.Bounds{Lo: []float64{2}, Hi: []float64{1}}, Requirements: reqs},
+		{Build: build, Bounds: bounds, Requirements: reqs,
+			Preferences: []Preference{{Name: "bad", Weight: -1}}},
+	}
+	for i, p := range cases {
+		if _, err := Satisfy(p); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRequirementConstructors(t *testing.T) {
+	m, err := loadModel(t)([]float64{0.5e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput at 0.5e9 offered: floor of 0.4e9 satisfied, 0.6e9 not.
+	if v, err := ThroughputFloor(0.4e9).Violation(m); err != nil || v > 0 {
+		t.Fatalf("floor 0.4e9: v=%v err=%v", v, err)
+	}
+	if v, err := ThroughputFloor(0.6e9).Violation(m); err != nil || v <= 0 {
+		t.Fatalf("floor 0.6e9: v=%v err=%v", v, err)
+	}
+	// Drop ceiling: at ρ=0.5 with queue 32 the drop rate is ~0.
+	if v, err := DropCeiling(0.01).Violation(m); err != nil || v > 0 {
+		t.Fatalf("drop ceiling: v=%v err=%v", v, err)
+	}
+	if LatencyBound(1e-6).Name == "" || DropCeiling(0.1).Name == "" {
+		t.Fatal("names must be set")
+	}
+}

@@ -1,0 +1,153 @@
+// Package optimizer implements the LogNIC optimizer of §3.8 (Figure 4-b):
+// given an objective over the model's configurable parameters (Table 2's
+// CONF column — parallelism degrees D_vi, node partitions γ_vi, traffic
+// splits δ, queue capacities N_vi) and a set of constraints, it searches
+// for a satisfying configuration. The continuous solver is Nelder–Mead
+// with exterior penalties (internal/numopt) standing in for SciPy's SLSQP;
+// discrete knobs use exhaustive or coordinate integer search. On top of the
+// generic interface, this package provides the four concrete searches the
+// evaluation uses: microservice parallelism tuning (§4.4), NF placement
+// (§4.5), and PANIC credit sizing and traffic steering (§4.6).
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lognic/internal/core"
+	"lognic/internal/numopt"
+)
+
+// Goal selects the optimization direction and metric.
+type Goal int
+
+// Goals.
+const (
+	// MinimizeLatency minimizes T_attainable.
+	MinimizeLatency Goal = iota
+	// MaximizeThroughput maximizes min(P_attainable, BW_in).
+	MaximizeThroughput
+	// MaximizeGoodput maximizes delivered throughput after queue drops:
+	// min(P_attainable, BW_in)·(1−droprate).
+	MaximizeGoodput
+)
+
+// String names the goal.
+func (g Goal) String() string {
+	switch g {
+	case MinimizeLatency:
+		return "min-latency"
+	case MaximizeThroughput:
+		return "max-throughput"
+	case MaximizeGoodput:
+		return "max-goodput"
+	default:
+		return fmt.Sprintf("goal(%d)", int(g))
+	}
+}
+
+// Score evaluates a model against a goal; the optimizer always minimizes
+// the returned value (maximization goals negate).
+func Score(m core.Model, goal Goal) (float64, error) {
+	switch goal {
+	case MinimizeLatency:
+		lr, err := m.Latency()
+		if err != nil {
+			return 0, err
+		}
+		return lr.Attainable, nil
+	case MaximizeThroughput:
+		tr, err := m.Throughput()
+		if err != nil {
+			return 0, err
+		}
+		return -tr.Attainable, nil
+	case MaximizeGoodput:
+		est, err := m.Estimate()
+		if err != nil {
+			return 0, err
+		}
+		return -est.Throughput.Attainable * (1 - est.Latency.DropRate), nil
+	default:
+		return 0, fmt.Errorf("optimizer: unknown goal %d", int(goal))
+	}
+}
+
+// Problem is a generic continuous optimization problem over model
+// parameters: Build maps a parameter vector to a model, which is scored
+// against Goal; Constraints (g(x) ≤ 0) and Bounds restrict the space.
+type Problem struct {
+	// Build constructs the model for a parameter vector.
+	Build func(x []float64) (core.Model, error)
+	// Goal selects the metric.
+	Goal Goal
+	// Bounds box-constrains the parameters.
+	Bounds numopt.Bounds
+	// Constraints are additional g(x) <= 0 conditions.
+	Constraints []numopt.Constraint
+	// Starts overrides the default multi-start points.
+	Starts [][]float64
+	// MaxIter bounds each Nelder–Mead run.
+	MaxIter int
+}
+
+// Solution is the outcome of a continuous search.
+type Solution struct {
+	// X is the best parameter vector.
+	X []float64
+	// Objective is the goal metric at X (latency seconds, or
+	// throughput bytes/second for maximization goals).
+	Objective float64
+	// Model is the model built at X.
+	Model core.Model
+}
+
+// Solve runs the continuous search. Infeasible evaluations (Build errors)
+// are treated as +inf.
+func Solve(p Problem) (Solution, error) {
+	if p.Build == nil {
+		return Solution{}, errors.New("optimizer: nil Build")
+	}
+	dim := len(p.Bounds.Lo)
+	if dim == 0 {
+		return Solution{}, errors.New("optimizer: empty bounds")
+	}
+	if err := p.Bounds.Validate(dim); err != nil {
+		return Solution{}, err
+	}
+	raw := func(x []float64) float64 {
+		m, err := p.Build(x)
+		if err != nil {
+			return math.Inf(1)
+		}
+		v, err := Score(m, p.Goal)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return v
+	}
+	obj := numopt.Penalized(raw, &p.Bounds, 0, p.Constraints...)
+	starts := p.Starts
+	if len(starts) == 0 {
+		starts = numopt.GridStarts(p.Bounds, 3)
+	}
+	opts := numopt.NelderMeadOptions{MaxIter: p.MaxIter}
+	best, err := numopt.MultiStart(obj, starts, opts)
+	if err != nil {
+		return Solution{}, err
+	}
+	x := p.Bounds.Clamp(best.X)
+	m, err := p.Build(x)
+	if err != nil {
+		return Solution{}, fmt.Errorf("optimizer: best point infeasible: %w", err)
+	}
+	v, err := Score(m, p.Goal)
+	if err != nil {
+		return Solution{}, err
+	}
+	if p.Goal != MinimizeLatency {
+		v = -v
+	}
+	return Solution{X: x, Objective: v, Model: m}, nil
+}

@@ -1,0 +1,284 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"lognic/internal/apps"
+	"lognic/internal/core"
+	"lognic/internal/devices"
+	"lognic/internal/numopt"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// twoPathModel builds a steering model: traffic split x to a fast IP and
+// 1−x to a slow IP.
+func twoPathModel(t *testing.T, x float64) (core.Model, error) {
+	g, err := core.NewBuilder("steer").
+		AddIngress("in").
+		AddVertex(core.Vertex{Name: "fast", Kind: core.KindIP, Throughput: 2e9, Parallelism: 1, QueueCapacity: 32}).
+		AddVertex(core.Vertex{Name: "slow", Kind: core.KindIP, Throughput: 1e9, Parallelism: 1, QueueCapacity: 32}).
+		AddEgress("out").
+		AddEdge(core.Edge{From: "in", To: "fast", Delta: x}).
+		AddEdge(core.Edge{From: "in", To: "slow", Delta: 1 - x}).
+		AddEdge(core.Edge{From: "fast", To: "out", Delta: x}).
+		AddEdge(core.Edge{From: "slow", To: "out", Delta: 1 - x}).
+		Build()
+	if err != nil {
+		return core.Model{}, err
+	}
+	return core.Model{
+		Graph:   g,
+		Traffic: core.Traffic{IngressBW: 1.8e9, Granularity: 1024},
+	}, nil
+}
+
+func TestScoreGoals(t *testing.T) {
+	m, err := twoPathModel(t, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := Score(m, MinimizeLatency)
+	if err != nil || lat <= 0 {
+		t.Fatalf("latency score = %v, err %v", lat, err)
+	}
+	thr, err := Score(m, MaximizeThroughput)
+	if err != nil || thr >= 0 {
+		t.Fatalf("throughput score = %v (should be negative), err %v", thr, err)
+	}
+	good, err := Score(m, MaximizeGoodput)
+	if err != nil || good >= 0 {
+		t.Fatalf("goodput score = %v, err %v", good, err)
+	}
+	// Goodput magnitude can't exceed raw throughput magnitude.
+	if -good > -thr+1e-9 {
+		t.Fatal("goodput should not exceed throughput")
+	}
+	if _, err := Score(m, Goal(99)); err == nil {
+		t.Fatal("unknown goal should fail")
+	}
+	for g, want := range map[Goal]string{
+		MinimizeLatency: "min-latency", MaximizeThroughput: "max-throughput",
+		MaximizeGoodput: "max-goodput", Goal(9): "goal(9)",
+	} {
+		if g.String() != want {
+			t.Errorf("%d.String() = %q", int(g), g.String())
+		}
+	}
+}
+
+func TestSolveSteering(t *testing.T) {
+	// Optimal split for capacity 2:1 servers at high load is ~2/3 to the
+	// fast one.
+	sol, err := Solve(Problem{
+		Build: func(x []float64) (core.Model, error) { return twoPathModel(t, x[0]) },
+		Goal:  MinimizeLatency,
+		Bounds: numopt.Bounds{
+			Lo: []float64{0.05},
+			Hi: []float64{0.95},
+		},
+		MaxIter: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.X[0], 2.0/3, 0.08) {
+		t.Fatalf("steering x = %v, want ~0.667", sol.X[0])
+	}
+	if sol.Objective <= 0 {
+		t.Fatal("objective latency must be positive")
+	}
+	// The optimized split must beat a naive 50/50.
+	naive, _ := twoPathModel(t, 0.5)
+	naiveLat, _ := Score(naive, MinimizeLatency)
+	if sol.Objective > naiveLat {
+		t.Fatalf("optimized %v worse than naive %v", sol.Objective, naiveLat)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, err := Solve(Problem{}); err == nil {
+		t.Fatal("nil Build should fail")
+	}
+	if _, err := Solve(Problem{
+		Build:  func(x []float64) (core.Model, error) { return core.Model{}, nil },
+		Bounds: numopt.Bounds{},
+	}); err == nil {
+		t.Fatal("empty bounds should fail")
+	}
+}
+
+func TestTuneParallelismBeatsBaselines(t *testing.T) {
+	d := devices.LiquidIO2CN2360()
+	for _, chain := range apps.E3Workloads() {
+		opt, err := TuneParallelism(d, chain, d.Cores, 1e9)
+		if err != nil {
+			t.Fatalf("%s: %v", chain.Name, err)
+		}
+		if len(opt.Cores) != len(chain.Stages) {
+			t.Fatalf("%s: allocation size %d", chain.Name, len(opt.Cores))
+		}
+		total := 0
+		for _, c := range opt.Cores {
+			total += c
+		}
+		if total > d.Cores {
+			t.Fatalf("%s: allocation overflows cores: %v", chain.Name, opt.Cores)
+		}
+		sat := func(a apps.Allocation) float64 {
+			m, err := apps.MicroserviceModel(d, chain, a, 1e9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := m.SaturationThroughput()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep.Attainable
+		}
+		optThr := sat(opt)
+		eqThr := sat(apps.EqualPartition(chain, d.Cores))
+		if optThr < eqThr-1e-9 {
+			t.Fatalf("%s: optimizer %v worse than equal partition %v", chain.Name, optThr, eqThr)
+		}
+		// For the skewed chains the optimizer must strictly win.
+		if chain.Name == "RTA-SHM" && optThr <= eqThr*1.05 {
+			t.Fatalf("%s: expected a clear win, got %v vs %v", chain.Name, optThr, eqThr)
+		}
+	}
+}
+
+func TestTuneParallelismErrors(t *testing.T) {
+	d := devices.LiquidIO2CN2360()
+	chain := apps.E3Workloads()[0]
+	if _, err := TuneParallelism(d, apps.ServiceChain{}, 16, 1e9); err == nil {
+		t.Fatal("empty chain should fail")
+	}
+	if _, err := TuneParallelism(d, chain, 2, 1e9); err == nil {
+		t.Fatal("too few cores should fail")
+	}
+}
+
+func TestPlaceNFsBeatsBaselines(t *testing.T) {
+	d := devices.BlueField2DPU()
+	chain := apps.MiddleboxChain()
+	sat := func(p apps.Placement, size float64) float64 {
+		m, err := apps.NFChainModel(d, chain, p, size, 10e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := m.SaturationThroughput()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Attainable
+	}
+	for _, size := range []float64{64, 512, 1500} {
+		opt, err := PlaceNFs(d, chain, size, 10e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optThr := sat(opt, size)
+		if optThr < sat(apps.ARMOnly(chain), size)-1e-9 {
+			t.Fatalf("size %v: optimizer worse than ARM-only", size)
+		}
+		if optThr < sat(apps.AcceleratorOnly(chain), size)-1e-9 {
+			t.Fatalf("size %v: optimizer worse than accelerator-only", size)
+		}
+	}
+	if _, err := PlaceNFs(d, nil, 1500, 1e9); err == nil {
+		t.Fatal("empty chain should fail")
+	}
+}
+
+func TestSizeCredits(t *testing.T) {
+	d := devices.PANICPrototype()
+	build := func(credits int) (core.Model, error) {
+		return apps.PANICPipelined(d, 512, 0.8*4.0e6*512, credits)
+	}
+	credits, err := SizeCredits(build, 8, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if credits < 1 || credits > 8 {
+		t.Fatalf("credits = %d", credits)
+	}
+	// Fewer credits must not beat the reference goodput by construction:
+	// goodput is non-decreasing in credits.
+	prev := -1.0
+	for c := 1; c <= 8; c++ {
+		m, err := build(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := Score(m, MaximizeGoodput)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := -v
+		if g < prev-1e-6 {
+			t.Fatalf("goodput decreased at credits=%d", c)
+		}
+		prev = g
+	}
+	if _, err := SizeCredits(nil, 8, 0); err == nil {
+		t.Fatal("nil build should fail")
+	}
+	if _, err := SizeCredits(build, 0, 0); err == nil {
+		t.Fatal("zero max should fail")
+	}
+}
+
+func TestSteerTrafficFindsCapabilityProportionalSplit(t *testing.T) {
+	d := devices.PANICPrototype()
+	// Fix a1 at 20%; steer x to a2 and 0.8−x to a3. Capability ratio
+	// 7:3 suggests x ≈ 0.56.
+	load := 6e9 // bytes/s, high enough for queueing to matter
+	build := func(x float64) (core.Model, error) {
+		return apps.PANICParallelized(d, 512, load, 0.2, x, 0.8-x, 8)
+	}
+	x, err := SteerTraffic(build, 0.05, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x, 0.56, 0.15) {
+		t.Fatalf("steering x = %v, want ≈ 0.56", x)
+	}
+	if _, err := SteerTraffic(nil, 0, 1); err == nil {
+		t.Fatal("nil build should fail")
+	}
+	if _, err := SteerTraffic(build, 0.9, 0.1); err == nil {
+		t.Fatal("inverted bracket should fail")
+	}
+}
+
+func TestTuneUnitParallelism(t *testing.T) {
+	d := devices.PANICPrototype()
+	build := func(lanes int) (core.Model, error) {
+		return apps.PANICHybrid(d, 1500, 6e9, 0.5, 0.5, lanes, 8)
+	}
+	lanes, err := TuneUnitParallelism(build, 8, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lanes < 1 || lanes > 8 {
+		t.Fatalf("lanes = %d", lanes)
+	}
+	// Latency at the chosen degree must be within tolerance of max.
+	mMax, _ := build(8)
+	mOpt, _ := build(lanes)
+	lMax, _ := Score(mMax, MinimizeLatency)
+	lOpt, _ := Score(mOpt, MinimizeLatency)
+	if lOpt > 1.0501*lMax {
+		t.Fatalf("latency at %d lanes (%v) outside tolerance of max (%v)", lanes, lOpt, lMax)
+	}
+	if _, err := TuneUnitParallelism(nil, 8, 0); err == nil {
+		t.Fatal("nil build should fail")
+	}
+	if _, err := TuneUnitParallelism(build, 0, 0); err == nil {
+		t.Fatal("zero max should fail")
+	}
+}

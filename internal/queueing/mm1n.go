@@ -1,0 +1,270 @@
+// Package queueing implements the finite-capacity Markovian queue formulas
+// LogNIC's latency model is built on (paper §3.6, Equations 9–12), plus an
+// M/M/c/K generalization used by ablation benchmarks. The paper observes
+// that data-center request arrivals are well approximated by a Poisson
+// process and IP service times by an exponential distribution, and applies
+// the M/M/1/N queue to each (virtual) IP after concatenating its disjoint
+// queues into one logical queue.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MM1N describes an M/M/1/N queue: Poisson arrivals at rate Lambda,
+// exponential service at rate Mu, a single server, and room for N requests
+// in the system (the paper's queue capacity parameter N_vi). Arrivals that
+// find the system full are dropped.
+type MM1N struct {
+	Lambda   float64 // arrival rate, requests/second
+	Mu       float64 // service rate, requests/second
+	Capacity int     // N: max requests in the system, >= 1
+}
+
+// Validate reports whether the queue parameters are usable.
+func (q MM1N) Validate() error {
+	if q.Lambda < 0 || math.IsNaN(q.Lambda) || math.IsInf(q.Lambda, 0) {
+		return fmt.Errorf("queueing: invalid arrival rate %v", q.Lambda)
+	}
+	if q.Mu <= 0 || math.IsNaN(q.Mu) || math.IsInf(q.Mu, 0) {
+		return fmt.Errorf("queueing: invalid service rate %v", q.Mu)
+	}
+	if q.Capacity < 1 {
+		return fmt.Errorf("queueing: capacity %d < 1", q.Capacity)
+	}
+	return nil
+}
+
+// Rho returns the offered utilization ρ = λ/μ (Equation 10). It may exceed 1
+// for an overloaded finite queue; the closed forms remain well defined.
+func (q MM1N) Rho() float64 { return q.Lambda / q.Mu }
+
+// geometricSum returns Σ_{n=0}^{N} ρ^n, handling ρ=1 exactly.
+func geometricSum(rho float64, n int) float64 {
+	if rho == 1 {
+		return float64(n + 1)
+	}
+	return (1 - math.Pow(rho, float64(n+1))) / (1 - rho)
+}
+
+// StateProb returns Pro_k, the steady-state probability of k requests in
+// the system (Equation 10): ρ^k / Σ_{n=0}^{N} ρ^n.
+func (q MM1N) StateProb(k int) float64 {
+	if k < 0 || k > q.Capacity {
+		return 0
+	}
+	rho := q.Rho()
+	if rho == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	return math.Pow(rho, float64(k)) / geometricSum(rho, q.Capacity)
+}
+
+// BlockingProb returns Pro_N, the probability an arrival is dropped because
+// the queue is full — the paper reads this as the packet dropping rate.
+func (q MM1N) BlockingProb() float64 { return q.StateProb(q.Capacity) }
+
+// finiteGeomMean evaluates g(ρ, M) = ρ/(1−ρ) − M·ρ^M/(1−ρ^M), the
+// recurring expression behind both the mean occupancy (with M = N+1) and
+// Equation 12's queueing delay (with M = N). Direct evaluation cancels
+// catastrophically near ρ=1, so a second-order series around ρ=1 is used
+// there: g → (M−1)/2 + (M²−1)/12·(ρ−1).
+func finiteGeomMean(rho float64, m int) float64 {
+	if rho == 0 {
+		return 0
+	}
+	mf := float64(m)
+	if d := rho - 1; math.Abs(d) < 1e-4/mf {
+		return (mf-1)/2 + (mf*mf-1)/12*d
+	}
+	rm := math.Pow(rho, mf)
+	return rho/(1-rho) - mf*rm/(1-rm)
+}
+
+// MeanOccupancy returns L = Σ_{n=0}^{N} n·Pro_n, the average number of
+// requests in the system, via the identity
+// L = ρ/(1−ρ) − (N+1)ρ^{N+1}/(1−ρ^{N+1}).
+func (q MM1N) MeanOccupancy() float64 {
+	return finiteGeomMean(q.Rho(), q.Capacity+1)
+}
+
+// EffectiveArrivalRate returns λe = λ(1 − Pro_N), the rate of requests
+// actually admitted.
+func (q MM1N) EffectiveArrivalRate() float64 {
+	return q.Lambda * (1 - q.BlockingProb())
+}
+
+// MeanWait returns W = L/λe, the mean time an admitted request spends in
+// the system (queueing + service), by Little's law.
+func (q MM1N) MeanWait() float64 {
+	if q.Lambda == 0 {
+		return 1 / q.Mu
+	}
+	return q.MeanOccupancy() / q.EffectiveArrivalRate()
+}
+
+// QueueingDelay returns Q = L/λe − 1/μ (Equation 9), the mean time an
+// admitted request waits before service starts. Equation 12 of the paper
+// gives the equivalent closed form Q = (1/μ)(ρ/(1−ρ) − Nρ^N/(1−ρ^N));
+// QueueingDelayClosedForm implements that expression and the two agree to
+// rounding (see the tests).
+func (q MM1N) QueueingDelay() float64 {
+	d := q.MeanWait() - 1/q.Mu
+	if d < 0 {
+		// Float drift for tiny ρ; delay is physically non-negative.
+		return 0
+	}
+	return d
+}
+
+// QueueingDelayClosedForm evaluates Equation 12:
+// Q = (1/μ)(ρ/(1−ρ) − Nρ^N/(1−ρ^N)), with the ρ→1 limit (N−1)/(2μ).
+func (q MM1N) QueueingDelayClosedForm() float64 {
+	v := finiteGeomMean(q.Rho(), q.Capacity) / q.Mu
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Throughput returns the rate of completed requests, min-limited by the
+// admitted load: λe (every admitted request is eventually served).
+func (q MM1N) Throughput() float64 { return q.EffectiveArrivalRate() }
+
+// MMcK describes an M/M/c/K queue: c parallel exponential servers and room
+// for K requests in the system (K >= c). LogNIC's IP blocks have n parallel
+// engines behind a shared logical queue; the paper folds parallelism into
+// λ and μ instead (Equation 11), and the ablation bench compares the two
+// treatments.
+type MMcK struct {
+	Lambda   float64
+	Mu       float64 // per-server service rate
+	Servers  int     // c
+	Capacity int     // K, total in system
+}
+
+// Validate reports whether the queue parameters are usable.
+func (q MMcK) Validate() error {
+	if q.Lambda < 0 || math.IsNaN(q.Lambda) || math.IsInf(q.Lambda, 0) {
+		return fmt.Errorf("queueing: invalid arrival rate %v", q.Lambda)
+	}
+	if q.Mu <= 0 || math.IsNaN(q.Mu) || math.IsInf(q.Mu, 0) {
+		return fmt.Errorf("queueing: invalid service rate %v", q.Mu)
+	}
+	if q.Servers < 1 {
+		return fmt.Errorf("queueing: servers %d < 1", q.Servers)
+	}
+	if q.Capacity < q.Servers {
+		return errors.New("queueing: capacity must be >= servers")
+	}
+	return nil
+}
+
+// stateWeights returns the unnormalized steady-state weights w_n with
+// w_0 = 1, for n = 0..K.
+func (q MMcK) stateWeights() []float64 {
+	c := q.Servers
+	k := q.Capacity
+	a := q.Lambda / q.Mu // offered load in Erlangs
+	w := make([]float64, k+1)
+	w[0] = 1
+	for n := 1; n <= k; n++ {
+		servers := math.Min(float64(n), float64(c))
+		w[n] = w[n-1] * a / servers
+	}
+	return w
+}
+
+// StateProb returns the steady-state probability of n requests in system.
+func (q MMcK) StateProb(n int) float64 {
+	if n < 0 || n > q.Capacity {
+		return 0
+	}
+	w := q.stateWeights()
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	return w[n] / sum
+}
+
+// BlockingProb returns the probability an arrival is dropped.
+func (q MMcK) BlockingProb() float64 { return q.StateProb(q.Capacity) }
+
+// MeanOccupancy returns the average number of requests in the system.
+func (q MMcK) MeanOccupancy() float64 {
+	w := q.stateWeights()
+	sum, l := 0.0, 0.0
+	for n, v := range w {
+		sum += v
+		l += float64(n) * v
+	}
+	return l / sum
+}
+
+// EffectiveArrivalRate returns λ(1 − blocking).
+func (q MMcK) EffectiveArrivalRate() float64 {
+	return q.Lambda * (1 - q.BlockingProb())
+}
+
+// QueueingDelay returns the mean pre-service wait for admitted requests.
+func (q MMcK) QueueingDelay() float64 {
+	le := q.EffectiveArrivalRate()
+	if le == 0 {
+		return 0
+	}
+	d := q.MeanOccupancy()/le - 1/q.Mu
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// MG1 describes an M/G/1 queue via the Pollaczek–Khinchine formula:
+// Poisson arrivals, a single server with general service times of rate Mu
+// and squared coefficient of variation CV2 (1 = exponential, 0 =
+// deterministic), and an infinite queue. The simulator's
+// DeterministicService mode behaves like CV2 = 0; comparing MG1 against
+// MM1N quantifies how much of the modeled delay comes from the
+// exponential-service assumption.
+type MG1 struct {
+	Lambda float64 // arrival rate, requests/second
+	Mu     float64 // service rate, requests/second
+	CV2    float64 // squared coefficient of variation of service times
+}
+
+// Validate reports whether the queue parameters are usable (requires
+// ρ < 1; the infinite queue has no steady state otherwise).
+func (q MG1) Validate() error {
+	if q.Lambda < 0 || math.IsNaN(q.Lambda) || math.IsInf(q.Lambda, 0) {
+		return fmt.Errorf("queueing: invalid arrival rate %v", q.Lambda)
+	}
+	if q.Mu <= 0 || math.IsNaN(q.Mu) || math.IsInf(q.Mu, 0) {
+		return fmt.Errorf("queueing: invalid service rate %v", q.Mu)
+	}
+	if q.CV2 < 0 || math.IsNaN(q.CV2) || math.IsInf(q.CV2, 0) {
+		return fmt.Errorf("queueing: invalid CV² %v", q.CV2)
+	}
+	if q.Lambda >= q.Mu {
+		return errors.New("queueing: M/G/1 requires λ < μ")
+	}
+	return nil
+}
+
+// QueueingDelay returns the mean pre-service wait
+// W_q = ρ/(1−ρ) · (1+CV²)/2 · E[S].
+func (q MG1) QueueingDelay() float64 {
+	rho := q.Lambda / q.Mu
+	if rho <= 0 {
+		return 0
+	}
+	return rho / (1 - rho) * (1 + q.CV2) / 2 / q.Mu
+}
+
+// MeanWait returns the mean time in system (wait plus service).
+func (q MG1) MeanWait() float64 { return q.QueueingDelay() + 1/q.Mu }

@@ -1,0 +1,335 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestMM1NValidate(t *testing.T) {
+	good := MM1N{Lambda: 1, Mu: 2, Capacity: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid queue rejected: %v", err)
+	}
+	bad := []MM1N{
+		{Lambda: -1, Mu: 1, Capacity: 1},
+		{Lambda: math.NaN(), Mu: 1, Capacity: 1},
+		{Lambda: 1, Mu: 0, Capacity: 1},
+		{Lambda: 1, Mu: -2, Capacity: 1},
+		{Lambda: 1, Mu: math.Inf(1), Capacity: 1},
+		{Lambda: 1, Mu: 1, Capacity: 0},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, q)
+		}
+	}
+}
+
+func TestStateProbsSumToOne(t *testing.T) {
+	for _, q := range []MM1N{
+		{Lambda: 0.5, Mu: 1, Capacity: 5},
+		{Lambda: 1, Mu: 1, Capacity: 8},
+		{Lambda: 3, Mu: 1, Capacity: 4},
+	} {
+		sum := 0.0
+		for k := 0; k <= q.Capacity; k++ {
+			p := q.StateProb(k)
+			if p < 0 || p > 1 {
+				t.Fatalf("StateProb(%d) = %v out of range for %+v", k, p, q)
+			}
+			sum += p
+		}
+		if !approx(sum, 1, 1e-12) {
+			t.Errorf("probs sum to %v for %+v", sum, q)
+		}
+		if q.StateProb(-1) != 0 || q.StateProb(q.Capacity+1) != 0 {
+			t.Error("out-of-range state should have probability 0")
+		}
+	}
+}
+
+func TestZeroLoad(t *testing.T) {
+	q := MM1N{Lambda: 0, Mu: 5, Capacity: 4}
+	if q.StateProb(0) != 1 {
+		t.Fatal("empty system should have P0 = 1")
+	}
+	if q.MeanOccupancy() != 0 {
+		t.Fatal("L should be 0 at zero load")
+	}
+	if q.QueueingDelay() != 0 {
+		t.Fatal("Q should be 0 at zero load")
+	}
+	if !approx(q.MeanWait(), 1/q.Mu, 1e-12) {
+		t.Fatal("W should equal service time at zero load")
+	}
+}
+
+// The paper's Equation 12 closed form must agree with the first-principles
+// L/λe − 1/μ (Equation 9) across the whole operating range.
+func TestClosedFormMatchesFirstPrinciples(t *testing.T) {
+	for _, rho := range []float64{0.01, 0.1, 0.5, 0.9, 0.999, 1.0, 1.1, 2, 10} {
+		for _, n := range []int{1, 2, 4, 8, 16, 64} {
+			q := MM1N{Lambda: rho * 3, Mu: 3, Capacity: n}
+			a := q.QueueingDelay()
+			b := q.QueueingDelayClosedForm()
+			if !approx(a, b, 1e-6) {
+				t.Errorf("rho=%v N=%d: Eq9 = %v, Eq12 = %v", rho, n, a, b)
+			}
+		}
+	}
+}
+
+func TestClosedFormProperty(t *testing.T) {
+	f := func(lRaw, nRaw uint16) bool {
+		lambda := float64(lRaw%2000)/100 + 0.01 // 0.01..20
+		n := int(nRaw%32) + 1
+		q := MM1N{Lambda: lambda, Mu: 7.3, Capacity: n}
+		return approx(q.QueueingDelay(), q.QueueingDelayClosedForm(), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRhoOneLimitContinuity(t *testing.T) {
+	// Q must be continuous through ρ=1.
+	n := 8
+	mu := 2.0
+	qAt := func(rho float64) float64 {
+		return MM1N{Lambda: rho * mu, Mu: mu, Capacity: n}.QueueingDelayClosedForm()
+	}
+	exact := qAt(1)
+	want := (float64(n) - 1) / (2 * mu)
+	if !approx(exact, want, 1e-12) {
+		t.Fatalf("Q at rho=1 = %v, want %v", exact, want)
+	}
+	if !approx(qAt(1-1e-9), exact, 1e-4) || !approx(qAt(1+1e-9), exact, 1e-4) {
+		t.Errorf("Q discontinuous at rho=1: %v / %v / %v", qAt(1-1e-9), exact, qAt(1+1e-9))
+	}
+}
+
+func TestBlockingMonotoneInLoad(t *testing.T) {
+	prev := -1.0
+	for rho := 0.1; rho <= 3.0; rho += 0.1 {
+		q := MM1N{Lambda: rho, Mu: 1, Capacity: 6}
+		b := q.BlockingProb()
+		if b < prev-1e-12 {
+			t.Fatalf("blocking decreased from %v to %v at rho=%v", prev, b, rho)
+		}
+		prev = b
+	}
+}
+
+func TestBlockingDecreasesWithCapacity(t *testing.T) {
+	for _, rho := range []float64{0.5, 0.9, 1.5} {
+		prev := 2.0
+		for n := 1; n <= 32; n *= 2 {
+			q := MM1N{Lambda: rho, Mu: 1, Capacity: n}
+			b := q.BlockingProb()
+			if b > prev+1e-12 {
+				t.Fatalf("rho=%v: blocking grew with capacity at N=%d", rho, n)
+			}
+			prev = b
+		}
+	}
+}
+
+func TestOverloadedQueueSaturates(t *testing.T) {
+	// With λ >> μ the effective throughput approaches μ and occupancy
+	// approaches N.
+	q := MM1N{Lambda: 1000, Mu: 10, Capacity: 16}
+	if got := q.Throughput(); !approx(got, q.Mu, 0.01) {
+		t.Errorf("throughput = %v, want ≈ μ = %v", got, q.Mu)
+	}
+	if got := q.MeanOccupancy(); !approx(got, float64(q.Capacity), 0.01) {
+		t.Errorf("occupancy = %v, want ≈ N = %d", got, q.Capacity)
+	}
+}
+
+func TestQueueingDelayNonNegativeProperty(t *testing.T) {
+	f := func(lRaw, mRaw, nRaw uint16) bool {
+		q := MM1N{
+			Lambda:   float64(lRaw%5000) / 100,
+			Mu:       float64(mRaw%5000)/100 + 0.01,
+			Capacity: int(nRaw%64) + 1,
+		}
+		d := q.QueueingDelay()
+		return d >= 0 && !math.IsNaN(d) && !math.IsInf(d, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOccupancyBoundedByCapacityProperty(t *testing.T) {
+	f := func(lRaw, nRaw uint16) bool {
+		q := MM1N{Lambda: float64(lRaw%10000) / 100, Mu: 5, Capacity: int(nRaw%48) + 1}
+		l := q.MeanOccupancy()
+		return l >= 0 && l <= float64(q.Capacity)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLittleLawConsistency(t *testing.T) {
+	// L = λe · W by construction; check the identities stay consistent.
+	q := MM1N{Lambda: 4, Mu: 5, Capacity: 10}
+	l := q.MeanOccupancy()
+	w := q.MeanWait()
+	le := q.EffectiveArrivalRate()
+	if !approx(l, le*w, 1e-12) {
+		t.Fatalf("Little's law violated: L=%v λe·W=%v", l, le*w)
+	}
+}
+
+func TestMM1NApproachesMM1(t *testing.T) {
+	// For large N and ρ<1 the finite queue behaves like M/M/1:
+	// Q → ρ/(μ−λ).
+	q := MM1N{Lambda: 3, Mu: 5, Capacity: 500}
+	want := q.Rho() / (q.Mu - q.Lambda)
+	if got := q.QueueingDelay(); !approx(got, want, 1e-6) {
+		t.Fatalf("large-N Q = %v, want M/M/1 value %v", got, want)
+	}
+}
+
+func TestMMcKValidate(t *testing.T) {
+	good := MMcK{Lambda: 1, Mu: 1, Servers: 2, Capacity: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid queue rejected: %v", err)
+	}
+	bad := []MMcK{
+		{Lambda: -1, Mu: 1, Servers: 1, Capacity: 1},
+		{Lambda: 1, Mu: 0, Servers: 1, Capacity: 1},
+		{Lambda: 1, Mu: 1, Servers: 0, Capacity: 1},
+		{Lambda: 1, Mu: 1, Servers: 4, Capacity: 2},
+		{Lambda: math.Inf(1), Mu: 1, Servers: 1, Capacity: 1},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestMMcKReducesToMM1N(t *testing.T) {
+	// With one server, M/M/c/K must match M/M/1/N everywhere.
+	for _, rho := range []float64{0.3, 0.9, 1.5} {
+		m1 := MM1N{Lambda: rho * 2, Mu: 2, Capacity: 7}
+		mc := MMcK{Lambda: rho * 2, Mu: 2, Servers: 1, Capacity: 7}
+		if !approx(m1.BlockingProb(), mc.BlockingProb(), 1e-12) {
+			t.Errorf("rho=%v blocking mismatch: %v vs %v", rho, m1.BlockingProb(), mc.BlockingProb())
+		}
+		if !approx(m1.MeanOccupancy(), mc.MeanOccupancy(), 1e-12) {
+			t.Errorf("rho=%v occupancy mismatch", rho)
+		}
+		if !approx(m1.QueueingDelay(), mc.QueueingDelay(), 1e-9) {
+			t.Errorf("rho=%v delay mismatch: %v vs %v", rho, m1.QueueingDelay(), mc.QueueingDelay())
+		}
+	}
+}
+
+func TestMMcKMoreServersLessDelay(t *testing.T) {
+	base := MMcK{Lambda: 8, Mu: 3, Servers: 1, Capacity: 16}
+	prev := math.Inf(1)
+	for c := 1; c <= 8; c++ {
+		q := base
+		q.Servers = c
+		d := q.QueueingDelay()
+		if d > prev+1e-12 {
+			t.Fatalf("delay grew when adding servers at c=%d: %v > %v", c, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestMMcKProbsSumToOneProperty(t *testing.T) {
+	f := func(lRaw uint16, cRaw, kRaw uint8) bool {
+		c := int(cRaw%8) + 1
+		k := c + int(kRaw%16)
+		q := MMcK{Lambda: float64(lRaw%3000)/100 + 0.01, Mu: 2, Servers: c, Capacity: k}
+		sum := 0.0
+		for n := 0; n <= k; n++ {
+			sum += q.StateProb(n)
+		}
+		return approx(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMMcKOutOfRangeStates(t *testing.T) {
+	q := MMcK{Lambda: 1, Mu: 1, Servers: 2, Capacity: 4}
+	if q.StateProb(-1) != 0 || q.StateProb(5) != 0 {
+		t.Fatal("out-of-range state probability must be 0")
+	}
+	if q.QueueingDelay() < 0 {
+		t.Fatal("delay must be non-negative")
+	}
+	zero := MMcK{Lambda: 0, Mu: 1, Servers: 2, Capacity: 4}
+	if zero.QueueingDelay() != 0 {
+		t.Fatal("zero-load delay must be 0")
+	}
+}
+
+func TestMG1Validate(t *testing.T) {
+	good := MG1{Lambda: 1, Mu: 2, CV2: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []MG1{
+		{Lambda: -1, Mu: 2, CV2: 1},
+		{Lambda: 1, Mu: 0, CV2: 1},
+		{Lambda: 1, Mu: 2, CV2: -1},
+		{Lambda: 3, Mu: 2, CV2: 1}, // overloaded
+		{Lambda: 2, Mu: 2, CV2: 1}, // critical
+		{Lambda: math.NaN(), Mu: 2, CV2: 1},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestMG1ExponentialMatchesMM1(t *testing.T) {
+	// CV²=1 reduces to M/M/1: W_q = ρ/(μ−λ).
+	q := MG1{Lambda: 3, Mu: 5, CV2: 1}
+	want := (3.0 / 5.0) / (5.0 - 3.0)
+	if !approx(q.QueueingDelay(), want, 1e-12) {
+		t.Fatalf("Wq = %v, want %v", q.QueueingDelay(), want)
+	}
+	// And the large-N finite queue agrees.
+	fin := MM1N{Lambda: 3, Mu: 5, Capacity: 500}
+	if !approx(q.QueueingDelay(), fin.QueueingDelay(), 1e-6) {
+		t.Fatalf("M/G/1 %v vs M/M/1/N %v", q.QueueingDelay(), fin.QueueingDelay())
+	}
+}
+
+func TestMG1DeterministicHalvesWait(t *testing.T) {
+	exp := MG1{Lambda: 4, Mu: 5, CV2: 1}
+	det := MG1{Lambda: 4, Mu: 5, CV2: 0}
+	if !approx(det.QueueingDelay(), exp.QueueingDelay()/2, 1e-12) {
+		t.Fatalf("M/D/1 wait %v should be half of M/M/1 %v",
+			det.QueueingDelay(), exp.QueueingDelay())
+	}
+	if !approx(det.MeanWait(), det.QueueingDelay()+0.2, 1e-12) {
+		t.Fatal("MeanWait must add the service time")
+	}
+}
+
+func TestMG1ZeroLoad(t *testing.T) {
+	q := MG1{Lambda: 0, Mu: 5, CV2: 0.5}
+	if q.QueueingDelay() != 0 {
+		t.Fatal("zero load should give zero wait")
+	}
+}

@@ -1,0 +1,132 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lognic/internal/experiments"
+)
+
+func demoFigure() experiments.Figure {
+	return experiments.Figure{
+		ID: "figX", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []experiments.Series{
+			{Name: "a", Points: []experiments.Point{{X: 1, Y: 2}, {X: 2, Y: 4}}},
+			{Name: "b,q", Points: []experiments.Point{{X: 1, Y: 3}}},
+		},
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV(demoFigure())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != `x,a,"b,q"` {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,2,3" {
+		t.Fatalf("row1 = %q", lines[1])
+	}
+	if lines[2] != "2,4," {
+		t.Fatalf("row2 = %q (missing value should be empty)", lines[2])
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	f := experiments.Figure{
+		XLabel: "app",
+		Series: []experiments.Series{
+			{Name: `he said "hi"`, Points: []experiments.Point{{X: 0, Label: "a,b", Y: 1}}},
+		},
+	}
+	out := CSV(f)
+	if !strings.Contains(out, `"he said ""hi"""`) {
+		t.Fatalf("quote escaping wrong: %q", out)
+	}
+	if !strings.Contains(out, `"a,b"`) {
+		t.Fatalf("label quoting wrong: %q", out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := Markdown(demoFigure())
+	if !strings.Contains(out, "### figX — demo") {
+		t.Fatal("heading missing")
+	}
+	if !strings.Contains(out, "| x |") || !strings.Contains(out, "|---|") {
+		t.Fatal("table skeleton missing")
+	}
+	if !strings.Contains(out, "| – |") {
+		t.Fatal("missing-value dash expected")
+	}
+}
+
+func TestMeanRelError(t *testing.T) {
+	est := experiments.Series{Points: []experiments.Point{{Y: 110}, {Y: 90}}}
+	meas := experiments.Series{Points: []experiments.Point{{Y: 100}, {Y: 100}}}
+	if got := MeanRelError(est, meas); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MeanRelError = %v, want 0.1", got)
+	}
+	// Zero measured points are skipped.
+	meas0 := experiments.Series{Points: []experiments.Point{{Y: 0}, {Y: 100}}}
+	if got := MeanRelError(est, meas0); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MeanRelError with zero = %v", got)
+	}
+	if MeanRelError(experiments.Series{}, experiments.Series{}) != 0 {
+		t.Fatal("empty series should give 0")
+	}
+}
+
+func TestMeanGainAndSaving(t *testing.T) {
+	a := experiments.Series{Points: []experiments.Point{{Y: 120}, {Y: 150}}}
+	b := experiments.Series{Points: []experiments.Point{{Y: 100}, {Y: 100}}}
+	if got := MeanGain(a, b); math.Abs(got-0.35) > 1e-12 {
+		t.Fatalf("MeanGain = %v, want 0.35", got)
+	}
+	// MeanSaving(b, a) = 1 − mean(b/a).
+	want := 1 - (100.0/120+100.0/150)/2
+	if got := MeanSaving(b, a); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanSaving = %v, want %v", got, want)
+	}
+	if MeanSaving(a, b) != -MeanGain(a, b) {
+		t.Fatal("MeanSaving must mirror MeanGain")
+	}
+	if MeanGain(experiments.Series{}, b) != 0 {
+		t.Fatal("empty series should give 0")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("summary regenerates every figure")
+	}
+	rows, err := Summary(experiments.Options{Scale: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("rows = %d, want >= 10", len(rows))
+	}
+	byFig := map[string]bool{}
+	for _, r := range rows {
+		if r.Figure == "" || r.Metric == "" || r.Paper == "" || r.Repro == "" {
+			t.Fatalf("incomplete row %+v", r)
+		}
+		byFig[r.Figure] = true
+	}
+	for _, want := range []string{"fig5", "fig6", "fig7", "fig9", "fig11", "fig13", "fig15", "fig16", "fig18/19"} {
+		if !byFig[want] {
+			t.Errorf("summary missing %s", want)
+		}
+	}
+	md := SummaryMarkdown(rows)
+	if !strings.Contains(md, "| Figure | Metric |") {
+		t.Fatal("markdown header missing")
+	}
+	if strings.Count(md, "\n") < len(rows)+2 {
+		t.Fatal("markdown row count wrong")
+	}
+}

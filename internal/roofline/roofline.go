@@ -1,0 +1,166 @@
+// Package roofline implements the extended Roofline model of a SmartNIC IP
+// (paper §3.2): the conventional Roofline's single arithmetic-intensity /
+// DRAM-bandwidth pair is replaced by a packet intensity (IP-specific
+// operations per packet transmission, size dependent) and multiple
+// bandwidth ceilings, one per data source feeding the IP (SoC interconnect,
+// memory hierarchy, ...). The attainable throughput of the IP for a given
+// packet size is the minimum of its compute roof and every ceiling.
+package roofline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Ceiling is one bandwidth roof: the data delivery rate of one source
+// feeding the IP.
+type Ceiling struct {
+	// Name identifies the source ("interconnect", "memory", "cmi", ...).
+	Name string
+	// Bandwidth is the source's delivery rate in bytes/second.
+	Bandwidth float64
+}
+
+// IP is the extended Roofline description of one execution engine.
+type IP struct {
+	// Name identifies the engine.
+	Name string
+	// OpRate is the engine's peak execution rate in IP-specific
+	// operations/second (hash blocks for a crypto unit, matches for an
+	// RMT stage, instructions for a core) aggregated across its
+	// parallelism.
+	OpRate float64
+	// Intensity maps a packet size (bytes) to the packet intensity:
+	// operations required per packet of that size. Required.
+	Intensity func(packetBytes float64) float64
+	// Ceilings are the bandwidth roofs of the data sources feeding the
+	// engine.
+	Ceilings []Ceiling
+}
+
+// Validate checks the description.
+func (ip IP) Validate() error {
+	if ip.OpRate <= 0 || math.IsNaN(ip.OpRate) || math.IsInf(ip.OpRate, 0) {
+		return fmt.Errorf("roofline: %s: invalid op rate %v", ip.Name, ip.OpRate)
+	}
+	if ip.Intensity == nil {
+		return fmt.Errorf("roofline: %s: missing intensity function", ip.Name)
+	}
+	for _, c := range ip.Ceilings {
+		if c.Bandwidth <= 0 || math.IsNaN(c.Bandwidth) || math.IsInf(c.Bandwidth, 0) {
+			return fmt.Errorf("roofline: %s: ceiling %q has invalid bandwidth %v", ip.Name, c.Name, c.Bandwidth)
+		}
+	}
+	return nil
+}
+
+// Bound is the attainable performance of the IP at one packet size, with
+// the component that binds it.
+type Bound struct {
+	// PacketBytes is the evaluated packet size.
+	PacketBytes float64
+	// OpsPerSecond is the attainable operation rate.
+	OpsPerSecond float64
+	// BytesPerSecond is the corresponding data throughput
+	// (packets/second × packet size), assuming one "operation batch" per
+	// packet as packet intensity defines.
+	BytesPerSecond float64
+	// PacketsPerSecond is the attainable packet rate.
+	PacketsPerSecond float64
+	// LimitedBy names the binding component: "compute" or a ceiling name.
+	LimitedBy string
+}
+
+// Attainable evaluates the roofline at a packet size. The compute roof
+// admits OpRate/intensity packets/second; each ceiling admits
+// Bandwidth/packetBytes packets/second. The minimum wins.
+func (ip IP) Attainable(packetBytes float64) (Bound, error) {
+	if err := ip.Validate(); err != nil {
+		return Bound{}, err
+	}
+	if packetBytes <= 0 {
+		return Bound{}, fmt.Errorf("roofline: %s: invalid packet size %v", ip.Name, packetBytes)
+	}
+	intensity := ip.Intensity(packetBytes)
+	if intensity <= 0 || math.IsNaN(intensity) {
+		return Bound{}, fmt.Errorf("roofline: %s: intensity(%v) = %v", ip.Name, packetBytes, intensity)
+	}
+	best := Bound{
+		PacketBytes:      packetBytes,
+		PacketsPerSecond: ip.OpRate / intensity,
+		LimitedBy:        "compute",
+	}
+	for _, c := range ip.Ceilings {
+		pps := c.Bandwidth / packetBytes
+		if pps < best.PacketsPerSecond {
+			best.PacketsPerSecond = pps
+			best.LimitedBy = c.Name
+		}
+	}
+	best.OpsPerSecond = best.PacketsPerSecond * intensity
+	best.BytesPerSecond = best.PacketsPerSecond * packetBytes
+	return best, nil
+}
+
+// Sweep evaluates the roofline over a set of packet sizes, sorted
+// ascending.
+func (ip IP) Sweep(sizes []float64) ([]Bound, error) {
+	out := make([]Bound, 0, len(sizes))
+	sorted := append([]float64(nil), sizes...)
+	sort.Float64s(sorted)
+	for _, s := range sorted {
+		b, err := ip.Attainable(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Knee returns the packet size at which the IP transitions from
+// compute-bound to bound by the given ceiling: the size where
+// OpRate/intensity(size) = ceiling/size. It searches the bracket [lo, hi]
+// by bisection on the sign of the difference and reports whether a
+// crossover exists in the bracket.
+func (ip IP) Knee(ceiling Ceiling, lo, hi float64) (float64, bool) {
+	diff := func(s float64) float64 {
+		return ip.OpRate/ip.Intensity(s) - ceiling.Bandwidth/s
+	}
+	dlo, dhi := diff(lo), diff(hi)
+	if dlo == 0 {
+		return lo, true
+	}
+	if dhi == 0 {
+		return hi, true
+	}
+	if (dlo > 0) == (dhi > 0) {
+		return 0, false
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		dm := diff(mid)
+		if dm == 0 || (hi-lo)/mid < 1e-12 {
+			return mid, true
+		}
+		if (dm > 0) == (dlo > 0) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, true
+}
+
+// PerPacket returns an intensity function for engines whose work is
+// constant per packet (header manipulation, checksums over fixed fields).
+func PerPacket(ops float64) func(float64) float64 {
+	return func(float64) float64 { return ops }
+}
+
+// PerByte returns an intensity function for engines whose work scales with
+// the payload (hashing, encryption, compression): base + perByte·size.
+func PerByte(base, perByte float64) func(float64) float64 {
+	return func(s float64) float64 { return base + perByte*s }
+}

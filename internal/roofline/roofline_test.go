@@ -1,0 +1,197 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func cryptoIP() IP {
+	// 2e9 "block ops"/s, one op per 64 bytes of payload, fed by a 50 Gbps
+	// interconnect.
+	return IP{
+		Name:      "crypto",
+		OpRate:    2e9,
+		Intensity: PerByte(0, 1.0/64),
+		Ceilings:  []Ceiling{{Name: "cmi", Bandwidth: 50e9 / 8}},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := cryptoIP().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []IP{
+		{Name: "x", OpRate: 0, Intensity: PerPacket(1)},
+		{Name: "x", OpRate: math.NaN(), Intensity: PerPacket(1)},
+		{Name: "x", OpRate: 1},
+		{Name: "x", OpRate: 1, Intensity: PerPacket(1), Ceilings: []Ceiling{{Name: "c", Bandwidth: 0}}},
+		{Name: "x", OpRate: 1, Intensity: PerPacket(1), Ceilings: []Ceiling{{Name: "c", Bandwidth: math.Inf(1)}}},
+	}
+	for i, ip := range bad {
+		if err := ip.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestComputeBoundSmallPackets(t *testing.T) {
+	ip := cryptoIP()
+	// 64B packet: intensity 1 op → 2e9 packets/s from compute;
+	// ceiling admits 6.25e9/64 ≈ 9.77e7 packets/s → ceiling binds? No:
+	// 6.25e9/64 = 9.77e7 < 2e9 → ceiling binds even at 64B here.
+	b, err := ip.Attainable(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.LimitedBy != "cmi" {
+		t.Fatalf("LimitedBy = %q", b.LimitedBy)
+	}
+	if !approx(b.PacketsPerSecond, 50e9/8/64, 1e-12) {
+		t.Fatalf("pps = %v", b.PacketsPerSecond)
+	}
+	if !approx(b.BytesPerSecond, 50e9/8, 1e-12) {
+		t.Fatalf("Bps = %v", b.BytesPerSecond)
+	}
+}
+
+func TestComputeBoundWhenCeilingHigh(t *testing.T) {
+	ip := cryptoIP()
+	ip.Ceilings[0].Bandwidth = 1e15
+	b, err := ip.Attainable(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.LimitedBy != "compute" {
+		t.Fatalf("LimitedBy = %q", b.LimitedBy)
+	}
+	// intensity(128) = 2 ops → 1e9 packets/s.
+	if !approx(b.PacketsPerSecond, 1e9, 1e-12) {
+		t.Fatalf("pps = %v", b.PacketsPerSecond)
+	}
+	if !approx(b.OpsPerSecond, 2e9, 1e-12) {
+		t.Fatalf("ops = %v", b.OpsPerSecond)
+	}
+}
+
+func TestAttainableErrors(t *testing.T) {
+	ip := cryptoIP()
+	if _, err := ip.Attainable(0); err == nil {
+		t.Fatal("zero size should fail")
+	}
+	if _, err := ip.Attainable(-4); err == nil {
+		t.Fatal("negative size should fail")
+	}
+	ipBad := IP{Name: "x", OpRate: 1, Intensity: func(float64) float64 { return 0 }}
+	if _, err := ipBad.Attainable(64); err == nil {
+		t.Fatal("zero intensity should fail")
+	}
+}
+
+func TestSweepSortedAndMonotoneBytes(t *testing.T) {
+	ip := cryptoIP()
+	bounds, err := ip.Sweep([]float64{1500, 64, 512, 256, 128, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 6 {
+		t.Fatalf("bounds = %d", len(bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i].PacketBytes < bounds[i-1].PacketBytes {
+			t.Fatal("sweep not sorted")
+		}
+		// For a per-byte engine, byte throughput is non-decreasing in size.
+		if bounds[i].BytesPerSecond < bounds[i-1].BytesPerSecond-1e-6 {
+			t.Fatalf("byte throughput decreased: %v -> %v", bounds[i-1], bounds[i])
+		}
+	}
+}
+
+func TestKneeCrossover(t *testing.T) {
+	// Per-packet engine: compute admits OpRate packets/s regardless of
+	// size; ceiling admits BW/size. Knee at size = BW/OpRate.
+	ip := IP{
+		Name:      "rmt",
+		OpRate:    10e6,
+		Intensity: PerPacket(1),
+		Ceilings:  []Ceiling{{Name: "io", Bandwidth: 12.5e9}},
+	}
+	knee, ok := ip.Knee(ip.Ceilings[0], 1, 1e6)
+	if !ok {
+		t.Fatal("expected a knee")
+	}
+	if !approx(knee, 12.5e9/10e6, 1e-6) {
+		t.Fatalf("knee = %v, want 1250", knee)
+	}
+	// Below the knee the ceiling binds? compute = 1e7 pps; ceiling at
+	// 64B = 1.95e8 pps → compute binds below the knee.
+	b, _ := ip.Attainable(64)
+	if b.LimitedBy != "compute" {
+		t.Fatalf("below knee LimitedBy = %q", b.LimitedBy)
+	}
+	b, _ = ip.Attainable(4096)
+	if b.LimitedBy != "io" {
+		t.Fatalf("above knee LimitedBy = %q", b.LimitedBy)
+	}
+}
+
+func TestKneeNoCrossover(t *testing.T) {
+	ip := IP{
+		Name:      "fast",
+		OpRate:    1e12,
+		Intensity: PerPacket(1),
+		Ceilings:  []Ceiling{{Name: "io", Bandwidth: 1}},
+	}
+	if _, ok := ip.Knee(ip.Ceilings[0], 64, 1500); ok {
+		t.Fatal("no crossover expected when ceiling always binds")
+	}
+}
+
+func TestAttainableMinProperty(t *testing.T) {
+	// The attainable packet rate never exceeds the compute roof or any
+	// ceiling.
+	f := func(opRaw, bwRaw, sizeRaw uint16) bool {
+		ip := IP{
+			Name:      "p",
+			OpRate:    float64(opRaw%1000+1) * 1e6,
+			Intensity: PerByte(1, 0.01),
+			Ceilings: []Ceiling{
+				{Name: "a", Bandwidth: float64(bwRaw%1000+1) * 1e7},
+				{Name: "b", Bandwidth: 3e9},
+			},
+		}
+		size := float64(sizeRaw%1436) + 64
+		b, err := ip.Attainable(size)
+		if err != nil {
+			return false
+		}
+		if b.PacketsPerSecond > ip.OpRate/ip.Intensity(size)+1e-6 {
+			return false
+		}
+		for _, c := range ip.Ceilings {
+			if b.PacketsPerSecond > c.Bandwidth/size+1e-6 {
+				return false
+			}
+		}
+		return b.BytesPerSecond > 0 && b.OpsPerSecond > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntensityHelpers(t *testing.T) {
+	pp := PerPacket(3)
+	if pp(64) != 3 || pp(1500) != 3 {
+		t.Fatal("PerPacket should be size independent")
+	}
+	pb := PerByte(2, 0.5)
+	if pb(100) != 52 {
+		t.Fatalf("PerByte(100) = %v, want 52", pb(100))
+	}
+}

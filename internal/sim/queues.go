@@ -1,0 +1,130 @@
+package sim
+
+// This file implements the input-queue organizations of a LogNIC IP block
+// (paper Figure 2(b)): an IP has m input queues feeding a (weighted)
+// round-robin scheduler in front of its n engines. The analytical model
+// concatenates those queues into one logical "virtual shared queue"
+// (§3.6); the simulator supports both organizations so the abstraction can
+// be validated — see TestVirtualSharedQueueAbstraction.
+
+// queueOrg is a vertex's input-queue organization.
+type queueOrg interface {
+	// push enqueues a request arriving from the named upstream vertex.
+	// It reports false when the queue is full (the request is dropped).
+	push(from string, q *queued) bool
+	// pop dequeues the next request according to the discipline, or nil.
+	pop() *queued
+	// length is the total number of waiting requests.
+	length() int
+}
+
+// sharedQueue is the paper's virtual shared queue: one FIFO with a global
+// capacity (0 = unbounded).
+type sharedQueue struct {
+	capacity int
+	items    []*queued
+}
+
+func newSharedQueue(capacity int) *sharedQueue {
+	return &sharedQueue{capacity: capacity}
+}
+
+func (s *sharedQueue) push(_ string, q *queued) bool {
+	if s.capacity > 0 && len(s.items) >= s.capacity {
+		return false
+	}
+	s.items = append(s.items, q)
+	return true
+}
+
+func (s *sharedQueue) pop() *queued {
+	if len(s.items) == 0 {
+		return nil
+	}
+	q := s.items[0]
+	s.items = s.items[1:]
+	return q
+}
+
+func (s *sharedQueue) length() int { return len(s.items) }
+
+// wrrQueues is the hardware organization: one FIFO per input edge, each
+// with its own capacity (the paper's k entries per queue), drained by a
+// weighted round-robin scheduler. A queue with weight w receives up to w
+// consecutive grants before the pointer advances.
+type wrrQueues struct {
+	order    []string // upstream names, scheduler order
+	index    map[string]int
+	queues   [][]*queued
+	capacity int   // per-queue k
+	weights  []int // per-queue WRR weight
+	ptr      int   // current queue
+	grants   int   // grants consumed at the current queue
+	total    int
+}
+
+// newWRRQueues builds per-edge queues for the upstream names, with the
+// given per-queue capacity (0 = unbounded) and weights (nil = all 1).
+func newWRRQueues(upstreams []string, capacity int, weights map[string]int) *wrrQueues {
+	w := &wrrQueues{
+		order:    append([]string(nil), upstreams...),
+		index:    map[string]int{},
+		queues:   make([][]*queued, len(upstreams)),
+		capacity: capacity,
+		weights:  make([]int, len(upstreams)),
+	}
+	for i, name := range upstreams {
+		w.index[name] = i
+		w.weights[i] = 1
+		if weights != nil {
+			if v, ok := weights[name]; ok && v > 0 {
+				w.weights[i] = v
+			}
+		}
+	}
+	return w
+}
+
+func (w *wrrQueues) push(from string, q *queued) bool {
+	i, ok := w.index[from]
+	if !ok {
+		// Unknown upstream (e.g. ingress feeding a single-queue IP):
+		// treat as the first queue.
+		i = 0
+	}
+	if w.capacity > 0 && len(w.queues[i]) >= w.capacity {
+		return false
+	}
+	w.queues[i] = append(w.queues[i], q)
+	w.total++
+	return true
+}
+
+func (w *wrrQueues) pop() *queued {
+	if w.total == 0 {
+		return nil
+	}
+	n := len(w.queues)
+	for scanned := 0; scanned < n; scanned++ {
+		i := w.ptr
+		if len(w.queues[i]) > 0 && w.grants < w.weights[i] {
+			q := w.queues[i][0]
+			w.queues[i] = w.queues[i][1:]
+			w.total--
+			w.grants++
+			if w.grants >= w.weights[i] || len(w.queues[i]) == 0 {
+				w.advance()
+			}
+			return q
+		}
+		w.advance()
+	}
+	return nil
+}
+
+func (w *wrrQueues) advance() {
+	w.ptr = (w.ptr + 1) % len(w.queues)
+	w.grants = 0
+}
+
+func (w *wrrQueues) length() int { return w.total }

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"lognic/internal/core"
+	"lognic/internal/traffic"
+	"lognic/internal/unit"
+)
+
+func TestSharedQueueFIFO(t *testing.T) {
+	q := newSharedQueue(2)
+	a, b, c := &queued{enqueued: 1}, &queued{enqueued: 2}, &queued{enqueued: 3}
+	if !q.push("x", a) || !q.push("y", b) {
+		t.Fatal("pushes within capacity should succeed")
+	}
+	if q.push("z", c) {
+		t.Fatal("push beyond capacity should fail")
+	}
+	if q.length() != 2 {
+		t.Fatalf("length = %d", q.length())
+	}
+	if got := q.pop(); got != a {
+		t.Fatal("FIFO order violated")
+	}
+	if got := q.pop(); got != b {
+		t.Fatal("FIFO order violated")
+	}
+	if q.pop() != nil {
+		t.Fatal("empty pop should be nil")
+	}
+}
+
+func TestSharedQueueUnbounded(t *testing.T) {
+	q := newSharedQueue(0)
+	for i := 0; i < 1000; i++ {
+		if !q.push("", &queued{}) {
+			t.Fatal("unbounded queue rejected a push")
+		}
+	}
+	if q.length() != 1000 {
+		t.Fatalf("length = %d", q.length())
+	}
+}
+
+func TestWRRRoundRobinFairness(t *testing.T) {
+	q := newWRRQueues([]string{"a", "b"}, 0, nil)
+	for i := 0; i < 4; i++ {
+		q.push("a", &queued{enqueued: float64(i)})
+		q.push("b", &queued{enqueued: float64(i) + 100})
+	}
+	// Equal weights: strict alternation.
+	var order []float64
+	for q.length() > 0 {
+		order = append(order, q.pop().enqueued)
+	}
+	if len(order) != 8 {
+		t.Fatalf("popped %d", len(order))
+	}
+	seenA, seenB := 0, 0
+	for i, v := range order {
+		fromA := v < 100
+		if fromA {
+			seenA++
+		} else {
+			seenB++
+		}
+		if i%2 == 0 && !fromA && seenA < 4 {
+			// Pointer starts at a; even pops come from a until it drains.
+			t.Fatalf("pop %d came from b: %v", i, order)
+		}
+	}
+	if seenA != 4 || seenB != 4 {
+		t.Fatalf("unfair: a=%d b=%d", seenA, seenB)
+	}
+}
+
+func TestWRRWeights(t *testing.T) {
+	q := newWRRQueues([]string{"a", "b"}, 0, map[string]int{"a": 3, "b": 1})
+	for i := 0; i < 6; i++ {
+		q.push("a", &queued{enqueued: 1})
+	}
+	for i := 0; i < 2; i++ {
+		q.push("b", &queued{enqueued: 2})
+	}
+	// First four pops: 3 from a, then 1 from b.
+	var first4 []float64
+	for i := 0; i < 4; i++ {
+		first4 = append(first4, q.pop().enqueued)
+	}
+	want := []float64{1, 1, 1, 2}
+	for i := range want {
+		if first4[i] != want[i] {
+			t.Fatalf("WRR pattern = %v, want %v", first4, want)
+		}
+	}
+}
+
+func TestWRRPerQueueCapacity(t *testing.T) {
+	q := newWRRQueues([]string{"a", "b"}, 2, nil)
+	if !q.push("a", &queued{}) || !q.push("a", &queued{}) {
+		t.Fatal("capacity pushes should succeed")
+	}
+	if q.push("a", &queued{}) {
+		t.Fatal("per-queue capacity exceeded")
+	}
+	// The other queue still has room.
+	if !q.push("b", &queued{}) {
+		t.Fatal("queue b should accept")
+	}
+	// Unknown upstream lands in the first queue (full).
+	if q.push("ghost", &queued{}) {
+		t.Fatal("unknown upstream should map to the (full) first queue")
+	}
+}
+
+func TestWRRSkipsEmptyQueues(t *testing.T) {
+	q := newWRRQueues([]string{"a", "b", "c"}, 0, nil)
+	q.push("c", &queued{enqueued: 3})
+	if got := q.pop(); got == nil || got.enqueued != 3 {
+		t.Fatalf("pop = %+v", got)
+	}
+	if q.pop() != nil {
+		t.Fatal("empty pop should be nil")
+	}
+}
+
+// The paper's §3.6 modeling trick: per-edge queues drained round-robin
+// behave like one concatenated virtual shared queue (for symmetric load,
+// same mean wait). This validates the abstraction the latency model is
+// built on.
+func TestVirtualSharedQueueAbstraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long statistical run")
+	}
+	g, err := core.NewBuilder("vsq").
+		AddIngress("in").
+		AddIP("fan1", 100e9, 1, 0).
+		AddIP("fan2", 100e9, 1, 0).
+		AddIP("join", 1e9, 1, 64).
+		AddEgress("out").
+		AddEdge(core.Edge{From: "in", To: "fan1", Delta: 0.5}).
+		AddEdge(core.Edge{From: "in", To: "fan2", Delta: 0.5}).
+		AddEdge(core.Edge{From: "fan1", To: "join", Delta: 0.5}).
+		AddEdge(core.Edge{From: "fan2", To: "join", Delta: 0.5}).
+		AddEdge(core.Edge{From: "join", To: "out", Delta: 1}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(perEdge bool) Result {
+		res, err := Run(Config{
+			Graph:         g,
+			Profile:       traffic.Fixed("t", unit.Bandwidth(0.75e9), 1000),
+			Seed:          11,
+			Duration:      1.0,
+			PerEdgeQueues: perEdge,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	shared := run(false)
+	wrr := run(true)
+	if math.Abs(shared.MeanLatency-wrr.MeanLatency) > 0.1*shared.MeanLatency {
+		t.Fatalf("virtual-shared-queue abstraction broken: shared %v vs WRR %v",
+			shared.MeanLatency, wrr.MeanLatency)
+	}
+	if math.Abs(shared.Throughput-wrr.Throughput) > 0.05*shared.Throughput {
+		t.Fatalf("throughput diverged: %v vs %v", shared.Throughput, wrr.Throughput)
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	g, err := core.NewBuilder("trace").
+		AddIngress("in").
+		AddIP("ip", 1e9, 1, 4).
+		AddEgress("out").
+		Connect("in", "ip", 1).
+		Connect("ip", "out", 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[TraceKind]int{}
+	prevTime := 0.0
+	res, err := Run(Config{
+		Graph:    g,
+		Profile:  traffic.Fixed("t", unit.Bandwidth(2e9), 1000), // 2x overload
+		Seed:     5,
+		Duration: 0.02,
+		Trace: func(ev TraceEvent) {
+			counts[ev.Kind]++
+			if ev.Time < prevTime {
+				t.Fatal("trace time went backwards")
+			}
+			prevTime = ev.Time
+			if ev.Vertex == "" {
+				t.Fatal("trace missing vertex")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[TraceArrive] == 0 || counts[TraceServiceStart] == 0 ||
+		counts[TraceDepart] == 0 || counts[TraceDeliver] == 0 {
+		t.Fatalf("missing event kinds: %v", counts)
+	}
+	if counts[TraceDrop] == 0 {
+		t.Fatal("expected drops at 2x overload")
+	}
+	if res.DeliveredPackets == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Trace counts cover the full run (warmup included), so deliveries in
+	// the trace are at least the measured ones.
+	if counts[TraceDeliver] < res.DeliveredPackets {
+		t.Fatalf("trace deliveries %d < measured %d", counts[TraceDeliver], res.DeliveredPackets)
+	}
+	for kind, want := range map[TraceKind]string{
+		TraceArrive: "arrive", TraceServiceStart: "service-start",
+		TraceDepart: "depart", TraceDrop: "drop", TraceDeliver: "deliver",
+		TraceKind(42): "trace(42)",
+	} {
+		if kind.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(kind), kind.String(), want)
+		}
+	}
+}
+
+func TestWRRWeightsEndToEnd(t *testing.T) {
+	// A join vertex with weighted inputs still serves everything; the
+	// weights shape ordering, not admission.
+	g, err := core.NewBuilder("wrr").
+		AddIngress("in").
+		AddIP("a", 100e9, 1, 0).
+		AddIP("b", 100e9, 1, 0).
+		AddIP("join", 1e9, 1, 64).
+		AddEgress("out").
+		AddEdge(core.Edge{From: "in", To: "a", Delta: 0.5}).
+		AddEdge(core.Edge{From: "in", To: "b", Delta: 0.5}).
+		AddEdge(core.Edge{From: "a", To: "join", Delta: 0.5}).
+		AddEdge(core.Edge{From: "b", To: "join", Delta: 0.5}).
+		AddEdge(core.Edge{From: "join", To: "out", Delta: 1}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Graph:         g,
+		Profile:       traffic.Fixed("t", unit.Bandwidth(0.5e9), 1000),
+		Seed:          3,
+		Duration:      0.1,
+		PerEdgeQueues: true,
+		WRRWeights:    map[string]map[string]int{"join": {"a": 4, "b": 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DropRate != 0 {
+		t.Fatalf("drops at 50%% load: %v", res.DropRate)
+	}
+	if res.DeliveredPackets == 0 {
+		t.Fatal("nothing delivered")
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"lognic/internal/core"
+	"lognic/internal/traffic"
+	"lognic/internal/unit"
+)
+
+// steeringGraph builds a scheduler fanning out to a fast and a slow unit
+// with the given static δ split toward the fast one.
+func steeringGraph(t *testing.T, fastShare float64) *core.Graph {
+	t.Helper()
+	g, err := core.NewBuilder("steer").
+		AddIngress("in").
+		AddIP("sched", 100e9, 1, 0).
+		AddVertex(core.Vertex{Name: "fast", Kind: core.KindIP, Throughput: 2e9, Parallelism: 1, QueueCapacity: 64}).
+		AddVertex(core.Vertex{Name: "slow", Kind: core.KindIP, Throughput: 1e9, Parallelism: 1, QueueCapacity: 64}).
+		AddEgress("out").
+		AddEdge(core.Edge{From: "in", To: "sched", Delta: 1}).
+		AddEdge(core.Edge{From: "sched", To: "fast", Delta: fastShare}).
+		AddEdge(core.Edge{From: "sched", To: "slow", Delta: 1 - fastShare}).
+		AddEdge(core.Edge{From: "fast", To: "out", Delta: fastShare}).
+		AddEdge(core.Edge{From: "slow", To: "out", Delta: 1 - fastShare}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func runSteering(t *testing.T, g *core.Graph, policy map[string]RoutePolicy, flowPkts float64) Result {
+	t.Helper()
+	prof := traffic.Fixed("t", unit.Bandwidth(2.4e9), 1000) // 80% of joint capacity
+	prof.MeanFlowPackets = flowPkts
+	res, err := Run(Config{
+		Graph:       g,
+		Profile:     prof,
+		Seed:        17,
+		Duration:    0.3,
+		RoutePolicy: policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// PANIC's load-aware scheduler (JSQ) must beat a badly mis-steered static
+// split and roughly match the capability-proportional one — the dynamic
+// counterpart of §4.6 scenario #2.
+func TestJSQBeatsBadStaticSplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long statistical run")
+	}
+	jsq := runSteering(t, steeringGraph(t, 0.5), map[string]RoutePolicy{"sched": RouteJSQ}, 0)
+	badStatic := runSteering(t, steeringGraph(t, 0.3), nil, 0) // slow unit overloaded
+	goodStatic := runSteering(t, steeringGraph(t, 2.0/3), nil, 0)
+	if !(jsq.MeanLatency < 0.7*badStatic.MeanLatency) {
+		t.Fatalf("JSQ %v should clearly beat the mis-steered split %v",
+			jsq.MeanLatency, badStatic.MeanLatency)
+	}
+	// The LogNIC-style capability-proportional static split is within 2×
+	// of the fully dynamic scheduler.
+	if !(goodStatic.MeanLatency < 2*jsq.MeanLatency) {
+		t.Fatalf("capability-proportional static %v should approach JSQ %v",
+			goodStatic.MeanLatency, jsq.MeanLatency)
+	}
+	// JSQ drops nothing at 80% load.
+	if jsq.DropRate > 0.001 {
+		t.Fatalf("JSQ drop rate %v", jsq.DropRate)
+	}
+}
+
+// Flow-hash routing is deterministic per flow: equal flow id, equal route.
+func TestFlowHashConsistency(t *testing.T) {
+	// End-to-end: a flow-hashed run completes and delivers.
+	g := steeringGraph(t, 0.5)
+	prof := traffic.Fixed("t", unit.Bandwidth(1e9), 1000)
+	prof.MeanFlowPackets = 16
+	res, err := Run(Config{
+		Graph:       g,
+		Profile:     prof,
+		Seed:        7,
+		Duration:    0.05,
+		RoutePolicy: map[string]RoutePolicy{"sched": RouteFlowHash},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredPackets == 0 {
+		t.Fatal("nothing delivered under flow-hash routing")
+	}
+	// The routing decision is a pure function of the flow id.
+	for flow := uint64(0); flow < 1000; flow++ {
+		a := splitmix(flow)
+		b := splitmix(flow)
+		if a != b {
+			t.Fatal("flow hash is not deterministic")
+		}
+		if a < 0 || a >= 1 {
+			t.Fatalf("hash out of range: %v", a)
+		}
+	}
+}
+
+// Flow hashing across many flows approximates the δ split; with few large
+// flows the split gets lumpy — the granularity effect that makes
+// flow-level steering harder than packet-level steering.
+func TestFlowHashApproximatesSplitWithManyFlows(t *testing.T) {
+	g := steeringGraph(t, 0.7)
+	prof := traffic.Fixed("t", unit.Bandwidth(1e9), 1000)
+	prof.MeanFlowPackets = 4 // many small flows
+	res, err := Run(Config{
+		Graph:       g,
+		Profile:     prof,
+		Seed:        23,
+		Duration:    0.2,
+		RoutePolicy: map[string]RoutePolicy{"sched": RouteFlowHash},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := float64(res.Vertices["fast"].Arrivals)
+	slow := float64(res.Vertices["slow"].Arrivals)
+	share := fast / (fast + slow)
+	if math.Abs(share-0.7) > 0.06 {
+		t.Fatalf("flow-hash share = %v, want ~0.7", share)
+	}
+}
+
+func TestRoutePolicyString(t *testing.T) {
+	names := map[RoutePolicy]string{
+		RouteDelta:     "delta",
+		RouteJSQ:       "jsq",
+		RouteFlowHash:  "flowhash",
+		RoutePolicy(9): "route(9)",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+func TestSplitmixUniformity(t *testing.T) {
+	// Rough uniformity over 16 buckets.
+	const n = 1 << 16
+	buckets := make([]int, 16)
+	for i := uint64(0); i < n; i++ {
+		buckets[int(splitmix(i)*16)]++
+	}
+	for b, c := range buckets {
+		if math.Abs(float64(c)-n/16) > 0.05*n/16 {
+			t.Fatalf("bucket %d = %d, want ~%d", b, c, n/16)
+		}
+	}
+}

@@ -1,0 +1,757 @@
+// Package sim is a packet-level discrete-event simulator of a SmartNIC
+// executing a LogNIC execution graph. It is this repository's substitute
+// for the physical SmartNICs the paper measures (LiquidIO-II, BlueField-2,
+// Stingray, PANIC): every "Measured" series in the evaluation is produced
+// by this simulator, and the analytical model in internal/core is validated
+// against it.
+//
+// The simulator realizes the same physical structure the model abstracts:
+// IP blocks with a finite logical input queue and D parallel engines,
+// shared interface/memory bandwidth modeled as FIFO transmission resources,
+// per-edge characterized links, computation-transfer overheads, and
+// ingress/egress engines. Service times default to exponential
+// (matching the paper's M/M/1/N assumption) around the mean the execution
+// graph implies, and can be overridden per vertex — internal/nvme uses that
+// hook to model an SSD with IO-depth-dependent behavior and background GC.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lognic/internal/core"
+	"lognic/internal/traffic"
+)
+
+// ServiceTimer computes the service time (seconds) for one request at one
+// vertex. size is the packet/request size in bytes; outstanding is the
+// number of requests currently queued or in service at the vertex before
+// this one starts (an IO-depth proxy for opaque IPs like SSDs).
+type ServiceTimer func(size float64, outstanding int, rng *rand.Rand) float64
+
+// Config describes one simulation run.
+type Config struct {
+	// Graph is the execution graph to run.
+	Graph *core.Graph
+	// Hardware supplies the shared interface/memory bandwidths.
+	Hardware core.Hardware
+	// Profile is the offered traffic.
+	Profile traffic.Profile
+	// Seed drives all randomness; equal seeds give equal runs.
+	Seed int64
+	// Duration is the simulated time to run (seconds). Required.
+	Duration float64
+	// Warmup is the initial simulated time excluded from statistics
+	// (default 10% of Duration).
+	Warmup float64
+	// DeterministicService uses the mean service time instead of an
+	// exponential draw, for ablation runs.
+	DeterministicService bool
+	// ServiceTime overrides the service-time process of named vertices.
+	ServiceTime map[string]ServiceTimer
+	// PerEdgeQueues switches every IP from the model's virtual shared
+	// queue to the hardware organization of Figure 2(b): one FIFO per
+	// input edge (each with QueueCapacity entries) drained by a weighted
+	// round-robin scheduler. Weights come from WRRWeights (default 1).
+	PerEdgeQueues bool
+	// WRRWeights sets per-vertex scheduler weights: vertex name → map of
+	// upstream vertex name → weight. Only used with PerEdgeQueues.
+	WRRWeights map[string]map[string]int
+	// Trace, when set, receives every packet lifecycle event. Tracing is
+	// for debugging and tests; it observes, never alters, the run.
+	Trace func(TraceEvent)
+	// RoutePolicy overrides how named vertices pick among their outgoing
+	// edges. The default (RouteDelta) draws per packet from the δ
+	// fractions — the stochastic split the analytical model assumes.
+	RoutePolicy map[string]RoutePolicy
+}
+
+// RoutePolicy selects a vertex's fan-out discipline.
+type RoutePolicy int
+
+// Routing policies.
+const (
+	// RouteDelta draws the next edge per packet with probability δ/Σδ —
+	// the model's assumption.
+	RouteDelta RoutePolicy = iota
+	// RouteJSQ joins the shortest downstream queue (waiting + in
+	// service), breaking ties by δ order — PANIC's load-aware central
+	// scheduler.
+	RouteJSQ
+	// RouteFlowHash hashes the packet's flow id over the δ fractions so
+	// all packets of a flow take the same path — the flow-granularity
+	// steering a stateful offload requires.
+	RouteFlowHash
+)
+
+// String names the policy.
+func (r RoutePolicy) String() string {
+	switch r {
+	case RouteDelta:
+		return "delta"
+	case RouteJSQ:
+		return "jsq"
+	case RouteFlowHash:
+		return "flowhash"
+	default:
+		return fmt.Sprintf("route(%d)", int(r))
+	}
+}
+
+// TraceKind classifies trace events.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	// TraceArrive fires when a packet reaches a vertex.
+	TraceArrive TraceKind = iota
+	// TraceServiceStart fires when an engine begins serving a packet.
+	TraceServiceStart
+	// TraceDepart fires when a packet leaves a vertex toward the next.
+	TraceDepart
+	// TraceDrop fires when a full queue rejects a packet.
+	TraceDrop
+	// TraceDeliver fires when a packet completes at an egress engine.
+	TraceDeliver
+)
+
+// String names the kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceArrive:
+		return "arrive"
+	case TraceServiceStart:
+		return "service-start"
+	case TraceDepart:
+		return "depart"
+	case TraceDrop:
+		return "drop"
+	case TraceDeliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("trace(%d)", int(k))
+	}
+}
+
+// TraceEvent is one packet lifecycle observation.
+type TraceEvent struct {
+	// Kind classifies the event.
+	Kind TraceKind
+	// Time is the simulation timestamp (seconds).
+	Time float64
+	// Vertex is where the event happened.
+	Vertex string
+	// Size is the packet size in bytes.
+	Size float64
+	// Born is the packet's arrival timestamp.
+	Born float64
+}
+
+// VertexStats reports one vertex's behavior over the measurement window.
+type VertexStats struct {
+	// Arrivals counts requests reaching the vertex.
+	Arrivals int
+	// Served counts completed services.
+	Served int
+	// Dropped counts arrivals rejected by a full queue.
+	Dropped int
+	// Utilization is the time-average fraction of busy engines.
+	Utilization float64
+	// MeanQueueLen is the time-average number of waiting requests.
+	MeanQueueLen float64
+	// MeanWait is the mean time a served request spent waiting before
+	// service (seconds).
+	MeanWait float64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// SimTime is the simulated duration (seconds).
+	SimTime float64
+	// OfferedPackets/OfferedBytes count generated arrivals in the
+	// measurement window.
+	OfferedPackets int
+	OfferedBytes   float64
+	// DeliveredPackets/DeliveredBytes count packets that reached an
+	// egress engine in the measurement window.
+	DeliveredPackets int
+	DeliveredBytes   float64
+	// Throughput is delivered bytes/second over the measurement window.
+	Throughput float64
+	// MeanLatency, P50, P95 and P99 are end-to-end latencies (seconds) of
+	// delivered packets.
+	MeanLatency float64
+	P50, P95    float64
+	P99         float64
+	// DropRate is dropped/(dropped+delivered) over the window.
+	DropRate float64
+	// InterfaceUtil and MemoryUtil are the shared links' busy fractions
+	// over the whole run (Equation 4's BW_INTF/BW_MEM resources).
+	InterfaceUtil, MemoryUtil float64
+	// Vertices maps vertex name to its stats.
+	Vertices map[string]VertexStats
+}
+
+// event is one scheduled action.
+type event struct {
+	time float64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// link is a shared transmission resource with FIFO busy-until semantics:
+// each transfer starts when the link frees up and occupies it for
+// bytes/bandwidth seconds.
+type link struct {
+	bandwidth float64
+	busyUntil float64
+	busySum   float64 // accumulated transmission time
+	bytesSum  float64 // accumulated bytes carried
+}
+
+// transfer returns the completion time of moving the given bytes starting
+// no earlier than now.
+func (l *link) transfer(now, bytes float64) float64 {
+	if l == nil || l.bandwidth <= 0 || bytes <= 0 {
+		return now
+	}
+	start := math.Max(now, l.busyUntil)
+	hold := bytes / l.bandwidth
+	done := start + hold
+	l.busyUntil = done
+	l.busySum += hold
+	l.bytesSum += bytes
+	return done
+}
+
+// utilization is the fraction of the elapsed time the link spent
+// transmitting.
+func (l *link) utilization(elapsed float64) float64 {
+	if l == nil || elapsed <= 0 {
+		return 0
+	}
+	u := l.busySum / elapsed
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// packet is an in-flight request.
+type packet struct {
+	size    float64
+	born    float64
+	flow    uint64
+	measure bool // arrived after warmup
+}
+
+// node is the runtime state of one vertex.
+type node struct {
+	v        core.Vertex
+	kind     core.VertexKind
+	engines  int
+	busy     int
+	queueCap int // 0 = unbounded
+	queue    queueOrg
+	meanWork float64 // mean service seconds per byte (× size = mean svc)
+	timer    ServiceTimer
+	outEdges []routeChoice
+	policy   RoutePolicy
+	// stats
+	arrivals, served, dropped int
+	waitSum                   float64
+	busyTW, queueTW           timeWeighted
+}
+
+type queued struct {
+	p        *packet
+	enqueued float64
+}
+
+// routeChoice is one outgoing edge with its cumulative routing probability
+// and precomputed transfer byte counts per packet byte.
+type routeChoice struct {
+	to          string
+	cum         float64
+	intfPerByte float64 // bytes over interface per packet byte
+	memPerByte  float64 // bytes over memory per packet byte
+	dedPerByte  float64 // bytes over the dedicated link per packet byte
+	dedicated   *link
+	overhead    float64 // O of the source vertex
+}
+
+// Simulator executes a Config.
+type Simulator struct {
+	cfg    Config
+	rng    *rand.Rand
+	events eventHeap
+	seq    uint64
+	now    float64
+
+	nodes     map[string]*node
+	order     []string
+	intf      *link
+	mem       *link
+	ingressPk []ingressShare
+
+	warmEnd float64
+	// measurement accumulators
+	offeredPackets   int
+	offeredBytes     float64
+	deliveredPackets int
+	deliveredBytes   float64
+	droppedMeasured  int
+	latencies        sampleSet
+}
+
+type ingressShare struct {
+	name string
+	cum  float64
+}
+
+// New validates the config and precomputes the runtime structure.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("sim: nil graph")
+	}
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Duration <= 0 || math.IsNaN(cfg.Duration) || math.IsInf(cfg.Duration, 0) {
+		return nil, fmt.Errorf("sim: invalid duration %v", cfg.Duration)
+	}
+	if cfg.Warmup < 0 || cfg.Warmup >= cfg.Duration {
+		if cfg.Warmup != 0 {
+			return nil, fmt.Errorf("sim: warmup %v outside [0, duration)", cfg.Warmup)
+		}
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 0.1 * cfg.Duration
+	}
+
+	g := cfg.Graph
+	paths, err := g.Paths()
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, errors.New("sim: graph has no ingress→egress path")
+	}
+	// Visit probability per vertex and traversal probability per edge.
+	visitP := map[string]float64{}
+	edgeP := map[[2]string]float64{}
+	for _, p := range paths {
+		seen := map[string]bool{}
+		for i, v := range p.Vertices {
+			if !seen[v] {
+				visitP[v] += p.Weight
+				seen[v] = true
+			}
+			if i+1 < len(p.Vertices) {
+				edgeP[[2]string{v, p.Vertices[i+1]}] += p.Weight
+			}
+		}
+	}
+
+	s := &Simulator{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		nodes: map[string]*node{},
+	}
+	if cfg.Hardware.InterfaceBW > 0 {
+		s.intf = &link{bandwidth: cfg.Hardware.InterfaceBW}
+	}
+	if cfg.Hardware.MemoryBW > 0 {
+		s.mem = &link{bandwidth: cfg.Hardware.MemoryBW}
+	}
+
+	for _, v := range g.Vertices() {
+		n := &node{
+			v:        v,
+			kind:     v.Kind,
+			engines:  v.Parallelism,
+			queueCap: v.QueueCapacity,
+		}
+		if n.engines < 1 {
+			n.engines = 1
+		}
+		// Mean service seconds per packet byte:
+		// s(B) = D·B·Σδ_in/(P_eff·p_v), so per byte = D·Σδ/(P_eff·p_v).
+		pEff := v.Partition * v.Acceleration * v.Throughput
+		if pEff > 0 {
+			deltaIn := g.DeltaIn(v.Name)
+			pv := visitP[v.Name]
+			if pv > 0 && deltaIn > 0 {
+				n.meanWork = float64(n.engines) * deltaIn / (pEff * pv)
+			}
+		}
+		if cfg.ServiceTime != nil {
+			if t, ok := cfg.ServiceTime[v.Name]; ok {
+				n.timer = t
+			}
+		}
+		if cfg.RoutePolicy != nil {
+			n.policy = cfg.RoutePolicy[v.Name]
+		}
+		if cfg.PerEdgeQueues {
+			var weights map[string]int
+			if cfg.WRRWeights != nil {
+				weights = cfg.WRRWeights[v.Name]
+			}
+			ups := make([]string, 0, len(g.InEdges(v.Name)))
+			for _, e := range g.InEdges(v.Name) {
+				ups = append(ups, e.From)
+			}
+			if len(ups) == 0 {
+				ups = []string{""}
+			}
+			n.queue = newWRRQueues(ups, n.queueCap, weights)
+		} else {
+			n.queue = newSharedQueue(n.queueCap)
+		}
+		// Routing table with cumulative probabilities.
+		out := g.OutEdges(v.Name)
+		total := 0.0
+		for _, e := range out {
+			total += e.Delta
+		}
+		cum := 0.0
+		for i, e := range out {
+			var p float64
+			if total > 0 {
+				p = e.Delta / total
+			} else {
+				p = 1 / float64(len(out))
+			}
+			cum += p
+			if i == len(out)-1 {
+				cum = 1 // guard drift
+			}
+			rc := routeChoice{to: e.To, cum: cum, overhead: v.Overhead}
+			ep := edgeP[[2]string{e.From, e.To}]
+			if ep > 0 {
+				rc.intfPerByte = e.Alpha / ep
+				rc.memPerByte = e.Beta / ep
+				if e.Bandwidth > 0 {
+					rc.dedPerByte = e.Delta / ep
+					rc.dedicated = &link{bandwidth: e.Bandwidth}
+				}
+			}
+			n.outEdges = append(n.outEdges, rc)
+		}
+		s.nodes[v.Name] = n
+		s.order = append(s.order, v.Name)
+	}
+
+	// Ingress selection probabilities: share of path weight starting at
+	// each ingress.
+	inW := map[string]float64{}
+	for _, p := range paths {
+		inW[p.Vertices[0]] += p.Weight
+	}
+	cum := 0.0
+	ings := g.Ingresses()
+	for i, name := range ings {
+		cum += inW[name]
+		if i == len(ings)-1 {
+			cum = 1
+		}
+		s.ingressPk = append(s.ingressPk, ingressShare{name: name, cum: cum})
+	}
+	s.warmEnd = cfg.Warmup
+	return s, nil
+}
+
+func (s *Simulator) schedule(t float64, fn func()) {
+	s.seq++
+	heap.Push(&s.events, &event{time: t, seq: s.seq, fn: fn})
+}
+
+// Run executes the simulation and returns its Result.
+func (s *Simulator) Run() (Result, error) {
+	gen, err := traffic.NewGenerator(s.cfg.Profile, s.cfg.Seed+1)
+	if err != nil {
+		return Result{}, err
+	}
+	// Seed the arrival pump.
+	first := gen.Next()
+	s.schedule(first.Time, func() { s.arrivalPump(gen, first) })
+
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.time > s.cfg.Duration {
+			break
+		}
+		s.now = e.time
+		e.fn()
+	}
+	s.now = s.cfg.Duration
+	return s.collect(), nil
+}
+
+// arrivalPump injects one packet and schedules the next arrival.
+func (s *Simulator) arrivalPump(gen *traffic.Generator, pkt traffic.Packet) {
+	p := &packet{size: pkt.Size, born: s.now, flow: pkt.Flow, measure: s.now >= s.warmEnd}
+	if p.measure {
+		s.offeredPackets++
+		s.offeredBytes += p.size
+	}
+	ing := s.pickIngress()
+	s.arriveAt(ing, "", p)
+
+	next := gen.Next()
+	if next.Time <= s.cfg.Duration {
+		s.schedule(next.Time, func() { s.arrivalPump(gen, next) })
+	}
+}
+
+func (s *Simulator) pickIngress() string {
+	if len(s.ingressPk) == 1 {
+		return s.ingressPk[0].name
+	}
+	u := s.rng.Float64()
+	for _, is := range s.ingressPk {
+		if u <= is.cum {
+			return is.name
+		}
+	}
+	return s.ingressPk[len(s.ingressPk)-1].name
+}
+
+// arriveAt delivers a packet to a vertex; from names the upstream vertex
+// (empty for fresh ingress arrivals).
+func (s *Simulator) arriveAt(name, from string, p *packet) {
+	n := s.nodes[name]
+	if p.measure {
+		n.arrivals++
+	}
+	s.trace(TraceArrive, name, p)
+	if n.kind == core.KindEgress {
+		s.complete(n, p)
+		return
+	}
+	if n.meanWork <= 0 && n.timer == nil {
+		// Pure forwarding vertex (ingress or zero-cost IP).
+		s.depart(n, p)
+		return
+	}
+	if n.busy < n.engines {
+		s.startService(n, p, 0)
+		return
+	}
+	if !n.queue.push(from, &queued{p: p, enqueued: s.now}) {
+		if p.measure {
+			n.dropped++
+			s.droppedMeasured++
+		}
+		s.trace(TraceDrop, name, p)
+		return
+	}
+	n.queueTW.set(s.now, float64(n.queue.length()))
+}
+
+// trace emits an event to the configured hook, if any.
+func (s *Simulator) trace(kind TraceKind, vertex string, p *packet) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	s.cfg.Trace(TraceEvent{
+		Kind: kind, Time: s.now, Vertex: vertex, Size: p.size, Born: p.born,
+	})
+}
+
+// startService begins serving a packet at a node; wait is its queueing
+// delay so far.
+func (s *Simulator) startService(n *node, p *packet, wait float64) {
+	n.busy++
+	n.busyTW.set(s.now, float64(n.busy)/float64(n.engines))
+	s.trace(TraceServiceStart, n.v.Name, p)
+	outstanding := n.busy - 1 + n.queue.length()
+	var svc float64
+	switch {
+	case n.timer != nil:
+		svc = n.timer(p.size, outstanding, s.rng)
+	case s.cfg.DeterministicService:
+		svc = n.meanWork * p.size
+	default:
+		svc = s.rng.ExpFloat64() * n.meanWork * p.size
+	}
+	if svc < 0 {
+		svc = 0
+	}
+	s.schedule(s.now+svc, func() {
+		if p.measure {
+			n.served++
+			n.waitSum += wait
+		}
+		n.busy--
+		n.busyTW.set(s.now, float64(n.busy)/float64(n.engines))
+		s.depart(n, p)
+		// Pull the next request per the queue discipline.
+		if n.busy < n.engines {
+			if q := n.queue.pop(); q != nil {
+				n.queueTW.set(s.now, float64(n.queue.length()))
+				s.startService(n, q.p, s.now-q.enqueued)
+			}
+		}
+	})
+}
+
+// depart routes a packet out of a node and schedules its arrival at the
+// next vertex after overhead and data movement.
+func (s *Simulator) depart(n *node, p *packet) {
+	if len(n.outEdges) == 0 {
+		// Validated graphs only hit this at egress, handled in arriveAt.
+		s.complete(n, p)
+		return
+	}
+	s.trace(TraceDepart, n.v.Name, p)
+	rc := s.pickRoute(n, p)
+	t := s.now + rc.overhead
+	if s.intf != nil && rc.intfPerByte > 0 {
+		t = s.intf.transfer(t, p.size*rc.intfPerByte)
+	}
+	if s.mem != nil && rc.memPerByte > 0 {
+		t = s.mem.transfer(t, p.size*rc.memPerByte)
+	}
+	if rc.dedicated != nil && rc.dedPerByte > 0 {
+		t = rc.dedicated.transfer(t, p.size*rc.dedPerByte)
+	}
+	to := rc.to
+	from := n.v.Name
+	s.schedule(t, func() { s.arriveAt(to, from, p) })
+}
+
+// pickRoute chooses the outgoing edge per the vertex's routing policy.
+func (s *Simulator) pickRoute(n *node, p *packet) routeChoice {
+	if len(n.outEdges) == 1 {
+		return n.outEdges[0]
+	}
+	switch n.policy {
+	case RouteJSQ:
+		best := n.outEdges[0]
+		bestLoad := s.downstreamLoad(best.to)
+		for _, c := range n.outEdges[1:] {
+			if l := s.downstreamLoad(c.to); l < bestLoad {
+				best, bestLoad = c, l
+			}
+		}
+		return best
+	case RouteFlowHash:
+		u := splitmix(p.flow)
+		for _, c := range n.outEdges {
+			if u <= c.cum {
+				return c
+			}
+		}
+		return n.outEdges[len(n.outEdges)-1]
+	default:
+		u := s.rng.Float64()
+		for _, c := range n.outEdges {
+			if u <= c.cum {
+				return c
+			}
+		}
+		return n.outEdges[len(n.outEdges)-1]
+	}
+}
+
+// downstreamLoad is the JSQ metric: requests queued or in service at the
+// target vertex.
+func (s *Simulator) downstreamLoad(name string) int {
+	t := s.nodes[name]
+	if t == nil {
+		return 0
+	}
+	return t.busy + t.queue.length()
+}
+
+// splitmix hashes a flow id into [0, 1) (SplitMix64 finalizer).
+func splitmix(x uint64) float64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+func (s *Simulator) complete(n *node, p *packet) {
+	s.trace(TraceDeliver, n.v.Name, p)
+	if !p.measure {
+		return
+	}
+	s.deliveredPackets++
+	s.deliveredBytes += p.size
+	s.latencies.add(s.now - p.born)
+}
+
+func (s *Simulator) collect() Result {
+	window := s.cfg.Duration - s.warmEnd
+	res := Result{
+		SimTime:          s.cfg.Duration,
+		OfferedPackets:   s.offeredPackets,
+		OfferedBytes:     s.offeredBytes,
+		DeliveredPackets: s.deliveredPackets,
+		DeliveredBytes:   s.deliveredBytes,
+		MeanLatency:      s.latencies.mean(),
+		P50:              s.latencies.quantile(0.50),
+		P95:              s.latencies.quantile(0.95),
+		P99:              s.latencies.quantile(0.99),
+		Vertices:         map[string]VertexStats{},
+	}
+	if window > 0 {
+		res.Throughput = s.deliveredBytes / window
+	}
+	if s.deliveredPackets+s.droppedMeasured > 0 {
+		res.DropRate = float64(s.droppedMeasured) / float64(s.deliveredPackets+s.droppedMeasured)
+	}
+	res.InterfaceUtil = s.intf.utilization(s.now)
+	res.MemoryUtil = s.mem.utilization(s.now)
+	for _, name := range s.order {
+		n := s.nodes[name]
+		vs := VertexStats{
+			Arrivals:     n.arrivals,
+			Served:       n.served,
+			Dropped:      n.dropped,
+			Utilization:  n.busyTW.average(s.now),
+			MeanQueueLen: n.queueTW.average(s.now),
+		}
+		if n.served > 0 {
+			vs.MeanWait = n.waitSum / float64(n.served)
+		}
+		res.Vertices[name] = vs
+	}
+	return res
+}
+
+// Run is a convenience wrapper: build and execute in one call.
+func Run(cfg Config) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// sampleSet accumulates scalar observations and reports moments and
+// quantiles. It keeps all samples; evaluation runs are bounded well below
+// memory limits, and exact quantiles keep validation against the analytical
+// model honest.
+type sampleSet struct {
+	values []float64
+	sum    float64
+	sorted bool
+}
+
+func (s *sampleSet) add(v float64) {
+	s.values = append(s.values, v)
+	s.sum += v
+	s.sorted = false
+}
+
+func (s *sampleSet) count() int { return len(s.values) }
+
+func (s *sampleSet) mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.values))
+}
+
+// quantile returns the q-quantile (0..1) by linear interpolation.
+func (s *sampleSet) quantile(q float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.values[0]
+	}
+	if q >= 1 {
+		return s.values[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := pos - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// timeWeighted integrates a step function of time (queue length, busy
+// engines) to report its time average.
+type timeWeighted struct {
+	lastTime  float64
+	lastValue float64
+	integral  float64
+	started   bool
+}
+
+func (t *timeWeighted) set(now, value float64) {
+	if t.started {
+		t.integral += t.lastValue * (now - t.lastTime)
+	}
+	t.lastTime = now
+	t.lastValue = value
+	t.started = true
+}
+
+func (t *timeWeighted) average(now float64) float64 {
+	if !t.started || now <= 0 {
+		return 0
+	}
+	total := t.integral + t.lastValue*(now-t.lastTime)
+	return total / now
+}

@@ -1,0 +1,42 @@
+package spec
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that arbitrary byte inputs never panic the spec parser
+// and that anything that parses and converts to a model yields a model
+// that estimates without panicking. The seed corpus runs as part of plain
+// `go test`; use `go test -fuzz=FuzzParse ./internal/spec` to explore.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(sample))
+	f.Add([]byte(mixSample))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"graph":{}}`))
+	f.Add([]byte(`{"hardware":{"interface_bw":"25Gbps"}}`))
+	f.Add([]byte(`{"traffic":{"ingress_bw":1e9,"granularity":"64B"}}`))
+	f.Add([]byte(`{"graph":{"vertices":[{"name":"in","kind":"ingress"},{"name":"out","kind":"egress"}],"edges":[{"from":"in","to":"out","delta":1}]},"traffic":{"ingress_bw":1,"granularity":1}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Parse(data)
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		m, err := file.Model()
+		if err != nil {
+			return
+		}
+		if _, err := m.Estimate(); err != nil {
+			t.Fatalf("parsed+validated model failed to estimate: %v", err)
+		}
+		// Round-trip stability: a model that estimates must re-encode and
+		// re-parse.
+		back := FromModel(m)
+		data2, err := back.Encode()
+		if err != nil {
+			t.Fatalf("encode failed: %v", err)
+		}
+		if _, err := Parse(data2); err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, data2)
+		}
+	})
+}

@@ -1,0 +1,250 @@
+package spec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lognic/internal/core"
+)
+
+const sample = `{
+  "name": "echo",
+  "hardware": {"interface_bw": "50Gbps", "memory_bw": 160e9},
+  "graph": {
+    "vertices": [
+      {"name": "rx", "kind": "ingress"},
+      {"name": "cores", "throughput": "10Gbps", "parallelism": 8, "queue_capacity": 64, "overhead": 3e-7},
+      {"name": "ssd", "throughput": 7e8, "parallelism": 16, "queue_capacity": 256, "queue_model": "mmck"},
+      {"name": "tx", "kind": "egress"}
+    ],
+    "edges": [
+      {"from": "rx", "to": "cores", "delta": 1, "alpha": 1},
+      {"from": "cores", "to": "ssd", "delta": 1, "alpha": 1, "beta": 1},
+      {"from": "ssd", "to": "tx", "delta": 1, "bandwidth": "100Gbps"}
+    ]
+  },
+  "traffic": {"ingress_bw": "8Gbps", "granularity": "4KB"}
+}`
+
+func TestParseAndModel(t *testing.T) {
+	f, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hardware.InterfaceBW != 50e9/8 {
+		t.Fatalf("InterfaceBW = %v", m.Hardware.InterfaceBW)
+	}
+	if m.Hardware.MemoryBW != 160e9 {
+		t.Fatalf("MemoryBW = %v", m.Hardware.MemoryBW)
+	}
+	if m.Traffic.Granularity != 4096 {
+		t.Fatalf("Granularity = %v", m.Traffic.Granularity)
+	}
+	v, ok := m.Graph.Vertex("cores")
+	if !ok || v.Parallelism != 8 || v.Overhead != 3e-7 {
+		t.Fatalf("cores vertex = %+v", v)
+	}
+	ssd, _ := m.Graph.Vertex("ssd")
+	if ssd.QueueModel != core.QueueMMcK {
+		t.Fatalf("queue model = %v", ssd.QueueModel)
+	}
+	e, ok := m.Graph.Edge("ssd", "tx")
+	if !ok || e.Bandwidth != 100e9/8 {
+		t.Fatalf("edge = %+v", e)
+	}
+	// The parsed model estimates successfully.
+	if _, err := m.Estimate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	bad := strings.Replace(sample, `"name": "echo"`, `"nam": "echo"`, 1)
+	if _, err := Parse([]byte(bad)); err == nil {
+		t.Fatal("unknown field should fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"hardware": {"interface_bw": true}}`,
+		`{"hardware": {"interface_bw": "fastest"}}`,
+		`{"traffic": {"granularity": "4XB"}}`,
+		`{"traffic": {"granularity": []}}`,
+	}
+	for i, c := range cases {
+		if _, err := Parse([]byte(c)); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestModelErrors(t *testing.T) {
+	// Unknown vertex kind.
+	f, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Graph.Vertices[0].Kind = "teleport"
+	if _, err := f.Model(); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+	f.Graph.Vertices[0].Kind = "ingress"
+	f.Graph.Vertices[1].QueueModel = "mm17"
+	if _, err := f.Model(); err == nil {
+		t.Fatal("unknown queue model should fail")
+	}
+	f.Graph.Vertices[1].QueueModel = ""
+	f.Traffic.Granularity = 0
+	if _, err := f.Model(); err == nil {
+		t.Fatal("invalid traffic should fail")
+	}
+	// Graph-level validation surfaces too.
+	f2, _ := Parse([]byte(sample))
+	f2.Graph.Edges = f2.Graph.Edges[:1]
+	if _, err := f2.Model(); err == nil {
+		t.Fatal("dangling graph should fail")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := FromModel(m)
+	data, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Parse(data)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, data)
+	}
+	m2, err := f2.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same estimates after the round trip.
+	e1, err := m.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := m2.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Throughput.Attainable != e2.Throughput.Attainable {
+		t.Fatalf("throughput changed: %v vs %v", e1.Throughput.Attainable, e2.Throughput.Attainable)
+	}
+	if e1.Latency.Attainable != e2.Latency.Attainable {
+		t.Fatalf("latency changed: %v vs %v", e1.Latency.Attainable, e2.Latency.Attainable)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/spec.json"); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestBandwidthSizeMarshal(t *testing.T) {
+	b, err := json.Marshal(Bandwidth(1000))
+	if err != nil || string(b) != "1000" {
+		t.Fatalf("bandwidth marshal = %s err=%v", b, err)
+	}
+	s, err := json.Marshal(Size(64))
+	if err != nil || string(s) != "64" {
+		t.Fatalf("size marshal = %s err=%v", s, err)
+	}
+}
+
+const mixSample = `{
+  "name": "mixed",
+  "graph": {
+    "vertices": [
+      {"name": "in", "kind": "ingress"},
+      {"name": "ip", "throughput": "16Gbps", "parallelism": 4, "queue_capacity": 32},
+      {"name": "out", "kind": "egress"}
+    ],
+    "edges": [
+      {"from": "in", "to": "ip", "delta": 1},
+      {"from": "ip", "to": "out", "delta": 1}
+    ]
+  },
+  "traffic": {
+    "ingress_bw": "10Gbps",
+    "mix": [
+      {"weight": 0.8, "granularity": "64B"},
+      {"weight": 0.2, "granularity": 1500}
+    ]
+  }
+}`
+
+func TestMixComponents(t *testing.T) {
+	f, err := Parse([]byte(mixSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err := f.MixComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("components = %d", len(comps))
+	}
+	// Per-packet weights normalized.
+	if comps[0].Weight != 0.8 || comps[1].Weight != 0.2 {
+		t.Fatalf("weights = %v, %v", comps[0].Weight, comps[1].Weight)
+	}
+	// Byte shares sum to the total offer.
+	total := comps[0].Model.Traffic.IngressBW + comps[1].Model.Traffic.IngressBW
+	if total < 10e9/8*0.999 || total > 10e9/8*1.001 {
+		t.Fatalf("byte shares sum to %v", total)
+	}
+	// Large packets carry most of the bytes despite the smaller weight:
+	// 0.2*1500 vs 0.8*64.
+	if !(comps[1].Model.Traffic.IngressBW > comps[0].Model.Traffic.IngressBW) {
+		t.Fatal("byte shares inverted")
+	}
+	// The mix estimates end to end.
+	if _, err := core.EstimateMix(comps); err != nil {
+		t.Fatal(err)
+	}
+	// A Model() call works too, using the mean size.
+	m, err := f.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 0.8*64 + 0.2*1500
+	if m.Traffic.Granularity != wantMean {
+		t.Fatalf("mean granularity = %v, want %v", m.Traffic.Granularity, wantMean)
+	}
+}
+
+func TestMixComponentsErrors(t *testing.T) {
+	f, _ := Parse([]byte(sample))
+	if _, err := f.MixComponents(); err == nil {
+		t.Fatal("no mix should fail")
+	}
+	fm, _ := Parse([]byte(mixSample))
+	fm.Traffic.Mix[0].Weight = 0
+	if _, err := fm.MixComponents(); err == nil {
+		t.Fatal("zero weight should fail")
+	}
+	fm2, _ := Parse([]byte(mixSample))
+	fm2.Traffic.Mix[0].Granularity = 0
+	if _, err := fm2.MixComponents(); err == nil {
+		t.Fatal("zero granularity should fail")
+	}
+}

@@ -1,0 +1,213 @@
+// Package traffic defines traffic profiles — the third input of the LogNIC
+// model (Table 2: ingress bandwidth BW_in and packet size distribution
+// dist_size) — and packet generators that realize a profile as a concrete
+// arrival stream for the discrete-event simulator in internal/sim.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lognic/internal/dist"
+	"lognic/internal/unit"
+)
+
+// Arrival selects the inter-arrival process of a generator.
+type Arrival int
+
+// Arrival processes.
+const (
+	// ArrivalPoisson draws exponential inter-arrival gaps — the paper's
+	// observation for data-center traffic and the assumption behind its
+	// M/M/1/N queueing derivation.
+	ArrivalPoisson Arrival = iota
+	// ArrivalDeterministic emits packets back-to-back at the offered rate
+	// (constant bit rate), the behavior of a hardware traffic generator
+	// pushing line rate.
+	ArrivalDeterministic
+)
+
+// String names the arrival process.
+func (a Arrival) String() string {
+	switch a {
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalDeterministic:
+		return "deterministic"
+	default:
+		return fmt.Sprintf("arrival(%d)", int(a))
+	}
+}
+
+// Profile is a complete traffic description.
+type Profile struct {
+	// Name labels the profile ("TP1(64B)", "4KB-RRD", ...).
+	Name string
+	// Rate is BW_in, the offered ingress bandwidth.
+	Rate unit.Bandwidth
+	// Sizes is dist_size, the packet size distribution.
+	Sizes dist.SizeDist
+	// Arrival selects the arrival process (default Poisson).
+	Arrival Arrival
+	// BurstDegree is the paper's burst-degree dimension: packets arrive
+	// in back-to-back bursts whose size is geometric with this mean,
+	// while burst starts are spaced to preserve the offered rate. Values
+	// ≤ 1 (and the zero value) mean no bursting. Only meaningful for
+	// Poisson arrivals.
+	BurstDegree float64
+	// MeanFlowPackets is the paper's flow-size dimension: consecutive
+	// packets are grouped into flows whose length is geometric with this
+	// mean. Values ≤ 1 (and the zero value) put every packet in its own
+	// flow. Flow ids drive flow-consistent routing in the simulator.
+	MeanFlowPackets float64
+}
+
+// Validate checks the profile.
+func (p Profile) Validate() error {
+	if p.Rate <= 0 || math.IsNaN(float64(p.Rate)) || math.IsInf(float64(p.Rate), 0) {
+		return fmt.Errorf("traffic: profile %q: invalid rate %v", p.Name, float64(p.Rate))
+	}
+	if p.Sizes.NumPoints() == 0 {
+		return fmt.Errorf("traffic: profile %q: empty size distribution", p.Name)
+	}
+	if p.BurstDegree < 0 || math.IsNaN(p.BurstDegree) || math.IsInf(p.BurstDegree, 0) {
+		return fmt.Errorf("traffic: profile %q: invalid burst degree %v", p.Name, p.BurstDegree)
+	}
+	if p.MeanFlowPackets < 0 || math.IsNaN(p.MeanFlowPackets) || math.IsInf(p.MeanFlowPackets, 0) {
+		return fmt.Errorf("traffic: profile %q: invalid mean flow size %v", p.Name, p.MeanFlowPackets)
+	}
+	return nil
+}
+
+// PacketRate returns the mean packet arrival rate (packets/second) implied
+// by the byte rate and mean packet size.
+func (p Profile) PacketRate() unit.Rate {
+	mean := p.Sizes.Mean().Bytes()
+	if mean <= 0 {
+		return 0
+	}
+	return unit.Rate(p.Rate.BytesPerSecond() / mean)
+}
+
+// Fixed builds a single-size profile.
+func Fixed(name string, rate unit.Bandwidth, size unit.Size) Profile {
+	return Profile{Name: name, Rate: rate, Sizes: dist.Fixed(size)}
+}
+
+// EqualSplit builds a profile splitting bandwidth equally across the given
+// packet sizes — the PANIC mixed profiles of §4.6 ("splits bandwidth across
+// different-sized flows equally"). Splitting *bandwidth* equally means the
+// per-packet probability of size s is proportional to 1/s.
+func EqualSplit(name string, rate unit.Bandwidth, sizes ...unit.Size) (Profile, error) {
+	if len(sizes) == 0 {
+		return Profile{}, errors.New("traffic: EqualSplit needs at least one size")
+	}
+	pts := make([]dist.SizePoint, len(sizes))
+	for i, s := range sizes {
+		if s <= 0 {
+			return Profile{}, fmt.Errorf("traffic: invalid size %v", float64(s))
+		}
+		pts[i] = dist.SizePoint{Size: s, Weight: 1 / float64(s)}
+	}
+	d, err := dist.NewSizeDist(pts)
+	if err != nil {
+		return Profile{}, err
+	}
+	return Profile{Name: name, Rate: rate, Sizes: d}, nil
+}
+
+// Packet is one generated arrival.
+type Packet struct {
+	// Seq is the generation index, starting at 0.
+	Seq uint64
+	// Time is the arrival timestamp in seconds since stream start.
+	Time float64
+	// Size is the packet size in bytes.
+	Size float64
+	// Flow identifies the packet's flow; consecutive packets of one flow
+	// share the id. Zero-based.
+	Flow uint64
+}
+
+// Generator produces a packet arrival stream for a profile.
+type Generator struct {
+	profile Profile
+	rng     *rand.Rand
+	now     float64
+	seq     uint64
+	pktRate float64
+	inBurst int    // packets remaining in the current burst
+	flow    uint64 // current flow id
+	inFlow  int    // packets remaining in the current flow
+}
+
+// NewGenerator builds a deterministic, seeded generator.
+func NewGenerator(p Profile, seed int64) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{
+		profile: p,
+		rng:     rand.New(rand.NewSource(seed)),
+		pktRate: float64(p.PacketRate()),
+	}, nil
+}
+
+// geometric draws a geometrically distributed burst size with the given
+// mean ≥ 1 (support {1, 2, ...}).
+func geometric(rng *rand.Rand, mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	// P(continue) = 1 - 1/mean gives E[size] = mean.
+	n := 1
+	p := 1 - 1/mean
+	for rng.Float64() < p {
+		n++
+	}
+	return n
+}
+
+// Next returns the next packet in the stream.
+func (g *Generator) Next() Packet {
+	size := g.profile.Sizes.Sample(g.rng)
+	var gap float64
+	switch g.profile.Arrival {
+	case ArrivalDeterministic:
+		// Keep the byte rate exact per packet: gap = size/rate.
+		gap = size.Bytes() / g.profile.Rate.BytesPerSecond()
+	default:
+		if b := g.profile.BurstDegree; b > 1 {
+			// Bursty Poisson: packets within a burst are back to back;
+			// burst starts are Poisson at rate/b so the mean packet rate
+			// is preserved.
+			if g.inBurst > 0 {
+				g.inBurst--
+				gap = 0
+			} else {
+				gap = dist.PoissonInterArrival(g.rng, g.pktRate/b)
+				g.inBurst = geometric(g.rng, b) - 1
+			}
+		} else {
+			gap = dist.PoissonInterArrival(g.rng, g.pktRate)
+		}
+	}
+	g.now += gap
+	if g.profile.MeanFlowPackets > 1 {
+		if g.inFlow <= 0 {
+			g.flow++
+			g.inFlow = geometric(g.rng, g.profile.MeanFlowPackets)
+		}
+		g.inFlow--
+	} else {
+		g.flow = g.seq
+	}
+	p := Packet{Seq: g.seq, Time: g.now, Size: size.Bytes(), Flow: g.flow}
+	g.seq++
+	return p
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.profile }

@@ -1,0 +1,218 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"lognic/internal/dist"
+	"lognic/internal/unit"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestProfileValidate(t *testing.T) {
+	ok := Fixed("mtu", unit.Gbps(25), unit.MTU)
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Profile{
+		{Name: "zero-rate", Rate: 0, Sizes: dist.Fixed(64)},
+		{Name: "neg-rate", Rate: -1, Sizes: dist.Fixed(64)},
+		{Name: "nan", Rate: unit.Bandwidth(math.NaN()), Sizes: dist.Fixed(64)},
+		{Name: "no-sizes", Rate: unit.Gbps(1)},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected error", p.Name)
+		}
+	}
+}
+
+func TestPacketRate(t *testing.T) {
+	p := Fixed("t", unit.Gbps(8), 1000) // 1e9 B/s / 1000 B = 1e6 pps
+	if got := p.PacketRate().PerSecond(); !approx(got, 1e6, 1e-12) {
+		t.Fatalf("PacketRate = %v", got)
+	}
+	empty := Profile{Rate: unit.Gbps(1)}
+	if empty.PacketRate() != 0 {
+		t.Fatal("empty dist should give 0 rate")
+	}
+}
+
+func TestEqualSplitBandwidthShares(t *testing.T) {
+	p, err := EqualSplit("tp1", unit.Gbps(10), 64, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte shares should be equal: weight ∝ 1/size ⇒ bytes ∝ size·(1/size).
+	bw := p.Sizes.ByteWeights()
+	if len(bw) != 2 {
+		t.Fatalf("points = %d", len(bw))
+	}
+	if !approx(bw[0].Weight, 0.5, 1e-9) || !approx(bw[1].Weight, 0.5, 1e-9) {
+		t.Fatalf("byte weights = %v", bw)
+	}
+	if _, err := EqualSplit("bad", unit.Gbps(1)); err == nil {
+		t.Fatal("no sizes should fail")
+	}
+	if _, err := EqualSplit("bad", unit.Gbps(1), 0); err == nil {
+		t.Fatal("zero size should fail")
+	}
+}
+
+func TestGeneratorDeterministicRate(t *testing.T) {
+	p := Fixed("cbr", unit.Gbps(8), 1000)
+	p.Arrival = ArrivalDeterministic
+	g, err := NewGenerator(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10000
+	var last Packet
+	bytes := 0.0
+	for i := 0; i < n; i++ {
+		last = g.Next()
+		bytes += last.Size
+	}
+	rate := bytes / last.Time
+	if !approx(rate, 1e9, 0.01) {
+		t.Fatalf("achieved rate %v, want 1e9", rate)
+	}
+	if last.Seq != n-1 {
+		t.Fatalf("Seq = %d", last.Seq)
+	}
+}
+
+func TestGeneratorPoissonRate(t *testing.T) {
+	p := Fixed("poisson", unit.Gbps(8), 1000)
+	g, err := NewGenerator(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	var last Packet
+	bytes := 0.0
+	for i := 0; i < n; i++ {
+		last = g.Next()
+		bytes += last.Size
+	}
+	rate := bytes / last.Time
+	if !approx(rate, 1e9, 0.02) {
+		t.Fatalf("achieved rate %v, want ~1e9", rate)
+	}
+}
+
+func TestGeneratorMonotoneTime(t *testing.T) {
+	p, _ := EqualSplit("mix", unit.Gbps(10), 64, 512, 1500)
+	g, err := NewGenerator(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for i := 0; i < 1000; i++ {
+		pkt := g.Next()
+		if pkt.Time < prev {
+			t.Fatal("time went backwards")
+		}
+		prev = pkt.Time
+	}
+}
+
+func TestGeneratorSeedDeterminism(t *testing.T) {
+	p, _ := EqualSplit("mix", unit.Gbps(10), 64, 1500)
+	g1, _ := NewGenerator(p, 99)
+	g2, _ := NewGenerator(p, 99)
+	for i := 0; i < 100; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("streams diverged at %d: %+v vs %+v", i, a, b)
+		}
+	}
+	if g1.Profile().Name != "mix" {
+		t.Fatal("Profile accessor broken")
+	}
+}
+
+func TestGeneratorInvalidProfile(t *testing.T) {
+	if _, err := NewGenerator(Profile{}, 1); err == nil {
+		t.Fatal("invalid profile should fail")
+	}
+}
+
+func TestArrivalString(t *testing.T) {
+	if ArrivalPoisson.String() != "poisson" || ArrivalDeterministic.String() != "deterministic" {
+		t.Fatal("arrival names wrong")
+	}
+	if Arrival(9).String() != "arrival(9)" {
+		t.Fatal("unknown arrival name wrong")
+	}
+}
+
+func TestBurstDegreePreservesRate(t *testing.T) {
+	p := Fixed("bursty", unit.Gbps(8), 1000)
+	p.BurstDegree = 8
+	g, err := NewGenerator(p, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300000
+	var last Packet
+	bytes := 0.0
+	for i := 0; i < n; i++ {
+		last = g.Next()
+		bytes += last.Size
+	}
+	rate := bytes / last.Time
+	if !approx(rate, 1e9, 0.03) {
+		t.Fatalf("bursty rate %v, want ~1e9", rate)
+	}
+}
+
+func TestBurstDegreeIncreasesVariance(t *testing.T) {
+	gapVar := func(burst float64) float64 {
+		p := Fixed("v", unit.Gbps(8), 1000)
+		p.BurstDegree = burst
+		g, err := NewGenerator(p, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 100000
+		prev := 0.0
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			pkt := g.Next()
+			gap := pkt.Time - prev
+			prev = pkt.Time
+			sum += gap
+			sumSq += gap * gap
+		}
+		mean := sum / n
+		return sumSq/n - mean*mean
+	}
+	plain := gapVar(0)
+	bursty := gapVar(8)
+	if !(bursty > 2*plain) {
+		t.Fatalf("burstiness should inflate gap variance: %v vs %v", plain, bursty)
+	}
+}
+
+func TestBurstDegreeValidation(t *testing.T) {
+	p := Fixed("x", unit.Gbps(1), 64)
+	p.BurstDegree = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative burst degree should fail")
+	}
+	p.BurstDegree = math.Inf(1)
+	if err := p.Validate(); err == nil {
+		t.Fatal("infinite burst degree should fail")
+	}
+	// Zero and one are both plain Poisson.
+	for _, b := range []float64{0, 1} {
+		p.BurstDegree = b
+		if err := p.Validate(); err != nil {
+			t.Fatalf("burst %v should validate: %v", b, err)
+		}
+	}
+}

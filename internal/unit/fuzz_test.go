@@ -1,0 +1,42 @@
+package unit
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseSize checks the size parser never panics and that accepted
+// values are finite and non-NaN.
+func FuzzParseSize(f *testing.F) {
+	for _, seed := range []string{"64B", "4KB", "1.5MiB", "", "KB", "1e3", "-7GB", " 12 kb "} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseSize(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(float64(v)) {
+			t.Fatalf("ParseSize(%q) accepted NaN", s)
+		}
+		// Formatting an accepted value never panics.
+		_ = v.String()
+	})
+}
+
+// FuzzParseBandwidth mirrors FuzzParseSize for the bandwidth parser.
+func FuzzParseBandwidth(f *testing.F) {
+	for _, seed := range []string{"25Gbps", "100Mbps", "1GB/s", "400MB/s", "1e9", "", "Gbps", "-3Gbps"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseBandwidth(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(float64(v)) {
+			t.Fatalf("ParseBandwidth(%q) accepted NaN", s)
+		}
+		_ = v.String()
+	})
+}

@@ -1,0 +1,235 @@
+// Package unit provides typed quantities used throughout the LogNIC model:
+// data sizes, bandwidths, durations and rates. Internally everything is a
+// float64 in SI base units (bytes, bytes per second, seconds, events per
+// second) so the analytical formulas in internal/core can mix them freely;
+// the types exist to make call sites self-describing and to centralize
+// parsing and formatting.
+package unit
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Size is a data size in bytes.
+type Size float64
+
+// Common sizes.
+const (
+	Byte Size = 1
+	KB        = 1024 * Byte
+	MB        = 1024 * KB
+	GB        = 1024 * MB
+)
+
+// MTU is the conventional Ethernet maximum transmission unit payload size
+// used by the paper's "MTU-sized" traffic profiles.
+const MTU Size = 1500
+
+// Bytes returns the size as a plain float64 byte count.
+func (s Size) Bytes() float64 { return float64(s) }
+
+// Bits returns the size in bits.
+func (s Size) Bits() float64 { return float64(s) * 8 }
+
+// String formats the size with a binary-prefix unit.
+func (s Size) String() string {
+	v := float64(s)
+	switch {
+	case math.Abs(v) >= float64(GB):
+		return trimFloat(v/float64(GB)) + "GiB"
+	case math.Abs(v) >= float64(MB):
+		return trimFloat(v/float64(MB)) + "MiB"
+	case math.Abs(v) >= float64(KB):
+		return trimFloat(v/float64(KB)) + "KiB"
+	default:
+		return trimFloat(v) + "B"
+	}
+}
+
+// Bandwidth is a data transfer rate in bytes per second.
+type Bandwidth float64
+
+// Common bandwidths. Network link speeds are conventionally quoted in
+// decimal bits per second, so Gbps uses 1e9 bits.
+const (
+	BytePerSecond Bandwidth = 1
+	KBps                    = 1024 * BytePerSecond
+	MBps                    = 1024 * KBps
+	GBps                    = 1024 * MBps
+)
+
+// Gbps constructs a Bandwidth from a decimal gigabit-per-second figure, the
+// unit used by NIC datasheets (25 GbE, 100 GbE, ...).
+func Gbps(v float64) Bandwidth { return Bandwidth(v * 1e9 / 8) }
+
+// Mbps constructs a Bandwidth from a decimal megabit-per-second figure.
+func Mbps(v float64) Bandwidth { return Bandwidth(v * 1e6 / 8) }
+
+// BytesPerSecond returns the bandwidth as a plain float64.
+func (b Bandwidth) BytesPerSecond() float64 { return float64(b) }
+
+// GbpsValue reports the bandwidth in decimal gigabits per second.
+func (b Bandwidth) GbpsValue() float64 { return float64(b) * 8 / 1e9 }
+
+// MBpsValue reports the bandwidth in binary megabytes per second.
+func (b Bandwidth) MBpsValue() float64 { return float64(b) / float64(MBps) }
+
+// String formats the bandwidth in Gbps or Mbps, matching how the paper's
+// figures label their axes.
+func (b Bandwidth) String() string {
+	g := b.GbpsValue()
+	if math.Abs(g) >= 1 {
+		return trimFloat(g) + "Gbps"
+	}
+	return trimFloat(g*1000) + "Mbps"
+}
+
+// Duration is a time span in seconds. It deliberately is not time.Duration:
+// analytical latencies are real-valued and frequently sub-nanosecond during
+// intermediate algebra.
+type Duration float64
+
+// Common durations.
+const (
+	Second      Duration = 1
+	Millisecond          = Second / 1000
+	Microsecond          = Millisecond / 1000
+	Nanosecond           = Microsecond / 1000
+)
+
+// Seconds returns the duration as a plain float64 second count.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// Micros reports the duration in microseconds, the paper's usual latency unit.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Millis reports the duration in milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// String formats the duration with an adaptive unit.
+func (d Duration) String() string {
+	v := float64(d)
+	switch {
+	case math.Abs(v) >= 1:
+		return trimFloat(v) + "s"
+	case math.Abs(v) >= float64(Millisecond):
+		return trimFloat(v/float64(Millisecond)) + "ms"
+	case math.Abs(v) >= float64(Microsecond):
+		return trimFloat(v/float64(Microsecond)) + "us"
+	default:
+		return trimFloat(v/float64(Nanosecond)) + "ns"
+	}
+}
+
+// Rate is an event rate in events per second (requests, packets or
+// operations depending on context).
+type Rate float64
+
+// MOPS constructs a Rate from a mega-operations-per-second figure, the unit
+// Figure 5 and Figure 9 use for accelerator throughput.
+func MOPS(v float64) Rate { return Rate(v * 1e6) }
+
+// PerSecond returns the rate as a plain float64.
+func (r Rate) PerSecond() float64 { return float64(r) }
+
+// MOPSValue reports the rate in mega-operations per second.
+func (r Rate) MOPSValue() float64 { return float64(r) / 1e6 }
+
+// MRPSValue reports the rate in mega-requests per second (alias of
+// MOPSValue, matching Figure 11's axis label).
+func (r Rate) MRPSValue() float64 { return float64(r) / 1e6 }
+
+// String formats the rate.
+func (r Rate) String() string {
+	v := float64(r)
+	switch {
+	case math.Abs(v) >= 1e6:
+		return trimFloat(v/1e6) + "Mops/s"
+	case math.Abs(v) >= 1e3:
+		return trimFloat(v/1e3) + "Kops/s"
+	default:
+		return trimFloat(v) + "ops/s"
+	}
+}
+
+// ParseSize parses strings like "64B", "4KB", "1500", "128KiB". Bare numbers
+// are bytes. Both decimal-style (KB) and binary-style (KiB) suffixes are
+// accepted and treated as binary multiples, which is how the paper uses them
+// (4KB IOs are 4096 bytes).
+func ParseSize(s string) (Size, error) {
+	t := strings.TrimSpace(s)
+	mult := Size(1)
+	lower := strings.ToLower(t)
+	switch {
+	case strings.HasSuffix(lower, "gib"), strings.HasSuffix(lower, "gb"):
+		mult = GB
+		t = t[:len(t)-suffixLen(lower, "gib", "gb")]
+	case strings.HasSuffix(lower, "mib"), strings.HasSuffix(lower, "mb"):
+		mult = MB
+		t = t[:len(t)-suffixLen(lower, "mib", "mb")]
+	case strings.HasSuffix(lower, "kib"), strings.HasSuffix(lower, "kb"):
+		mult = KB
+		t = t[:len(t)-suffixLen(lower, "kib", "kb")]
+	case strings.HasSuffix(lower, "b"):
+		t = t[:len(t)-1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+	if err != nil {
+		return 0, fmt.Errorf("unit: parse size %q: %w", s, err)
+	}
+	return Size(v) * mult, nil
+}
+
+// ParseBandwidth parses strings like "25Gbps", "400MBps", "1e9" (bytes/s).
+func ParseBandwidth(s string) (Bandwidth, error) {
+	t := strings.TrimSpace(s)
+	lower := strings.ToLower(t)
+	switch {
+	case strings.HasSuffix(lower, "gbps"):
+		v, err := parsePrefix(t, 4, s)
+		return Gbps(v), err
+	case strings.HasSuffix(lower, "mbps"):
+		v, err := parsePrefix(t, 4, s)
+		return Mbps(v), err
+	case strings.HasSuffix(lower, "gb/s"):
+		v, err := parsePrefix(t, 4, s)
+		return Bandwidth(v) * Bandwidth(GB), err
+	case strings.HasSuffix(lower, "mb/s"):
+		v, err := parsePrefix(t, 4, s)
+		return Bandwidth(v) * Bandwidth(MB), err
+	default:
+		v, err := strconv.ParseFloat(lower, 64)
+		if err != nil {
+			return 0, fmt.Errorf("unit: parse bandwidth %q: %w", s, err)
+		}
+		return Bandwidth(v), nil
+	}
+}
+
+func parsePrefix(t string, suffix int, orig string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(t[:len(t)-suffix]), 64)
+	if err != nil {
+		return 0, fmt.Errorf("unit: parse bandwidth %q: %w", orig, err)
+	}
+	return v, nil
+}
+
+func suffixLen(lower string, long, short string) int {
+	if strings.HasSuffix(lower, long) {
+		return len(long)
+	}
+	return len(short)
+}
+
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}

@@ -1,0 +1,203 @@
+package unit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*math.Max(scale, 1)
+}
+
+func TestSizeConversions(t *testing.T) {
+	if got := (4 * KB).Bytes(); got != 4096 {
+		t.Fatalf("4KB = %v bytes, want 4096", got)
+	}
+	if got := (Size(64)).Bits(); got != 512 {
+		t.Fatalf("64B = %v bits, want 512", got)
+	}
+	if MTU.Bytes() != 1500 {
+		t.Fatalf("MTU = %v, want 1500", MTU.Bytes())
+	}
+}
+
+func TestSizeString(t *testing.T) {
+	cases := []struct {
+		in   Size
+		want string
+	}{
+		{64, "64B"},
+		{KB, "1KiB"},
+		{4 * KB, "4KiB"},
+		{MB, "1MiB"},
+		{GB, "1GiB"},
+		{1536, "1.5KiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Size(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBandwidthGbps(t *testing.T) {
+	bw := Gbps(25)
+	if got := bw.BytesPerSecond(); got != 25e9/8 {
+		t.Fatalf("25Gbps = %v B/s, want %v", got, 25e9/8)
+	}
+	if got := bw.GbpsValue(); !almostEqual(got, 25, 1e-12) {
+		t.Fatalf("round trip GbpsValue = %v, want 25", got)
+	}
+	if got := Mbps(100).GbpsValue(); !almostEqual(got, 0.1, 1e-12) {
+		t.Fatalf("100Mbps = %v Gbps, want 0.1", got)
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	if got := Gbps(25).String(); got != "25Gbps" {
+		t.Errorf("got %q, want 25Gbps", got)
+	}
+	if got := Mbps(200).String(); got != "200Mbps" {
+		t.Errorf("got %q, want 200Mbps", got)
+	}
+}
+
+func TestDurationUnits(t *testing.T) {
+	d := 150 * Microsecond
+	if got := d.Micros(); !almostEqual(got, 150, 1e-12) {
+		t.Fatalf("Micros = %v, want 150", got)
+	}
+	if got := d.Millis(); !almostEqual(got, 0.15, 1e-12) {
+		t.Fatalf("Millis = %v, want 0.15", got)
+	}
+	if got := d.String(); got != "150us" {
+		t.Fatalf("String = %q, want 150us", got)
+	}
+	if got := (2 * Millisecond).String(); got != "2ms" {
+		t.Fatalf("String = %q, want 2ms", got)
+	}
+	if got := (500 * Nanosecond).String(); got != "500ns" {
+		t.Fatalf("String = %q, want 500ns", got)
+	}
+	if got := (3 * Second).String(); got != "3s" {
+		t.Fatalf("String = %q, want 3s", got)
+	}
+}
+
+func TestRateMOPS(t *testing.T) {
+	r := MOPS(2.5)
+	if got := r.PerSecond(); got != 2.5e6 {
+		t.Fatalf("2.5 MOPS = %v/s, want 2.5e6", got)
+	}
+	if got := r.MOPSValue(); !almostEqual(got, 2.5, 1e-12) {
+		t.Fatalf("MOPSValue = %v, want 2.5", got)
+	}
+	if r.MRPSValue() != r.MOPSValue() {
+		t.Fatal("MRPSValue should alias MOPSValue")
+	}
+	if got := r.String(); got != "2.5Mops/s" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := Rate(1500).String(); got != "1.5Kops/s" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := Rate(12).String(); got != "12ops/s" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Size
+	}{
+		{"64B", 64},
+		{"64", 64},
+		{" 512 ", 512},
+		{"4KB", 4 * KB},
+		{"4kb", 4 * KB},
+		{"4KiB", 4 * KB},
+		{"128KB", 128 * KB},
+		{"1MB", MB},
+		{"2MiB", 2 * MB},
+		{"1GB", GB},
+		{"1.5KB", 1536},
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if err != nil {
+			t.Errorf("ParseSize(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSize(%q) = %v, want %v", c.in, float64(got), float64(c.want))
+		}
+	}
+}
+
+func TestParseSizeErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "KB", "4XB4"} {
+		if _, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) expected error", in)
+		}
+	}
+}
+
+func TestParseBandwidth(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bandwidth
+	}{
+		{"25Gbps", Gbps(25)},
+		{"25gbps", Gbps(25)},
+		{"100Mbps", Mbps(100)},
+		{"1GB/s", Bandwidth(GB)},
+		{"400MB/s", 400 * Bandwidth(MB)},
+		{"1000", 1000},
+	}
+	for _, c := range cases {
+		got, err := ParseBandwidth(c.in)
+		if err != nil {
+			t.Errorf("ParseBandwidth(%q) error: %v", c.in, err)
+			continue
+		}
+		if !almostEqual(float64(got), float64(c.want), 1e-12) {
+			t.Errorf("ParseBandwidth(%q) = %v, want %v", c.in, float64(got), float64(c.want))
+		}
+	}
+	for _, in := range []string{"", "fastGbps", "xMbps"} {
+		if _, err := ParseBandwidth(in); err == nil {
+			t.Errorf("ParseBandwidth(%q) expected error", in)
+		}
+	}
+}
+
+func TestGbpsRoundTripProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		v := float64(raw%100000)/100 + 0.01 // 0.01 .. 1000 Gbps
+		return almostEqual(Gbps(v).GbpsValue(), v, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeParseFormatRoundTripProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		v := Size(raw % 1_000_000)
+		parsed, err := ParseSize(v.String())
+		if err != nil {
+			return false
+		}
+		return almostEqual(parsed.Bytes(), v.Bytes(), 1e-3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,306 @@
+// Package lognic is a Go implementation of LogNIC, the high-level
+// performance model for SmartNICs from "LogNIC: A High-Level Performance
+// Model for SmartNICs" (MICRO '23). LogNIC is packet-centric: a
+// SmartNIC-offloaded program is a directed acyclic execution graph whose
+// vertices are hardware entities (IP blocks, ingress/egress engines) and
+// whose edges are data movements over the SoC interface or the memory
+// subsystem. Given that graph, a handful of device parameters, and a
+// traffic profile, the model estimates attainable throughput (with the
+// bottleneck attributed) and average latency, and an optimizer searches
+// the configurable parameters for settings that meet performance goals.
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - internal/core — the model itself: execution graphs, throughput
+//     (Equations 1–4), latency (Equations 5–8 and 12), and the §3.7
+//     extensions (multi-tenancy, traffic mixes, rate limiters);
+//   - internal/optimizer — the §3.8 optimizer;
+//   - internal/sim — a packet-level discrete-event simulator standing in
+//     for physical SmartNICs, used to validate the model;
+//   - internal/devices, internal/apps, internal/nvme — catalogs of the
+//     paper's four platforms and builders for its five case studies;
+//   - internal/experiments — regeneration of every evaluation figure.
+//
+// # Quick start
+//
+//	g, err := lognic.NewBuilder("echo").
+//		AddIngress("rx").
+//		AddIP("cores", 2e9, 8, 64). // 2 GB/s across 8 engines, queue 64
+//		AddEgress("tx").
+//		Connect("rx", "cores", 1).
+//		Connect("cores", "tx", 1).
+//		Build()
+//	m := lognic.Model{
+//		Hardware: lognic.Hardware{InterfaceBW: lognic.Gbps(50).BytesPerSecond()},
+//		Graph:    g,
+//		Traffic:  lognic.Traffic{IngressBW: lognic.Gbps(10).BytesPerSecond(), Granularity: 1500},
+//	}
+//	est, err := m.Estimate()
+//	fmt.Println(est.Throughput.Bottleneck, est.Latency.Attainable)
+package lognic
+
+import (
+	"errors"
+
+	"lognic/internal/core"
+	"lognic/internal/numopt"
+	"lognic/internal/optimizer"
+	"lognic/internal/sim"
+	"lognic/internal/spec"
+	"lognic/internal/traffic"
+	"lognic/internal/unit"
+)
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// Core model types (see internal/core for full documentation).
+type (
+	// Vertex is an execution-graph node: an IP block or ingress/egress
+	// engine, carrying Table 2's software parameters (P, D, N, O, A, γ).
+	Vertex = core.Vertex
+	// Edge is a data movement with its δ/α/β fractions and optional
+	// characterized bandwidth.
+	Edge = core.Edge
+	// Graph is a validated execution DAG.
+	Graph = core.Graph
+	// Builder assembles a Graph incrementally.
+	Builder = core.Builder
+	// Hardware carries BW_INTF and BW_MEM.
+	Hardware = core.Hardware
+	// Traffic carries BW_in and the ingress granularity g_in.
+	Traffic = core.Traffic
+	// Model binds hardware, graph and traffic.
+	Model = core.Model
+	// Estimate bundles a throughput and latency report.
+	Estimate = core.Estimate
+	// ThroughputReport is Equation 4's outcome with the constraint list.
+	ThroughputReport = core.ThroughputReport
+	// LatencyReport is Equation 8's outcome with per-path breakdowns.
+	LatencyReport = core.LatencyReport
+	// Constraint is one min() term of Equation 4.
+	Constraint = core.Constraint
+	// VertexKind classifies vertices.
+	VertexKind = core.VertexKind
+	// QueueModel selects M/M/1/N (paper) or M/M/c/K (extension).
+	QueueModel = core.QueueModel
+	// MixComponent and MixEstimate implement Extension #2 (traffic mixes).
+	MixComponent = core.MixComponent
+	// MixEstimate is the dist_size-weighted aggregate of a traffic mix.
+	MixEstimate = core.MixEstimate
+	// Tenant and MultiTenant implement Extension #1 (consolidation).
+	Tenant = core.Tenant
+	// MultiTenant consolidates several execution graphs on one device.
+	MultiTenant = core.MultiTenant
+)
+
+// Vertex kinds.
+const (
+	KindIP          = core.KindIP
+	KindIngress     = core.KindIngress
+	KindEgress      = core.KindEgress
+	KindRateLimiter = core.KindRateLimiter
+)
+
+// Queue models.
+const (
+	QueueMM1N = core.QueueMM1N
+	QueueMMcK = core.QueueMMcK
+)
+
+// Constraint kinds (bottleneck attribution).
+const (
+	ConstraintIngress   = core.ConstraintIngress
+	ConstraintIPCompute = core.ConstraintIPCompute
+	ConstraintEdge      = core.ConstraintEdge
+	ConstraintInterface = core.ConstraintInterface
+	ConstraintMemory    = core.ConstraintMemory
+)
+
+// NewBuilder starts building an execution graph.
+func NewBuilder(name string) *Builder { return core.NewBuilder(name) }
+
+// NewGraph validates vertices and edges into a Graph.
+func NewGraph(name string, vertices []Vertex, edges []Edge) (*Graph, error) {
+	return core.NewGraph(name, vertices, edges)
+}
+
+// EstimateMix evaluates Extension #2: a set of per-packet-size models
+// combined by their dist_size weights.
+func EstimateMix(components []MixComponent) (MixEstimate, error) {
+	return core.EstimateMix(components)
+}
+
+// InsertRateLimiter applies Extension #3: places an
+// enqueue/dequeue-only block with the given drain rate (bytes/second) and
+// queue capacity in front of a non-work-conserving IP.
+func InsertRateLimiter(g *Graph, before string, rate float64, queueCap int) (*Graph, error) {
+	return core.InsertRateLimiter(g, before, rate, queueCap)
+}
+
+// Optimizer surface (see internal/optimizer).
+type (
+	// Goal selects the optimization metric and direction.
+	Goal = optimizer.Goal
+	// Problem is a continuous optimization over model parameters.
+	Problem = optimizer.Problem
+	// Solution is the best configuration found.
+	Solution = optimizer.Solution
+	// Bounds box-constrains a Problem's parameters.
+	Bounds = numopt.Bounds
+)
+
+// Optimization goals.
+const (
+	MinimizeLatency    = optimizer.MinimizeLatency
+	MaximizeThroughput = optimizer.MaximizeThroughput
+	MaximizeGoodput    = optimizer.MaximizeGoodput
+)
+
+// Solve runs the LogNIC optimizer on a continuous problem.
+func Solve(p Problem) (Solution, error) { return optimizer.Solve(p) }
+
+// Feasibility surface (the Figure 4-b workflow: requirements in, a
+// satisfying configuration or relaxation hints out).
+type (
+	// Requirement is a hard performance demand (g(model) ≤ 0).
+	Requirement = optimizer.Requirement
+	// Preference is a weighted secondary objective over satisfying points.
+	Preference = optimizer.Preference
+	// FeasibilityProblem is a requirements-driven search.
+	FeasibilityProblem = optimizer.FeasibilityProblem
+	// FeasibilityResult reports the outcome with per-requirement residuals.
+	FeasibilityResult = optimizer.FeasibilityResult
+	// Residual is one requirement's shortfall at the returned point.
+	Residual = optimizer.Residual
+)
+
+// Satisfy searches for parameters meeting every requirement; when none
+// exist it reports which requirements to relax.
+func Satisfy(p FeasibilityProblem) (FeasibilityResult, error) { return optimizer.Satisfy(p) }
+
+// LatencyBound requires the modeled average latency ≤ bound seconds.
+func LatencyBound(bound float64) Requirement { return optimizer.LatencyBound(bound) }
+
+// ThroughputFloor requires the modeled throughput ≥ floor bytes/second.
+func ThroughputFloor(floor float64) Requirement { return optimizer.ThroughputFloor(floor) }
+
+// DropCeiling requires the modeled drop probability ≤ ceiling.
+func DropCeiling(ceiling float64) Requirement { return optimizer.DropCeiling(ceiling) }
+
+// Analysis surface.
+type (
+	// Sensitivity is one parameter's estimated elasticity.
+	Sensitivity = core.Sensitivity
+	// SensitivityOptions tunes the finite-difference analysis.
+	SensitivityOptions = core.SensitivityOptions
+	// ParamKind identifies the perturbed parameter.
+	ParamKind = core.ParamKind
+)
+
+// Sensitivity parameter kinds.
+const (
+	ParamIngressBW         = core.ParamIngressBW
+	ParamGranularity       = core.ParamGranularity
+	ParamInterfaceBW       = core.ParamInterfaceBW
+	ParamMemoryBW          = core.ParamMemoryBW
+	ParamVertexThroughput  = core.ParamVertexThroughput
+	ParamVertexParallelism = core.ParamVertexParallelism
+	ParamVertexQueue       = core.ParamVertexQueue
+)
+
+// UnrollRecirculation expresses Figure 1's recirculate path in DAG form:
+// a packet looping `times` extra times through the vertex instead flows
+// through that many γ-partitioned replicas in series.
+func UnrollRecirculation(g *Graph, name string, times int) (*Graph, error) {
+	return core.UnrollRecirculation(g, name, times)
+}
+
+// Simulator surface (see internal/sim): the packet-level discrete-event
+// simulator used to validate the analytical estimates.
+type (
+	// SimConfig describes one simulation run.
+	SimConfig = sim.Config
+	// SimResult is the measured outcome.
+	SimResult = sim.Result
+	// ServiceTimer overrides a vertex's service-time process.
+	ServiceTimer = sim.ServiceTimer
+)
+
+// Simulate executes a discrete-event simulation of an execution graph
+// under a traffic profile.
+func Simulate(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }
+
+// Traffic profiles (see internal/traffic).
+type (
+	// Profile is a named traffic profile: rate, size distribution and
+	// arrival process.
+	Profile = traffic.Profile
+)
+
+// FixedProfile builds a single-size profile.
+func FixedProfile(name string, rate unit.Bandwidth, size unit.Size) Profile {
+	return traffic.Fixed(name, rate, size)
+}
+
+// EqualSplitProfile splits bandwidth equally across packet sizes (the
+// PANIC mixed profiles of §4.6).
+func EqualSplitProfile(name string, rate unit.Bandwidth, sizes ...unit.Size) (Profile, error) {
+	return traffic.EqualSplit(name, rate, sizes...)
+}
+
+// MixFromProfile expands a mixed-size profile into Extension-2 components:
+// build is called once per packet size with that size and its byte share
+// of the profile's rate, and the returned models are weighted by the
+// per-packet probabilities (dist_size), ready for EstimateMix.
+func MixFromProfile(p Profile, build func(sizeBytes, ingressBW float64) (Model, error)) ([]MixComponent, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if build == nil {
+		return nil, errors.New("lognic: nil build")
+	}
+	byteShares := p.Sizes.ByteWeights()
+	points := p.Sizes.Points()
+	out := make([]MixComponent, 0, len(points))
+	for i, pt := range points {
+		m, err := build(pt.Size.Bytes(), byteShares[i].Weight*p.Rate.BytesPerSecond())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MixComponent{Weight: pt.Weight, Model: m})
+	}
+	return out, nil
+}
+
+// Quantity helpers (see internal/unit).
+type (
+	// Bandwidth is bytes/second with Gbps-style formatting.
+	Bandwidth = unit.Bandwidth
+	// Size is a byte count.
+	Size = unit.Size
+	// Duration is a latency in seconds.
+	Duration = unit.Duration
+)
+
+// Gbps converts a decimal gigabit-per-second figure into a Bandwidth.
+func Gbps(v float64) Bandwidth { return unit.Gbps(v) }
+
+// LoadSpec reads a JSON model description (see internal/spec for the
+// format) and returns the validated model.
+func LoadSpec(path string) (Model, error) {
+	f, err := spec.Load(path)
+	if err != nil {
+		return Model{}, err
+	}
+	return f.Model()
+}
+
+// ParseSpec decodes a JSON model description from memory.
+func ParseSpec(data []byte) (Model, error) {
+	f, err := spec.Parse(data)
+	if err != nil {
+		return Model{}, err
+	}
+	return f.Model()
+}

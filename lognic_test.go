@@ -1,0 +1,255 @@
+package lognic
+
+import (
+	"math"
+	"testing"
+)
+
+func buildEcho(t *testing.T) Model {
+	t.Helper()
+	g, err := NewBuilder("echo").
+		AddIngress("rx").
+		AddIP("cores", 2e9, 8, 64).
+		AddEgress("tx").
+		Connect("rx", "cores", 1).
+		Connect("cores", "tx", 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Model{
+		Hardware: Hardware{InterfaceBW: Gbps(50).BytesPerSecond()},
+		Graph:    g,
+		Traffic:  Traffic{IngressBW: Gbps(10).BytesPerSecond(), Granularity: 1500},
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	m := buildEcho(t)
+	est, err := m.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Throughput.Attainable <= 0 || est.Latency.Attainable <= 0 {
+		t.Fatalf("estimate = %+v", est)
+	}
+	// 10 Gbps offered < 2 GB/s compute: ingress bound.
+	if est.Throughput.Bottleneck.Kind != ConstraintIngress {
+		t.Fatalf("bottleneck = %+v", est.Throughput.Bottleneck)
+	}
+}
+
+func TestSimulateMatchesModel(t *testing.T) {
+	m := buildEcho(t)
+	res, err := Simulate(SimConfig{
+		Graph:    m.Graph,
+		Hardware: m.Hardware,
+		Profile:  FixedProfile("mtu", Gbps(10), 1500),
+		Seed:     3,
+		Duration: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Throughput-Gbps(10).BytesPerSecond()) > 0.05*Gbps(10).BytesPerSecond() {
+		t.Fatalf("sim throughput = %v", res.Throughput)
+	}
+}
+
+func TestSolveFacade(t *testing.T) {
+	// Find the ingress rate that drives latency to its minimum (trivially
+	// the lower bound) — exercises the optimizer plumbing end to end.
+	sol, err := Solve(Problem{
+		Build: func(x []float64) (Model, error) {
+			m := buildEcho(t)
+			m.Traffic.IngressBW = x[0]
+			return m, nil
+		},
+		Goal:   MinimizeLatency,
+		Bounds: Bounds{Lo: []float64{1e8}, Hi: []float64{1.9e9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.X[0] > 3e8 {
+		t.Fatalf("expected the low-load corner, got %v", sol.X[0])
+	}
+}
+
+func TestMixAndTenantsFacade(t *testing.T) {
+	m := buildEcho(t)
+	mix, err := EstimateMix([]MixComponent{{Weight: 1, Model: m}, {Weight: 1, Model: m}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Throughput <= 0 {
+		t.Fatal("mix throughput must be positive")
+	}
+	mt := MultiTenant{
+		Hardware: m.Hardware,
+		Traffic:  m.Traffic,
+		Tenants:  []Tenant{{Weight: 1, Graph: m.Graph}},
+	}
+	if _, err := mt.Estimate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateLimiterFacade(t *testing.T) {
+	m := buildEcho(t)
+	g2, err := InsertRateLimiter(m.Graph, "cores", 1e9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Graph = g2
+	rep, err := m.SaturationThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attainable != 1e9 {
+		t.Fatalf("limiter not binding: %v", rep.Attainable)
+	}
+}
+
+func TestSpecFacade(t *testing.T) {
+	data := []byte(`{
+	  "name": "mini",
+	  "hardware": {"interface_bw": "50Gbps"},
+	  "graph": {
+	    "vertices": [
+	      {"name": "in", "kind": "ingress"},
+	      {"name": "ip", "throughput": "16Gbps", "parallelism": 4, "queue_capacity": 16},
+	      {"name": "out", "kind": "egress"}
+	    ],
+	    "edges": [
+	      {"from": "in", "to": "ip", "delta": 1, "alpha": 1},
+	      {"from": "ip", "to": "out", "delta": 1, "alpha": 1}
+	    ]
+	  },
+	  "traffic": {"ingress_bw": "8Gbps", "granularity": 1500}
+	}`)
+	m, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := m.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Throughput.Attainable != Gbps(8).BytesPerSecond() {
+		t.Fatalf("attainable = %v", est.Throughput.Attainable)
+	}
+	if _, err := LoadSpec("/nope.json"); err == nil {
+		t.Fatal("missing spec should fail")
+	}
+	if _, err := ParseSpec([]byte("{")); err == nil {
+		t.Fatal("bad json should fail")
+	}
+}
+
+func TestEqualSplitProfileFacade(t *testing.T) {
+	p, err := EqualSplitProfile("tp1", Gbps(10), 64, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Sizes.NumPoints() != 2 {
+		t.Fatalf("points = %d", p.Sizes.NumPoints())
+	}
+	if Version == "" {
+		t.Fatal("version must be set")
+	}
+}
+
+func TestSatisfyFacade(t *testing.T) {
+	m := buildEcho(t)
+	res, err := Satisfy(FeasibilityProblem{
+		Build: func(x []float64) (Model, error) {
+			mm := m
+			mm.Traffic.IngressBW = x[0]
+			return mm, nil
+		},
+		Bounds: Bounds{Lo: []float64{1e8}, Hi: []float64{1.9e9}},
+		Requirements: []Requirement{
+			ThroughputFloor(1e9),
+			LatencyBound(1e-3),
+			DropCeiling(0.05),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("expected feasible, residuals %+v", res.Residuals)
+	}
+}
+
+func TestSensitivitiesFacade(t *testing.T) {
+	m := buildEcho(t)
+	out, err := m.Sensitivities(SensitivityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no sensitivities")
+	}
+	seen := false
+	for _, s := range out {
+		if s.Param == ParamIngressBW {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("ingress sensitivity missing")
+	}
+}
+
+func TestUnrollRecirculationFacade(t *testing.T) {
+	m := buildEcho(t)
+	g2, err := UnrollRecirculation(m.Graph, "cores", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g2.Vertex("cores#1"); !ok {
+		t.Fatal("replica missing")
+	}
+}
+
+func TestMixFromProfile(t *testing.T) {
+	prof, err := EqualSplitProfile("tp", Gbps(10), 64, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err := MixFromProfile(prof, func(size, bw float64) (Model, error) {
+		m := buildEcho(t)
+		m.Traffic.Granularity = size
+		m.Traffic.IngressBW = bw
+		return m, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("components = %d", len(comps))
+	}
+	// Byte shares: equal split means each size carries half the rate.
+	var total float64
+	for _, c := range comps {
+		total += c.Model.Traffic.IngressBW
+	}
+	if math.Abs(total-Gbps(10).BytesPerSecond()) > 1 {
+		t.Fatalf("byte shares sum to %v", total)
+	}
+	mix, err := EstimateMix(comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Throughput <= 0 || mix.Latency <= 0 {
+		t.Fatalf("mix = %+v", mix)
+	}
+	if _, err := MixFromProfile(prof, nil); err == nil {
+		t.Fatal("nil build should fail")
+	}
+	if _, err := MixFromProfile(Profile{}, func(a, b float64) (Model, error) { return Model{}, nil }); err == nil {
+		t.Fatal("invalid profile should fail")
+	}
+}
