@@ -8,6 +8,7 @@
 //
 //	lognic [-json] [-sweep lo:hi:steps] model.json
 //	lognic -optimize latency|throughput|goodput -knob v.parallelism=1..16 [-knob ...] model.json
+//	lognic faults [-json] [-sim] [-duration s] [-seed n] model.json scenario.json
 //
 // With -sweep, the ingress bandwidth is swept across the given range
 // (accepts unit strings, e.g. -sweep 1Gbps:25Gbps:10) and one row per
@@ -15,6 +16,11 @@
 // paper's Figure 6. With -optimize, the model's optimizer mode searches
 // the named integer knobs (a vertex's parallelism degree D or queue
 // capacity N) for the configuration that best meets the goal.
+//
+// The faults subcommand compares the model healthy and under a fault
+// scenario (a JSON file naming lost engines and degraded links; see
+// internal/spec.Scenario): degraded-mode capacity, bottleneck and latency
+// side by side, optionally cross-checked by faulted simulation with -sim.
 package main
 
 import (
@@ -31,6 +37,9 @@ func (k *knobList) String() string     { return fmt.Sprint(*k) }
 func (k *knobList) Set(v string) error { *k = append(*k, v); return nil }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "faults" {
+		os.Exit(cli.Main(os.Args[1:], os.Stdout, os.Stderr))
+	}
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
 	sweep := flag.String("sweep", "", "sweep ingress bandwidth: lo:hi:steps (e.g. 1Gbps:25Gbps:10)")
 	optimize := flag.String("optimize", "", "optimizer mode goal: latency, throughput or goodput")

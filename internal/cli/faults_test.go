@@ -1,0 +1,157 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const faultsModelJSON = `{
+  "name": "faults-test",
+  "hardware": {"interface_bw": "50Gbps"},
+  "graph": {
+    "vertices": [
+      {"name": "in", "kind": "ingress"},
+      {"name": "ip", "throughput": "8Gbps", "parallelism": 4, "queue_capacity": 32},
+      {"name": "out", "kind": "egress"}
+    ],
+    "edges": [
+      {"from": "in", "to": "ip", "delta": 1, "alpha": 1},
+      {"from": "ip", "to": "out", "delta": 1}
+    ]
+  },
+  "traffic": {"ingress_bw": "4Gbps", "granularity": 1024}
+}`
+
+const faultsScenarioJSON = `{
+  "name": "half the engines",
+  "engines_down": {"ip": 2}
+}`
+
+// writeFaultsFixtures writes a model and scenario spec into a temp dir.
+func writeFaultsFixtures(t *testing.T) (model, scenario string) {
+	t.Helper()
+	dir := t.TempDir()
+	model = filepath.Join(dir, "model.json")
+	scenario = filepath.Join(dir, "scenario.json")
+	if err := os.WriteFile(model, []byte(faultsModelJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(scenario, []byte(faultsScenarioJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return model, scenario
+}
+
+// run invokes the subcommand dispatcher and captures its streams.
+func run(argv ...string) (code int, stdout, stderr string) {
+	var out, errw bytes.Buffer
+	code = Main(argv, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestFaultsComparesOperatingPoints(t *testing.T) {
+	model, scenario := writeFaultsFixtures(t)
+	code, out, errOut := run("faults", model, scenario)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"scenario: half the engines", "capacity", "degraded", "bottleneck"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultsJSONOutput(t *testing.T) {
+	model, scenario := writeFaultsFixtures(t)
+	code, out, errOut := run("faults", "-json", model, scenario)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	var res FaultsResult
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	// ip loses 2 of 4 engines: capacity halves from 8 Gbps to 4 Gbps.
+	if res.Degraded.Capacity >= res.Healthy.Capacity {
+		t.Errorf("degraded capacity %v not below healthy %v", res.Degraded.Capacity, res.Healthy.Capacity)
+	}
+	ratio := res.Degraded.Capacity / res.Healthy.Capacity
+	if ratio < 0.49 || ratio > 0.51 {
+		t.Errorf("capacity ratio %v, want ~0.5", ratio)
+	}
+}
+
+func TestFaultsWithSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	model, scenario := writeFaultsFixtures(t)
+	code, out, errOut := run("faults", "-json", "-sim", "-duration", "0.02", model, scenario)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	var res FaultsResult
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if res.FaultStats == nil || res.FaultStats.EngineDownEvents != 1 {
+		t.Errorf("fault stats = %+v, want one engine-down event", res.FaultStats)
+	}
+	// The healthy sim delivers the 4 Gbps offer; the faulted sim is capped
+	// by the halved 4 Gbps capacity, so both sit near 4 Gbps but the
+	// degraded one must not exceed the healthy one by much.
+	if res.Degraded.SimThroughput <= 0 || res.Healthy.SimThroughput <= 0 {
+		t.Errorf("sim throughputs missing: %+v", res)
+	}
+}
+
+// Exit-code contract: 2 for usage errors, 1 for runtime errors.
+func TestMainExitCodes(t *testing.T) {
+	model, scenario := writeFaultsFixtures(t)
+	dir := t.TempDir()
+	badJSON := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badJSON, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	emptyScenario := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(emptyScenario, []byte(`{"name": "nothing"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badScenario := filepath.Join(dir, "badscenario.json")
+	if err := os.WriteFile(badScenario, []byte(`{"engines_down": {"nope": 1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		argv []string
+		code int
+	}{
+		{"no subcommand", nil, 2},
+		{"unknown subcommand", []string{"bogus"}, 2},
+		{"faults no args", []string{"faults"}, 2},
+		{"faults one arg", []string{"faults", model}, 2},
+		{"faults extra args", []string{"faults", model, scenario, "extra"}, 2},
+		{"malformed flag", []string{"faults", "-duration", "zebra", model, scenario}, 2},
+		{"unknown flag", []string{"faults", "-zebra", model, scenario}, 2},
+		{"missing model file", []string{"faults", filepath.Join(dir, "nope.json"), scenario}, 1},
+		{"missing scenario file", []string{"faults", model, filepath.Join(dir, "nope.json")}, 1},
+		{"malformed model", []string{"faults", badJSON, scenario}, 1},
+		{"malformed scenario", []string{"faults", model, badJSON}, 1},
+		{"empty scenario", []string{"faults", model, emptyScenario}, 1},
+		{"scenario unknown vertex", []string{"faults", model, badScenario}, 1},
+	}
+	for _, tc := range cases {
+		code, _, errOut := run(tc.argv...)
+		if code != tc.code {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", tc.name, code, tc.code, errOut)
+		}
+		if errOut == "" {
+			t.Errorf("%s: no diagnostic on stderr", tc.name)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+// This file implements degraded-mode modeling: deriving the model inputs
+// of a partially-failed SmartNIC from a healthy model plus a fault
+// scenario. The paper evaluates healthy hardware only, but LogNIC's core
+// question — which component bottlenecks first — matters most to an
+// operator exactly when engines die or links flap. Degrade keeps the
+// analytical machinery unchanged by folding the scenario into the
+// parameters it already understands: a vertex that lost k of its D
+// engines keeps D−k engines and (D−k)/D of its aggregate compute
+// throughput P_vi, and a degraded link keeps factor·BW. The simulator's
+// counterpart is sim.FaultSchedule (sim.PermanentFaults bridges the two),
+// and the degraded model is cross-validated against faulted simulation
+// runs in internal/sim.
+
+import (
+	"fmt"
+	"math"
+)
+
+// Link names addressing the shared transmission resources in a
+// Degradation (per-edge dedicated links are addressed as "from->to").
+const (
+	// LinkInterface addresses BW_INTF.
+	LinkInterface = "interface"
+	// LinkMemory addresses BW_MEM.
+	LinkMemory = "memory"
+)
+
+// Degradation is a steady-state fault scenario: which engines are gone
+// and which links run below nominal bandwidth.
+type Degradation struct {
+	// EnginesDown maps vertex name → engines lost (0 < lost < D_vi).
+	EnginesDown map[string]int
+	// LinkFactors maps a link name — LinkInterface, LinkMemory, or
+	// "from->to" for an edge with a characterized bandwidth — to the
+	// factor scaling its bandwidth. Factors must be positive and finite;
+	// values below 1 degrade.
+	LinkFactors map[string]float64
+}
+
+// Empty reports whether the scenario changes nothing.
+func (d Degradation) Empty() bool {
+	return len(d.EnginesDown) == 0 && len(d.LinkFactors) == 0
+}
+
+// Validate checks the scenario against a model.
+func (d Degradation) Validate(m Model) error {
+	if m.Graph == nil {
+		return fmt.Errorf("core: degradation: model has no graph")
+	}
+	for name, lost := range d.EnginesDown {
+		v, ok := m.Graph.Vertex(name)
+		if !ok {
+			return fmt.Errorf("core: degradation: unknown vertex %q", name)
+		}
+		if lost <= 0 {
+			return fmt.Errorf("core: degradation: vertex %q: engines lost must be positive, got %d", name, lost)
+		}
+		if lost >= v.Parallelism {
+			return fmt.Errorf("core: degradation: vertex %q: losing %d of %d engines leaves none", name, lost, v.Parallelism)
+		}
+	}
+	for link, f := range d.LinkFactors {
+		if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("core: degradation: link %q: invalid factor %v", link, f)
+		}
+		switch link {
+		case LinkInterface:
+			if m.Hardware.InterfaceBW <= 0 {
+				return fmt.Errorf("core: degradation: model has no interface bandwidth to degrade")
+			}
+		case LinkMemory:
+			if m.Hardware.MemoryBW <= 0 {
+				return fmt.Errorf("core: degradation: model has no memory bandwidth to degrade")
+			}
+		default:
+			from, to, ok := splitEdgeName(link)
+			if !ok {
+				return fmt.Errorf("core: degradation: bad link name %q (want %q, %q, or \"from->to\")", link, LinkInterface, LinkMemory)
+			}
+			e, found := m.Graph.Edge(from, to)
+			if !found {
+				return fmt.Errorf("core: degradation: unknown edge %q", link)
+			}
+			if e.Bandwidth <= 0 {
+				return fmt.Errorf("core: degradation: edge %q has no characterized bandwidth to degrade", link)
+			}
+		}
+	}
+	return nil
+}
+
+// splitEdgeName parses a "from->to" link name.
+func splitEdgeName(link string) (from, to string, ok bool) {
+	for i := 0; i+1 < len(link); i++ {
+		if link[i] == '-' && link[i+1] == '>' {
+			return link[:i], link[i+2:], i > 0 && i+2 < len(link)
+		}
+	}
+	return "", "", false
+}
+
+// Degrade returns a copy of the model with the fault scenario folded into
+// its parameters, so estimation mode predicts degraded-mode throughput,
+// bottleneck, and latency with the unmodified Equations 1–12:
+//
+//   - a vertex losing k of D engines keeps Parallelism D−k and
+//     Throughput·(D−k)/D — P_vi aggregates the D engines, and the
+//     survivors are no faster than before;
+//   - LinkInterface / LinkMemory factors scale BW_INTF / BW_MEM;
+//   - "from->to" factors scale that edge's characterized bandwidth.
+func Degrade(m Model, d Degradation) (Model, error) {
+	if err := d.Validate(m); err != nil {
+		return Model{}, err
+	}
+	out := m
+	if f, ok := d.LinkFactors[LinkInterface]; ok {
+		out.Hardware.InterfaceBW *= f
+	}
+	if f, ok := d.LinkFactors[LinkMemory]; ok {
+		out.Hardware.MemoryBW *= f
+	}
+	vertices := m.Graph.Vertices()
+	for i, v := range vertices {
+		lost, ok := d.EnginesDown[v.Name]
+		if !ok {
+			continue
+		}
+		remain := v.Parallelism - lost
+		v.Throughput *= float64(remain) / float64(v.Parallelism)
+		v.Parallelism = remain
+		vertices[i] = v
+	}
+	edges := m.Graph.Edges()
+	for i, e := range edges {
+		if f, ok := d.LinkFactors[e.From+"->"+e.To]; ok {
+			edges[i].Bandwidth = e.Bandwidth * f
+		}
+	}
+	g, err := NewGraph(m.Graph.Name(), vertices, edges)
+	if err != nil {
+		return Model{}, fmt.Errorf("core: degradation produced an invalid graph: %w", err)
+	}
+	out.Graph = g
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// degradeModel builds the reference chain for the Degrade tests:
+// in → a (4 engines, 4 GB/s, over the interface) → b (2 engines, 8 GB/s,
+// over a characterized 10 GB/s edge) → out.
+func degradeModel(t *testing.T) Model {
+	t.Helper()
+	b := NewBuilder("degrade-chain")
+	b.AddIngress("in")
+	b.AddVertex(Vertex{Name: "a", Kind: KindIP, Throughput: 4e9, Parallelism: 4, QueueCapacity: 32})
+	b.AddVertex(Vertex{Name: "b", Kind: KindIP, Throughput: 8e9, Parallelism: 2, QueueCapacity: 32})
+	b.AddEgress("out")
+	b.AddEdge(Edge{From: "in", To: "a", Delta: 1, Alpha: 1})
+	b.AddEdge(Edge{From: "a", To: "b", Delta: 1, Bandwidth: 10e9})
+	b.AddEdge(Edge{From: "b", To: "out", Delta: 1, Beta: 0.5})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Model{
+		Hardware: Hardware{InterfaceBW: 12e9, MemoryBW: 20e9},
+		Graph:    g,
+		Traffic:  Traffic{Granularity: 1500},
+	}
+}
+
+func TestDegradeEngineLoss(t *testing.T) {
+	m := degradeModel(t)
+	dm, err := Degrade(m, Degradation{EnginesDown: map[string]int{"a": 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := dm.Graph.Vertex("a")
+	if !ok {
+		t.Fatal("vertex a disappeared")
+	}
+	if v.Parallelism != 1 {
+		t.Errorf("Parallelism = %d, want 1", v.Parallelism)
+	}
+	if math.Abs(v.Throughput-1e9) > 1 {
+		t.Errorf("Throughput = %v, want 1e9 (4e9 scaled by 1/4)", v.Throughput)
+	}
+	// Untouched vertices keep their parameters.
+	if vb, _ := dm.Graph.Vertex("b"); vb.Parallelism != 2 || vb.Throughput != 8e9 {
+		t.Errorf("vertex b changed: %+v", vb)
+	}
+	// The input model is untouched (Degrade returns a copy).
+	if va, _ := m.Graph.Vertex("a"); va.Parallelism != 4 || va.Throughput != 4e9 {
+		t.Errorf("input model mutated: %+v", va)
+	}
+}
+
+func TestDegradeLinkFactors(t *testing.T) {
+	m := degradeModel(t)
+	dm, err := Degrade(m, Degradation{LinkFactors: map[string]float64{
+		LinkInterface: 0.5,
+		LinkMemory:    0.25,
+		"a->b":        0.1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dm.Hardware.InterfaceBW-6e9) > 1 {
+		t.Errorf("InterfaceBW = %v, want 6e9", dm.Hardware.InterfaceBW)
+	}
+	if math.Abs(dm.Hardware.MemoryBW-5e9) > 1 {
+		t.Errorf("MemoryBW = %v, want 5e9", dm.Hardware.MemoryBW)
+	}
+	e, ok := dm.Graph.Edge("a", "b")
+	if !ok {
+		t.Fatal("edge a->b disappeared")
+	}
+	if math.Abs(e.Bandwidth-1e9) > 1 {
+		t.Errorf("edge bandwidth = %v, want 1e9", e.Bandwidth)
+	}
+	// Originals untouched.
+	if m.Hardware.InterfaceBW != 12e9 || m.Hardware.MemoryBW != 20e9 {
+		t.Errorf("input hardware mutated: %+v", m.Hardware)
+	}
+	if eo, _ := m.Graph.Edge("a", "b"); eo.Bandwidth != 10e9 {
+		t.Errorf("input edge mutated: %+v", eo)
+	}
+}
+
+// The degraded model's saturation throughput follows the folded
+// parameters: losing 3 of a's 4 engines turns a into a 1 GB/s bottleneck.
+func TestDegradeCapacityScaling(t *testing.T) {
+	m := degradeModel(t)
+	healthy, err := m.SaturationThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := Degrade(m, Degradation{EnginesDown: map[string]int{"a": 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat, err := dm.SaturationThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sat.Attainable-1e9) > 1e3 {
+		t.Errorf("degraded capacity = %v, want 1e9", sat.Attainable)
+	}
+	if sat.Attainable >= healthy.Attainable {
+		t.Errorf("degradation did not reduce capacity: %v vs healthy %v", sat.Attainable, healthy.Attainable)
+	}
+	if !strings.Contains(sat.Bottleneck.String(), "a") {
+		t.Errorf("bottleneck %v does not name vertex a", sat.Bottleneck)
+	}
+	// A factor of exactly 1 is a no-op on capacity.
+	id, err := Degrade(m, Degradation{LinkFactors: map[string]float64{LinkInterface: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idSat, err := id.SaturationThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idSat.Attainable != healthy.Attainable {
+		t.Errorf("identity factor changed capacity: %v vs %v", idSat.Attainable, healthy.Attainable)
+	}
+}
+
+func TestDegradationEmpty(t *testing.T) {
+	if !(Degradation{}).Empty() {
+		t.Error("zero Degradation not Empty")
+	}
+	if (Degradation{EnginesDown: map[string]int{"a": 1}}).Empty() {
+		t.Error("non-trivial Degradation reported Empty")
+	}
+	m := degradeModel(t)
+	dm, err := Degrade(m, Degradation{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := m.SaturationThroughput()
+	s2, _ := dm.SaturationThroughput()
+	if s1.Attainable != s2.Attainable {
+		t.Errorf("empty degradation changed capacity: %v vs %v", s2.Attainable, s1.Attainable)
+	}
+}
+
+func TestDegradeValidationErrors(t *testing.T) {
+	m := degradeModel(t)
+	noMem := m
+	noMem.Hardware.MemoryBW = 0
+	cases := []struct {
+		name  string
+		model Model
+		d     Degradation
+	}{
+		{"unknown vertex", m, Degradation{EnginesDown: map[string]int{"nope": 1}}},
+		{"zero engines lost", m, Degradation{EnginesDown: map[string]int{"a": 0}}},
+		{"negative engines lost", m, Degradation{EnginesDown: map[string]int{"a": -2}}},
+		{"all engines lost", m, Degradation{EnginesDown: map[string]int{"a": 4}}},
+		{"more than all engines", m, Degradation{EnginesDown: map[string]int{"a": 7}}},
+		{"zero factor", m, Degradation{LinkFactors: map[string]float64{LinkInterface: 0}}},
+		{"negative factor", m, Degradation{LinkFactors: map[string]float64{LinkInterface: -0.5}}},
+		{"nan factor", m, Degradation{LinkFactors: map[string]float64{LinkInterface: math.NaN()}}},
+		{"inf factor", m, Degradation{LinkFactors: map[string]float64{LinkInterface: math.Inf(1)}}},
+		{"bad link name", m, Degradation{LinkFactors: map[string]float64{"bogus": 0.5}}},
+		{"half edge name", m, Degradation{LinkFactors: map[string]float64{"a->": 0.5}}},
+		{"unknown edge", m, Degradation{LinkFactors: map[string]float64{"x->y": 0.5}}},
+		{"uncharacterized edge", m, Degradation{LinkFactors: map[string]float64{"in->a": 0.5}}},
+		{"no memory bandwidth", noMem, Degradation{LinkFactors: map[string]float64{LinkMemory: 0.5}}},
+		{"nil graph", Model{}, Degradation{EnginesDown: map[string]int{"a": 1}}},
+	}
+	for _, tc := range cases {
+		if _, err := Degrade(tc.model, tc.d); err == nil {
+			t.Errorf("%s: Degrade accepted the scenario", tc.name)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// fuzzFloat maps one byte to a float64, reserving the top values for the
+// non-finite pathologies graph validation must reject without panicking.
+func fuzzFloat(b byte) float64 {
+	switch b {
+	case 255:
+		return math.NaN()
+	case 254:
+		return math.Inf(1)
+	case 253:
+		return math.Inf(-1)
+	default:
+		return float64(int8(b)) / 16 // spans negatives and fractions
+	}
+}
+
+// decodeGraph turns arbitrary bytes into a vertex/edge soup: structurally
+// varied, frequently invalid, deterministic for a given input.
+func decodeGraph(data []byte) ([]Vertex, []Edge) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	nv := 2 + int(data[0]%6)
+	data = data[1:]
+	vertices := make([]Vertex, 0, nv)
+	for i := 0; i < nv; i++ {
+		var b [4]byte
+		for j := range b {
+			if len(data) > 0 {
+				b[j] = data[0]
+				data = data[1:]
+			}
+		}
+		kind := VertexKind(b[0] % 5) // one past KindRateLimiter: invalid kinds too
+		switch i {
+		case 0:
+			kind = KindIngress
+		case nv - 1:
+			kind = KindEgress
+		}
+		vertices = append(vertices, Vertex{
+			Name:          fmt.Sprintf("v%d", i),
+			Kind:          kind,
+			Throughput:    fuzzFloat(b[1]) * 1e9,
+			Parallelism:   int(b[2]%10) - 1,
+			QueueCapacity: int(b[3]%70) - 2,
+		})
+	}
+	var edges []Edge
+	for len(data) >= 5 {
+		edges = append(edges, Edge{
+			From:  fmt.Sprintf("v%d", int(data[0])%nv),
+			To:    fmt.Sprintf("v%d", int(data[1])%nv),
+			Delta: fuzzFloat(data[2]),
+			Alpha: fuzzFloat(data[3]),
+			Beta:  fuzzFloat(data[4]),
+		})
+		data = data[5:]
+	}
+	return vertices, edges
+}
+
+// FuzzNewGraph checks that arbitrary vertex/edge soups never panic graph
+// construction, and that any graph NewGraph accepts answers the model's
+// queries (paths, saturation, full estimate) without panicking. Use
+// `go test -fuzz=FuzzNewGraph ./internal/core` to explore.
+func FuzzNewGraph(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	// A valid 3-vertex chain: in -> v1 -> out with delta/alpha 1.
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 16, 3, 65, 0, 0, 0, 0, 0, 1, 16, 16, 0, 1, 2, 16, 0, 0})
+	// A cycle and a self-loop.
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 16, 3, 65, 0, 0, 0, 0, 1, 1, 16, 0, 0, 1, 1, 16, 0, 0})
+	// Non-finite fractions.
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 255, 254, 253})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vertices, edges := decodeGraph(data)
+		g, err := NewGraph("fuzz", vertices, edges)
+		if err != nil {
+			return // invalid soups must fail, not panic
+		}
+		if _, err := g.Paths(); err != nil {
+			return // e.g. no complete ingress->egress path
+		}
+		m := Model{
+			Hardware: Hardware{InterfaceBW: 10e9, MemoryBW: 20e9},
+			Graph:    g,
+			Traffic:  Traffic{IngressBW: 1e9, Granularity: 1500},
+		}
+		// Estimation may reject the model, but must not panic, and any
+		// throughput it does report must not be negative or NaN.
+		est, err := m.Estimate()
+		if err != nil {
+			return
+		}
+		a := est.Throughput.Attainable
+		if a < 0 || math.IsNaN(a) {
+			t.Fatalf("estimate produced invalid throughput %v", a)
+		}
+	})
+}

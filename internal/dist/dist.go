@@ -31,27 +31,21 @@ type SizeDist struct {
 }
 
 // Fixed returns a distribution concentrated on a single packet size.
-func Fixed(size unit.Size) SizeDist {
-	d, err := NewSizeDist([]SizePoint{{Size: size, Weight: 1}})
-	if err != nil {
-		panic("dist: Fixed: " + err.Error()) // unreachable for size > 0
-	}
-	return d
+// The size must be positive.
+func Fixed(size unit.Size) (SizeDist, error) {
+	return NewSizeDist([]SizePoint{{Size: size, Weight: 1}})
 }
 
 // Uniform returns a distribution splitting probability equally across the
 // given sizes — the shape of the PANIC traffic profiles in §4.6, which
-// "split bandwidth across different-sized flows equally".
-func Uniform(sizes ...unit.Size) SizeDist {
+// "split bandwidth across different-sized flows equally". All sizes must
+// be positive and at least one is required.
+func Uniform(sizes ...unit.Size) (SizeDist, error) {
 	pts := make([]SizePoint, len(sizes))
 	for i, s := range sizes {
 		pts[i] = SizePoint{Size: s, Weight: 1}
 	}
-	d, err := NewSizeDist(pts)
-	if err != nil {
-		panic("dist: Uniform: " + err.Error())
-	}
-	return d
+	return NewSizeDist(pts)
 }
 
 // NewSizeDist validates and normalizes a set of size points. Duplicate

@@ -10,7 +10,10 @@ import (
 )
 
 func TestFixed(t *testing.T) {
-	d := Fixed(1500)
+	d, err := Fixed(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d.NumPoints() != 1 {
 		t.Fatalf("NumPoints = %d, want 1", d.NumPoints())
 	}
@@ -29,7 +32,10 @@ func TestFixed(t *testing.T) {
 }
 
 func TestUniform(t *testing.T) {
-	d := Uniform(64, 512)
+	d, err := Uniform(64, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
 	pts := d.Points()
 	if len(pts) != 2 {
 		t.Fatalf("points = %d, want 2", len(pts))
@@ -107,7 +113,10 @@ func TestSampleFrequencies(t *testing.T) {
 }
 
 func TestByteWeightsSumToOne(t *testing.T) {
-	d := Uniform(64, 512, 1500)
+	d, err := Uniform(64, 512, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
 	bw := d.ByteWeights()
 	sum := 0.0
 	for _, p := range bw {
@@ -217,7 +226,10 @@ func TestPoissonCount(t *testing.T) {
 }
 
 func TestStringFormat(t *testing.T) {
-	d := Uniform(64, 512)
+	d, err := Uniform(64, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := d.String(); got != "64B:50%,512B:50%" {
 		t.Fatalf("String = %q", got)
 	}

@@ -1,0 +1,175 @@
+package sim
+
+// This file cross-validates degraded-mode modeling (core.Degrade) against
+// faulted simulation runs: on two device catalogs, a model with a fault
+// scenario folded into its parameters must predict the throughput a
+// simulation with the equivalent PermanentFaults schedule actually
+// delivers. Engine-loss scenarios are driven at 1.5× the degraded
+// capacity — the bottleneck vertex sheds the excess through its finite
+// queue. Link-degrade scenarios are driven at 1.05×: shared links have no
+// drop point (overload only grows their FIFO backlog), so the capacity
+// comparison needs an offer near the ceiling.
+
+import (
+	"math"
+	"testing"
+
+	"lognic/internal/core"
+	"lognic/internal/devices"
+	"lognic/internal/traffic"
+	"lognic/internal/unit"
+)
+
+const crossvalPkt = 1500.0
+
+// liquidIOModel is a LiquidIO-II CN2360 MD5 offload chain: NIC cores
+// prepare each packet and invoke the on-chip MD5 engine. Ingress DMA
+// crosses the CMI (α); the accelerator fetch crosses DRAM (β).
+func liquidIOModel(t *testing.T) core.Model {
+	t.Helper()
+	d := devices.LiquidIO2CN2360()
+	md5, err := d.Accel("md5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.NewBuilder("liquidio-md5")
+	b.AddIngress("in")
+	b.AddVertex(core.Vertex{
+		Name: "cores", Kind: core.KindIP,
+		Throughput:  d.CoreThroughput(md5, crossvalPkt, d.Cores),
+		Parallelism: d.Cores, QueueCapacity: 64,
+	})
+	b.AddVertex(core.Vertex{
+		Name: "md5", Kind: core.KindIP,
+		Throughput:  md5.PacketRate * crossvalPkt,
+		Parallelism: 4, QueueCapacity: 64,
+	})
+	b.AddEgress("out")
+	b.AddEdge(core.Edge{From: "in", To: "cores", Delta: 1, Alpha: 1})
+	b.AddEdge(core.Edge{From: "cores", To: "md5", Delta: 1, Beta: 1})
+	b.AddEdge(core.Edge{From: "md5", To: "out", Delta: 1})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Model{
+		Hardware: d.Hardware(),
+		Graph:    g,
+		Traffic:  core.Traffic{Granularity: crossvalPkt},
+	}
+}
+
+// blueFieldModel is a BlueField-2 inline-crypto chain: ARM cores classify,
+// the crypto engine transforms. Ingress crosses the SoC interconnect (α);
+// the engine handoff crosses DRAM (β).
+func blueFieldModel(t *testing.T) core.Model {
+	t.Helper()
+	d := devices.BlueField2DPU()
+	crypto, err := d.Engine("crypto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cryptoLanes = 4
+	armPerPacket := 0.8e-6 // synthetic per-core classification cost
+	b := core.NewBuilder("bluefield2-crypto")
+	b.AddIngress("in")
+	b.AddVertex(core.Vertex{
+		Name: "arm", Kind: core.KindIP,
+		Throughput:  float64(d.Cores) * crossvalPkt / armPerPacket,
+		Parallelism: d.Cores, QueueCapacity: 64,
+	})
+	b.AddVertex(core.Vertex{
+		Name: "crypto", Kind: core.KindIP,
+		Throughput:  cryptoLanes * crossvalPkt / crypto.ServiceTime(crossvalPkt),
+		Parallelism: cryptoLanes, QueueCapacity: 64,
+	})
+	b.AddEgress("out")
+	b.AddEdge(core.Edge{From: "in", To: "arm", Delta: 1, Alpha: 1})
+	b.AddEdge(core.Edge{From: "arm", To: "crypto", Delta: 1, Beta: 1})
+	b.AddEdge(core.Edge{From: "crypto", To: "out", Delta: 1})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Model{
+		Hardware: d.Hardware(),
+		Graph:    g,
+		Traffic:  core.Traffic{Granularity: crossvalPkt},
+	}
+}
+
+// Model-vs-sim agreement within 15% under single-engine-group loss and
+// link degradation, on both catalogs (the ISSUE acceptance criterion).
+func TestDegradedCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several simulation runs")
+	}
+	cases := []struct {
+		name     string
+		model    func(*testing.T) core.Model
+		scenario core.Degradation
+		overload float64 // offer as a multiple of the degraded capacity
+	}{
+		{
+			name:     "liquidio2/engine-loss",
+			model:    liquidIOModel,
+			scenario: core.Degradation{EnginesDown: map[string]int{"cores": 12}},
+			overload: 1.5,
+		},
+		{
+			name:     "liquidio2/link-degrade",
+			model:    liquidIOModel,
+			scenario: core.Degradation{LinkFactors: map[string]float64{core.LinkInterface: 0.3}},
+			overload: 1.05,
+		},
+		{
+			name:     "bluefield2/engine-loss",
+			model:    blueFieldModel,
+			scenario: core.Degradation{EnginesDown: map[string]int{"crypto": 2}},
+			overload: 1.5,
+		},
+		{
+			name:     "bluefield2/link-degrade",
+			model:    blueFieldModel,
+			scenario: core.Degradation{LinkFactors: map[string]float64{core.LinkMemory: 0.15}},
+			overload: 1.05,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.model(t)
+			healthy, err := m.SaturationThroughput()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dm, err := core.Degrade(m, tc.scenario)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sat, err := dm.SaturationThroughput()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sat.Attainable >= healthy.Attainable {
+				t.Fatalf("scenario did not reduce capacity: %v vs healthy %v",
+					sat.Attainable, healthy.Attainable)
+			}
+			res, err := Run(Config{
+				Graph:    m.Graph,
+				Hardware: m.Hardware,
+				Profile:  traffic.Fixed("x", unit.Bandwidth(tc.overload*sat.Attainable), unit.Size(crossvalPkt)),
+				Seed:     42,
+				Duration: 0.03,
+				Faults:   PermanentFaults(tc.scenario),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel := math.Abs(res.Throughput-sat.Attainable) / sat.Attainable
+			if rel > 0.15 {
+				t.Errorf("sim delivered %.4g B/s vs degraded model capacity %.4g B/s (%.1f%% off, bottleneck %v)",
+					res.Throughput, sat.Attainable, 100*rel, sat.Bottleneck)
+			}
+		})
+	}
+}

@@ -1,0 +1,374 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lognic/internal/core"
+	"lognic/internal/traffic"
+	"lognic/internal/unit"
+)
+
+// faultChain builds in -> ip(D engines, aggregate rate P B/s, queue cap) -> out
+// over the interface medium.
+func faultChain(t *testing.T, engines, queueCap int, rate float64) *core.Graph {
+	t.Helper()
+	g, err := core.NewBuilder("fault-chain").
+		AddIngress("in").
+		AddIP("ip", rate, engines, queueCap).
+		AddEgress("out").
+		Connect("in", "ip", 1).
+		Connect("ip", "out", 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// Losing half the engines at t=0 halves the delivered throughput of an
+// overloaded chain.
+func TestEngineDownReducesCapacity(t *testing.T) {
+	g := faultChain(t, 4, 32, 2e9)
+	base := Config{
+		Graph:    g,
+		Hardware: core.Hardware{InterfaceBW: 50e9},
+		Profile:  traffic.Fixed("t", unit.Bandwidth(3e9), 1000), // 1.5x capacity
+		Seed:     7,
+		Duration: 0.05,
+	}
+	healthy, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted := base
+	faulted.Faults = FaultSchedule{{Kind: EngineDown, Vertex: "ip", Count: 2}}
+	res, err := Run(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.EngineDownEvents != 1 {
+		t.Fatalf("EngineDownEvents = %d", res.Faults.EngineDownEvents)
+	}
+	if math.Abs(res.Throughput-1e9) > 0.1e9 {
+		t.Errorf("degraded throughput %v, want ~1e9", res.Throughput)
+	}
+	if math.Abs(healthy.Throughput-2e9) > 0.2e9 {
+		t.Errorf("healthy throughput %v, want ~2e9", healthy.Throughput)
+	}
+	// The lost capacity integral covers the whole run: 2 engines * 0.05s.
+	if dt := res.Faults.EngineDownTime["ip"]; math.Abs(dt-0.1) > 0.005 {
+		t.Errorf("EngineDownTime = %v, want ~0.1 engine-seconds", dt)
+	}
+}
+
+// An EngineUp fault restores capacity and drains the queued backlog; the
+// run's delivery sits between permanently-degraded and healthy.
+func TestEngineDownUpWindow(t *testing.T) {
+	g := faultChain(t, 4, 256, 2e9)
+	base := Config{
+		Graph:    g,
+		Hardware: core.Hardware{InterfaceBW: 50e9},
+		Profile:  traffic.Fixed("t", unit.Bandwidth(1.8e9), 1000), // 90% load
+		Seed:     3,
+		Duration: 0.08,
+		Warmup:   0.004,
+	}
+	windowed := base
+	windowed.Faults = FaultSchedule{
+		{Kind: EngineDown, Vertex: "ip", Count: 3, Time: 0.02},
+		{Kind: EngineUp, Vertex: "ip", Count: 3, Time: 0.05},
+	}
+	res, err := Run(windowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.EngineDownEvents != 1 || res.Faults.EngineUpEvents != 1 {
+		t.Fatalf("fault counters = %+v", res.Faults)
+	}
+	// 3 engines down for 0.03s = 0.09 engine-seconds.
+	if dt := res.Faults.EngineDownTime["ip"]; math.Abs(dt-0.09) > 0.005 {
+		t.Errorf("EngineDownTime = %v, want ~0.09", dt)
+	}
+	degraded := base
+	degraded.Faults = FaultSchedule{{Kind: EngineDown, Vertex: "ip", Count: 3}}
+	perm, err := Run(degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(perm.Throughput < res.Throughput && res.Throughput < healthy.Throughput*1.01) {
+		t.Errorf("throughputs: permanent %v < windowed %v < healthy %v violated",
+			perm.Throughput, res.Throughput, healthy.Throughput)
+	}
+}
+
+// Degrading the interface for a window throttles delivery while it lasts
+// and fires a restore.
+func TestLinkDegradeWindow(t *testing.T) {
+	g := faultChain(t, 4, 64, 50e9) // compute never binds
+	base := Config{
+		Graph:    g,
+		Hardware: core.Hardware{InterfaceBW: 4e9}, // Σα=2 → capacity 2e9
+		Profile:  traffic.Fixed("t", unit.Bandwidth(1.5e9), 1000),
+		Seed:     11,
+		Duration: 0.06,
+	}
+	healthy, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted := base
+	faulted.Faults = FaultSchedule{
+		{Kind: LinkDegrade, Link: "interface", Factor: 0.25, Time: 0.02, Duration: 0.02},
+	}
+	res, err := Run(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.LinkDegradeEvents != 1 || res.Faults.LinkRestores != 1 {
+		t.Fatalf("fault counters = %+v", res.Faults)
+	}
+	// During the window the capacity is 0.5e9 against a 1.5e9 offer, so
+	// overall delivery must drop measurably below healthy.
+	if res.Throughput >= healthy.Throughput*0.95 {
+		t.Errorf("degraded %v not below healthy %v", res.Throughput, healthy.Throughput)
+	}
+}
+
+// A permanent LinkDegrade with no Duration never restores. Offered load
+// sits just above the degraded capacity: the shared link has no drop
+// point, so deep overload only grows its FIFO backlog — near capacity,
+// delivered must match the degraded ceiling.
+func TestLinkDegradePermanent(t *testing.T) {
+	g := faultChain(t, 4, 64, 50e9)
+	res, err := Run(Config{
+		Graph:    g,
+		Hardware: core.Hardware{InterfaceBW: 4e9},
+		Profile:  traffic.Fixed("t", unit.Bandwidth(0.525e9), 1000), // 1.05x degraded capacity
+		Seed:     11,
+		Duration: 0.05,
+		Faults:   FaultSchedule{{Kind: LinkDegrade, Link: "interface", Factor: 0.25}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.LinkRestores != 0 {
+		t.Fatalf("LinkRestores = %d for a permanent degrade", res.Faults.LinkRestores)
+	}
+	// Capacity 4e9*0.25/Σα=2 → 0.5e9.
+	if math.Abs(res.Throughput-0.5e9) > 0.05e9 {
+		t.Errorf("throughput %v, want ~0.5e9", res.Throughput)
+	}
+	if res.InterfaceUtil < 0.95 {
+		t.Errorf("degraded interface utilization %v, want ~1", res.InterfaceUtil)
+	}
+}
+
+// A stalled vertex serves nothing inside the window and recovers after it.
+func TestVertexStall(t *testing.T) {
+	g := faultChain(t, 2, 8, 2e9)
+	var stallSeen, recoverSeen bool
+	servedInWindow := 0
+	res, err := Run(Config{
+		Graph:    g,
+		Hardware: core.Hardware{InterfaceBW: 50e9},
+		Profile:  traffic.Fixed("t", unit.Bandwidth(1e9), 1000),
+		Seed:     5,
+		Duration: 0.06,
+		Faults:   FaultSchedule{{Kind: VertexStall, Vertex: "ip", Time: 0.02, Duration: 0.02}},
+		Trace: func(ev TraceEvent) {
+			switch ev.Kind {
+			case TraceFaultInject:
+				stallSeen = true
+			case TraceFaultRecover:
+				recoverSeen = true
+			case TraceServiceStart:
+				// No service may begin strictly inside the stall window
+				// (the boundary itself belongs to the recovery).
+				if ev.Vertex == "ip" && ev.Time > 0.02 && ev.Time < 0.04 {
+					servedInWindow++
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stallSeen || !recoverSeen {
+		t.Fatalf("trace: inject %v recover %v", stallSeen, recoverSeen)
+	}
+	if res.Faults.VertexStallEvents != 1 || res.Faults.StallRecoveries != 1 {
+		t.Fatalf("fault counters = %+v", res.Faults)
+	}
+	if servedInWindow != 0 {
+		t.Errorf("%d services started inside the stall window", servedInWindow)
+	}
+	// The 8-deep queue must overflow during a 20ms stall at ~1e6 pkt/s.
+	if res.DropRate == 0 {
+		t.Error("expected drops while stalled")
+	}
+}
+
+// Retry-on-drop re-issues rejected packets: with enough backoff and
+// budget the post-warmup drop rate collapses versus the no-retry run.
+func TestRetryOnDrop(t *testing.T) {
+	g := faultChain(t, 1, 2, 2e9)
+	base := Config{
+		Graph:    g,
+		Hardware: core.Hardware{InterfaceBW: 50e9},
+		Profile:  traffic.Fixed("t", unit.Bandwidth(1.6e9), 1000), // 80% load, tiny queue
+		Seed:     9,
+		Duration: 0.05,
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.DropRate == 0 {
+		t.Fatal("baseline config must drop for the retry comparison to mean anything")
+	}
+	retried := base
+	retried.Retry = map[string]RetryPolicy{"ip": {MaxRetries: 20, Backoff: 5e-6}}
+	res, err := Run(retried)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Retries == 0 {
+		t.Fatal("no retries recorded")
+	}
+	if res.DropRate >= plain.DropRate/2 {
+		t.Errorf("retry drop rate %v vs plain %v: retries should absorb most drops",
+			res.DropRate, plain.DropRate)
+	}
+	// Exhausted budgets surface in RetryDrops and still count as drops.
+	exhausted := base
+	exhausted.Profile = traffic.Fixed("t", unit.Bandwidth(4e9), 1000) // 2x overload
+	exhausted.Retry = map[string]RetryPolicy{"ip": {MaxRetries: 2, Backoff: 1e-6}}
+	over, err := Run(exhausted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Faults.RetryDrops == 0 {
+		t.Error("2x overload with 2 retries must exhaust some budgets")
+	}
+	if over.DropRate == 0 {
+		t.Error("exhausted retries must still drop")
+	}
+}
+
+// Malformed schedules and policies are rejected at New.
+func TestFaultValidation(t *testing.T) {
+	g := faultChain(t, 2, 8, 1e9)
+	base := Config{
+		Graph:    g,
+		Hardware: core.Hardware{InterfaceBW: 50e9},
+		Profile:  traffic.Fixed("t", unit.Bandwidth(1e8), 1000),
+		Duration: 0.01,
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"unknown vertex", func(c *Config) {
+			c.Faults = FaultSchedule{{Kind: EngineDown, Vertex: "ghost"}}
+		}, "unknown vertex"},
+		{"negative time", func(c *Config) {
+			c.Faults = FaultSchedule{{Kind: EngineDown, Vertex: "ip", Time: -1}}
+		}, "invalid time"},
+		{"nan time", func(c *Config) {
+			c.Faults = FaultSchedule{{Kind: EngineDown, Vertex: "ip", Time: math.NaN()}}
+		}, "invalid time"},
+		{"negative count", func(c *Config) {
+			c.Faults = FaultSchedule{{Kind: EngineUp, Vertex: "ip", Count: -2}}
+		}, "negative engine count"},
+		{"unknown link", func(c *Config) {
+			c.Faults = FaultSchedule{{Kind: LinkDegrade, Link: "pcie", Factor: 0.5}}
+		}, "unknown link"},
+		{"memory link unset", func(c *Config) {
+			c.Faults = FaultSchedule{{Kind: LinkDegrade, Link: "memory", Factor: 0.5}}
+		}, "unknown link"},
+		{"zero factor", func(c *Config) {
+			c.Faults = FaultSchedule{{Kind: LinkDegrade, Link: "interface", Factor: 0}}
+		}, "invalid factor"},
+		{"inf factor", func(c *Config) {
+			c.Faults = FaultSchedule{{Kind: LinkDegrade, Link: "interface", Factor: math.Inf(1)}}
+		}, "invalid factor"},
+		{"stall without duration", func(c *Config) {
+			c.Faults = FaultSchedule{{Kind: VertexStall, Vertex: "ip"}}
+		}, "positive duration"},
+		{"bad kind", func(c *Config) {
+			c.Faults = FaultSchedule{{Kind: FaultKind(42), Vertex: "ip"}}
+		}, "unknown kind"},
+		{"retry unknown vertex", func(c *Config) {
+			c.Retry = map[string]RetryPolicy{"ghost": {MaxRetries: 1, Backoff: 1e-6}}
+		}, "unknown vertex"},
+		{"retry negative budget", func(c *Config) {
+			c.Retry = map[string]RetryPolicy{"ip": {MaxRetries: -1}}
+		}, "negative MaxRetries"},
+		{"retry nan backoff", func(c *Config) {
+			c.Retry = map[string]RetryPolicy{"ip": {MaxRetries: 1, Backoff: math.NaN()}}
+		}, "invalid backoff"},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		_, err := New(cfg)
+		if err == nil {
+			t.Errorf("%s: New accepted a malformed config", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// The new trace kinds and fault kinds render by name.
+func TestFaultKindStrings(t *testing.T) {
+	for kind, want := range map[FaultKind]string{
+		EngineDown:    "engine-down",
+		EngineUp:      "engine-up",
+		LinkDegrade:   "link-degrade",
+		VertexStall:   "vertex-stall",
+		FaultKind(99): "fault(99)",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("FaultKind(%d).String() = %q, want %q", int(kind), got, want)
+		}
+	}
+	for kind, want := range map[TraceKind]string{
+		TraceFaultInject:  "fault-inject",
+		TraceFaultRecover: "fault-recover",
+		TraceRetry:        "retry",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("TraceKind(%d).String() = %q, want %q", int(kind), got, want)
+		}
+	}
+}
+
+// PermanentFaults mirrors a core.Degradation as time-zero faults.
+func TestPermanentFaults(t *testing.T) {
+	fs := PermanentFaults(core.Degradation{
+		EnginesDown: map[string]int{"b": 2, "a": 1},
+		LinkFactors: map[string]float64{"interface": 0.5},
+	})
+	if len(fs) != 3 {
+		t.Fatalf("len = %d", len(fs))
+	}
+	// Deterministic order: sorted vertices, then sorted links.
+	if fs[0].Vertex != "a" || fs[1].Vertex != "b" || fs[2].Link != "interface" {
+		t.Fatalf("order = %+v", fs)
+	}
+	for _, f := range fs {
+		if f.Time != 0 {
+			t.Errorf("fault %+v not at time zero", f)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"lognic/internal/core"
+	"lognic/internal/traffic"
+	"lognic/internal/unit"
+)
+
+func harnessConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Graph:    faultChain(t, 2, 4, 1e9),
+		Hardware: core.Hardware{InterfaceBW: 50e9},
+		Profile:  traffic.Fixed("t", unit.Bandwidth(0.8e9), 1000),
+		Seed:     1,
+		Duration: 0.05,
+	}
+}
+
+// A cancelled context aborts the run with context.Canceled.
+func TestRunContextCancelled(t *testing.T) {
+	s, err := New(harnessConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// An expired deadline aborts the run with context.DeadlineExceeded.
+func TestRunContextDeadline(t *testing.T) {
+	s, err := New(harnessConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := s.RunContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// Exceeding MaxEvents returns ErrBudgetExceeded instead of running on.
+func TestMaxEventsBudget(t *testing.T) {
+	cfg := harnessConfig(t)
+	cfg.MaxEvents = 200 // a 0.05s run at ~1e6 pkt/s needs far more
+	if _, err := Run(cfg); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	// A generous budget does not interfere.
+	cfg.MaxEvents = 100_000_000
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("generous budget failed: %v", err)
+	}
+}
+
+// A zero-backoff retry policy against a permanently full queue loops the
+// event heap at one timestamp forever; the progress watchdog must convert
+// that runaway config into ErrStalled instead of hanging.
+func TestWatchdogCatchesStall(t *testing.T) {
+	cfg := Config{
+		Graph:    faultChain(t, 1, 1, 1e6), // 1ms/packet, queue of 1
+		Hardware: core.Hardware{InterfaceBW: 50e9},
+		Profile:  traffic.Fixed("t", unit.Bandwidth(1e9), 1000), // massive overload
+		Seed:     2,
+		Duration: 1,
+		Retry:    map[string]RetryPolicy{"ip": {MaxRetries: 1 << 30, Backoff: 0}},
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(cfg)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("err = %v, want ErrStalled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("runaway config hung instead of aborting")
+	}
+}
+
+// MaxEvents also bounds the same runaway config, whichever limit is hit
+// first wins.
+func TestBudgetBoundsRunaway(t *testing.T) {
+	cfg := Config{
+		Graph:     faultChain(t, 1, 1, 1e6),
+		Hardware:  core.Hardware{InterfaceBW: 50e9},
+		Profile:   traffic.Fixed("t", unit.Bandwidth(1e9), 1000),
+		Seed:      2,
+		Duration:  1,
+		MaxEvents: 5000,
+		Retry:     map[string]RetryPolicy{"ip": {MaxRetries: 1 << 30, Backoff: 0}},
+	}
+	_, err := Run(cfg)
+	if !errors.Is(err, ErrBudgetExceeded) && !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want a typed abort", err)
+	}
+}
+
+// Config validation rejects the numeric pathologies sim.New must not
+// accept (satellite: mirror core/types.go's finiteness checks).
+func TestConfigValidation(t *testing.T) {
+	base := harnessConfig(t)
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero duration", func(c *Config) { c.Duration = 0 }},
+		{"negative duration", func(c *Config) { c.Duration = -1 }},
+		{"nan duration", func(c *Config) { c.Duration = math.NaN() }},
+		{"inf duration", func(c *Config) { c.Duration = math.Inf(1) }},
+		{"negative warmup", func(c *Config) { c.Warmup = -0.01 }},
+		{"warmup at duration", func(c *Config) { c.Warmup = c.Duration }},
+		{"warmup past duration", func(c *Config) { c.Warmup = 2 * c.Duration }},
+		{"nan warmup", func(c *Config) { c.Warmup = math.NaN() }},
+		{"zero WRR weight", func(c *Config) {
+			c.WRRWeights = map[string]map[string]int{"ip": {"in": 0}}
+		}},
+		{"negative WRR weight", func(c *Config) {
+			c.WRRWeights = map[string]map[string]int{"ip": {"in": -3}}
+		}},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: New accepted the config", tc.name)
+		}
+	}
+	// The defaults still work.
+	if _, err := New(base); err != nil {
+		t.Fatalf("base config rejected: %v", err)
+	}
+}

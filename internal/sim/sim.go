@@ -17,6 +17,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -24,6 +25,18 @@ import (
 
 	"lognic/internal/core"
 	"lognic/internal/traffic"
+)
+
+// Typed run-harness errors. RunContext returns these (wrapped with run
+// detail) instead of hanging on pathological configs.
+var (
+	// ErrBudgetExceeded reports that the run processed more events than
+	// Config.MaxEvents allows.
+	ErrBudgetExceeded = errors.New("sim: event budget exceeded")
+	// ErrStalled reports that the progress watchdog saw the simulation
+	// clock stop advancing — an event storm at one timestamp, such as a
+	// zero-backoff retry loop against a permanently full queue.
+	ErrStalled = errors.New("sim: simulation clock stalled")
 )
 
 // ServiceTimer computes the service time (seconds) for one request at one
@@ -67,6 +80,16 @@ type Config struct {
 	// edges. The default (RouteDelta) draws per packet from the δ
 	// fractions — the stochastic split the analytical model assumes.
 	RoutePolicy map[string]RoutePolicy
+	// Faults schedules timed hardware degradations (engine loss, link
+	// degradation, vertex stalls) applied as first-class events during
+	// the run. See FaultSchedule.
+	Faults FaultSchedule
+	// Retry sets per-vertex retry-on-drop policies, modelling a host
+	// re-issuing rejected requests with bounded exponential backoff.
+	Retry map[string]RetryPolicy
+	// MaxEvents bounds the number of events the run may process; zero
+	// means unbounded. Exceeding it aborts with ErrBudgetExceeded.
+	MaxEvents uint64
 }
 
 // RoutePolicy selects a vertex's fan-out discipline.
@@ -116,6 +139,14 @@ const (
 	TraceDrop
 	// TraceDeliver fires when a packet completes at an egress engine.
 	TraceDeliver
+	// TraceFaultInject fires when a scheduled fault takes effect; Vertex
+	// carries the vertex or link name and the packet fields are zero.
+	TraceFaultInject
+	// TraceFaultRecover fires when a fault's recovery takes effect.
+	TraceFaultRecover
+	// TraceRetry fires when a rejected packet is re-issued under a
+	// RetryPolicy instead of being dropped.
+	TraceRetry
 )
 
 // String names the kind.
@@ -131,6 +162,12 @@ func (k TraceKind) String() string {
 		return "drop"
 	case TraceDeliver:
 		return "deliver"
+	case TraceFaultInject:
+		return "fault-inject"
+	case TraceFaultRecover:
+		return "fault-recover"
+	case TraceRetry:
+		return "retry"
 	default:
 		return fmt.Sprintf("trace(%d)", int(k))
 	}
@@ -193,6 +230,8 @@ type Result struct {
 	InterfaceUtil, MemoryUtil float64
 	// Vertices maps vertex name to its stats.
 	Vertices map[string]VertexStats
+	// Faults counts fault-injection activity over the whole run.
+	Faults FaultStats
 }
 
 // event is one scheduled action.
@@ -227,9 +266,14 @@ func (h *eventHeap) Pop() any {
 // bytes/bandwidth seconds.
 type link struct {
 	bandwidth float64
+	healthy   float64 // nominal bandwidth, restored after a LinkDegrade
 	busyUntil float64
 	busySum   float64 // accumulated transmission time
 	bytesSum  float64 // accumulated bytes carried
+}
+
+func newLink(bandwidth float64) *link {
+	return &link{bandwidth: bandwidth, healthy: bandwidth}
 }
 
 // transfer returns the completion time of moving the given bytes starting
@@ -266,6 +310,7 @@ type packet struct {
 	born    float64
 	flow    uint64
 	measure bool // arrived after warmup
+	retries int  // re-issues consumed under a RetryPolicy
 }
 
 // node is the runtime state of one vertex.
@@ -280,10 +325,13 @@ type node struct {
 	timer    ServiceTimer
 	outEdges []routeChoice
 	policy   RoutePolicy
+	// fault state
+	down         int     // engines currently removed by EngineDown
+	stalledUntil float64 // VertexStall freeze horizon
 	// stats
 	arrivals, served, dropped int
 	waitSum                   float64
-	busyTW, queueTW           timeWeighted
+	busyTW, queueTW, downTW   timeWeighted
 }
 
 type queued struct {
@@ -315,7 +363,9 @@ type Simulator struct {
 	order     []string
 	intf      *link
 	mem       *link
+	links     map[string]*link // by name: "interface", "memory", "from->to"
 	ingressPk []ingressShare
+	faults    FaultStats
 
 	warmEnd float64
 	// measurement accumulators
@@ -343,13 +393,18 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.Duration <= 0 || math.IsNaN(cfg.Duration) || math.IsInf(cfg.Duration, 0) {
 		return nil, fmt.Errorf("sim: invalid duration %v", cfg.Duration)
 	}
-	if cfg.Warmup < 0 || cfg.Warmup >= cfg.Duration {
-		if cfg.Warmup != 0 {
-			return nil, fmt.Errorf("sim: warmup %v outside [0, duration)", cfg.Warmup)
-		}
-	}
-	if cfg.Warmup == 0 {
+	switch {
+	case cfg.Warmup == 0:
 		cfg.Warmup = 0.1 * cfg.Duration
+	case math.IsNaN(cfg.Warmup) || cfg.Warmup < 0 || cfg.Warmup >= cfg.Duration:
+		return nil, fmt.Errorf("sim: warmup %v outside [0, duration %v)", cfg.Warmup, cfg.Duration)
+	}
+	for vertex, weights := range cfg.WRRWeights {
+		for upstream, w := range weights {
+			if w <= 0 {
+				return nil, fmt.Errorf("sim: WRR weight %s<-%s must be positive, got %d", vertex, upstream, w)
+			}
+		}
 	}
 
 	g := cfg.Graph
@@ -380,12 +435,15 @@ func New(cfg Config) (*Simulator, error) {
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		nodes: map[string]*node{},
+		links: map[string]*link{},
 	}
 	if cfg.Hardware.InterfaceBW > 0 {
-		s.intf = &link{bandwidth: cfg.Hardware.InterfaceBW}
+		s.intf = newLink(cfg.Hardware.InterfaceBW)
+		s.links["interface"] = s.intf
 	}
 	if cfg.Hardware.MemoryBW > 0 {
-		s.mem = &link{bandwidth: cfg.Hardware.MemoryBW}
+		s.mem = newLink(cfg.Hardware.MemoryBW)
+		s.links["memory"] = s.mem
 	}
 
 	for _, v := range g.Vertices() {
@@ -457,7 +515,8 @@ func New(cfg Config) (*Simulator, error) {
 				rc.memPerByte = e.Beta / ep
 				if e.Bandwidth > 0 {
 					rc.dedPerByte = e.Delta / ep
-					rc.dedicated = &link{bandwidth: e.Bandwidth}
+					rc.dedicated = newLink(e.Bandwidth)
+					s.links[e.From+"->"+e.To] = rc.dedicated
 				}
 			}
 			n.outEdges = append(n.outEdges, rc)
@@ -482,6 +541,17 @@ func New(cfg Config) (*Simulator, error) {
 		s.ingressPk = append(s.ingressPk, ingressShare{name: name, cum: cum})
 	}
 	s.warmEnd = cfg.Warmup
+	if err := cfg.Faults.validate(s); err != nil {
+		return nil, err
+	}
+	for vertex, rp := range cfg.Retry {
+		if _, ok := s.nodes[vertex]; !ok {
+			return nil, fmt.Errorf("sim: retry policy for unknown vertex %q", vertex)
+		}
+		if err := rp.validate(vertex); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -490,23 +560,61 @@ func (s *Simulator) schedule(t float64, fn func()) {
 	heap.Push(&s.events, &event{time: t, seq: s.seq, fn: fn})
 }
 
-// Run executes the simulation and returns its Result.
+// ctxCheckInterval is how many events pass between context polls: cheap
+// enough to be invisible, frequent enough that cancellation lands fast.
+const ctxCheckInterval = 1024
+
+// stallWindow is the progress watchdog's patience: this many consecutive
+// events without the simulation clock advancing aborts the run. Legitimate
+// same-timestamp bursts (back-to-back burst arrivals, zero-overhead
+// forwarding chains) sit orders of magnitude below it.
+const stallWindow = 1 << 17
+
+// Run executes the simulation and returns its Result. It delegates to
+// RunContext with a background context.
 func (s *Simulator) Run() (Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the simulation under a context: cancellation or
+// deadline expiry aborts the run with the context's error. The run also
+// aborts with ErrBudgetExceeded once it processes more than
+// Config.MaxEvents events (when set), and with ErrStalled when the
+// progress watchdog sees the simulated clock pinned at one timestamp —
+// both turn a pathological config into a typed error instead of a hang.
+func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	gen, err := traffic.NewGenerator(s.cfg.Profile, s.cfg.Seed+1)
 	if err != nil {
 		return Result{}, err
 	}
-	// Seed the arrival pump.
+	// Seed the arrival pump, then the fault schedule.
 	first := gen.Next()
 	s.schedule(first.Time, func() { s.arrivalPump(gen, first) })
+	s.scheduleFaults()
 
+	var processed uint64
+	var stalled int
 	for s.events.Len() > 0 {
+		if processed%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("sim: run aborted at t=%v after %d events: %w", s.now, processed, err)
+			}
+		}
+		if s.cfg.MaxEvents > 0 && processed >= s.cfg.MaxEvents {
+			return Result{}, fmt.Errorf("%w: budget %d at t=%v", ErrBudgetExceeded, s.cfg.MaxEvents, s.now)
+		}
 		e := heap.Pop(&s.events).(*event)
 		if e.time > s.cfg.Duration {
 			break
 		}
+		if e.time > s.now {
+			stalled = 0
+		} else if stalled++; stalled > stallWindow {
+			return Result{}, fmt.Errorf("%w: %d events at t=%v", ErrStalled, stalled, s.now)
+		}
 		s.now = e.time
 		e.fn()
+		processed++
 	}
 	s.now = s.cfg.Duration
 	return s.collect(), nil
@@ -558,11 +666,31 @@ func (s *Simulator) arriveAt(name, from string, p *packet) {
 		s.depart(n, p)
 		return
 	}
-	if n.busy < n.engines {
+	if s.canStart(n) {
 		s.startService(n, p, 0)
 		return
 	}
 	if !n.queue.push(from, &queued{p: p, enqueued: s.now}) {
+		// Full queue: re-issue under the vertex's retry policy, if any
+		// budget remains — modelling a host retrying a rejected DMA or
+		// doorbell — otherwise drop.
+		if rp, ok := s.cfg.Retry[name]; ok && rp.MaxRetries > 0 {
+			if p.retries < rp.MaxRetries {
+				p.retries++
+				s.faults.Retries++
+				s.trace(TraceRetry, name, p)
+				// Cap the exponent: beyond 2^30 the doubling only
+				// overflows (0·Inf would poison the clock with NaN).
+				exp := p.retries - 1
+				if exp > 30 {
+					exp = 30
+				}
+				backoff := rp.Backoff * math.Pow(2, float64(exp))
+				s.schedule(s.now+backoff, func() { s.arriveAt(name, from, p) })
+				return
+			}
+			s.faults.RetryDrops++
+		}
 		if p.measure {
 			n.dropped++
 			s.droppedMeasured++
@@ -610,8 +738,9 @@ func (s *Simulator) startService(n *node, p *packet, wait float64) {
 		n.busy--
 		n.busyTW.set(s.now, float64(n.busy)/float64(n.engines))
 		s.depart(n, p)
-		// Pull the next request per the queue discipline.
-		if n.busy < n.engines {
+		// Pull the next request per the queue discipline — unless the
+		// engine was lost or the vertex stalled while this service ran.
+		if s.canStart(n) {
 			if q := n.queue.pop(); q != nil {
 				n.queueTW.set(s.now, float64(n.queue.length()))
 				s.startService(n, q.p, s.now-q.enqueued)
@@ -730,8 +859,15 @@ func (s *Simulator) collect() Result {
 	}
 	res.InterfaceUtil = s.intf.utilization(s.now)
 	res.MemoryUtil = s.mem.utilization(s.now)
+	res.Faults = s.faults
 	for _, name := range s.order {
 		n := s.nodes[name]
+		if n.downTW.started {
+			if res.Faults.EngineDownTime == nil {
+				res.Faults.EngineDownTime = map[string]float64{}
+			}
+			res.Faults.EngineDownTime[name] = n.downTW.average(s.now) * s.now
+		}
 		vs := VertexStats{
 			Arrivals:     n.arrivals,
 			Served:       n.served,

@@ -1,0 +1,63 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"lognic/internal/core"
+)
+
+// Scenario is the JSON form of a fault scenario: which vertices lost
+// engines and which links run below nominal bandwidth. It is the file
+// format behind `lognic faults`, converting into a core.Degradation for
+// the analytical model and (via sim.PermanentFaults) into a simulator
+// fault schedule.
+//
+//	{
+//	  "name": "one engine group down",
+//	  "engines_down": {"cores": 12},
+//	  "link_factors": {"interface": 0.5, "a->b": 0.25}
+//	}
+type Scenario struct {
+	// Name labels the scenario in output.
+	Name string `json:"name,omitempty"`
+	// EnginesDown maps vertex name → engines lost.
+	EnginesDown map[string]int `json:"engines_down,omitempty"`
+	// LinkFactors maps "interface", "memory" or "from->to" → bandwidth
+	// scale factor.
+	LinkFactors map[string]float64 `json:"link_factors,omitempty"`
+}
+
+// Degradation converts the scenario into the model-facing form. Semantic
+// validation happens against a concrete model in core.Degradation.Validate.
+func (s Scenario) Degradation() core.Degradation {
+	return core.Degradation{
+		EnginesDown: s.EnginesDown,
+		LinkFactors: s.LinkFactors,
+	}
+}
+
+// ParseScenario decodes a JSON scenario, rejecting unknown fields.
+func ParseScenario(data []byte) (Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("spec: scenario: %w", err)
+	}
+	if len(s.EnginesDown) == 0 && len(s.LinkFactors) == 0 {
+		return Scenario{}, fmt.Errorf("spec: scenario %q declares no faults", s.Name)
+	}
+	return s, nil
+}
+
+// LoadScenario reads and decodes a JSON scenario file.
+func LoadScenario(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	return ParseScenario(data)
+}

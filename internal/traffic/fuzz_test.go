@@ -1,0 +1,60 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"lognic/internal/dist"
+	"lognic/internal/unit"
+)
+
+// FuzzProfileValidate checks that the profile validator never panics on
+// arbitrary numeric inputs, and that any profile it accepts drives the
+// generator soundly: monotone arrival times, sizes within the
+// distribution's support. Use `go test -fuzz=FuzzProfileValidate
+// ./internal/traffic` to explore.
+func FuzzProfileValidate(f *testing.F) {
+	f.Add(1e9, 64.0, 1500.0, 1.0, 1.0, 0.0, 0.0, int64(1))
+	f.Add(0.0, 64.0, 1500.0, 1.0, 1.0, 0.0, 0.0, int64(1))
+	f.Add(math.NaN(), 64.0, 1500.0, 1.0, 1.0, 4.0, 8.0, int64(2))
+	f.Add(1e9, -5.0, 0.0, 1.0, 1.0, math.Inf(1), -1.0, int64(3))
+	f.Add(math.Inf(1), 64.0, 64.0, 0.0, 0.0, 0.5, 2.0, int64(4))
+	f.Fuzz(func(t *testing.T, rate, s1, s2, w1, w2, burst, flow float64, seed int64) {
+		sizes, err := dist.NewSizeDist([]dist.SizePoint{
+			{Size: unit.Size(s1), Weight: w1},
+			{Size: unit.Size(s2), Weight: w2},
+		})
+		if err != nil {
+			sizes = dist.SizeDist{} // exercise the empty-distribution path
+		}
+		p := Profile{
+			Name:            "fuzz",
+			Rate:            unit.Bandwidth(rate),
+			Sizes:           sizes,
+			BurstDegree:     burst,
+			MeanFlowPackets: flow,
+		}
+		if err := p.Validate(); err != nil {
+			if _, gerr := NewGenerator(p, seed); gerr == nil {
+				t.Fatal("generator accepted a profile the validator rejected")
+			}
+			return
+		}
+		gen, err := NewGenerator(p, seed)
+		if err != nil {
+			t.Fatalf("generator rejected a validated profile: %v", err)
+		}
+		lo, hi := float64(p.Sizes.Min()), float64(p.Sizes.Max())
+		last := math.Inf(-1)
+		for i := 0; i < 64; i++ {
+			pkt := gen.Next()
+			if pkt.Time < last || math.IsNaN(pkt.Time) {
+				t.Fatalf("arrival %d: time %v went backwards from %v", i, pkt.Time, last)
+			}
+			last = pkt.Time
+			if pkt.Size < lo || pkt.Size > hi {
+				t.Fatalf("arrival %d: size %v outside support [%v, %v]", i, pkt.Size, lo, hi)
+			}
+		}
+	})
+}

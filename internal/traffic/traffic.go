@@ -91,9 +91,16 @@ func (p Profile) PacketRate() unit.Rate {
 	return unit.Rate(p.Rate.BytesPerSecond() / mean)
 }
 
-// Fixed builds a single-size profile.
+// Fixed builds a single-size profile. A non-positive size yields a
+// profile with an empty size distribution, which Validate rejects — so
+// the error surfaces at the construction sites (sim.New, NewGenerator)
+// instead of panicking here.
 func Fixed(name string, rate unit.Bandwidth, size unit.Size) Profile {
-	return Profile{Name: name, Rate: rate, Sizes: dist.Fixed(size)}
+	d, err := dist.Fixed(size)
+	if err != nil {
+		return Profile{Name: name, Rate: rate}
+	}
+	return Profile{Name: name, Rate: rate, Sizes: d}
 }
 
 // EqualSplit builds a profile splitting bandwidth equally across the given

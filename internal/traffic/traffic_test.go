@@ -17,15 +17,30 @@ func TestProfileValidate(t *testing.T) {
 	if err := ok.Validate(); err != nil {
 		t.Fatal(err)
 	}
+	sz, err := dist.Fixed(64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	bad := []Profile{
-		{Name: "zero-rate", Rate: 0, Sizes: dist.Fixed(64)},
-		{Name: "neg-rate", Rate: -1, Sizes: dist.Fixed(64)},
-		{Name: "nan", Rate: unit.Bandwidth(math.NaN()), Sizes: dist.Fixed(64)},
+		{Name: "zero-rate", Rate: 0, Sizes: sz},
+		{Name: "neg-rate", Rate: -1, Sizes: sz},
+		{Name: "nan", Rate: unit.Bandwidth(math.NaN()), Sizes: sz},
 		{Name: "no-sizes", Rate: unit.Gbps(1)},
 	}
 	for _, p := range bad {
 		if err := p.Validate(); err == nil {
 			t.Errorf("%s: expected error", p.Name)
+		}
+	}
+}
+
+// A non-positive size no longer panics: Fixed yields a profile with an
+// empty size distribution, and Validate reports it.
+func TestFixedBadSizeFailsValidation(t *testing.T) {
+	for _, size := range []unit.Size{0, -64} {
+		p := Fixed("bad", unit.Gbps(1), size)
+		if err := p.Validate(); err == nil {
+			t.Errorf("size %v: expected a validation error", float64(size))
 		}
 	}
 }

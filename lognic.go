@@ -40,6 +40,7 @@
 package lognic
 
 import (
+	"context"
 	"errors"
 
 	"lognic/internal/core"
@@ -225,11 +226,62 @@ type (
 	SimResult = sim.Result
 	// ServiceTimer overrides a vertex's service-time process.
 	ServiceTimer = sim.ServiceTimer
+	// Fault is one timed hardware degradation injected into a run.
+	Fault = sim.Fault
+	// FaultSchedule is a set of timed injections.
+	FaultSchedule = sim.FaultSchedule
+	// FaultKind classifies an injection.
+	FaultKind = sim.FaultKind
+	// FaultStats counts fault activity over a run.
+	FaultStats = sim.FaultStats
+	// RetryPolicy re-presents dropped arrivals with exponential backoff.
+	RetryPolicy = sim.RetryPolicy
+	// Degradation is a steady-state fault scenario for the model side.
+	Degradation = core.Degradation
+)
+
+// Fault kinds.
+const (
+	EngineDown  = sim.EngineDown
+	EngineUp    = sim.EngineUp
+	LinkDegrade = sim.LinkDegrade
+	VertexStall = sim.VertexStall
+)
+
+// Degradation link names.
+const (
+	LinkInterface = core.LinkInterface
+	LinkMemory    = core.LinkMemory
+)
+
+// Typed abort errors of the hardened run harness.
+var (
+	// ErrBudgetExceeded aborts a run past SimConfig.MaxEvents.
+	ErrBudgetExceeded = sim.ErrBudgetExceeded
+	// ErrStalled aborts a run whose simulation clock stops advancing.
+	ErrStalled = sim.ErrStalled
 )
 
 // Simulate executes a discrete-event simulation of an execution graph
 // under a traffic profile.
 func Simulate(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }
+
+// SimulateContext is Simulate honoring cancellation and deadlines.
+func SimulateContext(ctx context.Context, cfg SimConfig) (SimResult, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return SimResult{}, err
+	}
+	return s.RunContext(ctx)
+}
+
+// Degrade folds a steady-state fault scenario into a model's parameters,
+// so estimation mode predicts degraded-mode behavior (see core.Degrade).
+func Degrade(m Model, d Degradation) (Model, error) { return core.Degrade(m, d) }
+
+// PermanentFaults converts a Degradation into the equivalent simulator
+// fault schedule: time-zero, never-recovered injections.
+func PermanentFaults(d Degradation) FaultSchedule { return sim.PermanentFaults(d) }
 
 // Traffic profiles (see internal/traffic).
 type (
