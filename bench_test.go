@@ -10,7 +10,9 @@ package lognic
 
 import (
 	"math"
+	"runtime"
 	"testing"
+	"time"
 
 	"lognic/internal/apps"
 	"lognic/internal/baselines"
@@ -27,6 +29,9 @@ import (
 )
 
 // benchOpts keeps the simulator-backed figures affordable under -bench.
+// Workers is left at the default (GOMAXPROCS), so every figure bench runs
+// on the parallel sweep engine; BenchmarkSweepSpeedup records the
+// serial-vs-parallel win explicitly.
 var benchOpts = experiments.Options{Scale: 0.1, Seed: 1}
 
 // runFigure regenerates a figure b.N times and returns the last result.
@@ -201,6 +206,43 @@ func BenchmarkFig18ParallelLatency(b *testing.B) {
 func BenchmarkFig19ParallelThroughput(b *testing.B) {
 	fig := runFigure(b, "fig19")
 	b.ReportMetric(lastY(b, fig, "Traffic Profile 1"), "Gbps-tp1@8lanes")
+}
+
+// BenchmarkSweepSpeedup regenerates the most simulator-heavy inline
+// figure (fig9: 48 replications) serially and on the full worker pool,
+// and reports the wall-clock speedup plus the worker count — the parallel
+// sweep engine's headline metric. Both runs produce byte-identical figure
+// data (asserted here too, cheaply, via Format), so the speedup is free
+// of statistical caveats. On a single-core machine the ratio is ~1.
+func BenchmarkSweepSpeedup(b *testing.B) {
+	gen, err := experiments.ByID("fig9")
+	if err != nil {
+		b.Fatal(err)
+	}
+	serialOpts := benchOpts
+	serialOpts.Workers = 1
+	parallelOpts := benchOpts
+	parallelOpts.Workers = runtime.GOMAXPROCS(0)
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		figSerial, err := gen.Run(serialOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serial += time.Since(t0)
+		t1 := time.Now()
+		figParallel, err := gen.Run(parallelOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parallel += time.Since(t1)
+		if figSerial.Format() != figParallel.Format() {
+			b.Fatal("worker count changed figure output")
+		}
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "x-speedup")
+	b.ReportMetric(float64(parallelOpts.Workers), "workers")
 }
 
 // BenchmarkAblationQueueModel compares the paper's folded M/M/1/N vertex

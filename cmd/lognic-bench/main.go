@@ -8,12 +8,20 @@
 //
 // Usage:
 //
-//	lognic-bench [-scale f] [-seed n] [-format text|csv|md] [fig5 fig9 ...]
-//	lognic-bench -summary [-scale f] [-seed n]
+//	lognic-bench [-scale f] [-seed n] [-parallel n] [-format text|csv|md] [fig5 fig9 ...]
+//	lognic-bench -summary [-scale f] [-seed n] [-parallel n]
 //
 // -summary prints the paper-vs-reproduction comparison table recorded in
 // EXPERIMENTS.md (regenerates every figure; takes a few minutes at full
 // scale).
+//
+// -parallel N bounds the sweep engine's worker pool: every figure fans its
+// points and simulator replications out over N workers (default
+// GOMAXPROCS). Output is byte-identical at any worker count — each
+// replication's RNG stream is derived by hashing (base seed, figure,
+// point, replication), so -parallel 1 and -parallel 64 print the same
+// tables for the same -seed. -seed 0 is a valid seed, distinct from the
+// default -seed 1.
 package main
 
 import (
@@ -21,7 +29,6 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"sync"
 	"time"
 
 	"lognic/internal/experiments"
@@ -30,13 +37,13 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "simulated-duration multiplier (smaller = faster, noisier)")
-	seed := flag.Int64("seed", 1, "simulator random seed")
+	seed := flag.Int64("seed", 1, "simulator random seed (0 is a valid seed)")
 	format := flag.String("format", "text", "output format: text, csv or md")
 	summary := flag.Bool("summary", false, "print the paper-vs-reproduction summary table")
-	parallel := flag.Bool("parallel", false, "regenerate figures concurrently (output order preserved)")
+	parallel := flag.Int("parallel", 0, "sweep worker count per figure (0 = GOMAXPROCS); results are identical at any worker count")
 	flag.Parse()
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, SeedSet: true, Workers: *parallel}
 	if *summary {
 		rows, err := report.Summary(opts)
 		if err != nil {
@@ -57,31 +64,19 @@ func main() {
 		err     error
 		elapsed time.Duration
 	}
+	// Figures run one after another; the parallelism lives inside each
+	// figure's sweep, which keeps the pool bounded by -parallel instead
+	// of multiplying it by the number of figures.
 	results := make([]outcome, len(ids))
-	run := func(i int) {
+	for i := range ids {
 		g, err := experiments.ByID(ids[i])
 		if err != nil {
 			results[i].err = err
-			return
+			continue
 		}
 		start := time.Now()
 		fig, err := g.Run(opts)
 		results[i] = outcome{fig: fig, err: err, elapsed: time.Since(start)}
-	}
-	if *parallel {
-		var wg sync.WaitGroup
-		for i := range ids {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				run(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := range ids {
-			run(i)
-		}
 	}
 
 	failed := false

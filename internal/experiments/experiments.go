@@ -9,7 +9,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+
+	"lognic/internal/sim"
 )
 
 // Point is one (x, y) sample of a series. X carries the sweep variable in
@@ -46,22 +49,55 @@ type Options struct {
 	// defaults, smaller values trade statistical tightness for speed
 	// (tests use ~0.2).
 	Scale float64
-	// Seed drives all simulator randomness.
+	// Seed is the base seed every simulator replication derives its RNG
+	// stream from (see seedFor). The default is 1; zero is a valid,
+	// distinct seed when SeedSet marks it as deliberate.
 	Seed int64
+	// SeedSet marks Seed as explicitly chosen. Without it the zero
+	// value of Options must mean "the documented default seed", so a
+	// bare Seed: 0 is remapped to 1; with SeedSet true, Seed 0 is
+	// honored as a real seed.
+	SeedSet bool
+	// Workers bounds the sweep engine's worker pool: how many figure
+	// points / simulator replications regenerate concurrently. Zero or
+	// negative means runtime.GOMAXPROCS(0). Figure output is
+	// byte-identical at any worker count — every replication draws from
+	// its own hashed RNG stream, so scheduling order cannot leak into
+	// the data.
+	Workers int
+	// MaxEvents bounds every simulator replication's event count (zero =
+	// unbounded). A replication that exceeds it aborts the whole figure
+	// with sim.ErrBudgetExceeded, propagated out of the worker pool.
+	MaxEvents uint64
 }
 
 func (o Options) withDefaults() Options {
 	if o.Scale <= 0 {
 		o.Scale = 1
 	}
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.SeedSet {
 		o.Seed = 1
+	}
+	o.SeedSet = true
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
 
 // simTime returns a scaled simulation duration.
 func (o Options) simTime(base float64) float64 { return base * o.Scale }
+
+// seedFor derives the RNG seed of one simulator replication from the base
+// seed and the replication's (figure, point, replication) coordinates, by
+// SplitMix64-style hashing (sim.SeedStream) — never by seed arithmetic.
+// Hashed streams are what make the parallel sweep engine deterministic:
+// every replication's randomness is fixed by its coordinates alone, so
+// results cannot depend on worker count or scheduling order, and distinct
+// coordinates never collide the way seed+k derivations do.
+func (o Options) seedFor(figID string, point, rep int) int64 {
+	return sim.SeedStream(o.Seed, sim.StreamTag(figID), uint64(point), uint64(rep))
+}
 
 // Format renders the figure as an aligned text table, one row per x value,
 // one column per series — the "same rows/series the paper reports".

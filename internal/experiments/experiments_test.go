@@ -447,6 +447,18 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.Scale != 1 || o.Seed != 1 {
 		t.Fatalf("defaults = %+v", o)
 	}
+	if !o.SeedSet {
+		t.Fatal("withDefaults must mark the seed as resolved")
+	}
+	if o.Workers < 1 {
+		t.Fatalf("default workers = %d, want >= 1 (GOMAXPROCS)", o.Workers)
+	}
+	if w := (Options{Workers: 3}).withDefaults().Workers; w != 3 {
+		t.Fatalf("explicit workers = %d, want 3", w)
+	}
+	if s := (Options{Seed: 9}).withDefaults().Seed; s != 9 {
+		t.Fatalf("explicit seed = %d, want 9", s)
+	}
 	if got := (Options{Scale: 2}).simTime(0.1); !approx(got, 0.2, 1e-12) {
 		t.Fatalf("simTime = %v", got)
 	}

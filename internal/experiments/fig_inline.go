@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"lognic/internal/apps"
@@ -16,33 +17,40 @@ import (
 // the CMI (50 Gbps) capping on-chip crypto fetches and the I/O
 // interconnect (40 Gbps) capping HFA.
 func Fig5(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
 	d := devices.LiquidIO2CN2360()
 	granularities := []float64{512, 1024, 2048, 4096, 8192, 16384}
+	accels := []string{"crc", "3des", "md5", "hfa"}
 	fig := Figure{
 		ID:     "fig5",
 		Title:  "Accelerator throughput vs data access granularity (1KB traffic)",
 		XLabel: "granularity(B)",
 		YLabel: "Throughput (MOPS)",
 	}
-	for _, accel := range []string{"crc", "3des", "md5", "hfa"} {
-		s := Series{Name: accel}
-		for _, g := range granularities {
-			m, err := apps.InlineAccel(apps.InlineAccelConfig{
-				Device: d, Accel: accel, Cores: d.Cores,
-				PacketBytes: 1024, ChunkBytes: g,
-			})
-			if err != nil {
-				return Figure{}, err
+	series, err := sweep(context.Background(), opts.Workers, len(accels),
+		func(_ context.Context, ai int) (Series, error) {
+			s := Series{Name: accels[ai]}
+			for _, g := range granularities {
+				m, err := apps.InlineAccel(apps.InlineAccelConfig{
+					Device: d, Accel: accels[ai], Cores: d.Cores,
+					PacketBytes: 1024, ChunkBytes: g,
+				})
+				if err != nil {
+					return Series{}, err
+				}
+				rep, err := m.SaturationThroughput()
+				if err != nil {
+					return Series{}, err
+				}
+				ops := rep.Attainable / 1024 // invocations per second
+				s.Points = append(s.Points, Point{X: g, Y: ops / 1e6})
 			}
-			rep, err := m.SaturationThroughput()
-			if err != nil {
-				return Figure{}, err
-			}
-			ops := rep.Attainable / 1024 // invocations per second
-			s.Points = append(s.Points, Point{X: g, Y: ops / 1e6})
-		}
-		fig.Series = append(fig.Series, s)
+			return s, nil
+		})
+	if err != nil {
+		return Figure{}, err
 	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -58,7 +66,9 @@ var fig9Accels = []struct {
 }
 
 // Fig9 — throughput (MOPS) vs IP1 parallelism 1–16 under MTU line rate,
-// measured (simulator) vs LogNIC, for MD5/KASUMI/HFA (§4.2).
+// measured (simulator) vs LogNIC, for MD5/KASUMI/HFA (§4.2). Each
+// (engine, cores) cell is one independent sweep task whose simulator
+// replication runs on its own hashed RNG stream.
 func Fig9(opts Options) (Figure, error) {
 	opts = opts.withDefaults()
 	d := devices.LiquidIO2CN2360()
@@ -68,33 +78,49 @@ func Fig9(opts Options) (Figure, error) {
 		XLabel: "cores",
 		YLabel: "Throughput (MOPS)",
 	}
-	for _, ac := range fig9Accels {
-		measured := Series{Name: ac.Name + "-Measured"}
-		model := Series{Name: ac.Name + "-LogNIC"}
-		for cores := 1; cores <= d.Cores; cores++ {
+	type cell struct{ measured, model float64 }
+	nCores := d.Cores
+	cells, err := sweep(context.Background(), opts.Workers, len(fig9Accels)*nCores,
+		func(ctx context.Context, ti int) (cell, error) {
+			ai, ci := ti/nCores, ti%nCores
+			cores := ci + 1
 			m, err := apps.InlineAccel(apps.InlineAccelConfig{
-				Device: d, Accel: ac.Name, Cores: cores, PacketBytes: 1500,
+				Device: d, Accel: fig9Accels[ai].Name, Cores: cores, PacketBytes: 1500,
 			})
 			if err != nil {
-				return Figure{}, err
+				return cell{}, err
 			}
 			rep, err := m.Throughput()
 			if err != nil {
-				return Figure{}, err
+				return cell{}, err
 			}
-			model.Points = append(model.Points, Point{X: float64(cores), Y: rep.Attainable / 1500 / 1e6})
-
-			res, err := sim.Run(sim.Config{
-				Graph:    m.Graph,
-				Hardware: m.Hardware,
-				Profile:  traffic.Fixed("mtu", unit.Bandwidth(m.Traffic.IngressBW), 1500),
-				Seed:     opts.Seed,
-				Duration: opts.simTime(0.08),
+			res, err := runSim(ctx, sim.Config{
+				Graph:     m.Graph,
+				Hardware:  m.Hardware,
+				Profile:   traffic.Fixed("mtu", unit.Bandwidth(m.Traffic.IngressBW), 1500),
+				Seed:      opts.seedFor("fig9", ai, cores),
+				Duration:  opts.simTime(0.08),
+				MaxEvents: opts.MaxEvents,
 			})
 			if err != nil {
-				return Figure{}, err
+				return cell{}, err
 			}
-			measured.Points = append(measured.Points, Point{X: float64(cores), Y: res.Throughput / 1500 / 1e6})
+			return cell{
+				measured: res.Throughput / 1500 / 1e6,
+				model:    rep.Attainable / 1500 / 1e6,
+			}, nil
+		})
+	if err != nil {
+		return Figure{}, err
+	}
+	for ai, ac := range fig9Accels {
+		measured := Series{Name: ac.Name + "-Measured"}
+		model := Series{Name: ac.Name + "-LogNIC"}
+		for ci := 0; ci < nCores; ci++ {
+			c := cells[ai*nCores+ci]
+			x := float64(ci + 1)
+			measured.Points = append(measured.Points, Point{X: x, Y: c.measured})
+			model.Points = append(model.Points, Point{X: x, Y: c.model})
 		}
 		fig.Series = append(fig.Series, measured, model)
 	}
@@ -105,31 +131,38 @@ func Fig9(opts Options) (Figure, error) {
 // rate for six accelerators (§4.2): the achieved bandwidth tracks
 // min(P_IP2·pktsize, 25 Gbps).
 func Fig10(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
 	d := devices.LiquidIO2CN2360()
 	sizes := []float64{64, 128, 256, 512, 1024, 1500}
+	accels := []string{"crc", "aes", "md5", "sha1", "sms4", "hfa"}
 	fig := Figure{
 		ID:     "fig10",
 		Title:  "Achieved bandwidth vs packet size at 25GbE line rate",
 		XLabel: "pkt(B)",
 		YLabel: "Bandwidth (Gbps)",
 	}
-	for _, accel := range []string{"crc", "aes", "md5", "sha1", "sms4", "hfa"} {
-		s := Series{Name: accel}
-		for _, size := range sizes {
-			m, err := apps.InlineAccel(apps.InlineAccelConfig{
-				Device: d, Accel: accel, Cores: d.Cores, PacketBytes: size,
-			})
-			if err != nil {
-				return Figure{}, err
+	series, err := sweep(context.Background(), opts.Workers, len(accels),
+		func(_ context.Context, ai int) (Series, error) {
+			s := Series{Name: accels[ai]}
+			for _, size := range sizes {
+				m, err := apps.InlineAccel(apps.InlineAccelConfig{
+					Device: d, Accel: accels[ai], Cores: d.Cores, PacketBytes: size,
+				})
+				if err != nil {
+					return Series{}, err
+				}
+				rep, err := m.Throughput()
+				if err != nil {
+					return Series{}, err
+				}
+				s.Points = append(s.Points, Point{X: size, Y: unit.Bandwidth(rep.Attainable).GbpsValue()})
 			}
-			rep, err := m.Throughput()
-			if err != nil {
-				return Figure{}, err
-			}
-			s.Points = append(s.Points, Point{X: size, Y: unit.Bandwidth(rep.Attainable).GbpsValue()})
-		}
-		fig.Series = append(fig.Series, s)
+			return s, nil
+		})
+	if err != nil {
+		return Figure{}, err
 	}
+	fig.Series = series
 	return fig, nil
 }
 

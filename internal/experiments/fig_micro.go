@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"lognic/internal/apps"
 	"lognic/internal/devices"
 	"lognic/internal/optimizer"
@@ -12,8 +14,9 @@ import (
 // microserviceSchemes evaluates the three §4.4 allocation schemes for one
 // E3 workload at 80% load and returns the simulator-measured throughput
 // (requests/second) and mean latency (seconds) per scheme, in the order
-// Round-Robin, Equal-Partition, LogNIC-Opt.
-func microserviceSchemes(d devices.LiquidIO2, chain apps.ServiceChain, opts Options) ([3]float64, [3]float64, error) {
+// Round-Robin, Equal-Partition, LogNIC-Opt. workload indexes the chain in
+// the E3 suite and keys its replications' RNG streams.
+func microserviceSchemes(ctx context.Context, d devices.LiquidIO2, chain apps.ServiceChain, opts Options, workload int) ([3]float64, [3]float64, error) {
 	var thr, lat [3]float64
 	opt, err := optimizer.TuneParallelism(d, chain, d.Cores, 1e9)
 	if err != nil {
@@ -40,12 +43,13 @@ func microserviceSchemes(d devices.LiquidIO2, chain apps.ServiceChain, opts Opti
 		if err != nil {
 			return thr, lat, err
 		}
-		res, err := sim.Run(sim.Config{
-			Graph:    m.Graph,
-			Hardware: m.Hardware,
-			Profile:  traffic.Fixed(chain.Name, unit.Bandwidth(offered), unit.Size(chain.RequestBytes)),
-			Seed:     opts.Seed,
-			Duration: opts.simTime(0.25),
+		res, err := runSim(ctx, sim.Config{
+			Graph:     m.Graph,
+			Hardware:  m.Hardware,
+			Profile:   traffic.Fixed(chain.Name, unit.Bandwidth(offered), unit.Size(chain.RequestBytes)),
+			Seed:      opts.seedFor("fig1112", workload, i),
+			Duration:  opts.simTime(0.25),
+			MaxEvents: opts.MaxEvents,
 		})
 		if err != nil {
 			return thr, lat, err
@@ -57,7 +61,9 @@ func microserviceSchemes(d devices.LiquidIO2, chain apps.ServiceChain, opts Opti
 }
 
 // fig1112 runs the case-study-#3 comparison once and splits it into the
-// two figures.
+// two figures. The five E3 workloads fan out over the sweep pool; the
+// three schemes of one workload stay sequential inside its task (they
+// share the workload's optimizer output).
 func fig1112(opts Options) (Figure, Figure, error) {
 	opts = opts.withDefaults()
 	d := devices.LiquidIO2CN2360()
@@ -74,16 +80,25 @@ func fig1112(opts Options) (Figure, Figure, error) {
 		f11.Series = append(f11.Series, Series{Name: schemes[i]})
 		f12.Series = append(f12.Series, Series{Name: schemes[i]})
 	}
-	for ai, chain := range apps.E3Workloads() {
-		thr, lat, err := microserviceSchemes(d, chain, opts)
-		if err != nil {
-			return Figure{}, Figure{}, err
-		}
+	workloads := apps.E3Workloads()
+	type cell struct{ thr, lat [3]float64 }
+	cells, err := sweep(context.Background(), opts.Workers, len(workloads),
+		func(ctx context.Context, ai int) (cell, error) {
+			thr, lat, err := microserviceSchemes(ctx, d, workloads[ai], opts, ai)
+			if err != nil {
+				return cell{}, err
+			}
+			return cell{thr: thr, lat: lat}, nil
+		})
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	for ai, chain := range workloads {
 		for i := range schemes {
 			f11.Series[i].Points = append(f11.Series[i].Points,
-				Point{X: float64(ai), Label: chain.Name, Y: thr[i] / 1e6})
+				Point{X: float64(ai), Label: chain.Name, Y: cells[ai].thr[i] / 1e6})
 			f12.Series[i].Points = append(f12.Series[i].Points,
-				Point{X: float64(ai), Label: chain.Name, Y: lat[i] * 1e3})
+				Point{X: float64(ai), Label: chain.Name, Y: cells[ai].lat[i] * 1e3})
 		}
 	}
 	return f11, f12, nil

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"lognic/internal/apps"
 	"lognic/internal/devices"
 	"lognic/internal/optimizer"
@@ -14,8 +16,10 @@ var fig13Sizes = []float64{64, 128, 256, 512, 1024, 1500}
 
 // nfSchemes evaluates the three §4.5 placement schemes at one packet size
 // and returns (throughput bytes/s, mean latency seconds) per scheme, in
-// the order ARM-only, Accelerator-only, LogNIC-opt.
-func nfSchemes(d devices.BlueField2, chain []apps.NF, size float64, opts Options) ([3]float64, [3]float64, error) {
+// the order ARM-only, Accelerator-only, LogNIC-opt. sizeIdx keys the RNG
+// streams of the six simulator replications (two per scheme: a line-rate
+// throughput run and a sub-saturation latency run).
+func nfSchemes(ctx context.Context, d devices.BlueField2, chain []apps.NF, size float64, opts Options, sizeIdx int) ([3]float64, [3]float64, error) {
 	var thr, lat [3]float64
 	opt, err := optimizer.PlaceNFs(d, chain, size, d.LineRate.BytesPerSecond())
 	if err != nil {
@@ -45,12 +49,13 @@ func nfSchemes(d devices.BlueField2, chain []apps.NF, size float64, opts Options
 		if err != nil {
 			return thr, lat, err
 		}
-		res, err := sim.Run(sim.Config{
-			Graph:    m.Graph,
-			Hardware: m.Hardware,
-			Profile:  traffic.Fixed("line", d.LineRate, unit.Size(size)),
-			Seed:     opts.Seed,
-			Duration: opts.simTime(0.05),
+		res, err := runSim(ctx, sim.Config{
+			Graph:     m.Graph,
+			Hardware:  m.Hardware,
+			Profile:   traffic.Fixed("line", d.LineRate, unit.Size(size)),
+			Seed:      opts.seedFor("fig1314", sizeIdx, i*2),
+			Duration:  opts.simTime(0.05),
+			MaxEvents: opts.MaxEvents,
 		})
 		if err != nil {
 			return thr, lat, err
@@ -62,12 +67,13 @@ func nfSchemes(d devices.BlueField2, chain []apps.NF, size float64, opts Options
 		if err != nil {
 			return thr, lat, err
 		}
-		res2, err := sim.Run(sim.Config{
-			Graph:    m2.Graph,
-			Hardware: m2.Hardware,
-			Profile:  traffic.Fixed("load", unit.Bandwidth(latLoad), unit.Size(size)),
-			Seed:     opts.Seed + 1,
-			Duration: opts.simTime(0.05),
+		res2, err := runSim(ctx, sim.Config{
+			Graph:     m2.Graph,
+			Hardware:  m2.Hardware,
+			Profile:   traffic.Fixed("load", unit.Bandwidth(latLoad), unit.Size(size)),
+			Seed:      opts.seedFor("fig1314", sizeIdx, i*2+1),
+			Duration:  opts.simTime(0.05),
+			MaxEvents: opts.MaxEvents,
 		})
 		if err != nil {
 			return thr, lat, err
@@ -77,7 +83,8 @@ func nfSchemes(d devices.BlueField2, chain []apps.NF, size float64, opts Options
 	return thr, lat, nil
 }
 
-// fig1314 runs the case-study-#4 comparison once and splits it.
+// fig1314 runs the case-study-#4 comparison once and splits it. The six
+// packet sizes fan out over the sweep pool.
 func fig1314(opts Options) (Figure, Figure, error) {
 	opts = opts.withDefaults()
 	d := devices.BlueField2DPU()
@@ -95,16 +102,24 @@ func fig1314(opts Options) (Figure, Figure, error) {
 		f13.Series = append(f13.Series, Series{Name: schemes[i]})
 		f14.Series = append(f14.Series, Series{Name: schemes[i]})
 	}
-	for _, size := range fig13Sizes {
-		thr, lat, err := nfSchemes(d, chain, size, opts)
-		if err != nil {
-			return Figure{}, Figure{}, err
-		}
+	type cell struct{ thr, lat [3]float64 }
+	cells, err := sweep(context.Background(), opts.Workers, len(fig13Sizes),
+		func(ctx context.Context, si int) (cell, error) {
+			thr, lat, err := nfSchemes(ctx, d, chain, fig13Sizes[si], opts, si)
+			if err != nil {
+				return cell{}, err
+			}
+			return cell{thr: thr, lat: lat}, nil
+		})
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	for si, size := range fig13Sizes {
 		for i := range schemes {
 			f13.Series[i].Points = append(f13.Series[i].Points,
-				Point{X: size, Y: unit.Bandwidth(thr[i]).GbpsValue()})
+				Point{X: size, Y: unit.Bandwidth(cells[si].thr[i]).GbpsValue()})
 			f14.Series[i].Points = append(f14.Series[i].Points,
-				Point{X: size, Y: lat[i] * 1e6})
+				Point{X: size, Y: cells[si].lat[i] * 1e6})
 		}
 	}
 	return f13, f14, nil

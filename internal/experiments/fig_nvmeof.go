@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"lognic/internal/apps"
@@ -31,8 +32,8 @@ func fig6Profiles() []fig6Profile {
 // (delivered bytes/s, mean latency seconds). The simulated duration is
 // stretched when the offered IOPS is low, so every run observes a few
 // hundred I/Os regardless of request size — simulated time is cheap when
-// little happens.
-func runNVMeoF(cfg apps.NVMeoFConfig, opts Options, base float64) (float64, float64, error) {
+// little happens. seed is the replication's hashed RNG stream.
+func runNVMeoF(ctx context.Context, cfg apps.NVMeoFConfig, opts Options, base float64, seed int64) (float64, float64, error) {
 	m, err := apps.NVMeoF(cfg)
 	if err != nil {
 		return 0, 0, err
@@ -46,13 +47,14 @@ func runNVMeoF(cfg apps.NVMeoFConfig, opts Options, base float64) (float64, floa
 	if need := minIOs * cfg.IOBytes / cfg.OfferedBW; need > duration {
 		duration = need
 	}
-	res, err := sim.Run(sim.Config{
+	res, err := runSim(ctx, sim.Config{
 		Graph:       m.Graph,
 		Hardware:    m.Hardware,
 		Profile:     traffic.Fixed(cfg.Kind.String(), unit.Bandwidth(cfg.OfferedBW), unit.Size(cfg.IOBytes)),
-		Seed:        opts.Seed,
+		Seed:        seed,
 		Duration:    duration,
 		ServiceTime: timers,
+		MaxEvents:   opts.MaxEvents,
 	})
 	if err != nil {
 		return 0, 0, err
@@ -66,9 +68,14 @@ func runNVMeoF(cfg apps.NVMeoFConfig, opts Options, base float64) (float64, floa
 // throughput stops tracking the offer. The plateau is the fitted Capacity
 // parameter that feeds the model's SSD vertex; the low-load latency is the
 // curve's Base. No internal drive parameter is read — the drive stays
-// opaque.
+// opaque. The ramp is inherently sequential (each step decides whether to
+// continue), so it runs inside one sweep task; profIdx keys its RNG
+// streams.
 func CharacterizeSSD(prof fig6Profile, drive nvme.Config, opts Options) (fit.SaturationCurve, error) {
-	opts = opts.withDefaults()
+	return characterizeSSD(context.Background(), prof, drive, opts.withDefaults(), 0)
+}
+
+func characterizeSSD(ctx context.Context, prof fig6Profile, drive nvme.Config, opts Options, profIdx int) (fit.SaturationCurve, error) {
 	d := devices.StingrayPS1100R()
 	offered := 16e6 // 16 MB/s probe; well under any plausible drive
 	var base, peak float64
@@ -77,7 +84,7 @@ func CharacterizeSSD(prof fig6Profile, drive nvme.Config, opts Options) (fit.Sat
 			Device: d, Drive: drive, Kind: prof.Kind,
 			IOBytes: prof.IOBytes, OfferedBW: offered,
 		}
-		thr, lat, err := runNVMeoF(cfg, opts, 0.2)
+		thr, lat, err := runNVMeoF(ctx, cfg, opts, 0.2, opts.seedFor("fig6.ramp", profIdx, step))
 		if err != nil {
 			return fit.SaturationCurve{}, err
 		}
@@ -99,61 +106,91 @@ func CharacterizeSSD(prof fig6Profile, drive nvme.Config, opts Options) (fit.Sat
 	return fit.SaturationCurve{}, fmt.Errorf("experiments: %s never saturated", prof.Name)
 }
 
+// fig6Fracs are the load fractions of the Figure 6 sweep.
+var fig6Fracs = []float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.9}
+
 // Fig6 — NVMe-oF latency vs throughput for 4KB-RRD / 128KB-RRD / 4KB-SWR,
 // measured (simulator) vs LogNIC with curve-fitted SSD parameters (§4.3).
+// Two sweep stages: the per-profile characterization ramps run
+// concurrently, then every (profile, load fraction) pair fans out.
 func Fig6(opts Options) (Figure, error) {
 	opts = opts.withDefaults()
+	ctx := context.Background()
 	d := devices.StingrayPS1100R()
 	drive := nvme.StingrayDrive(false)
+	profiles := fig6Profiles()
 	fig := Figure{
 		ID:     "fig6",
 		Title:  "NVMe-oF target latency vs throughput (Stingray JBOF)",
 		XLabel: "Throughput(GB/s)",
 		YLabel: "Latency (us)",
 	}
-	for _, prof := range fig6Profiles() {
-		curve, err := CharacterizeSSD(prof, drive, opts)
-		if err != nil {
-			return Figure{}, fmt.Errorf("characterize %s: %w", prof.Name, err)
-		}
-		measured := Series{Name: prof.Name + "-Measured"}
-		model := Series{Name: prof.Name + "-LogNIC"}
-		for _, frac := range []float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.9} {
-			offered := frac * curve.Capacity
+	curves, err := sweep(ctx, opts.Workers, len(profiles),
+		func(ctx context.Context, pi int) (fit.SaturationCurve, error) {
+			curve, err := characterizeSSD(ctx, profiles[pi], drive, opts, pi)
+			if err != nil {
+				return fit.SaturationCurve{}, fmt.Errorf("characterize %s: %w", profiles[pi].Name, err)
+			}
+			return curve, nil
+		})
+	if err != nil {
+		return Figure{}, err
+	}
+	type cell struct{ measured, model Point }
+	cells, err := sweep(ctx, opts.Workers, len(profiles)*len(fig6Fracs),
+		func(ctx context.Context, ti int) (cell, error) {
+			pi, fi := ti/len(fig6Fracs), ti%len(fig6Fracs)
+			prof, curve := profiles[pi], curves[pi]
+			offered := fig6Fracs[fi] * curve.Capacity
 			cfg := apps.NVMeoFConfig{
 				Device: d, Drive: drive, Kind: prof.Kind,
 				IOBytes: prof.IOBytes, OfferedBW: offered,
 				SSDCapacityOverride: curve.Capacity,
 			}
-			thr, lat, err := runNVMeoF(cfg, opts, 0.4)
+			thr, lat, err := runNVMeoF(ctx, cfg, opts, 0.4, opts.seedFor("fig6", pi, fi))
 			if err != nil {
-				return Figure{}, err
+				return cell{}, err
 			}
-			measured.Points = append(measured.Points, Point{X: thr / 1e9, Y: lat * 1e6})
-
 			m, err := apps.NVMeoF(cfg)
 			if err != nil {
-				return Figure{}, err
+				return cell{}, err
 			}
 			lr, err := m.Latency()
 			if err != nil {
-				return Figure{}, err
+				return cell{}, err
 			}
 			tr, err := m.Throughput()
 			if err != nil {
-				return Figure{}, err
+				return cell{}, err
 			}
-			model.Points = append(model.Points, Point{X: tr.Attainable / 1e9, Y: lr.Attainable * 1e6})
+			return cell{
+				measured: Point{X: thr / 1e9, Y: lat * 1e6},
+				model:    Point{X: tr.Attainable / 1e9, Y: lr.Attainable * 1e6},
+			}, nil
+		})
+	if err != nil {
+		return Figure{}, err
+	}
+	for pi, prof := range profiles {
+		measured := Series{Name: prof.Name + "-Measured"}
+		model := Series{Name: prof.Name + "-LogNIC"}
+		for fi := range fig6Fracs {
+			c := cells[pi*len(fig6Fracs)+fi]
+			measured.Points = append(measured.Points, c.measured)
+			model.Points = append(model.Points, c.model)
 		}
 		fig.Series = append(fig.Series, measured, model)
 	}
 	return fig, nil
 }
 
+// fig7Ratios is the Figure 7 read-ratio grid, 0%..100% in 10% steps.
+var fig7Ratios = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+
 // Fig7 — 4KB random I/O bandwidth vs read ratio on a fragmented
 // (GC-active) drive (§4.3): measured read/write bandwidth from the
 // simulator against the static-model estimate, which cannot capture GC and
-// underpredicts.
+// underpredicts. Each read ratio is one sweep task.
 func Fig7(opts Options) (Figure, error) {
 	opts = opts.withDefaults()
 	d := devices.StingrayPS1100R()
@@ -164,53 +201,64 @@ func Fig7(opts Options) (Figure, error) {
 		XLabel: "read%",
 		YLabel: "Bandwidth (MB/s)",
 	}
+	type cell struct{ measured, model float64 }
+	cells, err := sweep(context.Background(), opts.Workers, len(fig7Ratios),
+		func(ctx context.Context, ri int) (cell, error) {
+			ratio := fig7Ratios[ri]
+			// Offer near the mixed capacity so the drive saturates.
+			model, err := apps.NVMeoFMixedModel(apps.NVMeoFConfig{
+				Device: d, Drive: drive, IOBytes: 4096, OfferedBW: 100e9,
+			}, ratio)
+			if err != nil {
+				return cell{}, err
+			}
+			tr, err := model.Throughput()
+			if err != nil {
+				return cell{}, err
+			}
+			modelTotal := tr.Attainable
+
+			cfg := apps.NVMeoFConfig{
+				Device: d, Drive: drive, Kind: nvme.RandRead,
+				IOBytes: 4096, OfferedBW: 1.2 * modelTotal,
+			}
+			m, err := apps.NVMeoF(cfg)
+			if err != nil {
+				return cell{}, err
+			}
+			timers, err := apps.NVMeoFMixServiceTimers(cfg, ratio)
+			if err != nil {
+				return cell{}, err
+			}
+			res, err := runSim(ctx, sim.Config{
+				Graph:       m.Graph,
+				Hardware:    m.Hardware,
+				Profile:     traffic.Fixed("mix", unit.Bandwidth(cfg.OfferedBW), 4096),
+				Seed:        opts.seedFor("fig7", ri, 0),
+				Duration:    opts.simTime(0.4),
+				ServiceTime: timers,
+				MaxEvents:   opts.MaxEvents,
+			})
+			if err != nil {
+				return cell{}, err
+			}
+			return cell{measured: res.Throughput, model: modelTotal}, nil
+		})
+	if err != nil {
+		return Figure{}, err
+	}
 	rdM := Series{Name: "RD-Measured"}
 	wrM := Series{Name: "WR-Measured"}
 	rdL := Series{Name: "RD-LogNIC"}
 	wrL := Series{Name: "WR-LogNIC"}
-	for ratio := 0.0; ratio <= 1.0001; ratio += 0.1 {
-		// Offer near the mixed capacity so the drive saturates.
-		model, err := apps.NVMeoFMixedModel(apps.NVMeoFConfig{
-			Device: d, Drive: drive, IOBytes: 4096, OfferedBW: 100e9,
-		}, ratio)
-		if err != nil {
-			return Figure{}, err
-		}
-		tr, err := model.Throughput()
-		if err != nil {
-			return Figure{}, err
-		}
-		modelTotal := tr.Attainable
-
-		cfg := apps.NVMeoFConfig{
-			Device: d, Drive: drive, Kind: nvme.RandRead,
-			IOBytes: 4096, OfferedBW: 1.2 * modelTotal,
-		}
-		m, err := apps.NVMeoF(cfg)
-		if err != nil {
-			return Figure{}, err
-		}
-		timers, err := apps.NVMeoFMixServiceTimers(cfg, ratio)
-		if err != nil {
-			return Figure{}, err
-		}
-		res, err := sim.Run(sim.Config{
-			Graph:       m.Graph,
-			Hardware:    m.Hardware,
-			Profile:     traffic.Fixed("mix", unit.Bandwidth(cfg.OfferedBW), 4096),
-			Seed:        opts.Seed,
-			Duration:    opts.simTime(0.4),
-			ServiceTime: timers,
-		})
-		if err != nil {
-			return Figure{}, err
-		}
+	const mb = 1024 * 1024
+	for ri, ratio := range fig7Ratios {
 		x := ratio * 100
-		const mb = 1024 * 1024
-		rdM.Points = append(rdM.Points, Point{X: x, Y: res.Throughput * ratio / mb})
-		wrM.Points = append(wrM.Points, Point{X: x, Y: res.Throughput * (1 - ratio) / mb})
-		rdL.Points = append(rdL.Points, Point{X: x, Y: modelTotal * ratio / mb})
-		wrL.Points = append(wrL.Points, Point{X: x, Y: modelTotal * (1 - ratio) / mb})
+		c := cells[ri]
+		rdM.Points = append(rdM.Points, Point{X: x, Y: c.measured * ratio / mb})
+		wrM.Points = append(wrM.Points, Point{X: x, Y: c.measured * (1 - ratio) / mb})
+		rdL.Points = append(rdL.Points, Point{X: x, Y: c.model * ratio / mb})
+		wrL.Points = append(wrL.Points, Point{X: x, Y: c.model * (1 - ratio) / mb})
 	}
 	fig.Series = []Series{rdM, wrM, rdL, wrL}
 	return fig, nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"lognic/internal/apps"
@@ -29,49 +30,78 @@ func fig15Profiles() []struct {
 	}
 }
 
+// fig15Credits is the provisioning range Figure 15 sweeps.
+const fig15Credits = 8
+
 // Fig15 — PANIC Model-1 bandwidth vs provisioned credits 1..8 for four
 // mixed traffic profiles (§4.6 scenario #1). Measured by simulation at a
 // fixed offered load; the LogNIC-suggested minimal credits per profile are
-// available via Fig15SuggestedCredits.
+// available via Fig15SuggestedCredits. The per-profile offered loads come
+// from the (deterministic) model, then all profile × credit replications
+// fan out over the sweep pool.
 func Fig15(opts Options) (Figure, error) {
 	opts = opts.withDefaults()
+	ctx := context.Background()
 	d := devices.PANICPrototype()
+	profiles := fig15Profiles()
 	fig := Figure{
 		ID: "fig15", Title: "PANIC bandwidth vs compute-unit credits (Model 1)",
 		XLabel: "credits", YLabel: "Bandwidth (Gbps)",
 	}
-	for _, tp := range fig15Profiles() {
-		prof, err := traffic.EqualSplit(tp.Name, unit.Gbps(1), tp.Sizes...)
-		if err != nil {
-			return Figure{}, err
-		}
-		mean := prof.Sizes.Mean().Bytes()
-		offered, err := panicM1Offer(d, mean)
-		if err != nil {
-			return Figure{}, err
-		}
-		prof.Rate = unit.Bandwidth(offered)
-		s := Series{Name: tp.Name}
-		for credits := 1; credits <= 8; credits++ {
-			m, err := apps.PANICPipelined(d, mean, offered, credits)
+	type prep struct {
+		prof traffic.Profile
+		mean float64
+	}
+	preps, err := sweep(ctx, opts.Workers, len(profiles),
+		func(_ context.Context, pi int) (prep, error) {
+			tp := profiles[pi]
+			prof, err := traffic.EqualSplit(tp.Name, unit.Gbps(1), tp.Sizes...)
 			if err != nil {
-				return Figure{}, err
+				return prep{}, err
 			}
-			res, err := sim.Run(sim.Config{
+			mean := prof.Sizes.Mean().Bytes()
+			offered, err := panicM1Offer(d, mean)
+			if err != nil {
+				return prep{}, err
+			}
+			prof.Rate = unit.Bandwidth(offered)
+			return prep{prof: prof, mean: mean}, nil
+		})
+	if err != nil {
+		return Figure{}, err
+	}
+	ys, err := sweep(ctx, opts.Workers, len(profiles)*fig15Credits,
+		func(ctx context.Context, ti int) (float64, error) {
+			pi, ci := ti/fig15Credits, ti%fig15Credits
+			credits := ci + 1
+			m, err := apps.PANICPipelined(d, preps[pi].mean, preps[pi].prof.Rate.BytesPerSecond(), credits)
+			if err != nil {
+				return 0, err
+			}
+			res, err := runSim(ctx, sim.Config{
 				Graph:    m.Graph,
 				Hardware: m.Hardware,
-				Profile:  prof,
-				Seed:     opts.Seed,
+				Profile:  preps[pi].prof,
+				Seed:     opts.seedFor("fig15", pi, credits),
 				Duration: opts.simTime(0.06),
 				// PANIC compute units are fixed-function pipelines: their
 				// per-packet time is set by the packet, not by a random
 				// draw, which is what gives the credit knee its sharpness.
 				DeterministicService: true,
+				MaxEvents:            opts.MaxEvents,
 			})
 			if err != nil {
-				return Figure{}, err
+				return 0, err
 			}
-			s.Points = append(s.Points, Point{X: float64(credits), Y: unit.Bandwidth(res.Throughput).GbpsValue()})
+			return unit.Bandwidth(res.Throughput).GbpsValue(), nil
+		})
+	if err != nil {
+		return Figure{}, err
+	}
+	for pi, tp := range profiles {
+		s := Series{Name: tp.Name}
+		for ci := 0; ci < fig15Credits; ci++ {
+			s.Points = append(s.Points, Point{X: float64(ci + 1), Y: ys[pi*fig15Credits+ci]})
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -155,8 +185,12 @@ func panicM2Offer(d devices.PANIC, size float64) (float64, error) {
 
 // fig1617 runs the steering comparison once: per packet size, the four
 // static splits plus the LogNIC-suggested one, measured by simulation.
+// Stage 1 derives each size's offered load and optimizer-suggested split
+// (model-only, fanned out per size); stage 2 fans every (size, split)
+// replication out over the pool.
 func fig1617(opts Options) (Figure, Figure, error) {
 	opts = opts.withDefaults()
+	ctx := context.Background()
 	d := devices.PANICPrototype()
 	f16 := Figure{
 		ID: "fig16", Title: "PANIC steering latency: static vs LogNIC splits (Model 2)",
@@ -171,38 +205,65 @@ func fig1617(opts Options) (Figure, Figure, error) {
 		f16.Series = append(f16.Series, Series{Name: n})
 		f17.Series = append(f17.Series, Series{Name: n})
 	}
-	for ti, tp := range fig16Sizes {
-		offered, err := panicM2Offer(d, tp.Size)
-		if err != nil {
-			return Figure{}, Figure{}, err
-		}
-		splits := append([]float64(nil), fig16Splits...)
-		suggested, err := optimizer.SteerTraffic(func(x float64) (core.Model, error) {
-			return apps.PANICParallelized(d, tp.Size, offered, 0.2, x, 0.8-x, fig16Credits)
-		}, 0.05, 0.75)
-		if err != nil {
-			return Figure{}, Figure{}, err
-		}
-		splits = append(splits, suggested)
-		for si, x := range splits {
-			m, err := apps.PANICParallelized(d, tp.Size, offered, 0.2, x, 0.8-x, fig16Credits)
+	type prep struct {
+		offered float64
+		splits  []float64
+	}
+	preps, err := sweep(ctx, opts.Workers, len(fig16Sizes),
+		func(_ context.Context, ti int) (prep, error) {
+			tp := fig16Sizes[ti]
+			offered, err := panicM2Offer(d, tp.Size)
 			if err != nil {
-				return Figure{}, Figure{}, err
+				return prep{}, err
 			}
-			res, err := sim.Run(sim.Config{
-				Graph:    m.Graph,
-				Hardware: m.Hardware,
-				Profile:  traffic.Fixed(tp.Name, unit.Bandwidth(offered), unit.Size(tp.Size)),
-				Seed:     opts.Seed,
-				Duration: opts.simTime(0.06),
+			splits := append([]float64(nil), fig16Splits...)
+			suggested, err := optimizer.SteerTraffic(func(x float64) (core.Model, error) {
+				return apps.PANICParallelized(d, tp.Size, offered, 0.2, x, 0.8-x, fig16Credits)
+			}, 0.05, 0.75)
+			if err != nil {
+				return prep{}, err
+			}
+			return prep{offered: offered, splits: append(splits, suggested)}, nil
+		})
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	nSplits := len(names)
+	type cell struct{ latency, throughput float64 }
+	cells, err := sweep(ctx, opts.Workers, len(fig16Sizes)*nSplits,
+		func(ctx context.Context, ci int) (cell, error) {
+			ti, si := ci/nSplits, ci%nSplits
+			tp, p := fig16Sizes[ti], preps[ti]
+			m, err := apps.PANICParallelized(d, tp.Size, p.offered, 0.2, p.splits[si], 0.8-p.splits[si], fig16Credits)
+			if err != nil {
+				return cell{}, err
+			}
+			res, err := runSim(ctx, sim.Config{
+				Graph:     m.Graph,
+				Hardware:  m.Hardware,
+				Profile:   traffic.Fixed(tp.Name, unit.Bandwidth(p.offered), unit.Size(tp.Size)),
+				Seed:      opts.seedFor("fig1617", ti, si),
+				Duration:  opts.simTime(0.06),
+				MaxEvents: opts.MaxEvents,
 			})
 			if err != nil {
-				return Figure{}, Figure{}, err
+				return cell{}, err
 			}
+			return cell{
+				latency:    res.MeanLatency * 1e6,
+				throughput: unit.Bandwidth(res.Throughput).GbpsValue(),
+			}, nil
+		})
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	for ti, tp := range fig16Sizes {
+		for si := 0; si < nSplits; si++ {
+			c := cells[ti*nSplits+si]
 			f16.Series[si].Points = append(f16.Series[si].Points,
-				Point{X: float64(ti), Label: tp.Name, Y: res.MeanLatency * 1e6})
+				Point{X: float64(ti), Label: tp.Name, Y: c.latency})
 			f17.Series[si].Points = append(f17.Series[si].Points,
-				Point{X: float64(ti), Label: tp.Name, Y: unit.Bandwidth(res.Throughput).GbpsValue()})
+				Point{X: float64(ti), Label: tp.Name, Y: c.throughput})
 		}
 	}
 	return f16, f17, nil
@@ -231,6 +292,9 @@ var fig18Traffic = []struct {
 	{"Traffic Profile 2", 0.8}, // 80%/20%
 }
 
+// fig18Lanes is the IP4 parallel-degree range Figures 18/19 sweep.
+const fig18Lanes = 8
+
 // panicM3 builds the Model-3 configuration at one lane count.
 func panicM3(d devices.PANIC, split float64, lanes int) (core.Model, float64, error) {
 	const (
@@ -247,7 +311,8 @@ func panicM3(d devices.PANIC, split float64, lanes int) (core.Model, float64, er
 	return m, offered, err
 }
 
-// fig1819 sweeps IP4's parallel degree 1..8 for both traffic profiles.
+// fig1819 sweeps IP4's parallel degree 1..8 for both traffic profiles;
+// every (profile, lanes) replication is one sweep task.
 func fig1819(opts Options) (Figure, Figure, error) {
 	opts = opts.withDefaults()
 	d := devices.PANICPrototype()
@@ -259,26 +324,42 @@ func fig1819(opts Options) (Figure, Figure, error) {
 		ID: "fig19", Title: "PANIC throughput vs IP4 parallel degree (Model 3)",
 		XLabel: "lanes", YLabel: "Throughput (Gbps)",
 	}
-	for _, tp := range fig18Traffic {
-		s18 := Series{Name: tp.Name}
-		s19 := Series{Name: tp.Name}
-		for lanes := 1; lanes <= 8; lanes++ {
-			m, offered, err := panicM3(d, tp.Split, lanes)
+	type cell struct{ latency, throughput float64 }
+	cells, err := sweep(context.Background(), opts.Workers, len(fig18Traffic)*fig18Lanes,
+		func(ctx context.Context, ti int) (cell, error) {
+			tpi, li := ti/fig18Lanes, ti%fig18Lanes
+			lanes := li + 1
+			m, offered, err := panicM3(d, fig18Traffic[tpi].Split, lanes)
 			if err != nil {
-				return Figure{}, Figure{}, err
+				return cell{}, err
 			}
-			res, err := sim.Run(sim.Config{
-				Graph:    m.Graph,
-				Hardware: m.Hardware,
-				Profile:  traffic.Fixed(tp.Name, unit.Bandwidth(offered), 1024),
-				Seed:     opts.Seed,
-				Duration: opts.simTime(0.3),
+			res, err := runSim(ctx, sim.Config{
+				Graph:     m.Graph,
+				Hardware:  m.Hardware,
+				Profile:   traffic.Fixed(fig18Traffic[tpi].Name, unit.Bandwidth(offered), 1024),
+				Seed:      opts.seedFor("fig1819", tpi, lanes),
+				Duration:  opts.simTime(0.3),
+				MaxEvents: opts.MaxEvents,
 			})
 			if err != nil {
-				return Figure{}, Figure{}, err
+				return cell{}, err
 			}
-			s18.Points = append(s18.Points, Point{X: float64(lanes), Y: res.MeanLatency * 1e6})
-			s19.Points = append(s19.Points, Point{X: float64(lanes), Y: unit.Bandwidth(res.Throughput).GbpsValue()})
+			return cell{
+				latency:    res.MeanLatency * 1e6,
+				throughput: unit.Bandwidth(res.Throughput).GbpsValue(),
+			}, nil
+		})
+	if err != nil {
+		return Figure{}, Figure{}, err
+	}
+	for tpi, tp := range fig18Traffic {
+		s18 := Series{Name: tp.Name}
+		s19 := Series{Name: tp.Name}
+		for li := 0; li < fig18Lanes; li++ {
+			c := cells[tpi*fig18Lanes+li]
+			x := float64(li + 1)
+			s18.Points = append(s18.Points, Point{X: x, Y: c.latency})
+			s19.Points = append(s19.Points, Point{X: x, Y: c.throughput})
 		}
 		f18.Series = append(f18.Series, s18)
 		f19.Series = append(f19.Series, s19)

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"lognic/internal/sim"
+)
+
+// This file is the parallel sweep engine every figure generator runs on.
+// A figure is a grid of independent simulator replications (points ×
+// series × repetitions); sweep fans them out over a bounded worker pool
+// and reassembles the results in task order, so regeneration scales with
+// cores while the output stays byte-identical at any worker count —
+// including Workers: 1. Determinism comes from the seed discipline, not
+// from scheduling: each replication's RNG stream is fixed by its
+// coordinates via Options.seedFor, so no task can observe another task's
+// randomness or its completion order.
+
+// sweep runs task(ctx, i) for i in [0, n) on at most `workers` concurrent
+// goroutines and returns the results indexed by task. The first task
+// failure cancels the shared context so in-flight siblings abort (the
+// simulator polls it in RunContext); the error returned is the
+// lowest-indexed genuine failure, with knock-on cancellations of sibling
+// tasks filtered out, so the reported error is also independent of worker
+// count.
+func sweep[T any](ctx context.Context, workers, n int, task func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := task(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := wctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				v, err := task(wctx, i)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if first != nil {
+		return nil, first
+	}
+	return out, nil
+}
+
+// runSim executes one simulator replication under the sweep's context, so
+// a sibling worker's failure — or an exceeded Options.MaxEvents budget —
+// cancels in-flight replications instead of letting them run out the
+// clock. Typed harness errors (sim.ErrBudgetExceeded, sim.ErrStalled)
+// surface unchanged through the pool.
+func runSim(ctx context.Context, cfg sim.Config) (sim.Result, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return s.RunContext(ctx)
+}

@@ -433,7 +433,7 @@ func New(cfg Config) (*Simulator, error) {
 
 	s := &Simulator{
 		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		rng:   rand.New(rand.NewSource(SeedStream(cfg.Seed, engineStreamTag))),
 		nodes: map[string]*node{},
 		links: map[string]*link{},
 	}
@@ -583,7 +583,11 @@ func (s *Simulator) Run() (Result, error) {
 // progress watchdog sees the simulated clock pinned at one timestamp —
 // both turn a pathological config into a typed error instead of a hang.
 func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
-	gen, err := traffic.NewGenerator(s.cfg.Profile, s.cfg.Seed+1)
+	// The traffic stream is a hashed derivation of the base seed, not
+	// seed arithmetic: with the old cfg.Seed+1 scheme, run N's traffic
+	// stream was identical to run N+1's engine stream, correlating
+	// replications that sweeps treat as independent.
+	gen, err := traffic.NewGenerator(s.cfg.Profile, SeedStream(s.cfg.Seed, trafficStreamTag))
 	if err != nil {
 		return Result{}, err
 	}
@@ -820,11 +824,7 @@ func (s *Simulator) downstreamLoad(name string) int {
 
 // splitmix hashes a flow id into [0, 1) (SplitMix64 finalizer).
 func splitmix(x uint64) float64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	x ^= x >> 31
-	return float64(x>>11) / float64(1<<53)
+	return float64(mix64(x)>>11) / float64(1<<53)
 }
 
 func (s *Simulator) complete(n *node, p *packet) {
@@ -866,7 +866,7 @@ func (s *Simulator) collect() Result {
 			if res.Faults.EngineDownTime == nil {
 				res.Faults.EngineDownTime = map[string]float64{}
 			}
-			res.Faults.EngineDownTime[name] = n.downTW.average(s.now) * s.now
+			res.Faults.EngineDownTime[name] = n.downTW.total(s.now)
 		}
 		vs := VertexStats{
 			Arrivals:     n.arrivals,

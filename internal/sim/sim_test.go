@@ -433,9 +433,38 @@ func TestTimeWeighted(t *testing.T) {
 	if got := tw.average(4); !approx(got, (0*1+10*2+0*1)/4.0, 1e-12) {
 		t.Fatalf("average = %v, want 5", got)
 	}
+	if got := tw.total(4); !approx(got, 20, 1e-12) {
+		t.Fatalf("total = %v, want 20", got)
+	}
 	var fresh timeWeighted
 	if fresh.average(10) != 0 {
 		t.Fatal("unstarted average should be 0")
+	}
+}
+
+// TestTimeWeightedMidRunObserver is the regression for the window bug:
+// an observer whose first sample lands mid-run (after a warmup or a fault
+// event) must average over its observed window [first, now], not over
+// absolute time — dividing by now biased such averages toward zero.
+func TestTimeWeightedMidRunObserver(t *testing.T) {
+	var tw timeWeighted
+	tw.set(5, 2) // observation starts at t=5
+	tw.set(9, 0) // value 2 for [5,9)
+	if got := tw.average(10); !approx(got, 2*4/5.0, 1e-12) {
+		t.Fatalf("windowed average = %v, want 1.6 (integral 8 over [5,10])", got)
+	}
+	if got := tw.total(10); !approx(got, 8, 1e-12) {
+		t.Fatalf("total = %v, want 8", got)
+	}
+	// A constant observer reports its constant, regardless of start time.
+	var c timeWeighted
+	c.set(7, 3)
+	if got := c.average(12); !approx(got, 3, 1e-12) {
+		t.Fatalf("constant mid-run observer average = %v, want 3", got)
+	}
+	// Zero-width window: nothing observed yet.
+	if got := c.average(7); got != 0 {
+		t.Fatalf("zero-window average = %v, want 0", got)
 	}
 }
 

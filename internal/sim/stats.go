@@ -57,8 +57,9 @@ func (s *sampleSet) quantile(q float64) float64 {
 }
 
 // timeWeighted integrates a step function of time (queue length, busy
-// engines) to report its time average.
+// engines) to report its time average over the observed window.
 type timeWeighted struct {
+	firstTime float64
 	lastTime  float64
 	lastValue float64
 	integral  float64
@@ -68,16 +69,32 @@ type timeWeighted struct {
 func (t *timeWeighted) set(now, value float64) {
 	if t.started {
 		t.integral += t.lastValue * (now - t.lastTime)
+	} else {
+		t.firstTime = now
 	}
 	t.lastTime = now
 	t.lastValue = value
 	t.started = true
 }
 
+// average is the time average over the observed window [firstTime, now].
+// Dividing by the window — not by absolute now — keeps the statistic
+// unbiased for observers that start mid-run (after a warmup, or at the
+// first fault event): the unobserved prefix contributes neither to the
+// integral nor to the denominator.
 func (t *timeWeighted) average(now float64) float64 {
-	if !t.started || now <= 0 {
+	if !t.started || now <= t.firstTime {
 		return 0
 	}
 	total := t.integral + t.lastValue*(now-t.lastTime)
-	return total / now
+	return total / (now - t.firstTime)
+}
+
+// total is the raw integral up to now (e.g. engine-seconds of downtime),
+// independent of when observation started.
+func (t *timeWeighted) total(now float64) float64 {
+	if !t.started || now <= t.firstTime {
+		return 0
+	}
+	return t.integral + t.lastValue*(now-t.lastTime)
 }
