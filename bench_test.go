@@ -21,6 +21,7 @@ import (
 	"lognic/internal/experiments"
 	"lognic/internal/numopt"
 	"lognic/internal/nvme"
+	"lognic/internal/obs"
 	"lognic/internal/optimizer"
 	"lognic/internal/queueing"
 	"lognic/internal/sim"
@@ -243,6 +244,46 @@ func BenchmarkSweepSpeedup(b *testing.B) {
 	}
 	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "x-speedup")
 	b.ReportMetric(float64(parallelOpts.Workers), "workers")
+	// s-serial is the reference wall time the CI trace-overhead smoke
+	// compares BenchmarkTracingDisabled against (budget: +5%).
+	b.ReportMetric(serial.Seconds()/float64(b.N), "s-serial")
+}
+
+// benchFig9Serial regenerates fig9 on one worker — the same workload
+// BenchmarkSweepSpeedup times serially — under the given observability
+// options.
+func benchFig9Serial(b *testing.B, o experiments.Options) {
+	b.Helper()
+	gen, err := experiments.ByID("fig9")
+	if err != nil {
+		b.Fatal(err)
+	}
+	o.Workers = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Run(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracingDisabled measures the observability hooks at their
+// default setting: wired through the sweep engine and the simulator hot
+// paths but with no registry or tracer attached. CI compares its ns/op to
+// BenchmarkSweepSpeedup's s-serial metric and fails the build if the
+// disabled-instrumentation path costs more than 5% — the budget the
+// nil-guarded span/metric call sites are designed to meet.
+func BenchmarkTracingDisabled(b *testing.B) {
+	benchFig9Serial(b, benchOpts)
+}
+
+// BenchmarkTracingEnabled is the same workload with a live registry and
+// span tracer, for eyeballing the enabled-path cost (not budgeted).
+func BenchmarkTracingEnabled(b *testing.B) {
+	o := benchOpts
+	o.Metrics = obs.NewRegistry()
+	o.Trace = obs.NewTracer(0)
+	benchFig9Serial(b, o)
 }
 
 // BenchmarkAblationQueueModel compares the paper's folded M/M/1/N vertex

@@ -15,6 +15,15 @@
 // EXPERIMENTS.md (regenerates every figure; takes a few minutes at full
 // scale).
 //
+// Observability: every run ends with a one-line JSON run summary (wall
+// time, sweep points, workers, peak heap from runtime/metrics) on stderr,
+// or in the file named by -run-summary. -metrics writes the accumulated
+// sweep and simulator metrics in the Prometheus text format; -trace
+// samples packet spans into a Chrome trace_event file; -pprof serves
+// /debug/pprof, live /metrics and /runtime while figures regenerate.
+// None of these change figure output — observability consumes no
+// simulator randomness.
+//
 // -parallel N bounds the sweep engine's worker pool: every figure fans its
 // points and simulator replications out over N workers (default
 // GOMAXPROCS). Output is byte-identical at any worker count — each
@@ -25,15 +34,33 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
+	"lognic/internal/cli"
 	"lognic/internal/experiments"
+	"lognic/internal/obs"
 	"lognic/internal/report"
 )
+
+// runSummary is the end-of-run JSON record: enough to spot a regressed or
+// runaway benchmark run from logs alone.
+type runSummary struct {
+	WallSeconds  float64  `json:"wall_seconds"`
+	Figures      []string `json:"figures"`
+	SweepPoints  float64  `json:"sweep_points"`
+	Workers      int      `json:"workers"`
+	Scale        float64  `json:"scale"`
+	Seed         int64    `json:"seed"`
+	PeakHeapByte float64  `json:"peak_heap_bytes"`
+	Failed       bool     `json:"failed,omitempty"`
+}
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "simulated-duration multiplier (smaller = faster, noisier)")
@@ -41,16 +68,76 @@ func main() {
 	format := flag.String("format", "text", "output format: text, csv or md")
 	summary := flag.Bool("summary", false, "print the paper-vs-reproduction summary table")
 	parallel := flag.Int("parallel", 0, "sweep worker count per figure (0 = GOMAXPROCS); results are identical at any worker count")
+	metricsOut := flag.String("metrics", "", "write accumulated metrics (Prometheus text format) to this file")
+	traceOut := flag.String("trace", "", "sample packet spans into this Chrome trace_event file")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /metrics and /runtime on this address while running")
+	summaryOut := flag.String("run-summary", "", "write the final JSON run summary to this file instead of stderr")
 	flag.Parse()
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed, SeedSet: true, Workers: *parallel}
-	if *summary {
-		rows, err := report.Summary(opts)
+	// The registry is always on: it feeds the run summary's sweep-point
+	// count, and -metrics/-pprof expose it. Attaching it never changes
+	// figure output.
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+	}
+	if *pprofAddr != "" {
+		ln, err := cli.StartDebugServer(*pprofAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "lognic-bench: debug server on http://%s/\n", ln.Addr())
+	}
+
+	opts := experiments.Options{
+		Scale: *scale, Seed: *seed, SeedSet: true, Workers: *parallel,
+		Metrics: reg, Trace: tracer,
+	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	sum := runSummary{Workers: workers, Scale: *scale, Seed: *seed}
+	finish := func(failed bool) {
+		sum.WallSeconds = time.Since(start).Seconds()
+		sum.Failed = failed
+		if heap := cli.HeapBytes(); heap > sum.PeakHeapByte {
+			sum.PeakHeapByte = heap
+		}
+		sum.SweepPoints = sumGauge(reg, "lognic_sweep_points_done")
+		if *metricsOut != "" {
+			if err := writeFile(*metricsOut, reg.WritePrometheus); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed = true
+			}
+		}
+		if *traceOut != "" {
+			if err := writeFile(*traceOut, func(w io.Writer) error {
+				return tracer.WriteChromeTrace(w, "lognic-bench")
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed = true
+			}
+		}
+		emitSummary(sum, *summaryOut)
+		if failed {
+			os.Exit(1)
+		}
+	}
+
+	if *summary {
+		rows, err := report.Summary(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			finish(true)
+		}
 		fmt.Print(report.SummaryMarkdown(rows))
+		sum.Figures = []string{"summary"}
+		finish(false)
 		return
 	}
 	ids := flag.Args()
@@ -77,7 +164,11 @@ func main() {
 		start := time.Now()
 		fig, err := g.Run(opts)
 		results[i] = outcome{fig: fig, err: err, elapsed: time.Since(start)}
+		if heap := cli.HeapBytes(); heap > sum.PeakHeapByte {
+			sum.PeakHeapByte = heap
+		}
 	}
+	sum.Figures = ids
 
 	failed := false
 	for i, id := range ids {
@@ -97,8 +188,50 @@ func main() {
 			printAnchors(id)
 		}
 	}
-	if failed {
-		os.Exit(1)
+	finish(failed)
+}
+
+// sumGauge totals a gauge family across its label sets (the sweep engine
+// keeps one lognic_sweep_points_done series per figure).
+func sumGauge(reg *obs.Registry, name string) float64 {
+	var total float64
+	for _, s := range reg.Gather() {
+		if s.Name == name {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// writeFile renders into path, creating or truncating it.
+func writeFile(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// emitSummary writes the JSON run summary to path, or stderr when path is
+// empty. Summary emission failing never masks the run's own exit status,
+// so errors here are only reported.
+func emitSummary(sum runSummary, path string) {
+	out, err := json.Marshal(sum)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lognic-bench: run summary:", err)
+		return
+	}
+	out = append(out, '\n')
+	if path == "" {
+		os.Stderr.Write(out)
+		return
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "lognic-bench: run summary:", err)
 	}
 }
 

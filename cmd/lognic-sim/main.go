@@ -6,7 +6,14 @@
 //
 // Usage:
 //
-//	lognic-sim [-duration s] [-seed n] [-det] [-json] model.json
+//	lognic-sim [-duration s] [-seed n] [-det] [-json] [-metrics file] [-trace file] [-pprof addr] model.json
+//
+// -metrics writes the run's counters, gauges and latency histogram to a
+// file in the Prometheus text format; -trace writes the packet-span
+// timeline as Chrome trace_event JSON (loadable in Perfetto or
+// chrome://tracing); -pprof serves net/http/pprof, the live /metrics
+// endpoint and a runtime/metrics snapshot (/runtime) on the given address
+// for the duration of the run.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"os"
 
 	"lognic/internal/cli"
+	"lognic/internal/obs"
 )
 
 func main() {
@@ -22,20 +30,38 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	det := flag.Bool("det", false, "deterministic service times (mean instead of exponential)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
+	metricsOut := flag.String("metrics", "", "write run metrics (Prometheus text format) to this file")
+	traceOut := flag.String("trace", "", "write packet spans (Chrome trace_event JSON) to this file")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /metrics and /runtime on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lognic-sim [-duration s] [-seed n] [-det] [-json] model.json")
+		fmt.Fprintln(os.Stderr, "usage: lognic-sim [-duration s] [-seed n] [-det] [-json] [-metrics file] [-trace file] [-pprof addr] model.json")
 		os.Exit(2)
 	}
 	m, err := cli.LoadModel(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
+	var reg *obs.Registry
+	if *metricsOut != "" || *pprofAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if *pprofAddr != "" {
+		ln, err := cli.StartDebugServer(*pprofAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "lognic-sim: debug server on http://%s/\n", ln.Addr())
+	}
 	err = cli.RunSim(os.Stdout, m, cli.SimOptions{
 		Duration:      *duration,
 		Seed:          *seed,
 		Deterministic: *det,
 		JSON:          *jsonOut,
+		MetricsOut:    *metricsOut,
+		TraceOut:      *traceOut,
+		Registry:      reg,
 	})
 	if err != nil {
 		fatal(err)

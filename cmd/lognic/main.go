@@ -9,6 +9,7 @@
 //	lognic [-json] [-sweep lo:hi:steps] model.json
 //	lognic -optimize latency|throughput|goodput -knob v.parallelism=1..16 [-knob ...] model.json
 //	lognic faults [-json] [-sim] [-duration s] [-seed n] model.json scenario.json
+//	lognic trace [-out trace.json] [-metrics file] [-duration s] [-seed n] model.json
 //
 // With -sweep, the ingress bandwidth is swept across the given range
 // (accepts unit strings, e.g. -sweep 1Gbps:25Gbps:10) and one row per
@@ -21,6 +22,13 @@
 // scenario (a JSON file naming lost engines and degraded links; see
 // internal/spec.Scenario): degraded-mode capacity, bottleneck and latency
 // side by side, optionally cross-checked by faulted simulation with -sim.
+//
+// The trace subcommand runs one traced simulation: it writes every
+// packet's span timeline (vertex visits with queue-wait, service and
+// transfer phases) as Chrome trace_event JSON — load it in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing — and prints the
+// bottleneck-attribution table cross-checking the analytical model
+// against the measured run.
 package main
 
 import (
@@ -37,7 +45,7 @@ func (k *knobList) String() string     { return fmt.Sprint(*k) }
 func (k *knobList) Set(v string) error { *k = append(*k, v); return nil }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "faults" {
+	if len(os.Args) > 1 && (os.Args[1] == "faults" || os.Args[1] == "trace") {
 		os.Exit(cli.Main(os.Args[1:], os.Stdout, os.Stderr))
 	}
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"lognic/internal/core"
+	"lognic/internal/obs"
 	"lognic/internal/sim"
 	"lognic/internal/spec"
 	"lognic/internal/traffic"
@@ -175,6 +176,15 @@ type SimOptions struct {
 	Deterministic bool
 	// JSON selects machine-readable output.
 	JSON bool
+	// MetricsOut, when non-empty, writes the run's metrics to this path in
+	// the Prometheus text format after the run.
+	MetricsOut string
+	// TraceOut, when non-empty, attaches a span tracer and writes the
+	// packet timeline to this path as Chrome trace_event JSON.
+	TraceOut string
+	// Registry optionally supplies the registry to record into (shared
+	// with a debug server); nil with MetricsOut set creates one.
+	Registry *obs.Registry
 }
 
 // RunSim simulates the model's graph under its traffic profile and renders
@@ -182,6 +192,14 @@ type SimOptions struct {
 func RunSim(w io.Writer, m core.Model, opts SimOptions) error {
 	prof := traffic.Fixed(m.Graph.Name(),
 		unit.Bandwidth(m.Traffic.IngressBW), unit.Size(m.Traffic.Granularity))
+	reg := opts.Registry
+	if reg == nil && opts.MetricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if opts.TraceOut != "" {
+		tracer = obs.NewTracer(0)
+	}
 	res, err := sim.Run(sim.Config{
 		Graph:                m.Graph,
 		Hardware:             m.Hardware,
@@ -189,9 +207,23 @@ func RunSim(w io.Writer, m core.Model, opts SimOptions) error {
 		Seed:                 opts.Seed,
 		Duration:             opts.Duration,
 		DeterministicService: opts.Deterministic,
+		Metrics:              reg,
+		Spans:                tracer,
 	})
 	if err != nil {
 		return err
+	}
+	if opts.MetricsOut != "" {
+		if err := writeFileWith(opts.MetricsOut, reg.WritePrometheus); err != nil {
+			return err
+		}
+	}
+	if opts.TraceOut != "" {
+		if err := writeFileWith(opts.TraceOut, func(f io.Writer) error {
+			return tracer.WriteChromeTrace(f, m.Graph.Name())
+		}); err != nil {
+			return err
+		}
 	}
 	if opts.JSON {
 		return json.NewEncoder(w).Encode(res)

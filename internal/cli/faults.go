@@ -22,14 +22,16 @@ import (
 // 2 on usage errors.
 func Main(argv []string, stdout, stderr io.Writer) int {
 	if len(argv) == 0 {
-		fmt.Fprintln(stderr, "usage: lognic <subcommand> [args]\nsubcommands: faults")
+		fmt.Fprintln(stderr, "usage: lognic <subcommand> [args]\nsubcommands: faults, trace")
 		return 2
 	}
 	switch argv[0] {
 	case "faults":
 		return faultsMain(argv[1:], stdout, stderr)
+	case "trace":
+		return traceMain(argv[1:], stdout, stderr)
 	default:
-		fmt.Fprintf(stderr, "lognic: unknown subcommand %q (have: faults)\n", argv[0])
+		fmt.Fprintf(stderr, "lognic: unknown subcommand %q (have: faults, trace)\n", argv[0])
 		return 2
 	}
 }

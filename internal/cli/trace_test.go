@@ -1,0 +1,179 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lognic/internal/obs"
+)
+
+// chromeTrace mirrors the Chrome trace_event JSON object format enough to
+// validate what RunTrace writes.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name  string  `json:"name"`
+		Phase string  `json:"ph"`
+		TS    float64 `json:"ts"`
+		Dur   float64 `json:"dur"`
+		PID   int     `json:"pid"`
+	} `json:"traceEvents"`
+}
+
+func TestRunTraceWritesPerfettoTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	m := testModel(t)
+	m.Traffic.IngressBW = 0.9e9 // near the ip vertex's 1 Gbps capacity
+
+	var b strings.Builder
+	err := RunTrace(&b, m, TraceOptions{
+		Out: tracePath, MetricsOut: metricsPath,
+		Duration: 0.02, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	var complete, meta int
+	for _, ev := range tr.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			complete++
+			if ev.Dur < 0 || ev.TS < 0 {
+				t.Fatalf("event %q has negative ts/dur: %+v", ev.Name, ev)
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q in event %+v", ev.Phase, ev)
+		}
+	}
+	if complete == 0 || meta == 0 {
+		t.Fatalf("want complete and metadata events, got X=%d M=%d", complete, meta)
+	}
+
+	prom, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# TYPE lognic_sim_packets_delivered_total counter", "lognic_sim_latency_seconds_bucket"} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics file missing %q", want)
+		}
+	}
+
+	out := b.String()
+	for _, want := range []string{"trace:", "measured:", "component"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTraceJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	m := testModel(t)
+	var b strings.Builder
+	err := RunTrace(&b, m, TraceOptions{
+		Out: filepath.Join(dir, "trace.json"), Duration: 0.01, Seed: 1, JSON: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON report: %v\n%s", err, b.String())
+	}
+	if len(rep.Model) == 0 {
+		t.Fatal("JSON report has no model components")
+	}
+}
+
+func TestTraceMainUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := traceMain(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no-arg traceMain = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage: lognic trace") {
+		t.Fatalf("usage missing:\n%s", errOut.String())
+	}
+}
+
+func TestMainDispatchesTrace(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := Main([]string{"trace"}, &out, &errOut); code != 2 {
+		t.Fatalf("Main trace without model = %d, want 2", code)
+	}
+	if code := Main([]string{"nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("Main unknown subcommand = %d, want 2", code)
+	}
+}
+
+func TestStartDebugServer(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("lognic_test_total", "test counter", nil).Inc()
+	ln, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", ln.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "lognic_test_total 1") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	var snap map[string]float64
+	if err := json.Unmarshal([]byte(get("/runtime")), &snap); err != nil {
+		t.Fatalf("/runtime not JSON: %v", err)
+	}
+	if len(snap) == 0 {
+		t.Error("/runtime snapshot empty")
+	}
+	if !strings.Contains(get("/debug/pprof/cmdline"), string(os.Args[0][0])) {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestHeapBytes(t *testing.T) {
+	if h := HeapBytes(); h <= 0 {
+		t.Fatalf("HeapBytes = %v, want > 0", h)
+	}
+	snap := RuntimeSnapshot()
+	if _, ok := snap["/memory/classes/heap/objects:bytes"]; !ok {
+		t.Fatal("RuntimeSnapshot missing heap bytes metric")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"strings"
 
+	"lognic/internal/obs"
 	"lognic/internal/sim"
 )
 
@@ -69,6 +70,17 @@ type Options struct {
 	// unbounded). A replication that exceeds it aborts the whole figure
 	// with sim.ErrBudgetExceeded, propagated out of the worker pool.
 	MaxEvents uint64
+	// Metrics, when set, receives sweep progress (points done/total per
+	// figure), per-point wall-time histograms, and every replication's
+	// simulator counters. Replications share the registry's series;
+	// attaching it never changes figure output (observability consumes no
+	// simulator randomness).
+	Metrics *obs.Registry
+	// Trace, when set, receives packet spans from every simulator
+	// replication. With many replications sharing one bounded ring the
+	// trace is a sample, not a full record; single-run tracing (the
+	// `lognic trace` command) gives one coherent timeline.
+	Trace *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {

@@ -27,7 +27,7 @@ func Fig5(opts Options) (Figure, error) {
 		XLabel: "granularity(B)",
 		YLabel: "Throughput (MOPS)",
 	}
-	series, err := sweep(context.Background(), opts.Workers, len(accels),
+	series, err := sweepObs(context.Background(), opts, "fig5", len(accels),
 		func(_ context.Context, ai int) (Series, error) {
 			s := Series{Name: accels[ai]}
 			for _, g := range granularities {
@@ -80,7 +80,7 @@ func Fig9(opts Options) (Figure, error) {
 	}
 	type cell struct{ measured, model float64 }
 	nCores := d.Cores
-	cells, err := sweep(context.Background(), opts.Workers, len(fig9Accels)*nCores,
+	cells, err := sweepObs(context.Background(), opts, "fig9", len(fig9Accels)*nCores,
 		func(ctx context.Context, ti int) (cell, error) {
 			ai, ci := ti/nCores, ti%nCores
 			cores := ci + 1
@@ -94,7 +94,7 @@ func Fig9(opts Options) (Figure, error) {
 			if err != nil {
 				return cell{}, err
 			}
-			res, err := runSim(ctx, sim.Config{
+			res, err := runSim(ctx, opts, sim.Config{
 				Graph:     m.Graph,
 				Hardware:  m.Hardware,
 				Profile:   traffic.Fixed("mtu", unit.Bandwidth(m.Traffic.IngressBW), 1500),
@@ -141,7 +141,7 @@ func Fig10(opts Options) (Figure, error) {
 		XLabel: "pkt(B)",
 		YLabel: "Bandwidth (Gbps)",
 	}
-	series, err := sweep(context.Background(), opts.Workers, len(accels),
+	series, err := sweepObs(context.Background(), opts, "fig10", len(accels),
 		func(_ context.Context, ai int) (Series, error) {
 			s := Series{Name: accels[ai]}
 			for _, size := range sizes {

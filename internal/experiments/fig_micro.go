@@ -43,7 +43,7 @@ func microserviceSchemes(ctx context.Context, d devices.LiquidIO2, chain apps.Se
 		if err != nil {
 			return thr, lat, err
 		}
-		res, err := runSim(ctx, sim.Config{
+		res, err := runSim(ctx, opts, sim.Config{
 			Graph:     m.Graph,
 			Hardware:  m.Hardware,
 			Profile:   traffic.Fixed(chain.Name, unit.Bandwidth(offered), unit.Size(chain.RequestBytes)),
@@ -82,7 +82,7 @@ func fig1112(opts Options) (Figure, Figure, error) {
 	}
 	workloads := apps.E3Workloads()
 	type cell struct{ thr, lat [3]float64 }
-	cells, err := sweep(context.Background(), opts.Workers, len(workloads),
+	cells, err := sweepObs(context.Background(), opts, "fig1112", len(workloads),
 		func(ctx context.Context, ai int) (cell, error) {
 			thr, lat, err := microserviceSchemes(ctx, d, workloads[ai], opts, ai)
 			if err != nil {

@@ -49,7 +49,7 @@ func nfSchemes(ctx context.Context, d devices.BlueField2, chain []apps.NF, size 
 		if err != nil {
 			return thr, lat, err
 		}
-		res, err := runSim(ctx, sim.Config{
+		res, err := runSim(ctx, opts, sim.Config{
 			Graph:     m.Graph,
 			Hardware:  m.Hardware,
 			Profile:   traffic.Fixed("line", d.LineRate, unit.Size(size)),
@@ -67,7 +67,7 @@ func nfSchemes(ctx context.Context, d devices.BlueField2, chain []apps.NF, size 
 		if err != nil {
 			return thr, lat, err
 		}
-		res2, err := runSim(ctx, sim.Config{
+		res2, err := runSim(ctx, opts, sim.Config{
 			Graph:     m2.Graph,
 			Hardware:  m2.Hardware,
 			Profile:   traffic.Fixed("load", unit.Bandwidth(latLoad), unit.Size(size)),
@@ -103,7 +103,7 @@ func fig1314(opts Options) (Figure, Figure, error) {
 		f14.Series = append(f14.Series, Series{Name: schemes[i]})
 	}
 	type cell struct{ thr, lat [3]float64 }
-	cells, err := sweep(context.Background(), opts.Workers, len(fig13Sizes),
+	cells, err := sweepObs(context.Background(), opts, "fig1314", len(fig13Sizes),
 		func(ctx context.Context, si int) (cell, error) {
 			thr, lat, err := nfSchemes(ctx, d, chain, fig13Sizes[si], opts, si)
 			if err != nil {

@@ -47,7 +47,7 @@ func runNVMeoF(ctx context.Context, cfg apps.NVMeoFConfig, opts Options, base fl
 	if need := minIOs * cfg.IOBytes / cfg.OfferedBW; need > duration {
 		duration = need
 	}
-	res, err := runSim(ctx, sim.Config{
+	res, err := runSim(ctx, opts, sim.Config{
 		Graph:       m.Graph,
 		Hardware:    m.Hardware,
 		Profile:     traffic.Fixed(cfg.Kind.String(), unit.Bandwidth(cfg.OfferedBW), unit.Size(cfg.IOBytes)),
@@ -125,7 +125,7 @@ func Fig6(opts Options) (Figure, error) {
 		XLabel: "Throughput(GB/s)",
 		YLabel: "Latency (us)",
 	}
-	curves, err := sweep(ctx, opts.Workers, len(profiles),
+	curves, err := sweepObs(ctx, opts, "fig6.ramp", len(profiles),
 		func(ctx context.Context, pi int) (fit.SaturationCurve, error) {
 			curve, err := characterizeSSD(ctx, profiles[pi], drive, opts, pi)
 			if err != nil {
@@ -137,7 +137,7 @@ func Fig6(opts Options) (Figure, error) {
 		return Figure{}, err
 	}
 	type cell struct{ measured, model Point }
-	cells, err := sweep(ctx, opts.Workers, len(profiles)*len(fig6Fracs),
+	cells, err := sweepObs(ctx, opts, "fig6", len(profiles)*len(fig6Fracs),
 		func(ctx context.Context, ti int) (cell, error) {
 			pi, fi := ti/len(fig6Fracs), ti%len(fig6Fracs)
 			prof, curve := profiles[pi], curves[pi]
@@ -202,7 +202,7 @@ func Fig7(opts Options) (Figure, error) {
 		YLabel: "Bandwidth (MB/s)",
 	}
 	type cell struct{ measured, model float64 }
-	cells, err := sweep(context.Background(), opts.Workers, len(fig7Ratios),
+	cells, err := sweepObs(context.Background(), opts, "fig7", len(fig7Ratios),
 		func(ctx context.Context, ri int) (cell, error) {
 			ratio := fig7Ratios[ri]
 			// Offer near the mixed capacity so the drive saturates.
@@ -230,7 +230,7 @@ func Fig7(opts Options) (Figure, error) {
 			if err != nil {
 				return cell{}, err
 			}
-			res, err := runSim(ctx, sim.Config{
+			res, err := runSim(ctx, opts, sim.Config{
 				Graph:       m.Graph,
 				Hardware:    m.Hardware,
 				Profile:     traffic.Fixed("mix", unit.Bandwidth(cfg.OfferedBW), 4096),

@@ -52,7 +52,7 @@ func Fig15(opts Options) (Figure, error) {
 		prof traffic.Profile
 		mean float64
 	}
-	preps, err := sweep(ctx, opts.Workers, len(profiles),
+	preps, err := sweepObs(ctx, opts, "fig15.prep", len(profiles),
 		func(_ context.Context, pi int) (prep, error) {
 			tp := profiles[pi]
 			prof, err := traffic.EqualSplit(tp.Name, unit.Gbps(1), tp.Sizes...)
@@ -70,7 +70,7 @@ func Fig15(opts Options) (Figure, error) {
 	if err != nil {
 		return Figure{}, err
 	}
-	ys, err := sweep(ctx, opts.Workers, len(profiles)*fig15Credits,
+	ys, err := sweepObs(ctx, opts, "fig15", len(profiles)*fig15Credits,
 		func(ctx context.Context, ti int) (float64, error) {
 			pi, ci := ti/fig15Credits, ti%fig15Credits
 			credits := ci + 1
@@ -78,7 +78,7 @@ func Fig15(opts Options) (Figure, error) {
 			if err != nil {
 				return 0, err
 			}
-			res, err := runSim(ctx, sim.Config{
+			res, err := runSim(ctx, opts, sim.Config{
 				Graph:    m.Graph,
 				Hardware: m.Hardware,
 				Profile:  preps[pi].prof,
@@ -209,7 +209,7 @@ func fig1617(opts Options) (Figure, Figure, error) {
 		offered float64
 		splits  []float64
 	}
-	preps, err := sweep(ctx, opts.Workers, len(fig16Sizes),
+	preps, err := sweepObs(ctx, opts, "fig1617.prep", len(fig16Sizes),
 		func(_ context.Context, ti int) (prep, error) {
 			tp := fig16Sizes[ti]
 			offered, err := panicM2Offer(d, tp.Size)
@@ -230,7 +230,7 @@ func fig1617(opts Options) (Figure, Figure, error) {
 	}
 	nSplits := len(names)
 	type cell struct{ latency, throughput float64 }
-	cells, err := sweep(ctx, opts.Workers, len(fig16Sizes)*nSplits,
+	cells, err := sweepObs(ctx, opts, "fig1617", len(fig16Sizes)*nSplits,
 		func(ctx context.Context, ci int) (cell, error) {
 			ti, si := ci/nSplits, ci%nSplits
 			tp, p := fig16Sizes[ti], preps[ti]
@@ -238,7 +238,7 @@ func fig1617(opts Options) (Figure, Figure, error) {
 			if err != nil {
 				return cell{}, err
 			}
-			res, err := runSim(ctx, sim.Config{
+			res, err := runSim(ctx, opts, sim.Config{
 				Graph:     m.Graph,
 				Hardware:  m.Hardware,
 				Profile:   traffic.Fixed(tp.Name, unit.Bandwidth(p.offered), unit.Size(tp.Size)),
@@ -325,7 +325,7 @@ func fig1819(opts Options) (Figure, Figure, error) {
 		XLabel: "lanes", YLabel: "Throughput (Gbps)",
 	}
 	type cell struct{ latency, throughput float64 }
-	cells, err := sweep(context.Background(), opts.Workers, len(fig18Traffic)*fig18Lanes,
+	cells, err := sweepObs(context.Background(), opts, "fig1819", len(fig18Traffic)*fig18Lanes,
 		func(ctx context.Context, ti int) (cell, error) {
 			tpi, li := ti/fig18Lanes, ti%fig18Lanes
 			lanes := li + 1
@@ -333,7 +333,7 @@ func fig1819(opts Options) (Figure, Figure, error) {
 			if err != nil {
 				return cell{}, err
 			}
-			res, err := runSim(ctx, sim.Config{
+			res, err := runSim(ctx, opts, sim.Config{
 				Graph:     m.Graph,
 				Hardware:  m.Hardware,
 				Profile:   traffic.Fixed(fig18Traffic[tpi].Name, unit.Bandwidth(offered), 1024),

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"lognic/internal/obs"
 	"lognic/internal/sim"
 )
 
@@ -94,12 +96,46 @@ func sweep[T any](ctx context.Context, workers, n int, task func(ctx context.Con
 	return out, nil
 }
 
+// sweepObs is sweep with the figure's observability attached: a
+// points-total/points-done progress gauge pair and a per-point wall-time
+// histogram, labeled by figure id. Timing uses the host clock and so never
+// touches simulator state — figure output stays byte-identical whether or
+// not a registry is attached.
+func sweepObs[T any](ctx context.Context, o Options, figID string, n int, task func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if o.Metrics == nil {
+		return sweep(ctx, o.Workers, n, task)
+	}
+	labels := obs.Labels{"fig": figID}
+	total := o.Metrics.Gauge("lognic_sweep_points_total", "replications this figure fans out", labels)
+	done := o.Metrics.Gauge("lognic_sweep_points_done", "replications completed so far", labels)
+	seconds := o.Metrics.Histogram("lognic_sweep_point_seconds", "wall time per replication", pointBuckets(), labels)
+	total.Add(float64(n))
+	timed := func(ctx context.Context, i int) (T, error) {
+		start := time.Now()
+		v, err := task(ctx, i)
+		seconds.Observe(time.Since(start).Seconds())
+		if err == nil {
+			done.Add(1)
+		}
+		return v, err
+	}
+	return sweep(ctx, o.Workers, n, timed)
+}
+
+// pointBuckets spans 100µs..~100s geometrically — replication wall times
+// from the fastest smoke-scale point to a full-duration figure cell.
+func pointBuckets() []float64 { return obs.ExpBuckets(1e-4, 4, 10) }
+
 // runSim executes one simulator replication under the sweep's context, so
 // a sibling worker's failure — or an exceeded Options.MaxEvents budget —
 // cancels in-flight replications instead of letting them run out the
 // clock. Typed harness errors (sim.ErrBudgetExceeded, sim.ErrStalled)
-// surface unchanged through the pool.
-func runSim(ctx context.Context, cfg sim.Config) (sim.Result, error) {
+// surface unchanged through the pool. The sweep Options' registry and
+// tracer ride into every replication here, so all figure generators are
+// observable without per-figure wiring.
+func runSim(ctx context.Context, o Options, cfg sim.Config) (sim.Result, error) {
+	cfg.Metrics = o.Metrics
+	cfg.Spans = o.Trace
 	s, err := sim.New(cfg)
 	if err != nil {
 		return sim.Result{}, err

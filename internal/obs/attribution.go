@@ -1,0 +1,202 @@
+package obs
+
+// Bottleneck attribution. LogNIC's core promise is explaining *which*
+// component binds first — a NIC core group, an accelerator, a shared
+// interconnect, the memory subsystem, or a characterized link. This file
+// turns per-component saturation estimates from two independent sources
+// (the analytical model's Equation 4 constraints and the simulator's
+// measured utilizations) into one ranked "who saturates first and at what
+// offered load" report, cross-checked against each other.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Component kinds, mirroring the model's constraint vocabulary.
+const (
+	// KindCompute is an IP/vertex compute ceiling.
+	KindCompute = "compute"
+	// KindInterface is the shared SoC interface (BW_INTF).
+	KindInterface = "interface"
+	// KindMemory is the shared memory subsystem (BW_MEM).
+	KindMemory = "memory"
+	// KindEdge is a characterized vertex-to-vertex link.
+	KindEdge = "edge"
+)
+
+// Component is one hardware entity's saturation estimate from one source.
+type Component struct {
+	// Name identifies the entity: a vertex name, "interface", "memory", or
+	// "from->to" for dedicated links.
+	Name string `json:"name"`
+	// Kind classifies it (KindCompute, KindInterface, ...).
+	Kind string `json:"kind"`
+	// Utilization is the busy fraction at the report's offered load:
+	// measured for the simulator, offered/saturation for the model.
+	Utilization float64 `json:"utilization"`
+	// SaturationLoad is the offered ingress load (bytes/second) at which
+	// this component is estimated to saturate. For the model it is the
+	// constraint's Equation 4 limit; for the simulator it extrapolates
+	// offered/utilization — the same linear-scaling assumption the model's
+	// min() makes.
+	SaturationLoad float64 `json:"saturation_load"`
+}
+
+// key is the canonical identity used to match model and simulator entries.
+func (c Component) key() string { return c.Kind + ":" + c.Name }
+
+// Report ranks components by saturation order from both sources.
+type Report struct {
+	// OfferedLoad is the ingress load (bytes/second) both sources were
+	// evaluated at.
+	OfferedLoad float64 `json:"offered_load"`
+	// Model ranks the analytical model's components, tightest first.
+	Model []Component `json:"model"`
+	// Sim ranks the simulator's components, tightest first.
+	Sim []Component `json:"sim"`
+	// Agree reports whether the simulator confirms the model's
+	// first-saturating component: the model's bottleneck appears among the
+	// simulator components whose saturation load is within AgreeTolerance
+	// of the simulator's tightest. The tolerance keeps designed exact ties
+	// (e.g. a γ-partitioned core pool, where every slice saturates at the
+	// same load) from flipping the verdict on measurement noise.
+	Agree bool `json:"agree"`
+}
+
+// AgreeTolerance is the relative saturation-load slack within which
+// simulator components count as tied for first place when cross-checking
+// the model's bottleneck.
+const AgreeTolerance = 0.02
+
+// BuildReport ranks both component lists (ascending saturation load,
+// ties broken by name for determinism) and cross-checks their verdicts.
+// Components with no meaningful estimate (zero or negative saturation
+// load) are dropped.
+func BuildReport(offered float64, model, sim []Component) Report {
+	r := Report{OfferedLoad: offered, Model: RankComponents(model), Sim: RankComponents(sim)}
+	if len(r.Model) > 0 && len(r.Sim) > 0 {
+		top := r.Model[0].key()
+		tieCeil := r.Sim[0].SaturationLoad * (1 + AgreeTolerance)
+		for _, c := range r.Sim {
+			if c.SaturationLoad > tieCeil {
+				break
+			}
+			if c.key() == top {
+				r.Agree = true
+				break
+			}
+		}
+	}
+	return r
+}
+
+// RankComponents orders one source's components by ascending saturation
+// load (tightest constraint first), dropping entries with no meaningful
+// estimate and breaking ties by key for determinism.
+func RankComponents(in []Component) []Component {
+	out := make([]Component, 0, len(in))
+	for _, c := range in {
+		if c.SaturationLoad > 0 {
+			out = append(out, c)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].SaturationLoad != out[j].SaturationLoad {
+			return out[i].SaturationLoad < out[j].SaturationLoad
+		}
+		return out[i].key() < out[j].key()
+	})
+	return out
+}
+
+// Bottleneck returns the first-saturating component of the given source
+// ranking, or false when the ranking is empty.
+func Bottleneck(ranked []Component) (Component, bool) {
+	if len(ranked) == 0 {
+		return Component{}, false
+	}
+	return ranked[0], true
+}
+
+// Format renders the report as an aligned text table: one row per
+// component present in either source, ranked by the model's saturation
+// order (simulator-only components follow), with both sources'
+// utilization and saturation-load estimates side by side.
+func (r Report) Format() string {
+	type row struct {
+		key   string
+		name  string
+		kind  string
+		model *Component
+		sim   *Component
+	}
+	var rows []row
+	index := map[string]int{}
+	for i := range r.Model {
+		c := &r.Model[i]
+		index[c.key()] = len(rows)
+		rows = append(rows, row{key: c.key(), name: c.Name, kind: c.Kind, model: c})
+	}
+	for i := range r.Sim {
+		c := &r.Sim[i]
+		if j, ok := index[c.key()]; ok {
+			rows[j].sim = c
+		} else {
+			rows = append(rows, row{key: c.key(), name: c.Name, kind: c.Kind, sim: c})
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# bottleneck attribution at offered %s\n", formatBW(r.OfferedLoad))
+	fmt.Fprintf(&b, "%-4s %-22s %-10s %12s %14s %12s %14s\n",
+		"rank", "component", "kind", "model-util", "model-sat", "sim-util", "sim-sat")
+	cell := func(c *Component, util bool) string {
+		if c == nil {
+			return "-"
+		}
+		if util {
+			return fmt.Sprintf("%.3f", c.Utilization)
+		}
+		return formatBW(c.SaturationLoad)
+	}
+	for i, rw := range rows {
+		mark := ""
+		if i == 0 {
+			if r.Agree {
+				mark = "  <- bottleneck (model+sim agree)"
+			} else {
+				mark = "  <- model bottleneck"
+			}
+		}
+		fmt.Fprintf(&b, "%-4d %-22s %-10s %12s %14s %12s %14s%s\n",
+			i+1, rw.name, rw.kind,
+			cell(rw.model, true), cell(rw.model, false),
+			cell(rw.sim, true), cell(rw.sim, false), mark)
+	}
+	if !r.Agree {
+		if top, ok := Bottleneck(r.Sim); ok {
+			fmt.Fprintf(&b, "# sim disagrees: measured first-saturating component is %s (%s)\n", top.Name, top.Kind)
+		}
+	}
+	return b.String()
+}
+
+// formatBW renders bytes/second compactly without importing internal/unit
+// (obs stays dependency-free).
+func formatBW(v float64) string {
+	abs := v
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= 1e9:
+		return fmt.Sprintf("%.3gGB/s", v/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.3gMB/s", v/1e6)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.3gKB/s", v/1e3)
+	default:
+		return fmt.Sprintf("%.3gB/s", v)
+	}
+}

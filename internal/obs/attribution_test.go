@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildReportRanksAndAgrees(t *testing.T) {
+	model := []Component{
+		{Name: "interface", Kind: KindInterface, Utilization: 0.4, SaturationLoad: 25e9},
+		{Name: "md5", Kind: KindCompute, Utilization: 0.9, SaturationLoad: 11e9},
+		{Name: "zero", Kind: KindCompute, SaturationLoad: 0}, // dropped
+	}
+	sim := []Component{
+		{Name: "md5", Kind: KindCompute, Utilization: 0.88, SaturationLoad: 11.4e9},
+		{Name: "interface", Kind: KindInterface, Utilization: 0.41, SaturationLoad: 24.4e9},
+	}
+	r := BuildReport(10e9, model, sim)
+	if len(r.Model) != 2 {
+		t.Fatalf("model components = %d, want 2 (zero-load dropped)", len(r.Model))
+	}
+	if r.Model[0].Name != "md5" || r.Sim[0].Name != "md5" {
+		t.Fatalf("ranking wrong: model[0]=%s sim[0]=%s", r.Model[0].Name, r.Sim[0].Name)
+	}
+	if !r.Agree {
+		t.Fatal("sources name the same bottleneck; Agree must be true")
+	}
+	top, ok := Bottleneck(r.Model)
+	if !ok || top.Name != "md5" {
+		t.Fatalf("Bottleneck = %+v, %v", top, ok)
+	}
+}
+
+func TestBuildReportDisagreement(t *testing.T) {
+	model := []Component{{Name: "a", Kind: KindCompute, SaturationLoad: 1e9}}
+	sim := []Component{
+		{Name: "b", Kind: KindCompute, SaturationLoad: 0.9e9},
+		{Name: "a", Kind: KindCompute, SaturationLoad: 1.1e9},
+	}
+	r := BuildReport(0.5e9, model, sim)
+	if r.Agree {
+		t.Fatal("different top components must not agree")
+	}
+	out := r.Format()
+	if !strings.Contains(out, "sim disagrees") {
+		t.Fatalf("disagreement must be called out:\n%s", out)
+	}
+}
+
+func TestBuildReportDeterministicTieBreak(t *testing.T) {
+	model := []Component{
+		{Name: "b", Kind: KindCompute, SaturationLoad: 1e9},
+		{Name: "a", Kind: KindCompute, SaturationLoad: 1e9},
+	}
+	r := BuildReport(1e9, model, nil)
+	if r.Model[0].Name != "a" || r.Model[1].Name != "b" {
+		t.Fatalf("ties must break by name: %s, %s", r.Model[0].Name, r.Model[1].Name)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	r := BuildReport(10e9,
+		[]Component{
+			{Name: "md5", Kind: KindCompute, Utilization: 0.9, SaturationLoad: 11e9},
+			{Name: "interface", Kind: KindInterface, Utilization: 0.4, SaturationLoad: 25e9},
+		},
+		[]Component{
+			{Name: "md5", Kind: KindCompute, Utilization: 0.88, SaturationLoad: 11.4e9},
+			{Name: "sim-only", Kind: KindCompute, Utilization: 0.1, SaturationLoad: 100e9},
+		})
+	out := r.Format()
+	for _, want := range []string{
+		"bottleneck attribution", "md5", "interface", "sim-only",
+		"<- bottleneck (model+sim agree)", "11GB/s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+	// The model-absent, sim-only component renders dashes in model columns.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "sim-only") && !strings.Contains(line, "-") {
+			t.Errorf("sim-only row must dash out model cells: %q", line)
+		}
+	}
+}
+
+func TestFormatBW(t *testing.T) {
+	cases := map[float64]string{
+		5e9:    "5GB/s",
+		2e6:    "2MB/s",
+		3e3:    "3KB/s",
+		42:     "42B/s",
+		11.4e9: "11.4GB/s",
+	}
+	for in, want := range cases {
+		if got := formatBW(in); got != want {
+			t.Errorf("formatBW(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

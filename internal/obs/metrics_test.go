@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("packets_total", "packets seen", Labels{"vertex": "md5"})
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotonic
+	c.Add(math.NaN())
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	g := r.Gauge("queue_len", "waiting requests", nil)
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestGetOrCreateSharesSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "", Labels{"k": "v"})
+	b := r.Counter("c_total", "", Labels{"k": "v"})
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 || b.Value() != 2 {
+		t.Fatalf("same (name, labels) must share a series: %v %v", a.Value(), b.Value())
+	}
+	other := r.Counter("c_total", "", Labels{"k": "w"})
+	if other.Value() != 0 {
+		t.Fatal("distinct label values must not share a series")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("m", "", nil)
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q must panic", bad)
+				}
+			}()
+			r.Counter(bad, "", nil)
+		}()
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "e2e latency", []float64{0.001, 0.01, 0.1}, nil)
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // ignored
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	snaps := r.Gather()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %d", len(snaps))
+	}
+	s := snaps[0]
+	wantCum := []uint64{1, 3, 4} // cumulative per bound; +Inf (=5) is implicit
+	for i, b := range s.Buckets {
+		if b.CumulativeCount != wantCum[i] {
+			t.Errorf("bucket le=%v cum=%d, want %d", b.UpperBound, b.CumulativeCount, wantCum[i])
+		}
+	}
+	if s.Sum != 0.0005+0.005+0.005+0.05+5 {
+		t.Errorf("sum = %v", s.Sum)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 10, 4)
+	want := []float64{1e-6, 1e-5, 1e-4, 1e-3}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-18 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+// promLine matches one valid Prometheus text-format sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// TestPrometheusFormatLint renders a representative registry and checks
+// every line against the exposition-format grammar: HELP/TYPE comments
+// first per family, valid sample lines, histogram series complete with a
+// +Inf bucket whose count equals _count.
+func TestPrometheusFormatLint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim_packets_delivered_total", "packets delivered", nil).Add(42)
+	r.Counter("sim_packets_dropped_total", `drops with "quotes" and \slash`, Labels{"vertex": `v"1\x`}).Inc()
+	r.Gauge("sim_link_utilization", "busy fraction", Labels{"link": "interface"}).Set(0.73)
+	h := r.Histogram("sweep_point_seconds", "per-point wall time", ExpBuckets(0.001, 10, 4), Labels{"fig": "fig9"})
+	h.Observe(0.02)
+	h.Observe(3)
+	h.Observe(1e9)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	seenType := map[string]string{}
+	var lastFamily string
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "# HELP ") {
+			parts := strings.SplitN(ln, " ", 4)
+			if len(parts) < 3 {
+				t.Fatalf("malformed HELP line: %q", ln)
+			}
+			lastFamily = parts[2]
+			continue
+		}
+		if strings.HasPrefix(ln, "# TYPE ") {
+			parts := strings.SplitN(ln, " ", 4)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", ln)
+			}
+			name, typ := parts[2], parts[3]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("invalid TYPE %q in %q", typ, ln)
+			}
+			if _, dup := seenType[name]; dup {
+				t.Fatalf("duplicate TYPE line for %s", name)
+			}
+			seenType[name] = typ
+			lastFamily = name
+			continue
+		}
+		if strings.HasPrefix(ln, "#") {
+			t.Fatalf("unexpected comment line %q", ln)
+		}
+		if !promLine.MatchString(ln) {
+			t.Fatalf("sample line fails format lint: %q", ln)
+		}
+		name := ln[:strings.IndexAny(ln, "{ ")]
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := seenType[name]; !ok {
+			if _, ok := seenType[base]; !ok {
+				t.Fatalf("sample %q precedes its TYPE line (family %q)", ln, lastFamily)
+			}
+		}
+	}
+	// Histogram completeness: +Inf bucket count == _count value.
+	if !strings.Contains(out, `sweep_point_seconds_bucket{fig="fig9",le="+Inf"} 3`) {
+		t.Errorf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `sweep_point_seconds_count{fig="fig9"} 3`) {
+		t.Errorf("missing _count:\n%s", out)
+	}
+	if !strings.Contains(out, "sim_link_utilization{link=\"interface\"} 0.73") {
+		t.Errorf("missing gauge sample:\n%s", out)
+	}
+}
+
+func TestJSONExportRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "help", Labels{"x": "1"}).Add(7)
+	r.Histogram("h", "", []float64{1, 2}, nil).Observe(1.5)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snaps []Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &snaps); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(snaps) != 2 || snaps[0].Name != "a_total" || snaps[0].Value != 7 {
+		t.Fatalf("snapshots = %+v", snaps)
+	}
+	if snaps[1].Count != 1 || len(snaps[1].Buckets) != 2 {
+		t.Fatalf("histogram snapshot = %+v", snaps[1])
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "", nil).Inc()
+	srv := httptest.NewServer(r)
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var b strings.Builder
+	if _, err := fmt.Fscan(res.Body, &b); err != nil {
+		// Fscan stops at whitespace; just check content type and status.
+		_ = err
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	resJSON, err := srv.Client().Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resJSON.Body.Close()
+	if ct := resJSON.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("json content type = %q", ct)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("races_total", "", nil)
+			h := r.Histogram("rh", "", []float64{1}, nil)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 2))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("races_total", "", nil).Value(); got != 8000 {
+		t.Fatalf("counter = %v, want 8000", got)
+	}
+}
+
+func TestMetricTypeString(t *testing.T) {
+	for typ, want := range map[MetricType]string{
+		TypeCounter: "counter", TypeGauge: "gauge", TypeHistogram: "histogram",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}

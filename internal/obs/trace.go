@@ -1,0 +1,167 @@
+package obs
+
+// Packet-span tracing. The simulator's flat TraceEvent stream is upgraded
+// here into hierarchical spans: one span per vertex visit, with child
+// spans for its queue-wait, service and link-transfer phases. Spans are
+// retained in a bounded ring buffer (oldest evicted first) so tracing a
+// long run holds memory constant, and export to the Chrome trace_event
+// JSON format makes every run loadable in Perfetto (https://ui.perfetto.dev)
+// or chrome://tracing.
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Span categories. A vertex visit is the parent span; phases nest inside
+// it on the same track.
+const (
+	// CatVertex is one full visit of a packet to a vertex (arrival to
+	// departure or drop).
+	CatVertex = "vertex"
+	// CatQueue is the time a packet waited in the vertex's input queue.
+	CatQueue = "queue"
+	// CatService is the time an engine spent serving the packet.
+	CatService = "service"
+	// CatTransfer is the time between departing one vertex and arriving at
+	// the next: computation-transfer overhead plus interface/memory/
+	// dedicated-link occupancy.
+	CatTransfer = "transfer"
+)
+
+// Span is one timed interval in a packet's life.
+type Span struct {
+	// Name labels the span: the vertex name for CatVertex, the phase name
+	// ("queue-wait", "service") or "→next" for transfers.
+	Name string `json:"name"`
+	// Cat is the span category (CatVertex, CatQueue, ...).
+	Cat string `json:"cat"`
+	// Track groups spans onto one timeline — the simulator uses the packet
+	// id, so each packet renders as its own row with vertex visits in
+	// sequence and phases nested inside.
+	Track uint64 `json:"track"`
+	// Start is the span's start time in simulated seconds.
+	Start float64 `json:"start"`
+	// Dur is the span's duration in simulated seconds.
+	Dur float64 `json:"dur"`
+	// Args carries extra key/value detail (packet size, drop reason, the
+	// downstream vertex of a transfer).
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer retains spans in a fixed-capacity ring buffer. The zero value is
+// unusable; call NewTracer. All methods are safe for concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Span
+	next    int
+	full    bool
+	dropped uint64
+}
+
+// DefaultSpanCapacity is the ring size NewTracer(0) uses: enough for the
+// full lifecycle of tens of thousands of packets while staying a few MB.
+const DefaultSpanCapacity = 1 << 16
+
+// NewTracer returns a tracer retaining at most capacity spans (the newest
+// are kept). capacity <= 0 selects DefaultSpanCapacity.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &Tracer{buf: make([]Span, 0, capacity)}
+}
+
+// Emit records one span, evicting the oldest if the ring is full.
+func (t *Tracer) Emit(s Span) {
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, s)
+	} else {
+		t.buf[t.next] = s
+		t.next = (t.next + 1) % cap(t.buf)
+		t.full = true
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Len is the number of retained spans.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Dropped counts spans evicted to keep the ring bounded.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.buf))
+	if t.full {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// chromeEvent is one trace_event record. Timestamps and durations are in
+// microseconds per the format; simulated seconds scale by 1e6.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object flavor of the trace_event format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace exports the retained spans as Chrome trace_event JSON.
+// Every span becomes a complete ("X") event; the track id becomes the tid,
+// so a packet's spans share one row and nest by time containment. The file
+// loads directly in Perfetto or chrome://tracing.
+func (t *Tracer) WriteChromeTrace(w io.Writer, processName string) error {
+	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	trace := chromeTrace{
+		DisplayTimeUnit: "ms",
+		TraceEvents:     make([]chromeEvent, 0, len(spans)+1),
+	}
+	if processName != "" {
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: 1,
+			Args: map[string]any{"name": processName},
+		})
+	}
+	if t.Dropped() > 0 {
+		trace.OtherData = map[string]any{"dropped_spans": t.Dropped()}
+	}
+	for _, s := range spans {
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			TS: s.Start * 1e6, Dur: s.Dur * 1e6,
+			PID: 1, TID: s.Track, Args: s.Args,
+		})
+	}
+	return json.NewEncoder(w).Encode(trace)
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func span(name string, track uint64, start float64) Span {
+	return Span{Name: name, Cat: CatVertex, Track: track, Start: start, Dur: 0.5}
+}
+
+func TestTracerRingBufferBounds(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(span("s", 1, float64(i)))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	spans := tr.Spans()
+	for i, s := range spans {
+		if want := float64(6 + i); s.Start != want {
+			t.Fatalf("span %d start = %v, want %v (newest retained, oldest first)", i, s.Start, want)
+		}
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	tr := NewTracer(0)
+	if cap(tr.buf) != DefaultSpanCapacity {
+		t.Fatalf("cap = %d, want %d", cap(tr.buf), DefaultSpanCapacity)
+	}
+}
+
+func TestWriteChromeTraceLoadsAsJSON(t *testing.T) {
+	tr := NewTracer(16)
+	// A two-vertex packet lifecycle: parent vertex spans with nested
+	// phases, as the simulator emits them.
+	tr.Emit(Span{Name: "ip1", Cat: CatVertex, Track: 7, Start: 0.001, Dur: 0.004,
+		Args: map[string]any{"size": 1024.0}})
+	tr.Emit(Span{Name: "queue-wait", Cat: CatQueue, Track: 7, Start: 0.001, Dur: 0.001})
+	tr.Emit(Span{Name: "service", Cat: CatService, Track: 7, Start: 0.002, Dur: 0.003})
+	tr.Emit(Span{Name: "->ip2", Cat: CatTransfer, Track: 7, Start: 0.005, Dur: 0.002,
+		Args: map[string]any{"to": "ip2"}})
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b, "lognic-sim"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, b.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 5 { // 4 spans + process_name metadata
+		t.Fatalf("events = %d, want 5", len(doc.TraceEvents))
+	}
+	meta := doc.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "process_name" {
+		t.Fatalf("first event must be process metadata, got %+v", meta)
+	}
+	// Events are sorted by start time; timestamps are microseconds.
+	parent := doc.TraceEvents[1]
+	if parent.Ph != "X" || parent.Name != "ip1" || parent.TS != 1000 || parent.Dur != 4000 {
+		t.Fatalf("parent span = %+v", parent)
+	}
+	if parent.TID != 7 {
+		t.Fatalf("tid = %d, want track 7", parent.TID)
+	}
+	// Child spans must nest within the parent interval on the same tid.
+	for _, e := range doc.TraceEvents[2:4] {
+		if e.TID != parent.TID {
+			t.Errorf("child %q on tid %d, want %d", e.Name, e.TID, parent.TID)
+		}
+		if e.TS < parent.TS || e.TS+e.Dur > parent.TS+parent.Dur+1e-9 {
+			t.Errorf("child %q [%v, %v] escapes parent [%v, %v]",
+				e.Name, e.TS, e.TS+e.Dur, parent.TS, parent.TS+parent.Dur)
+		}
+	}
+}
+
+func TestWriteChromeTraceRecordsEvictions(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Emit(span("s", 1, float64(i)))
+	}
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"dropped_spans":3`) {
+		t.Fatalf("output must record evicted span count:\n%s", b.String())
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 
 	"lognic/internal/core"
+	"lognic/internal/obs"
 	"lognic/internal/traffic"
 )
 
@@ -76,6 +77,17 @@ type Config struct {
 	// Trace, when set, receives every packet lifecycle event. Tracing is
 	// for debugging and tests; it observes, never alters, the run.
 	Trace func(TraceEvent)
+	// Spans, when set, receives hierarchical packet spans (one per vertex
+	// visit, with queue-wait/service/link-transfer children) into a
+	// bounded ring buffer, exportable as a Chrome trace_event file. Nil
+	// disables span tracing at the cost of one nil check per event.
+	Spans *obs.Tracer
+	// Metrics, when set, is the registry this run reports counters,
+	// utilization gauges and the latency histogram into. Unlike Result's
+	// measurement-window statistics, metric counters cover the whole run
+	// including warmup. Concurrent runs may share one registry; series
+	// aggregate.
+	Metrics *obs.Registry
 	// RoutePolicy overrides how named vertices pick among their outgoing
 	// edges. The default (RouteDelta) draws per packet from the δ
 	// fractions — the stochastic split the analytical model assumes.
@@ -108,6 +120,11 @@ const (
 	// all packets of a flow take the same path — the flow-granularity
 	// steering a stateful offload requires.
 	RouteFlowHash
+
+	// numRoutePolicies counts the declared policies. Keep it last: the
+	// String exhaustiveness test iterates up to it, so an unlabeled new
+	// policy fails tests instead of printing the fallback.
+	numRoutePolicies
 )
 
 // String names the policy.
@@ -147,6 +164,11 @@ const (
 	// TraceRetry fires when a rejected packet is re-issued under a
 	// RetryPolicy instead of being dropped.
 	TraceRetry
+
+	// numTraceKinds counts the declared kinds. Keep it last: the String
+	// exhaustiveness test iterates up to it, so an unlabeled new kind
+	// fails tests instead of printing the fallback.
+	numTraceKinds
 )
 
 // String names the kind.
@@ -226,8 +248,17 @@ type Result struct {
 	// DropRate is dropped/(dropped+delivered) over the window.
 	DropRate float64
 	// InterfaceUtil and MemoryUtil are the shared links' busy fractions
-	// over the whole run (Equation 4's BW_INTF/BW_MEM resources).
+	// over the measurement window (Equation 4's BW_INTF/BW_MEM
+	// resources). Like every windowed statistic they exclude warmup, so
+	// utilization composes consistently with Throughput and VertexStats.
 	InterfaceUtil, MemoryUtil float64
+	// Links maps every transmission resource — "interface", "memory" and
+	// dedicated "from->to" links — to its busy fraction over the
+	// measurement window.
+	Links map[string]float64
+	// Window is the measurement window length (seconds): Duration minus
+	// warmup. Rates in this Result are per-Window-second.
+	Window float64
 	// Vertices maps vertex name to its stats.
 	Vertices map[string]VertexStats
 	// Faults counts fault-injection activity over the whole run.
@@ -270,6 +301,13 @@ type link struct {
 	busyUntil float64
 	busySum   float64 // accumulated transmission time
 	bytesSum  float64 // accumulated bytes carried
+	// Observation window: utilization is reported over [winStart, now]
+	// with the busy time accumulated before winStart subtracted out, so
+	// an observer that attaches mid-run (the warmup cutoff, or a fault
+	// injected at t>0) is not biased by the unobserved prefix — the same
+	// windowing timeWeighted.average applies to vertex statistics.
+	winStart  float64
+	busyAtWin float64
 }
 
 func newLink(bandwidth float64) *link {
@@ -291,13 +329,25 @@ func (l *link) transfer(now, bytes float64) float64 {
 	return done
 }
 
-// utilization is the fraction of the elapsed time the link spent
-// transmitting.
-func (l *link) utilization(elapsed float64) float64 {
-	if l == nil || elapsed <= 0 {
+// window restarts the link's observation window at t: utilization
+// reported afterwards covers [t, now] only. Transfers scheduled before t
+// whose occupancy extends past it stay attributed to the old window (the
+// hold time is booked when the transfer is scheduled).
+func (l *link) window(t float64) {
+	if l == nil {
+		return
+	}
+	l.winStart = t
+	l.busyAtWin = l.busySum
+}
+
+// utilization is the fraction of the observation window [winStart, now]
+// the link spent transmitting.
+func (l *link) utilization(now float64) float64 {
+	if l == nil || now <= l.winStart {
 		return 0
 	}
-	u := l.busySum / elapsed
+	u := (l.busySum - l.busyAtWin) / (now - l.winStart)
 	if u > 1 {
 		u = 1
 	}
@@ -306,8 +356,10 @@ func (l *link) utilization(elapsed float64) float64 {
 
 // packet is an in-flight request.
 type packet struct {
+	id      uint64 // span track id, assigned at injection
 	size    float64
 	born    float64
+	arrived float64 // arrival time at the current vertex (span parent start)
 	flow    uint64
 	measure bool // arrived after warmup
 	retries int  // re-issues consumed under a RetryPolicy
@@ -332,6 +384,9 @@ type node struct {
 	arrivals, served, dropped int
 	waitSum                   float64
 	busyTW, queueTW, downTW   timeWeighted
+	// droppedC is the per-vertex drop counter, resolved when Config.Metrics
+	// is set (nil otherwise).
+	droppedC *obs.Counter
 }
 
 type queued struct {
@@ -366,6 +421,9 @@ type Simulator struct {
 	links     map[string]*link // by name: "interface", "memory", "from->to"
 	ingressPk []ingressShare
 	faults    FaultStats
+	metrics   *simMetrics // nil unless Config.Metrics is set
+	packetSeq uint64      // span track ids
+	processed uint64      // events executed, for the events counter
 
 	warmEnd float64
 	// measurement accumulators
@@ -552,6 +610,7 @@ func New(cfg Config) (*Simulator, error) {
 			return nil, err
 		}
 	}
+	s.initObs()
 	return s, nil
 }
 
@@ -595,6 +654,18 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	first := gen.Next()
 	s.schedule(first.Time, func() { s.arrivalPump(gen, first) })
 	s.scheduleFaults()
+	// Restart every utilization window at the warmup cutoff, so link and
+	// vertex statistics cover the same measurement window as throughput
+	// and latency instead of averaging over the absolute elapsed time.
+	s.schedule(s.warmEnd, func() {
+		for _, l := range s.links {
+			l.window(s.now)
+		}
+		for _, n := range s.nodes {
+			n.busyTW.rebase(s.now)
+			n.queueTW.rebase(s.now)
+		}
+	})
 
 	var processed uint64
 	var stalled int
@@ -621,15 +692,20 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 		processed++
 	}
 	s.now = s.cfg.Duration
+	s.processed = processed
 	return s.collect(), nil
 }
 
 // arrivalPump injects one packet and schedules the next arrival.
 func (s *Simulator) arrivalPump(gen *traffic.Generator, pkt traffic.Packet) {
-	p := &packet{size: pkt.Size, born: s.now, flow: pkt.Flow, measure: s.now >= s.warmEnd}
+	s.packetSeq++
+	p := &packet{id: s.packetSeq, size: pkt.Size, born: s.now, flow: pkt.Flow, measure: s.now >= s.warmEnd}
 	if p.measure {
 		s.offeredPackets++
 		s.offeredBytes += p.size
+	}
+	if s.metrics != nil {
+		s.metrics.offered.Inc()
 	}
 	ing := s.pickIngress()
 	s.arriveAt(ing, "", p)
@@ -657,6 +733,7 @@ func (s *Simulator) pickIngress() string {
 // (empty for fresh ingress arrivals).
 func (s *Simulator) arriveAt(name, from string, p *packet) {
 	n := s.nodes[name]
+	p.arrived = s.now
 	if p.measure {
 		n.arrivals++
 	}
@@ -682,6 +759,9 @@ func (s *Simulator) arriveAt(name, from string, p *packet) {
 			if p.retries < rp.MaxRetries {
 				p.retries++
 				s.faults.Retries++
+				if s.metrics != nil {
+					s.metrics.retries.Inc()
+				}
 				s.trace(TraceRetry, name, p)
 				// Cap the exponent: beyond 2^30 the doubling only
 				// overflows (0·Inf would poison the clock with NaN).
@@ -699,6 +779,10 @@ func (s *Simulator) arriveAt(name, from string, p *packet) {
 			n.dropped++
 			s.droppedMeasured++
 		}
+		if n.droppedC != nil {
+			n.droppedC.Inc()
+		}
+		s.spanVertex(n, p, map[string]any{"drop": true, "size": p.size})
 		s.trace(TraceDrop, name, p)
 		return
 	}
@@ -721,6 +805,10 @@ func (s *Simulator) startService(n *node, p *packet, wait float64) {
 	n.busy++
 	n.busyTW.set(s.now, float64(n.busy)/float64(n.engines))
 	s.trace(TraceServiceStart, n.v.Name, p)
+	if wait > 0 {
+		s.span("queue-wait", obs.CatQueue, p, s.now-wait, wait, nil)
+	}
+	svcStart := s.now
 	outstanding := n.busy - 1 + n.queue.length()
 	var svc float64
 	switch {
@@ -741,6 +829,7 @@ func (s *Simulator) startService(n *node, p *packet, wait float64) {
 		}
 		n.busy--
 		n.busyTW.set(s.now, float64(n.busy)/float64(n.engines))
+		s.span("service", obs.CatService, p, svcStart, s.now-svcStart, nil)
 		s.depart(n, p)
 		// Pull the next request per the queue discipline — unless the
 		// engine was lost or the vertex stalled while this service ran.
@@ -762,6 +851,7 @@ func (s *Simulator) depart(n *node, p *packet) {
 		return
 	}
 	s.trace(TraceDepart, n.v.Name, p)
+	s.spanVertex(n, p, map[string]any{"size": p.size})
 	rc := s.pickRoute(n, p)
 	t := s.now + rc.overhead
 	if s.intf != nil && rc.intfPerByte > 0 {
@@ -775,6 +865,9 @@ func (s *Simulator) depart(n *node, p *packet) {
 	}
 	to := rc.to
 	from := n.v.Name
+	if t > s.now {
+		s.span("->"+to, obs.CatTransfer, p, s.now, t-s.now, nil)
+	}
 	s.schedule(t, func() { s.arriveAt(to, from, p) })
 }
 
@@ -829,6 +922,11 @@ func splitmix(x uint64) float64 {
 
 func (s *Simulator) complete(n *node, p *packet) {
 	s.trace(TraceDeliver, n.v.Name, p)
+	s.spanVertex(n, p, map[string]any{"size": p.size, "latency": s.now - p.born})
+	if s.metrics != nil {
+		s.metrics.delivered.Inc()
+		s.metrics.latency.Observe(s.now - p.born)
+	}
 	if !p.measure {
 		return
 	}
@@ -849,7 +947,9 @@ func (s *Simulator) collect() Result {
 		P50:              s.latencies.quantile(0.50),
 		P95:              s.latencies.quantile(0.95),
 		P99:              s.latencies.quantile(0.99),
+		Window:           window,
 		Vertices:         map[string]VertexStats{},
+		Links:            map[string]float64{},
 	}
 	if window > 0 {
 		res.Throughput = s.deliveredBytes / window
@@ -859,6 +959,9 @@ func (s *Simulator) collect() Result {
 	}
 	res.InterfaceUtil = s.intf.utilization(s.now)
 	res.MemoryUtil = s.mem.utilization(s.now)
+	for name, l := range s.links {
+		res.Links[name] = l.utilization(s.now)
+	}
 	res.Faults = s.faults
 	for _, name := range s.order {
 		n := s.nodes[name]
@@ -880,6 +983,7 @@ func (s *Simulator) collect() Result {
 		}
 		res.Vertices[name] = vs
 	}
+	s.finishObs(res)
 	return res
 }
 

@@ -8,17 +8,18 @@ import (
 // sampleSet accumulates scalar observations and reports moments and
 // quantiles. It keeps all samples; evaluation runs are bounded well below
 // memory limits, and exact quantiles keep validation against the analytical
-// model honest.
+// model honest. values stays in insertion (chronological) order; quantile
+// sorts a cached copy so observers reading the raw series see it intact.
 type sampleSet struct {
 	values []float64
 	sum    float64
-	sorted bool
+	sorted []float64
 }
 
 func (s *sampleSet) add(v float64) {
 	s.values = append(s.values, v)
 	s.sum += v
-	s.sorted = false
+	s.sorted = nil
 }
 
 func (s *sampleSet) count() int { return len(s.values) }
@@ -36,24 +37,24 @@ func (s *sampleSet) quantile(q float64) float64 {
 	if n == 0 {
 		return 0
 	}
-	if !s.sorted {
-		sort.Float64s(s.values)
-		s.sorted = true
+	if s.sorted == nil {
+		s.sorted = append(make([]float64, 0, n), s.values...)
+		sort.Float64s(s.sorted)
 	}
 	if q <= 0 {
-		return s.values[0]
+		return s.sorted[0]
 	}
 	if q >= 1 {
-		return s.values[n-1]
+		return s.sorted[n-1]
 	}
 	pos := q * float64(n-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return s.values[lo]
+		return s.sorted[lo]
 	}
 	frac := pos - float64(lo)
-	return s.values[lo]*(1-frac) + s.values[hi]*frac
+	return s.sorted[lo]*(1-frac) + s.sorted[hi]*frac
 }
 
 // timeWeighted integrates a step function of time (queue length, busy
@@ -88,6 +89,19 @@ func (t *timeWeighted) average(now float64) float64 {
 	}
 	total := t.integral + t.lastValue*(now-t.lastTime)
 	return total / (now - t.firstTime)
+}
+
+// rebase restarts the observation window at now, discarding everything
+// integrated so far but keeping the current value. The simulator calls it
+// at the end of warmup so reported averages cover only the measurement
+// window, consistent with throughput and link utilization.
+func (t *timeWeighted) rebase(now float64) {
+	if !t.started {
+		return
+	}
+	t.integral = 0
+	t.firstTime = now
+	t.lastTime = now
 }
 
 // total is the raw integral up to now (e.g. engine-seconds of downtime),
