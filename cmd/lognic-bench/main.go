@@ -104,7 +104,6 @@ func main() {
 	sum := runSummary{Workers: workers, Scale: *scale, Seed: *seed}
 	finish := func(failed bool) {
 		sum.WallSeconds = time.Since(start).Seconds()
-		sum.Failed = failed
 		if heap := cli.HeapBytes(); heap > sum.PeakHeapByte {
 			sum.PeakHeapByte = heap
 		}
@@ -123,6 +122,9 @@ func main() {
 				failed = true
 			}
 		}
+		// Failed is recorded after the output writes so a failed -metrics or
+		// -trace write is visible in the summary, not just the exit code.
+		sum.Failed = failed
 		emitSummary(sum, *summaryOut)
 		if failed {
 			os.Exit(1)

@@ -19,6 +19,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -148,7 +149,7 @@ func (r *Registry) getSeries(name, help string, typ MetricType, buckets []float6
 	if !ok {
 		f = &family{name: name, help: help, typ: typ, buckets: buckets, series: map[string]*series{}}
 		r.families[name] = f
-	} else if f.typ != typ || len(f.buckets) != len(buckets) {
+	} else if f.typ != typ || !slices.Equal(f.buckets, buckets) {
 		panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, typ, f.typ))
 	}
 	key := labelKey(labels)
@@ -318,22 +319,30 @@ type BucketSnapshot struct {
 // Gather snapshots every series, sorted by family name then label key, so
 // output is deterministic.
 func (r *Registry) Gather() []Snapshot {
+	// family.series maps are only mutated by getSeries under r.mu, so the
+	// series pointers must be copied out under the same lock: a live
+	// /metrics scrape racing a sweep's series registration would otherwise
+	// read the maps while they grow.
+	type famSnap struct {
+		f      *family
+		series []*series
+	}
 	r.mu.Lock()
-	fams := make([]*family, 0, len(r.families))
+	fams := make([]famSnap, 0, len(r.families))
 	for _, f := range r.families {
-		fams = append(fams, f)
+		ss := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			ss = append(ss, s)
+		}
+		fams = append(fams, famSnap{f: f, series: ss})
 	}
 	r.mu.Unlock()
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	sort.Slice(fams, func(i, j int) bool { return fams[i].f.name < fams[j].f.name })
 	var out []Snapshot
-	for _, f := range fams {
-		keys := make([]string, 0, len(f.series))
-		for k := range f.series {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			s := f.series[k]
+	for _, fs := range fams {
+		f := fs.f
+		sort.Slice(fs.series, func(i, j int) bool { return fs.series[i].key < fs.series[j].key })
+		for _, s := range fs.series {
 			s.mu.Lock()
 			snap := Snapshot{Name: f.name, Type: f.typ.String(), Help: f.help, Labels: s.labels}
 			if f.typ == TypeHistogram {

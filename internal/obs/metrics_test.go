@@ -3,11 +3,13 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http/httptest"
 	"regexp"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -248,6 +250,62 @@ func TestConcurrentUse(t *testing.T) {
 	if got := r.Counter("races_total", "", nil).Value(); got != 8000 {
 		t.Fatalf("counter = %v, want 8000", got)
 	}
+}
+
+// TestGatherRacesRegistration scrapes the registry while other goroutines
+// keep registering fresh series into existing families — the live
+// /metrics-during-sweep pattern. Run under -race this is a regression
+// test for Gather reading family.series maps without the registry lock.
+func TestGatherRacesRegistration(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("scrape_races_total", "", Labels{"vertex": "seed"})
+	done := make(chan struct{})
+	var registered atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				r.Counter("scrape_races_total", "", Labels{"vertex": fmt.Sprintf("v%d_%d", w, i)}).Inc()
+				r.Histogram("scrape_races_hist", "", []float64{1, 2}, Labels{"vertex": fmt.Sprintf("v%d_%d", w, i)}).Observe(1)
+				registered.Add(1)
+			}
+		}(w)
+	}
+	// Scrape until the writers have demonstrably inserted series while
+	// scrapes were in flight — just N iterations could finish before the
+	// goroutines are even scheduled, missing the interleaving entirely.
+	for registered.Load() < 5000 {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	snaps := r.Gather()
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots after concurrent registration")
+	}
+}
+
+// TestHistogramBucketValueMismatchPanics re-registers a histogram with the
+// same number of buckets but different bounds — this must panic, not
+// silently bucket against the first registrant's bounds.
+func TestHistogramBucketValueMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("hb", "", []float64{1, 2, 3}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with different equal-length bounds must panic")
+		}
+	}()
+	r.Histogram("hb", "", []float64{1, 2, 4}, nil)
 }
 
 func TestMetricTypeString(t *testing.T) {
