@@ -38,6 +38,9 @@ var benchOpts = experiments.Options{Scale: 0.1, Seed: 1}
 // runFigure regenerates a figure b.N times and returns the last result.
 func runFigure(b *testing.B, id string) experiments.Figure {
 	b.Helper()
+	// Figure regenerations are event-engine bound: allocs/op is the
+	// engine's headline cost, so report it without requiring -benchmem.
+	b.ReportAllocs()
 	gen, err := experiments.ByID(id)
 	if err != nil {
 		b.Fatal(err)
@@ -259,6 +262,7 @@ func benchFig9Serial(b *testing.B, o experiments.Options) {
 		b.Fatal(err)
 	}
 	o.Workers = 1
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := gen.Run(o); err != nil {
@@ -440,6 +444,7 @@ func BenchmarkSimEngine(b *testing.B) {
 		b.Fatal(err)
 	}
 	var packets int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := sim.Run(sim.Config{

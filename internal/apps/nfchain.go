@@ -108,9 +108,13 @@ func NFChainModel(d devices.BlueField2, chain []NF, place Placement, packetBytes
 			armTime[f.Name] = f.ARMCost(packetBytes)
 		}
 	}
+	// Sum in chain order, not map order: float addition is not
+	// associative, and map iteration order would make γ (and so every
+	// simulated service time) vary by ULPs from run to run, breaking the
+	// bitwise determinism the golden-digest suite enforces.
 	totalARM := 0.0
-	for _, t := range armTime {
-		totalARM += t
+	for _, f := range chain {
+		totalARM += armTime[f.Name]
 	}
 	// Engines can host several NFs (FW and NAT both use conntrack): the
 	// physical engine is γ-partitioned by per-packet engine time, like the

@@ -1,0 +1,9 @@
+//go:build !race
+
+package experiments_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// golden figure suite (14 figures × 3 seeds) skips under it — the
+// sim-level golden suite still runs raced, and figure digests are a pure
+// function of the unraced engine behavior it pins.
+const raceEnabled = false

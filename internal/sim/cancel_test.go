@@ -1,0 +1,56 @@
+package sim_test
+
+// Mid-run cancellation (ISSUE 4 satellite): the engine polls the context
+// every ctxCheckInterval events. Cancelling from inside a trace hook —
+// i.e. mid-dispatch, the worst case — must surface a typed error that
+// wraps context.Canceled, and the simulator must keep the fault activity
+// it had already applied, so a harness can attribute the aborted run.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"lognic/internal/sim"
+)
+
+func TestCancelMidRunKeepsPartialFaultStats(t *testing.T) {
+	d := goldenDevices(t)[0]
+	cfg := goldenScenarios(t, d, 1)["faults-retry"]
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel the moment the first fault injects (the EngineDown at 25% of
+	// the horizon). The VertexStall at 80% must then never fire: the
+	// context poll lands within ctxCheckInterval events, a tiny fraction
+	// of the remaining run.
+	cfg.Trace = func(ev sim.TraceEvent) {
+		if ev.Kind == sim.TraceFaultInject {
+			cancel()
+		}
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.RunContext(ctx)
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	if !strings.Contains(err.Error(), "aborted") {
+		t.Fatalf("error lacks abort context for logs: %v", err)
+	}
+	fs := s.FaultStats()
+	if fs.EngineDownEvents == 0 {
+		t.Fatal("partial FaultStats lost the EngineDown that triggered the cancel")
+	}
+	if fs.VertexStallEvents != 0 {
+		t.Fatalf("run kept going long after cancellation: %+v", fs)
+	}
+	if fs.EngineDownTime == nil || fs.EngineDownTime["ip"] == 0 {
+		t.Fatalf("EngineDownTime not accounted up to the abort: %+v", fs.EngineDownTime)
+	}
+}

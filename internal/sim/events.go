@@ -1,0 +1,172 @@
+package sim
+
+// This file is the fast-path event engine (ISSUE 4 tentpole): a typed,
+// allocation-free replacement for the original container/heap scheduler.
+//
+// The original engine paid three per-event costs at multi-million-event
+// figure budgets: one *event heap allocation, one or two closure
+// allocations capturing the event's operands, and container/heap's
+// interface dispatch (Less/Swap/Push/Pop through `any` boxing) on every
+// sift. This engine removes all three:
+//
+//   - events are plain values in a flat slice, ordered by an index-typed
+//     4-ary min-heap specialized to the event struct — no boxing, no
+//     interface calls, shallower sift paths than a binary heap (log₄ vs
+//     log₂ levels) with better cache behavior (4 children share a line);
+//   - the event's action is a small kind tag plus typed operands
+//     dispatched through one switch, replacing per-event closures;
+//   - packet records recycle through a free list (sim.go), and per-vertex
+//     queue storage is preallocated ring buffers sized from the vertex's
+//     configured queue capacity (queues.go).
+//
+// Determinism contract: the heap orders events by (time, seq) where seq is
+// the strictly increasing schedule counter, exactly the total order the
+// seed engine used — ties cannot exist, so any heap shape dequeues the
+// identical sequence and results stay byte-identical (enforced by the
+// golden-digest suite and FuzzEventQueue's container/heap oracle).
+
+// eventKind discriminates the scheduled actions.
+type eventKind uint8
+
+const (
+	// evArrival injects the pending generated packet and pumps the next
+	// arrival from the traffic generator.
+	evArrival eventKind = iota
+	// evArriveAt lands a packet at a vertex: a finished transfer, or a
+	// retry re-issue after backoff.
+	evArriveAt
+	// evServiceDone completes one engine's service of a packet.
+	evServiceDone
+	// evFault applies cfg.Faults[idx].
+	evFault
+	// evLinkRestore ends a timed LinkDegrade.
+	evLinkRestore
+	// evStallRecover ends a VertexStall window.
+	evStallRecover
+	// evWarmup rebases every observation window at the warmup cutoff.
+	evWarmup
+)
+
+// event is one scheduled action, stored by value in the queue. The operand
+// fields are kind-specific:
+//
+//	evArrival:      a = packet size, flow = flow id (time is the arrival)
+//	evArriveAt:     node = destination, from = upstream name, pkt
+//	evServiceDone:  node = server, pkt, a = queueing wait, b = service start
+//	evFault:        idx into cfg.Faults
+//	evLinkRestore:  link, from = link name (for the trace event)
+//	evStallRecover: node = stalled vertex
+//	evWarmup:       no operands
+type event struct {
+	time float64
+	seq  uint64
+	node *node
+	pkt  *packet
+	link *link
+	from string
+	a, b float64
+	flow uint64
+	idx  int32
+	kind eventKind
+}
+
+// before is the scheduling order: time, then schedule sequence. seq is
+// unique per event, so this is a total order.
+func (e *event) before(o *event) bool {
+	if e.time != o.time {
+		return e.time < o.time
+	}
+	return e.seq < o.seq
+}
+
+// eventQueue is a 4-ary min-heap of event values. Children of slot i live
+// at 4i+1..4i+4; the root is the next event to fire.
+type eventQueue struct {
+	ev []event
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+// push inserts one event, sifting the hole up instead of swapping so each
+// level costs one copy.
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	i := len(q.ev) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.before(&q.ev[p]) {
+			break
+		}
+		q.ev[i] = q.ev[p]
+		i = p
+	}
+	q.ev[i] = e
+}
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so packet/node pointers don't outlive their events in the
+// backing array.
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	last := q.ev[n]
+	q.ev[n] = event{}
+	q.ev = q.ev[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if q.ev[j].before(&q.ev[m]) {
+					m = j
+				}
+			}
+			if !q.ev[m].before(&last) {
+				break
+			}
+			q.ev[i] = q.ev[m]
+			i = m
+		}
+		q.ev[i] = last
+	}
+	return top
+}
+
+// schedule stamps the event with the fire time and the next sequence
+// number and inserts it. The sequence counter is the determinism anchor:
+// equal-time events fire in schedule order, exactly like the seed engine.
+func (s *Simulator) schedule(t float64, e event) {
+	s.seq++
+	e.time = t
+	e.seq = s.seq
+	s.events.push(e)
+}
+
+// dispatch executes one popped event. s.now has already been advanced to
+// the event's timestamp.
+func (s *Simulator) dispatch(e *event) {
+	switch e.kind {
+	case evArriveAt:
+		s.arriveAt(e.node, e.from, e.pkt)
+	case evServiceDone:
+		s.serviceDone(e.node, e.pkt, e.a, e.b)
+	case evArrival:
+		s.arrivalPump(e.a, e.flow)
+	case evFault:
+		s.applyFault(s.cfg.Faults[e.idx])
+	case evLinkRestore:
+		s.restoreLink(e.link, e.from)
+	case evStallRecover:
+		s.recoverStall(e.node)
+	case evWarmup:
+		s.rebaseWindows()
+	}
+}

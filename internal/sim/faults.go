@@ -170,12 +170,32 @@ type FaultStats struct {
 	EngineDownTime map[string]float64
 }
 
+// FaultStats returns the fault activity accumulated so far, including the
+// engine-seconds of capacity lost up to the current simulated time. After
+// a completed run it matches Result.Faults; after an aborted run (context
+// cancelled, budget or stall) it reports the injections, retries and
+// down-time that fired before the abort, which a harness can use to
+// attribute the partial run.
+func (s *Simulator) FaultStats() FaultStats {
+	fs := s.faults
+	fs.EngineDownTime = nil // never alias the live accumulator's map
+	for _, name := range s.order {
+		n := s.nodes[name]
+		if n.downTW.started {
+			if fs.EngineDownTime == nil {
+				fs.EngineDownTime = map[string]float64{}
+			}
+			fs.EngineDownTime[name] = n.downTW.total(s.now)
+		}
+	}
+	return fs
+}
+
 // scheduleFaults inserts the schedule's injections (and their recoveries)
-// into the event heap.
+// into the event queue.
 func (s *Simulator) scheduleFaults() {
-	for _, f := range s.cfg.Faults {
-		f := f
-		s.schedule(f.Time, func() { s.applyFault(f) })
+	for i := range s.cfg.Faults {
+		s.schedule(s.cfg.Faults[i].Time, event{kind: evFault, idx: int32(i)})
 	}
 }
 
@@ -215,12 +235,7 @@ func (s *Simulator) applyFault(f Fault) {
 		s.faults.LinkDegradeEvents++
 		s.traceFault(TraceFaultInject, f.Link)
 		if f.Duration > 0 {
-			link := f.Link
-			s.schedule(s.now+f.Duration, func() {
-				l.bandwidth = l.healthy
-				s.faults.LinkRestores++
-				s.traceFault(TraceFaultRecover, link)
-			})
+			s.schedule(s.now+f.Duration, event{kind: evLinkRestore, link: l, from: f.Link})
 		}
 	case VertexStall:
 		n := s.nodes[f.Vertex]
@@ -230,16 +245,25 @@ func (s *Simulator) applyFault(f Fault) {
 		}
 		s.faults.VertexStallEvents++
 		s.traceFault(TraceFaultInject, f.Vertex)
-		vertex := f.Vertex
-		s.schedule(until, func() {
-			if s.now < n.stalledUntil {
-				return // a longer overlapping stall superseded this one
-			}
-			s.faults.StallRecoveries++
-			s.traceFault(TraceFaultRecover, vertex)
-			s.drain(n)
-		})
+		s.schedule(until, event{kind: evStallRecover, node: n})
 	}
+}
+
+// restoreLink ends a timed LinkDegrade: the evLinkRestore action.
+func (s *Simulator) restoreLink(l *link, name string) {
+	l.bandwidth = l.healthy
+	s.faults.LinkRestores++
+	s.traceFault(TraceFaultRecover, name)
+}
+
+// recoverStall ends a VertexStall window: the evStallRecover action.
+func (s *Simulator) recoverStall(n *node) {
+	if s.now < n.stalledUntil {
+		return // a longer overlapping stall superseded this one
+	}
+	s.faults.StallRecoveries++
+	s.traceFault(TraceFaultRecover, n.v.Name)
+	s.drain(n)
 }
 
 // canStart reports whether the vertex has a healthy idle engine.
@@ -250,8 +274,8 @@ func (s *Simulator) canStart(n *node) bool {
 // drain dispatches queued work onto engines freed by a recovery.
 func (s *Simulator) drain(n *node) {
 	for s.canStart(n) {
-		q := n.queue.pop()
-		if q == nil {
+		q, ok := n.queue.pop()
+		if !ok {
 			return
 		}
 		n.queueTW.set(s.now, float64(n.queue.length()))

@@ -1,0 +1,201 @@
+package sim_test
+
+// Metamorphic properties of the simulator (ISSUE 4 satellite): instead of
+// pinning absolute numbers, these tests perturb one model parameter and
+// assert the direction (or invariance) queueing theory demands of the
+// relation between two runs. They hold for any correct event engine, so
+// they complement the golden digests: a digest refresh that silently broke
+// the physics would still fail here. Table-driven over both device
+// catalogs, like the golden scenarios.
+
+import (
+	"math"
+	"testing"
+
+	"lognic/internal/core"
+	"lognic/internal/sim"
+	"lognic/internal/traffic"
+	"lognic/internal/unit"
+)
+
+// metaRun executes one config and fails the test on error or an empty run.
+func metaRun(t *testing.T, cfg sim.Config) sim.Result {
+	t.Helper()
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredPackets == 0 {
+		t.Fatal("metamorphic run delivered no packets — no signal")
+	}
+	return res
+}
+
+// TestThroughputMonotoneInLinkBandwidth: widening the shared interface
+// (all else equal, same seed) can only help — delivered throughput must be
+// non-decreasing in BW_INTF when the interface is the binding resource.
+func TestThroughputMonotoneInLinkBandwidth(t *testing.T) {
+	for _, d := range goldenDevices(t) {
+		t.Run(d.name, func(t *testing.T) {
+			offered := 0.8 * d.lineRate
+			dur := goldenDuration(offered)
+			// The fanout graph crosses the interface ~2.3× per packet
+			// byte; base chosen so the smallest factor strangles it.
+			base := 0.5 * d.lineRate
+			factors := []float64{0.25, 0.5, 1, 2}
+			prev := -1.0
+			for i, factor := range factors {
+				hw := d.hw
+				hw.InterfaceBW = base * factor
+				// A strangled interface may legitimately deliver zero
+				// measured packets (throughput 0), so run sim.Run
+				// directly instead of metaRun.
+				res, err := sim.Run(sim.Config{
+					Graph:    fanoutGraph(t, d),
+					Hardware: hw,
+					Profile:  traffic.Fixed("fixed", unit.Bandwidth(offered), goldenPkt),
+					Seed:     7,
+					Duration: dur,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Throughput < prev {
+					t.Fatalf("throughput fell from %v to %v when BW_INTF grew to %v×%v",
+						prev, res.Throughput, base, factor)
+				}
+				if i == len(factors)-1 && res.DeliveredPackets == 0 {
+					t.Fatal("widest interface still delivered nothing — scenario carries no signal")
+				}
+				prev = res.Throughput
+			}
+		})
+	}
+}
+
+// TestThroughputMonotoneInEngineCount: adding engines of the same
+// per-engine rate to the bottleneck IP must not lose throughput.
+func TestThroughputMonotoneInEngineCount(t *testing.T) {
+	for _, d := range goldenDevices(t) {
+		t.Run(d.name, func(t *testing.T) {
+			offered := 0.7 * d.accelRate
+			dur := goldenDuration(offered)
+			perEngine := d.accelRate / 8
+			prev := -1.0
+			for _, engines := range []int{2, 4, 8} {
+				g, err := core.NewBuilder("meta-engines").
+					AddIngress("in").
+					AddIP("ip", perEngine*float64(engines), engines, 32).
+					AddEgress("out").
+					Connect("in", "ip", 1).
+					Connect("ip", "out", 1).
+					Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := metaRun(t, sim.Config{
+					Graph:    g,
+					Hardware: d.hw,
+					Profile:  traffic.Fixed("fixed", unit.Bandwidth(offered), goldenPkt),
+					Seed:     7,
+					Duration: dur,
+				})
+				if res.Throughput < prev {
+					t.Fatalf("throughput fell from %v to %v when engines grew to %d",
+						prev, res.Throughput, engines)
+				}
+				prev = res.Throughput
+			}
+		})
+	}
+}
+
+// TestLatencyMonotoneInOfferedLoad: driving the same graph harder (same
+// seed, so the arrival draws are a scaled copy of the same stream) must
+// not reduce mean sojourn time. A 1% slack absorbs sampling noise in the
+// finite run.
+func TestLatencyMonotoneInOfferedLoad(t *testing.T) {
+	for _, d := range goldenDevices(t) {
+		t.Run(d.name, func(t *testing.T) {
+			prev := -1.0
+			for _, load := range []float64{0.3, 0.5, 0.7, 0.85} {
+				offered := load * d.accelRate
+				res := metaRun(t, sim.Config{
+					Graph:    chainGraph(t, d, 4, 64),
+					Hardware: d.hw,
+					Profile:  traffic.Fixed("fixed", unit.Bandwidth(offered), goldenPkt),
+					Seed:     7,
+					Duration: goldenDuration(offered),
+				})
+				if res.MeanLatency < prev*0.99 {
+					t.Fatalf("mean latency fell from %v to %v when load grew to %v",
+						prev, res.MeanLatency, load)
+				}
+				prev = res.MeanLatency
+			}
+		})
+	}
+}
+
+// TestUtilizationScaleInvariance: multiplying every rate (compute, links,
+// offered load) by 2 and halving the horizon is a pure rescaling of time —
+// doubling is exact in binary floating point, so the event set is
+// identical with all timestamps halved, and every dimensionless statistic
+// (utilizations, drop rate, packet counts) must come out bit-identical.
+func TestUtilizationScaleInvariance(t *testing.T) {
+	for _, d := range goldenDevices(t) {
+		t.Run(d.name, func(t *testing.T) {
+			const k = 2.0
+			offered := 0.75 * d.accelRate
+			dur := goldenDuration(offered)
+			build := func(scale float64) sim.Config {
+				g, err := core.NewBuilder("meta-scale").
+					AddIngress("in").
+					AddIP("ip", scale*d.accelRate, 4, 16).
+					AddEgress("out").
+					Connect("in", "ip", 1).
+					Connect("ip", "out", 1).
+					Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				hw := d.hw
+				hw.InterfaceBW *= scale
+				hw.MemoryBW *= scale
+				return sim.Config{
+					Graph:    g,
+					Hardware: hw,
+					Profile:  traffic.Fixed("fixed", unit.Bandwidth(scale*offered), goldenPkt),
+					Seed:     7,
+					Duration: dur / scale,
+				}
+			}
+			a := metaRun(t, build(1))
+			b := metaRun(t, build(k))
+			if a.DeliveredPackets != b.DeliveredPackets || a.OfferedPackets != b.OfferedPackets {
+				t.Fatalf("packet counts changed under rescaling: %d/%d vs %d/%d",
+					a.DeliveredPackets, a.OfferedPackets, b.DeliveredPackets, b.OfferedPackets)
+			}
+			for name, av := range map[string]float64{
+				"interface-util": a.InterfaceUtil,
+				"memory-util":    a.MemoryUtil,
+				"drop-rate":      a.DropRate,
+				"vertex-util":    a.Vertices["ip"].Utilization,
+			} {
+				bv := map[string]float64{
+					"interface-util": b.InterfaceUtil,
+					"memory-util":    b.MemoryUtil,
+					"drop-rate":      b.DropRate,
+					"vertex-util":    b.Vertices["ip"].Utilization,
+				}[name]
+				if math.Float64bits(av) != math.Float64bits(bv) {
+					t.Errorf("%s not scale-invariant: %v vs %v", name, av, bv)
+				}
+			}
+			// Latencies are times: they must halve exactly, not match.
+			if math.Float64bits(a.MeanLatency/k) != math.Float64bits(b.MeanLatency) {
+				t.Errorf("mean latency did not rescale exactly: %v vs %v", a.MeanLatency, b.MeanLatency)
+			}
+		})
+	}
+}

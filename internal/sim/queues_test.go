@@ -11,7 +11,7 @@ import (
 
 func TestSharedQueueFIFO(t *testing.T) {
 	q := newSharedQueue(2)
-	a, b, c := &queued{enqueued: 1}, &queued{enqueued: 2}, &queued{enqueued: 3}
+	a, b, c := queued{enqueued: 1}, queued{enqueued: 2}, queued{enqueued: 3}
 	if !q.push("x", a) || !q.push("y", b) {
 		t.Fatal("pushes within capacity should succeed")
 	}
@@ -21,39 +21,51 @@ func TestSharedQueueFIFO(t *testing.T) {
 	if q.length() != 2 {
 		t.Fatalf("length = %d", q.length())
 	}
-	if got := q.pop(); got != a {
+	if got, ok := q.pop(); !ok || got != a {
 		t.Fatal("FIFO order violated")
 	}
-	if got := q.pop(); got != b {
+	if got, ok := q.pop(); !ok || got != b {
 		t.Fatal("FIFO order violated")
 	}
-	if q.pop() != nil {
-		t.Fatal("empty pop should be nil")
+	if _, ok := q.pop(); ok {
+		t.Fatal("empty pop should report false")
 	}
 }
 
 func TestSharedQueueUnbounded(t *testing.T) {
 	q := newSharedQueue(0)
 	for i := 0; i < 1000; i++ {
-		if !q.push("", &queued{}) {
+		if !q.push("", queued{enqueued: float64(i)}) {
 			t.Fatal("unbounded queue rejected a push")
 		}
 	}
 	if q.length() != 1000 {
 		t.Fatalf("length = %d", q.length())
 	}
+	// The ring grew past its preallocation; FIFO order must survive the
+	// copies.
+	for i := 0; i < 1000; i++ {
+		got, ok := q.pop()
+		if !ok || got.enqueued != float64(i) {
+			t.Fatalf("pop %d = %+v, ok=%v", i, got, ok)
+		}
+	}
 }
 
 func TestWRRRoundRobinFairness(t *testing.T) {
 	q := newWRRQueues([]string{"a", "b"}, 0, nil)
 	for i := 0; i < 4; i++ {
-		q.push("a", &queued{enqueued: float64(i)})
-		q.push("b", &queued{enqueued: float64(i) + 100})
+		q.push("a", queued{enqueued: float64(i)})
+		q.push("b", queued{enqueued: float64(i) + 100})
 	}
 	// Equal weights: strict alternation.
 	var order []float64
 	for q.length() > 0 {
-		order = append(order, q.pop().enqueued)
+		got, ok := q.pop()
+		if !ok {
+			t.Fatal("pop reported empty with length > 0")
+		}
+		order = append(order, got.enqueued)
 	}
 	if len(order) != 8 {
 		t.Fatalf("popped %d", len(order))
@@ -79,15 +91,19 @@ func TestWRRRoundRobinFairness(t *testing.T) {
 func TestWRRWeights(t *testing.T) {
 	q := newWRRQueues([]string{"a", "b"}, 0, map[string]int{"a": 3, "b": 1})
 	for i := 0; i < 6; i++ {
-		q.push("a", &queued{enqueued: 1})
+		q.push("a", queued{enqueued: 1})
 	}
 	for i := 0; i < 2; i++ {
-		q.push("b", &queued{enqueued: 2})
+		q.push("b", queued{enqueued: 2})
 	}
 	// First four pops: 3 from a, then 1 from b.
 	var first4 []float64
 	for i := 0; i < 4; i++ {
-		first4 = append(first4, q.pop().enqueued)
+		got, ok := q.pop()
+		if !ok {
+			t.Fatal("pop reported empty")
+		}
+		first4 = append(first4, got.enqueued)
 	}
 	want := []float64{1, 1, 1, 2}
 	for i := range want {
@@ -99,30 +115,30 @@ func TestWRRWeights(t *testing.T) {
 
 func TestWRRPerQueueCapacity(t *testing.T) {
 	q := newWRRQueues([]string{"a", "b"}, 2, nil)
-	if !q.push("a", &queued{}) || !q.push("a", &queued{}) {
+	if !q.push("a", queued{}) || !q.push("a", queued{}) {
 		t.Fatal("capacity pushes should succeed")
 	}
-	if q.push("a", &queued{}) {
+	if q.push("a", queued{}) {
 		t.Fatal("per-queue capacity exceeded")
 	}
 	// The other queue still has room.
-	if !q.push("b", &queued{}) {
+	if !q.push("b", queued{}) {
 		t.Fatal("queue b should accept")
 	}
 	// Unknown upstream lands in the first queue (full).
-	if q.push("ghost", &queued{}) {
+	if q.push("ghost", queued{}) {
 		t.Fatal("unknown upstream should map to the (full) first queue")
 	}
 }
 
 func TestWRRSkipsEmptyQueues(t *testing.T) {
 	q := newWRRQueues([]string{"a", "b", "c"}, 0, nil)
-	q.push("c", &queued{enqueued: 3})
-	if got := q.pop(); got == nil || got.enqueued != 3 {
-		t.Fatalf("pop = %+v", got)
+	q.push("c", queued{enqueued: 3})
+	if got, ok := q.pop(); !ok || got.enqueued != 3 {
+		t.Fatalf("pop = %+v, ok=%v", got, ok)
 	}
-	if q.pop() != nil {
-		t.Fatal("empty pop should be nil")
+	if _, ok := q.pop(); ok {
+		t.Fatal("empty pop should report false")
 	}
 }
 

@@ -16,7 +16,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -265,33 +264,6 @@ type Result struct {
 	Faults FaultStats
 }
 
-// event is one scheduled action.
-type event struct {
-	time float64
-	seq  uint64
-	fn   func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // link is a shared transmission resource with FIFO busy-until semantics:
 // each transfer starts when the link frees up and occupies it for
 // bytes/bandwidth seconds.
@@ -389,15 +361,19 @@ type node struct {
 	droppedC *obs.Counter
 }
 
+// queued is one waiting request, stored by value in the preallocated ring
+// buffers of queues.go.
 type queued struct {
 	p        *packet
 	enqueued float64
 }
 
 // routeChoice is one outgoing edge with its cumulative routing probability
-// and precomputed transfer byte counts per packet byte.
+// and precomputed transfer byte counts per packet byte. toNode is resolved
+// once in New so the hot path never touches the name→node map.
 type routeChoice struct {
 	to          string
+	toNode      *node
 	cum         float64
 	intfPerByte float64 // bytes over interface per packet byte
 	memPerByte  float64 // bytes over memory per packet byte
@@ -410,9 +386,10 @@ type routeChoice struct {
 type Simulator struct {
 	cfg    Config
 	rng    *rand.Rand
-	events eventHeap
+	events eventQueue
 	seq    uint64
 	now    float64
+	gen    *traffic.Generator // arrival stream, set by RunContext
 
 	nodes     map[string]*node
 	order     []string
@@ -424,6 +401,7 @@ type Simulator struct {
 	metrics   *simMetrics // nil unless Config.Metrics is set
 	packetSeq uint64      // span track ids
 	processed uint64      // events executed, for the events counter
+	free      []*packet   // packet record free list
 
 	warmEnd float64
 	// measurement accumulators
@@ -436,8 +414,8 @@ type Simulator struct {
 }
 
 type ingressShare struct {
-	name string
-	cum  float64
+	n   *node
+	cum float64
 }
 
 // New validates the config and precomputes the runtime structure.
@@ -582,6 +560,18 @@ func New(cfg Config) (*Simulator, error) {
 		s.nodes[v.Name] = n
 		s.order = append(s.order, v.Name)
 	}
+	// Second pass: resolve edge targets to node pointers so routing and
+	// JSQ probing never touch the name map on the hot path.
+	for _, name := range s.order {
+		n := s.nodes[name]
+		for i := range n.outEdges {
+			n.outEdges[i].toNode = s.nodes[n.outEdges[i].to]
+		}
+	}
+	// Preallocate the event queue: pending events at any instant are
+	// bounded by in-flight work (one per busy engine, transfer, retry and
+	// scheduled fault), which starts well under this and grows amortized.
+	s.events.ev = make([]event, 0, 256+len(cfg.Faults))
 
 	// Ingress selection probabilities: share of path weight starting at
 	// each ingress.
@@ -596,7 +586,7 @@ func New(cfg Config) (*Simulator, error) {
 		if i == len(ings)-1 {
 			cum = 1
 		}
-		s.ingressPk = append(s.ingressPk, ingressShare{name: name, cum: cum})
+		s.ingressPk = append(s.ingressPk, ingressShare{n: s.nodes[name], cum: cum})
 	}
 	s.warmEnd = cfg.Warmup
 	if err := cfg.Faults.validate(s); err != nil {
@@ -612,11 +602,6 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	s.initObs()
 	return s, nil
-}
-
-func (s *Simulator) schedule(t float64, fn func()) {
-	s.seq++
-	heap.Push(&s.events, &event{time: t, seq: s.seq, fn: fn})
 }
 
 // ctxCheckInterval is how many events pass between context polls: cheap
@@ -650,26 +635,19 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	s.gen = gen
 	// Seed the arrival pump, then the fault schedule.
 	first := gen.Next()
-	s.schedule(first.Time, func() { s.arrivalPump(gen, first) })
+	s.schedule(first.Time, event{kind: evArrival, a: first.Size, flow: first.Flow})
 	s.scheduleFaults()
 	// Restart every utilization window at the warmup cutoff, so link and
 	// vertex statistics cover the same measurement window as throughput
 	// and latency instead of averaging over the absolute elapsed time.
-	s.schedule(s.warmEnd, func() {
-		for _, l := range s.links {
-			l.window(s.now)
-		}
-		for _, n := range s.nodes {
-			n.busyTW.rebase(s.now)
-			n.queueTW.rebase(s.now)
-		}
-	})
+	s.schedule(s.warmEnd, event{kind: evWarmup})
 
 	var processed uint64
 	var stalled int
-	for s.events.Len() > 0 {
+	for s.events.len() > 0 {
 		if processed%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return Result{}, fmt.Errorf("sim: run aborted at t=%v after %d events: %w", s.now, processed, err)
@@ -678,7 +656,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 		if s.cfg.MaxEvents > 0 && processed >= s.cfg.MaxEvents {
 			return Result{}, fmt.Errorf("%w: budget %d at t=%v", ErrBudgetExceeded, s.cfg.MaxEvents, s.now)
 		}
-		e := heap.Pop(&s.events).(*event)
+		e := s.events.pop()
 		if e.time > s.cfg.Duration {
 			break
 		}
@@ -688,7 +666,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 			return Result{}, fmt.Errorf("%w: %d events at t=%v", ErrStalled, stalled, s.now)
 		}
 		s.now = e.time
-		e.fn()
+		s.dispatch(&e)
 		processed++
 	}
 	s.now = s.cfg.Duration
@@ -696,10 +674,44 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	return s.collect(), nil
 }
 
-// arrivalPump injects one packet and schedules the next arrival.
-func (s *Simulator) arrivalPump(gen *traffic.Generator, pkt traffic.Packet) {
+// rebaseWindows restarts every utilization window at the current time —
+// the warmup-cutoff event's action.
+func (s *Simulator) rebaseWindows() {
+	for _, l := range s.links {
+		l.window(s.now)
+	}
+	for _, n := range s.nodes {
+		n.busyTW.rebase(s.now)
+		n.queueTW.rebase(s.now)
+	}
+}
+
+// newPacket takes a record off the free list (or allocates one) and
+// initializes it as a fresh arrival. Records recycle only after their
+// terminal event (delivery or final drop), so a packet pointer is unique
+// among all in-flight packets.
+func (s *Simulator) newPacket(size float64, flow uint64) *packet {
 	s.packetSeq++
-	p := &packet{id: s.packetSeq, size: pkt.Size, born: s.now, flow: pkt.Flow, measure: s.now >= s.warmEnd}
+	var p *packet
+	if n := len(s.free); n > 0 {
+		p = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		p = new(packet)
+	}
+	*p = packet{id: s.packetSeq, size: size, born: s.now, flow: flow, measure: s.now >= s.warmEnd}
+	return p
+}
+
+// freePacket returns a terminal packet's record to the free list.
+func (s *Simulator) freePacket(p *packet) {
+	s.free = append(s.free, p)
+}
+
+// arrivalPump injects the pending packet and schedules the next arrival.
+func (s *Simulator) arrivalPump(size float64, flow uint64) {
+	p := s.newPacket(size, flow)
 	if p.measure {
 		s.offeredPackets++
 		s.offeredBytes += p.size
@@ -710,29 +722,29 @@ func (s *Simulator) arrivalPump(gen *traffic.Generator, pkt traffic.Packet) {
 	ing := s.pickIngress()
 	s.arriveAt(ing, "", p)
 
-	next := gen.Next()
+	next := s.gen.Next()
 	if next.Time <= s.cfg.Duration {
-		s.schedule(next.Time, func() { s.arrivalPump(gen, next) })
+		s.schedule(next.Time, event{kind: evArrival, a: next.Size, flow: next.Flow})
 	}
 }
 
-func (s *Simulator) pickIngress() string {
+func (s *Simulator) pickIngress() *node {
 	if len(s.ingressPk) == 1 {
-		return s.ingressPk[0].name
+		return s.ingressPk[0].n
 	}
 	u := s.rng.Float64()
 	for _, is := range s.ingressPk {
 		if u <= is.cum {
-			return is.name
+			return is.n
 		}
 	}
-	return s.ingressPk[len(s.ingressPk)-1].name
+	return s.ingressPk[len(s.ingressPk)-1].n
 }
 
 // arriveAt delivers a packet to a vertex; from names the upstream vertex
 // (empty for fresh ingress arrivals).
-func (s *Simulator) arriveAt(name, from string, p *packet) {
-	n := s.nodes[name]
+func (s *Simulator) arriveAt(n *node, from string, p *packet) {
+	name := n.v.Name
 	p.arrived = s.now
 	if p.measure {
 		n.arrivals++
@@ -751,7 +763,7 @@ func (s *Simulator) arriveAt(name, from string, p *packet) {
 		s.startService(n, p, 0)
 		return
 	}
-	if !n.queue.push(from, &queued{p: p, enqueued: s.now}) {
+	if !n.queue.push(from, queued{p: p, enqueued: s.now}) {
 		// Full queue: re-issue under the vertex's retry policy, if any
 		// budget remains — modelling a host retrying a rejected DMA or
 		// doorbell — otherwise drop.
@@ -770,7 +782,7 @@ func (s *Simulator) arriveAt(name, from string, p *packet) {
 					exp = 30
 				}
 				backoff := rp.Backoff * math.Pow(2, float64(exp))
-				s.schedule(s.now+backoff, func() { s.arriveAt(name, from, p) })
+				s.schedule(s.now+backoff, event{kind: evArriveAt, node: n, from: from, pkt: p})
 				return
 			}
 			s.faults.RetryDrops++
@@ -784,6 +796,7 @@ func (s *Simulator) arriveAt(name, from string, p *packet) {
 		}
 		s.spanVertex(n, p, map[string]any{"drop": true, "size": p.size})
 		s.trace(TraceDrop, name, p)
+		s.freePacket(p)
 		return
 	}
 	n.queueTW.set(s.now, float64(n.queue.length()))
@@ -822,24 +835,27 @@ func (s *Simulator) startService(n *node, p *packet, wait float64) {
 	if svc < 0 {
 		svc = 0
 	}
-	s.schedule(s.now+svc, func() {
-		if p.measure {
-			n.served++
-			n.waitSum += wait
+	s.schedule(s.now+svc, event{kind: evServiceDone, node: n, pkt: p, a: wait, b: svcStart})
+}
+
+// serviceDone completes one engine's service: book the stats, route the
+// packet onward, and pull the next request per the queue discipline —
+// unless the engine was lost or the vertex stalled while this service ran.
+func (s *Simulator) serviceDone(n *node, p *packet, wait, svcStart float64) {
+	if p.measure {
+		n.served++
+		n.waitSum += wait
+	}
+	n.busy--
+	n.busyTW.set(s.now, float64(n.busy)/float64(n.engines))
+	s.span("service", obs.CatService, p, svcStart, s.now-svcStart, nil)
+	s.depart(n, p)
+	if s.canStart(n) {
+		if q, ok := n.queue.pop(); ok {
+			n.queueTW.set(s.now, float64(n.queue.length()))
+			s.startService(n, q.p, s.now-q.enqueued)
 		}
-		n.busy--
-		n.busyTW.set(s.now, float64(n.busy)/float64(n.engines))
-		s.span("service", obs.CatService, p, svcStart, s.now-svcStart, nil)
-		s.depart(n, p)
-		// Pull the next request per the queue discipline — unless the
-		// engine was lost or the vertex stalled while this service ran.
-		if s.canStart(n) {
-			if q := n.queue.pop(); q != nil {
-				n.queueTW.set(s.now, float64(n.queue.length()))
-				s.startService(n, q.p, s.now-q.enqueued)
-			}
-		}
-	})
+	}
 }
 
 // depart routes a packet out of a node and schedules its arrival at the
@@ -863,12 +879,10 @@ func (s *Simulator) depart(n *node, p *packet) {
 	if rc.dedicated != nil && rc.dedPerByte > 0 {
 		t = rc.dedicated.transfer(t, p.size*rc.dedPerByte)
 	}
-	to := rc.to
-	from := n.v.Name
 	if t > s.now {
-		s.span("->"+to, obs.CatTransfer, p, s.now, t-s.now, nil)
+		s.span("->"+rc.to, obs.CatTransfer, p, s.now, t-s.now, nil)
 	}
-	s.schedule(t, func() { s.arriveAt(to, from, p) })
+	s.schedule(t, event{kind: evArriveAt, node: rc.toNode, from: n.v.Name, pkt: p})
 }
 
 // pickRoute chooses the outgoing edge per the vertex's routing policy.
@@ -879,9 +893,9 @@ func (s *Simulator) pickRoute(n *node, p *packet) routeChoice {
 	switch n.policy {
 	case RouteJSQ:
 		best := n.outEdges[0]
-		bestLoad := s.downstreamLoad(best.to)
+		bestLoad := best.toNode.load()
 		for _, c := range n.outEdges[1:] {
-			if l := s.downstreamLoad(c.to); l < bestLoad {
+			if l := c.toNode.load(); l < bestLoad {
 				best, bestLoad = c, l
 			}
 		}
@@ -905,14 +919,9 @@ func (s *Simulator) pickRoute(n *node, p *packet) routeChoice {
 	}
 }
 
-// downstreamLoad is the JSQ metric: requests queued or in service at the
-// target vertex.
-func (s *Simulator) downstreamLoad(name string) int {
-	t := s.nodes[name]
-	if t == nil {
-		return 0
-	}
-	return t.busy + t.queue.length()
+// load is the JSQ metric: requests queued or in service at the vertex.
+func (n *node) load() int {
+	return n.busy + n.queue.length()
 }
 
 // splitmix hashes a flow id into [0, 1) (SplitMix64 finalizer).
@@ -927,12 +936,12 @@ func (s *Simulator) complete(n *node, p *packet) {
 		s.metrics.delivered.Inc()
 		s.metrics.latency.Observe(s.now - p.born)
 	}
-	if !p.measure {
-		return
+	if p.measure {
+		s.deliveredPackets++
+		s.deliveredBytes += p.size
+		s.latencies.add(s.now - p.born)
 	}
-	s.deliveredPackets++
-	s.deliveredBytes += p.size
-	s.latencies.add(s.now - p.born)
+	s.freePacket(p)
 }
 
 func (s *Simulator) collect() Result {
@@ -962,15 +971,9 @@ func (s *Simulator) collect() Result {
 	for name, l := range s.links {
 		res.Links[name] = l.utilization(s.now)
 	}
-	res.Faults = s.faults
+	res.Faults = s.FaultStats()
 	for _, name := range s.order {
 		n := s.nodes[name]
-		if n.downTW.started {
-			if res.Faults.EngineDownTime == nil {
-				res.Faults.EngineDownTime = map[string]float64{}
-			}
-			res.Faults.EngineDownTime[name] = n.downTW.total(s.now)
-		}
 		vs := VertexStats{
 			Arrivals:     n.arrivals,
 			Served:       n.served,

@@ -1,0 +1,32 @@
+package simtest
+
+import "lognic/internal/experiments"
+
+// FigureDigest canonically hashes a regenerated figure: id, title, axis
+// labels, and every series' points in order, with full float bit patterns.
+// A figure digest therefore pins the complete data table a generator
+// emits, not a summary statistic of it.
+func FigureDigest(f experiments.Figure) string {
+	d := NewDigester()
+	WriteFigure(d, f)
+	return d.Sum()
+}
+
+// WriteFigure appends a canonical serialization of f to the digester.
+func WriteFigure(d *Digester, f experiments.Figure) {
+	d.Str("figure")
+	d.Str(f.ID)
+	d.Str(f.Title)
+	d.Str(f.XLabel)
+	d.Str(f.YLabel)
+	d.Int(len(f.Series))
+	for _, s := range f.Series {
+		d.Str(s.Name)
+		d.Int(len(s.Points))
+		for _, p := range s.Points {
+			d.F64(p.X)
+			d.F64(p.Y)
+			d.Str(p.Label)
+		}
+	}
+}
