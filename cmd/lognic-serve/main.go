@@ -1,0 +1,30 @@
+// Command lognic-serve runs the LogNIC model-evaluation daemon: an
+// HTTP/JSON API over the analytical estimator, the knob optimizer and the
+// discrete-event simulator, with a canonical-hash result cache, a bounded
+// worker pool that sheds load with 429 + Retry-After, per-request
+// timeouts, and graceful SIGTERM drain. See internal/serve and
+// docs/SERVE.md.
+//
+// Usage:
+//
+//	lognic-serve [-addr host:port] [-workers n] [-queue n] [-cache n]
+//	             [-timeout d] [-drain d] [-max-body n] [-max-sim-events n] [-pprof]
+//
+// Endpoints:
+//
+//	POST /v1/estimate  {"spec": <model spec>}
+//	POST /v1/optimize  {"spec": ..., "goal": "latency|throughput|goodput", "knobs": [...]}
+//	POST /v1/simulate  {"spec": ..., "duration": seconds, "seed": n, ...}
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus text (add ?format=json for JSON)
+package main
+
+import (
+	"os"
+
+	"lognic/internal/serve"
+)
+
+func main() {
+	os.Exit(serve.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

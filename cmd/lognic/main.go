@@ -10,6 +10,7 @@
 //	lognic -optimize latency|throughput|goodput -knob v.parallelism=1..16 [-knob ...] model.json
 //	lognic faults [-json] [-sim] [-duration s] [-seed n] model.json scenario.json
 //	lognic trace [-out trace.json] [-metrics file] [-duration s] [-seed n] model.json
+//	lognic serve [-addr host:port] [-workers n] [-queue n] [-cache n] [-pprof]
 //
 // With -sweep, the ingress bandwidth is swept across the given range
 // (accepts unit strings, e.g. -sweep 1Gbps:25Gbps:10) and one row per
@@ -29,6 +30,9 @@
 // (https://ui.perfetto.dev) or chrome://tracing — and prints the
 // bottleneck-attribution table cross-checking the analytical model
 // against the measured run.
+//
+// The serve subcommand starts lognic-serve, the HTTP/JSON evaluation
+// daemon (see cmd/lognic-serve and internal/serve).
 package main
 
 import (
@@ -45,7 +49,7 @@ func (k *knobList) String() string     { return fmt.Sprint(*k) }
 func (k *knobList) Set(v string) error { *k = append(*k, v); return nil }
 
 func main() {
-	if len(os.Args) > 1 && (os.Args[1] == "faults" || os.Args[1] == "trace") {
+	if len(os.Args) > 1 && (os.Args[1] == "faults" || os.Args[1] == "trace" || os.Args[1] == "serve") {
 		os.Exit(cli.Main(os.Args[1:], os.Stdout, os.Stderr))
 	}
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")

@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"lognic/internal/core"
+	"lognic/internal/serve"
 	"lognic/internal/sim"
 	"lognic/internal/spec"
 	"lognic/internal/traffic"
@@ -22,7 +23,7 @@ import (
 // 2 on usage errors.
 func Main(argv []string, stdout, stderr io.Writer) int {
 	if len(argv) == 0 {
-		fmt.Fprintln(stderr, "usage: lognic <subcommand> [args]\nsubcommands: faults, trace")
+		fmt.Fprintln(stderr, "usage: lognic <subcommand> [args]\nsubcommands: faults, trace, serve")
 		return 2
 	}
 	switch argv[0] {
@@ -30,8 +31,10 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 		return faultsMain(argv[1:], stdout, stderr)
 	case "trace":
 		return traceMain(argv[1:], stdout, stderr)
+	case "serve":
+		return serve.Main(argv[1:], stdout, stderr)
 	default:
-		fmt.Fprintf(stderr, "lognic: unknown subcommand %q (have: faults, trace)\n", argv[0])
+		fmt.Fprintf(stderr, "lognic: unknown subcommand %q (have: faults, trace, serve)\n", argv[0])
 		return 2
 	}
 }

@@ -2,29 +2,21 @@ package cli
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
-	"math"
 	"strconv"
 	"strings"
 
 	"lognic/internal/core"
-	"lognic/internal/numopt"
 	"lognic/internal/optimizer"
 	"lognic/internal/unit"
 )
 
 // Knob is one integer parameter the CLI optimizer may turn: a vertex's
 // parallelism degree (D_vi) or queue capacity (N_vi), swept over an
-// inclusive range.
-type Knob struct {
-	// Vertex names the target vertex.
-	Vertex string
-	// Param is "parallelism" or "queue".
-	Param string
-	// Lo and Hi bound the search (inclusive).
-	Lo, Hi int
-}
+// inclusive range. It is the CLI-argument face of optimizer.IntKnob.
+type Knob = optimizer.IntKnob
 
 // ParseKnob parses "vertex.param=lo..hi", e.g. "ip.parallelism=1..16" or
 // "ssd.queue=8..256".
@@ -38,7 +30,7 @@ func ParseKnob(arg string) (Knob, error) {
 		return Knob{}, fmt.Errorf("cli: bad knob target %q, want vertex.param", eq[0])
 	}
 	param := target[1]
-	if param != "parallelism" && param != "queue" {
+	if param != optimizer.KnobParallelism && param != optimizer.KnobQueue {
 		return Knob{}, fmt.Errorf("cli: unknown knob parameter %q (parallelism|queue)", param)
 	}
 	bounds := strings.SplitN(eq[1], "..", 2)
@@ -60,43 +52,7 @@ func ParseKnob(arg string) (Knob, error) {
 }
 
 // ParseGoal maps a CLI goal name.
-func ParseGoal(s string) (optimizer.Goal, error) {
-	switch s {
-	case "latency", "min-latency":
-		return optimizer.MinimizeLatency, nil
-	case "throughput", "max-throughput":
-		return optimizer.MaximizeThroughput, nil
-	case "goodput", "max-goodput":
-		return optimizer.MaximizeGoodput, nil
-	default:
-		return 0, fmt.Errorf("cli: unknown goal %q (latency|throughput|goodput)", s)
-	}
-}
-
-// applyKnobs returns a copy of the model with the knob values set.
-func applyKnobs(m core.Model, knobs []Knob, values []int) (core.Model, error) {
-	g := m.Graph
-	for i, k := range knobs {
-		v, ok := g.Vertex(k.Vertex)
-		if !ok {
-			return core.Model{}, fmt.Errorf("cli: knob references unknown vertex %q", k.Vertex)
-		}
-		switch k.Param {
-		case "parallelism":
-			v.Parallelism = values[i]
-		case "queue":
-			v.QueueCapacity = values[i]
-		}
-		var err error
-		g, err = g.WithVertex(v)
-		if err != nil {
-			return core.Model{}, err
-		}
-	}
-	out := m
-	out.Graph = g
-	return out, nil
-}
+func ParseGoal(s string) (optimizer.Goal, error) { return optimizer.GoalFromName(s) }
 
 // OptimizeResult is the outcome of RunOptimize.
 type OptimizeResult struct {
@@ -125,49 +81,29 @@ func RunOptimize(w io.Writer, m core.Model, goalName string, knobArgs []string, 
 		return err
 	}
 	knobs := make([]Knob, 0, len(knobArgs))
-	ranges := make([]numopt.IntRange, 0, len(knobArgs))
 	for _, arg := range knobArgs {
 		k, err := ParseKnob(arg)
 		if err != nil {
 			return err
 		}
-		if _, ok := m.Graph.Vertex(k.Vertex); !ok {
-			return fmt.Errorf("cli: knob references unknown vertex %q", k.Vertex)
-		}
 		knobs = append(knobs, k)
-		ranges = append(ranges, numopt.IntRange{Lo: k.Lo, Hi: k.Hi})
 	}
-	eval := func(values []int) float64 {
-		mm, err := applyKnobs(m, knobs, values)
-		if err != nil {
-			return math.Inf(1)
-		}
-		v, err := optimizer.Score(mm, goal)
-		if err != nil {
-			return math.Inf(1)
-		}
-		return v
-	}
-	res, err := numopt.IntSearch(eval, ranges, 1<<16)
-	if err != nil {
-		return err
-	}
-	if math.IsInf(res.F, 1) {
+	sol, err := optimizer.SolveKnobs(m, goal, knobs, 1<<16)
+	if errors.Is(err, optimizer.ErrNoFeasible) {
 		return fmt.Errorf("cli: no feasible knob setting found")
 	}
-	objective := res.F
-	if goal != optimizer.MinimizeLatency {
-		objective = -objective
+	if err != nil {
+		return err
 	}
 	out := OptimizeResult{
 		Goal:       goal.String(),
 		Knobs:      map[string]int{},
-		Objective:  objective,
-		Evaluated:  res.Evaluated,
-		Exhaustive: res.Exhaustive,
+		Objective:  sol.Objective,
+		Evaluated:  sol.Evaluated,
+		Exhaustive: sol.Exhaustive,
 	}
 	for i, k := range knobs {
-		out.Knobs[k.Vertex+"."+k.Param] = res.X[i]
+		out.Knobs[k.Name()] = sol.Values[i]
 	}
 	if jsonOut {
 		return json.NewEncoder(w).Encode(out)
@@ -175,13 +111,13 @@ func RunOptimize(w io.Writer, m core.Model, goalName string, knobArgs []string, 
 	fmt.Fprintf(w, "goal:      %s\n", out.Goal)
 	for i, k := range knobs {
 		fmt.Fprintf(w, "knob:      %s.%s = %d  (searched %d..%d)\n",
-			k.Vertex, k.Param, res.X[i], k.Lo, k.Hi)
+			k.Vertex, k.Param, sol.Values[i], k.Lo, k.Hi)
 	}
 	switch goal {
 	case optimizer.MinimizeLatency:
-		fmt.Fprintf(w, "objective: %s\n", unit.Duration(objective))
+		fmt.Fprintf(w, "objective: %s\n", unit.Duration(sol.Objective))
 	default:
-		fmt.Fprintf(w, "objective: %s\n", unit.Bandwidth(objective))
+		fmt.Fprintf(w, "objective: %s\n", unit.Bandwidth(sol.Objective))
 	}
 	fmt.Fprintf(w, "evaluated: %d configurations (exhaustive: %v)\n", out.Evaluated, out.Exhaustive)
 	return nil

@@ -1,0 +1,58 @@
+package numopt
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// An objective that is +Inf everywhere must surface ErrNoFeasibleStart
+// rather than the old silent Result{F: +Inf, X: nil}.
+func TestMultiStartAllInfeasible(t *testing.T) {
+	inf := func(x []float64) float64 { return math.Inf(1) }
+	starts := [][]float64{{0, 0}, {1, 1}, {-3, 2}}
+	res, err := MultiStart(inf, starts, NelderMeadOptions{MaxIter: 50})
+	if !errors.Is(err, ErrNoFeasibleStart) {
+		t.Fatalf("err = %v, want ErrNoFeasibleStart", err)
+	}
+	if !math.IsInf(res.F, 1) {
+		t.Fatalf("res.F = %v, want +Inf", res.F)
+	}
+	if res.X != nil {
+		t.Fatalf("res.X = %v, want nil", res.X)
+	}
+}
+
+// NaN objectives are never "better" than +Inf under <, so an all-NaN
+// objective is also infeasible.
+func TestMultiStartAllNaN(t *testing.T) {
+	nan := func(x []float64) float64 { return math.NaN() }
+	_, err := MultiStart(nan, [][]float64{{0}}, NelderMeadOptions{MaxIter: 20})
+	if !errors.Is(err, ErrNoFeasibleStart) {
+		t.Fatalf("err = %v, want ErrNoFeasibleStart", err)
+	}
+}
+
+// A single feasible region must still win even when most starts are
+// infeasible, and the result must carry convergence diagnostics.
+func TestMultiStartPartiallyFeasible(t *testing.T) {
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.Inf(1)
+		}
+		return (x[0] - 2) * (x[0] - 2)
+	}
+	res, err := MultiStart(f, [][]float64{{-5}, {1}}, NelderMeadOptions{MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-4 {
+		t.Fatalf("res.X = %v, want ~2", res.X)
+	}
+	if !res.Converged {
+		t.Fatal("expected the quadratic to converge within 500 iterations")
+	}
+	if res.Iterations <= 0 {
+		t.Fatalf("Iterations = %d, want > 0", res.Iterations)
+	}
+}

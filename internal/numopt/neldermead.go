@@ -241,9 +241,17 @@ func Penalized(f Objective, bounds *Bounds, weight float64, constraints ...Const
 	}
 }
 
+// ErrNoFeasibleStart reports that every MultiStart start point evaluated
+// to +Inf (or NaN) — the objective rejected the entire searched region, so
+// there is no best point to return. Callers that build a model from the
+// winning X can branch on this with errors.Is instead of discovering a nil
+// parameter vector downstream.
+var ErrNoFeasibleStart = errors.New("numopt: no feasible start point (objective is +Inf everywhere searched)")
+
 // MultiStart runs Nelder–Mead from several start points (the grid corners
 // plus midpoints of the bounds) and returns the best result. Starts must be
-// non-empty.
+// non-empty. When every start converges to an infeasible (+Inf) value it
+// returns ErrNoFeasibleStart rather than a silent Result{F: +Inf, X: nil}.
 func MultiStart(f Objective, starts [][]float64, opts NelderMeadOptions) (Result, error) {
 	if len(starts) == 0 {
 		return Result{}, errors.New("numopt: no start points")
@@ -257,6 +265,9 @@ func MultiStart(f Objective, starts [][]float64, opts NelderMeadOptions) (Result
 		if r.F < best.F {
 			best = r
 		}
+	}
+	if best.X == nil {
+		return Result{F: math.Inf(1)}, ErrNoFeasibleStart
 	}
 	return best, nil
 }

@@ -1,0 +1,39 @@
+package obs
+
+import "time"
+
+// Timer measures one wall-clock interval into a Histogram of seconds.
+// lognic-serve uses it per request:
+//
+//	defer latency.Time()()
+//
+// or, when the observation point is conditional:
+//
+//	t := latency.StartTimer()
+//	...
+//	t.ObserveDuration()
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer starts a timer against the histogram.
+func (h *Histogram) StartTimer() *Timer {
+	return &Timer{h: h, start: time.Now()}
+}
+
+// ObserveDuration records the seconds elapsed since the timer started and
+// returns the measured duration. It may be called multiple times; each
+// call observes the total elapsed time so far.
+func (t *Timer) ObserveDuration() time.Duration {
+	d := time.Since(t.start)
+	t.h.Observe(d.Seconds())
+	return d
+}
+
+// Time returns a function that, when called, records the seconds elapsed
+// since Time was called — built for defer.
+func (h *Histogram) Time() func() {
+	t := h.StartTimer()
+	return func() { t.ObserveDuration() }
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimerObservesElapsedSeconds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("op_seconds", "op latency", ExpBuckets(1e-6, 10, 8), nil)
+
+	tm := h.StartTimer()
+	time.Sleep(2 * time.Millisecond)
+	d := tm.ObserveDuration()
+	if d < 2*time.Millisecond {
+		t.Fatalf("measured %v, want >= 2ms", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	if got := h.Sum(); got < 0.002 || got > 10 {
+		t.Fatalf("Sum = %v seconds, want ~elapsed", got)
+	}
+
+	// Repeated observation records the running total again.
+	tm.ObserveDuration()
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+}
+
+func TestTimeDeferForm(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("defer_seconds", "defer latency", ExpBuckets(1e-6, 10, 8), nil)
+	func() {
+		defer h.Time()()
+		time.Sleep(time.Millisecond)
+	}()
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	if h.Sum() < 0.001 {
+		t.Fatalf("Sum = %v, want >= 1ms", h.Sum())
+	}
+}

@@ -47,6 +47,21 @@ func (g Goal) String() string {
 	}
 }
 
+// GoalFromName maps a goal name — the short CLI spelling ("latency") or
+// the canonical String() form ("min-latency") — to its Goal.
+func GoalFromName(s string) (Goal, error) {
+	switch s {
+	case "latency", "min-latency":
+		return MinimizeLatency, nil
+	case "throughput", "max-throughput":
+		return MaximizeThroughput, nil
+	case "goodput", "max-goodput":
+		return MaximizeGoodput, nil
+	default:
+		return 0, fmt.Errorf("optimizer: unknown goal %q (latency|throughput|goodput)", s)
+	}
+}
+
 // Score evaluates a model against a goal; the optimizer always minimizes
 // the returned value (maximization goals negate).
 func Score(m core.Model, goal Goal) (float64, error) {
@@ -101,6 +116,12 @@ type Solution struct {
 	Objective float64
 	// Model is the model built at X.
 	Model core.Model
+	// Converged reports whether the winning Nelder–Mead run met its
+	// tolerance before exhausting MaxIter — false means X is only the
+	// best point seen, not a certified local optimum.
+	Converged bool
+	// Iterations counts the simplex iterations the winning run spent.
+	Iterations int
 }
 
 // Solve runs the continuous search. Infeasible evaluations (Build errors)
@@ -135,6 +156,9 @@ func Solve(p Problem) (Solution, error) {
 	opts := numopt.NelderMeadOptions{MaxIter: p.MaxIter}
 	best, err := numopt.MultiStart(obj, starts, opts)
 	if err != nil {
+		if errors.Is(err, numopt.ErrNoFeasibleStart) {
+			return Solution{}, fmt.Errorf("optimizer: every start point is infeasible for goal %v: %w", p.Goal, err)
+		}
 		return Solution{}, err
 	}
 	x := p.Bounds.Clamp(best.X)
@@ -149,5 +173,8 @@ func Solve(p Problem) (Solution, error) {
 	if p.Goal != MinimizeLatency {
 		v = -v
 	}
-	return Solution{X: x, Objective: v, Model: m}, nil
+	return Solution{
+		X: x, Objective: v, Model: m,
+		Converged: best.Converged, Iterations: best.Iterations,
+	}, nil
 }

@@ -5,6 +5,25 @@
 // process and IP service times by an exponential distribution, and applies
 // the M/M/1/N queue to each (virtual) IP after concatenating its disjoint
 // queues into one logical queue.
+//
+// # Numerical behavior near saturation
+//
+// The closed forms are evaluated stably in the near-saturation regime the
+// paper's Figures 6 and 11 probe hardest (ρ → 1, large Erlang loads),
+// where textbook expressions lose precision or overflow:
+//
+//   - geometric partial sums Σ ρ^n switch from the direct
+//     (1−ρ^{N+1})/(1−ρ) form — which cancels catastrophically when
+//     ρ^{N+1} ≈ 1 — to an expm1/log1p evaluation that stays accurate to
+//     a few ULPs arbitrarily close to ρ = 1 (StateProb, BlockingProb);
+//   - the mean-occupancy expression ρ/(1−ρ) − Mρ^M/(1−ρ^M) uses a
+//     second-order series around ρ = 1 (MeanOccupancy, QueueingDelay);
+//   - M/M/c/K state weights are renormalized incrementally while they
+//     accumulate, so offered loads large enough to overflow a^n/n! still
+//     yield finite, correctly normalized probabilities;
+//   - M/G/1, whose infinite queue has no steady state at ρ ≥ 1, reports
+//     +Inf delay instead of the meaningless negative value the
+//     Pollaczek–Khinchine formula would produce when Validate is skipped.
 package queueing
 
 import (
@@ -41,10 +60,21 @@ func (q MM1N) Validate() error {
 // for an overloaded finite queue; the closed forms remain well defined.
 func (q MM1N) Rho() float64 { return q.Lambda / q.Mu }
 
-// geometricSum returns Σ_{n=0}^{N} ρ^n, handling ρ=1 exactly.
+// geometricSum returns Σ_{n=0}^{N} ρ^n, handling ρ=1 exactly. The direct
+// closed form (1−ρ^{N+1})/(1−ρ) cancels catastrophically when ρ^{N+1} ≈ 1
+// — i.e. when (N+1)·|ρ−1| is small — losing a relative accuracy of about
+// ε/((N+1)|ρ−1|); with ρ−1 = 1e-12 and N = 64 that is every significant
+// digit. In that regime the sum is evaluated as
+// expm1((N+1)·log1p(ρ−1))/(ρ−1), which never subtracts nearby values and
+// stays within a few ULPs of the exact sum arbitrarily close to ρ = 1 (the
+// same near-1 treatment finiteGeomMean applies via its series expansion).
 func geometricSum(rho float64, n int) float64 {
-	if rho == 1 {
+	d := rho - 1
+	if d == 0 {
 		return float64(n + 1)
+	}
+	if math.Abs(d)*float64(n+1) < 0.1 {
+		return math.Expm1(float64(n+1)*math.Log1p(d)) / d
 	}
 	return (1 - math.Pow(rho, float64(n+1))) / (1 - rho)
 }
@@ -71,16 +101,30 @@ func (q MM1N) BlockingProb() float64 { return q.StateProb(q.Capacity) }
 
 // finiteGeomMean evaluates g(ρ, M) = ρ/(1−ρ) − M·ρ^M/(1−ρ^M), the
 // recurring expression behind both the mean occupancy (with M = N+1) and
-// Equation 12's queueing delay (with M = N). Direct evaluation cancels
-// catastrophically near ρ=1, so a second-order series around ρ=1 is used
-// there: g → (M−1)/2 + (M²−1)/12·(ρ−1).
+// Equation 12's queueing delay (with M = N). It is the mean of the
+// truncated geometric distribution p_n ∝ ρ^n on {0..M−1}, so in terms of
+// β = ln ρ it equals d/dβ ln[(e^{Mβ}−1)/(e^β−1)], whose expansion around
+// saturation is
+//
+//	g = (M−1)/2 + (M²−1)β/12 − (M⁴−1)β³/720 + (M⁶−1)β⁵/30240 − …
+//
+// Direct evaluation subtracts two terms of magnitude ~1/|β| to produce a
+// result of magnitude ~M/2, amplifying rounding error by ~2/(M|β|); the
+// series is therefore used whenever M|β| < 0.05 (truncation error there is
+// below 1e-14 relative), which both fixes the catastrophic loss the old
+// narrow |ρ−1| < 1e-4/M guard allowed just outside its band and keeps the
+// well-conditioned direct path — and the values it has always produced —
+// for the rest of the range.
 func finiteGeomMean(rho float64, m int) float64 {
 	if rho == 0 {
 		return 0
 	}
 	mf := float64(m)
-	if d := rho - 1; math.Abs(d) < 1e-4/mf {
-		return (mf-1)/2 + (mf*mf-1)/12*d
+	beta := math.Log1p(rho - 1) // ln ρ, computed without cancellation near 1
+	if u := mf * beta; math.Abs(u) < 0.05 {
+		b2 := beta * beta
+		m2 := mf * mf
+		return (mf-1)/2 + beta*((m2-1)/12-b2*((m2*m2-1)/720-b2*(m2*m2*m2-1)/30240))
 	}
 	rm := math.Pow(rho, mf)
 	return rho/(1-rho) - mf*rm/(1-rm)
@@ -165,19 +209,42 @@ func (q MMcK) Validate() error {
 	return nil
 }
 
-// stateWeights returns the unnormalized steady-state weights w_n with
-// w_0 = 1, for n = 0..K.
-func (q MMcK) stateWeights() []float64 {
+// rescaleLimit triggers in-place renormalization of the M/M/c/K state
+// weights: once their running sum exceeds it, every accumulated weight is
+// divided through. 1e290 leaves ~18 orders of magnitude of headroom before
+// math.MaxFloat64, so the next ratio step cannot overflow.
+const rescaleLimit = 1e290
+
+// stateWeights returns the steady-state weights w_n (w_0 starts at 1)
+// together with their sum, for n = 0..K. Because w_n grows like a^n/n! for
+// n ≤ c and like (a/c)^n beyond, a large offered load a overflows the raw
+// recurrence to +Inf long before normalization — which used to turn every
+// probability into NaN (Inf/Inf). The weights are therefore renormalized
+// incrementally while they accumulate: only the ratios w_n/Σw matter, so
+// dividing everything accumulated so far by the running sum whenever it
+// nears overflow preserves the result exactly while keeping every
+// intermediate finite. Callers must use the returned sum rather than
+// re-accumulating the slice.
+func (q MMcK) stateWeights() ([]float64, float64) {
 	c := q.Servers
 	k := q.Capacity
 	a := q.Lambda / q.Mu // offered load in Erlangs
 	w := make([]float64, k+1)
 	w[0] = 1
+	sum := 1.0
 	for n := 1; n <= k; n++ {
 		servers := math.Min(float64(n), float64(c))
 		w[n] = w[n-1] * a / servers
+		sum += w[n]
+		if sum > rescaleLimit {
+			inv := 1 / sum
+			for i := 0; i <= n; i++ {
+				w[i] *= inv
+			}
+			sum = 1
+		}
 	}
-	return w
+	return w, sum
 }
 
 // StateProb returns the steady-state probability of n requests in system.
@@ -185,11 +252,7 @@ func (q MMcK) StateProb(n int) float64 {
 	if n < 0 || n > q.Capacity {
 		return 0
 	}
-	w := q.stateWeights()
-	sum := 0.0
-	for _, v := range w {
-		sum += v
-	}
+	w, sum := q.stateWeights()
 	return w[n] / sum
 }
 
@@ -198,10 +261,9 @@ func (q MMcK) BlockingProb() float64 { return q.StateProb(q.Capacity) }
 
 // MeanOccupancy returns the average number of requests in the system.
 func (q MMcK) MeanOccupancy() float64 {
-	w := q.stateWeights()
-	sum, l := 0.0, 0.0
+	w, sum := q.stateWeights()
+	l := 0.0
 	for n, v := range w {
-		sum += v
 		l += float64(n) * v
 	}
 	return l / sum
@@ -257,11 +319,17 @@ func (q MG1) Validate() error {
 }
 
 // QueueingDelay returns the mean pre-service wait
-// W_q = ρ/(1−ρ) · (1+CV²)/2 · E[S].
+// W_q = ρ/(1−ρ) · (1+CV²)/2 · E[S]. Like MM1N.QueueingDelay it guards the
+// regimes where the raw formula turns unphysical when Validate was
+// skipped: at ρ ≥ 1 the infinite queue has no steady state, so the delay
+// is +Inf rather than the negative value 1−ρ would produce.
 func (q MG1) QueueingDelay() float64 {
 	rho := q.Lambda / q.Mu
 	if rho <= 0 {
 		return 0
+	}
+	if rho >= 1 {
+		return math.Inf(1)
 	}
 	return rho / (1 - rho) * (1 + q.CV2) / 2 / q.Mu
 }

@@ -1,0 +1,283 @@
+package serve
+
+// Wire types and evaluators for the three model endpoints. The request
+// DTOs embed spec.File — the same JSON spec format the CLIs load from
+// disk — so a file that works with `lognic-est -spec f.json` works as
+// `{"spec": <contents of f.json>}` against the daemon. The DTOs are also
+// the cache identity: a decoded request re-marshals deterministically
+// (struct field order, units normalized to numbers by spec's
+// unmarshalers), and the SHA-256 of those bytes keys the result cache.
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"lognic/internal/core"
+	"lognic/internal/optimizer"
+	"lognic/internal/sim"
+	"lognic/internal/spec"
+	"lognic/internal/traffic"
+	"lognic/internal/unit"
+)
+
+// EstimateRequest is the body of POST /v1/estimate.
+type EstimateRequest struct {
+	// Spec is the model document (spec package format).
+	Spec spec.File `json:"spec"`
+}
+
+// PointResult is the analytical estimate's wire shape (matches the
+// `lognic-est -json` output).
+type PointResult struct {
+	IngressBW    float64            `json:"ingress_bw"`
+	Throughput   float64            `json:"throughput"`
+	Bottleneck   string             `json:"bottleneck"`
+	Latency      float64            `json:"latency"`
+	DropRate     float64            `json:"drop_rate"`
+	Constraints  []ConstraintResult `json:"constraints"`
+	PathsLatency []PathResult       `json:"paths,omitempty"`
+}
+
+// ConstraintResult is one Equation 4 term.
+type ConstraintResult struct {
+	Kind  string  `json:"kind"`
+	Name  string  `json:"name,omitempty"`
+	Limit float64 `json:"limit"`
+}
+
+// PathResult is one path's latency breakdown.
+type PathResult struct {
+	Vertices []string `json:"vertices"`
+	Weight   float64  `json:"weight"`
+	Total    float64  `json:"total"`
+	Queueing float64  `json:"queueing"`
+	Compute  float64  `json:"compute"`
+	Overhead float64  `json:"overhead"`
+	Movement float64  `json:"movement"`
+}
+
+// OptimizeRequest is the body of POST /v1/optimize.
+type OptimizeRequest struct {
+	Spec spec.File `json:"spec"`
+	// Goal is "latency", "throughput" or "goodput" (long forms accepted).
+	Goal string `json:"goal"`
+	// Knobs lists the integer parameters to search.
+	Knobs []KnobSpec `json:"knobs"`
+	// MaxEvals bounds model evaluations (0 selects the default).
+	MaxEvals int `json:"max_evals,omitempty"`
+}
+
+// KnobSpec is one searched parameter.
+type KnobSpec struct {
+	Vertex string `json:"vertex"`
+	// Param is "parallelism" or "queue".
+	Param string `json:"param"`
+	Lo    int    `json:"lo"`
+	Hi    int    `json:"hi"`
+}
+
+// OptimizeResult is the optimizer's wire shape.
+type OptimizeResult struct {
+	Goal       string         `json:"goal"`
+	Knobs      map[string]int `json:"knobs"`
+	Objective  float64        `json:"objective"`
+	Evaluated  int            `json:"evaluated"`
+	Exhaustive bool           `json:"exhaustive"`
+}
+
+// SimulateRequest is the body of POST /v1/simulate.
+type SimulateRequest struct {
+	Spec spec.File `json:"spec"`
+	// Duration is the simulated time in seconds. Required.
+	Duration float64 `json:"duration"`
+	// Warmup excludes initial simulated time from statistics (default 10%
+	// of Duration).
+	Warmup float64 `json:"warmup,omitempty"`
+	// Seed drives all randomness; equal seeds give equal runs — which is
+	// what makes simulation results cacheable.
+	Seed int64 `json:"seed,omitempty"`
+	// Deterministic uses mean service times instead of exponential draws.
+	Deterministic bool `json:"deterministic,omitempty"`
+	// MaxEvents bounds the event budget (0 uses the server default).
+	MaxEvents uint64 `json:"max_events,omitempty"`
+}
+
+// badRequest marks an error as the client's fault (HTTP 400): malformed
+// JSON, an invalid spec, an unknown goal or knob.
+type badRequest struct{ err error }
+
+func (b badRequest) Error() string { return b.err.Error() }
+func (b badRequest) Unwrap() error { return b.err }
+
+// decodeStrict decodes a request body, rejecting unknown fields so typos
+// fail loudly instead of silently evaluating a different model.
+func decodeStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest{fmt.Errorf("serve: bad request body: %w", err)}
+	}
+	return nil
+}
+
+// cacheKey hashes an endpoint name plus the canonical form of a decoded
+// request DTO. Marshaling the DTO (not the raw body) normalizes
+// whitespace, key order and unit spellings, so equivalent requests share
+// one cache entry.
+func cacheKey(endpoint string, dto any) (string, error) {
+	canon, err := json.Marshal(dto)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(endpoint))
+	h.Write([]byte{0})
+	h.Write(canon)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// estimatePoint evaluates a model once into the wire shape.
+func estimatePoint(m core.Model) (PointResult, error) {
+	est, err := m.Estimate()
+	if err != nil {
+		return PointResult{}, err
+	}
+	out := PointResult{
+		IngressBW:  m.Traffic.IngressBW,
+		Throughput: est.Throughput.Attainable,
+		Bottleneck: est.Throughput.Bottleneck.String(),
+		Latency:    est.Latency.Attainable,
+		DropRate:   est.Latency.DropRate,
+	}
+	for _, c := range est.Throughput.Constraints {
+		out.Constraints = append(out.Constraints, ConstraintResult{
+			Kind: c.Kind.String(), Name: c.Name, Limit: c.Limit,
+		})
+	}
+	for _, p := range est.Latency.Paths {
+		out.PathsLatency = append(out.PathsLatency, PathResult{
+			Vertices: p.Vertices, Weight: p.Weight, Total: p.Total,
+			Queueing: p.Queueing, Compute: p.Compute,
+			Overhead: p.Overhead, Movement: p.Movement,
+		})
+	}
+	return out, nil
+}
+
+// prepared is one admitted request: its cache key and the work to run if
+// the cache misses.
+type prepared struct {
+	key string
+	run func(ctx context.Context) (any, error)
+}
+
+// prepareEstimate decodes and validates an estimate request.
+func (s *Server) prepareEstimate(body []byte) (prepared, error) {
+	var req EstimateRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return prepared{}, err
+	}
+	m, err := req.Spec.Model()
+	if err != nil {
+		return prepared{}, badRequest{err}
+	}
+	key, err := cacheKey("estimate", req)
+	if err != nil {
+		return prepared{}, err
+	}
+	return prepared{key: key, run: func(ctx context.Context) (any, error) {
+		return estimatePoint(m)
+	}}, nil
+}
+
+// prepareOptimize decodes and validates an optimize request.
+func (s *Server) prepareOptimize(body []byte) (prepared, error) {
+	var req OptimizeRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return prepared{}, err
+	}
+	m, err := req.Spec.Model()
+	if err != nil {
+		return prepared{}, badRequest{err}
+	}
+	goal, err := optimizer.GoalFromName(req.Goal)
+	if err != nil {
+		return prepared{}, badRequest{err}
+	}
+	if len(req.Knobs) == 0 {
+		return prepared{}, badRequest{fmt.Errorf("serve: optimize needs at least one knob")}
+	}
+	knobs := make([]optimizer.IntKnob, 0, len(req.Knobs))
+	for _, k := range req.Knobs {
+		ik := optimizer.IntKnob{Vertex: k.Vertex, Param: k.Param, Lo: k.Lo, Hi: k.Hi}
+		if err := ik.Validate(m.Graph); err != nil {
+			return prepared{}, badRequest{err}
+		}
+		knobs = append(knobs, ik)
+	}
+	key, err := cacheKey("optimize", req)
+	if err != nil {
+		return prepared{}, err
+	}
+	return prepared{key: key, run: func(ctx context.Context) (any, error) {
+		sol, err := optimizer.SolveKnobs(m, goal, knobs, req.MaxEvals)
+		if err != nil {
+			return nil, err
+		}
+		out := OptimizeResult{
+			Goal:       goal.String(),
+			Knobs:      make(map[string]int, len(knobs)),
+			Objective:  sol.Objective,
+			Evaluated:  sol.Evaluated,
+			Exhaustive: sol.Exhaustive,
+		}
+		for i, k := range knobs {
+			out.Knobs[k.Name()] = sol.Values[i]
+		}
+		return out, nil
+	}}, nil
+}
+
+// prepareSimulate decodes and validates a simulate request.
+func (s *Server) prepareSimulate(body []byte) (prepared, error) {
+	var req SimulateRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return prepared{}, err
+	}
+	m, err := req.Spec.Model()
+	if err != nil {
+		return prepared{}, badRequest{err}
+	}
+	if req.Duration <= 0 {
+		return prepared{}, badRequest{fmt.Errorf("serve: simulate needs duration > 0 seconds")}
+	}
+	maxEvents := req.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = s.cfg.MaxSimEvents
+	}
+	key, err := cacheKey("simulate", req)
+	if err != nil {
+		return prepared{}, err
+	}
+	return prepared{key: key, run: func(ctx context.Context) (any, error) {
+		sm, err := sim.New(sim.Config{
+			Graph:    m.Graph,
+			Hardware: m.Hardware,
+			Profile: traffic.Fixed(m.Graph.Name(),
+				unit.Bandwidth(m.Traffic.IngressBW), unit.Size(m.Traffic.Granularity)),
+			Seed:                 req.Seed,
+			Duration:             req.Duration,
+			Warmup:               req.Warmup,
+			DeterministicService: req.Deterministic,
+			MaxEvents:            maxEvents,
+		})
+		if err != nil {
+			return nil, badRequest{err}
+		}
+		return sm.RunContext(ctx)
+	}}, nil
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded, thread-safe LRU mapping canonical request hashes
+// to serialized response bodies. Storing the exact bytes written on the
+// cold path is what makes cache hits byte-identical to cold evaluations:
+// a hit replays the stored body verbatim, with no re-marshaling.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newLRU(max int) *lruCache {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache{max: max, order: list.New(), items: make(map[string]*list.Element, max)}
+}
+
+// Get returns the cached body and marks the entry most recently used.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores a body under the key, evicting the least recently used entry
+// when full. The caller must not mutate body afterwards.
+func (c *lruCache) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newLRU(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	// Touch "a" so "b" becomes the eviction candidate.
+	if v, ok := c.Get("a"); !ok || string(v) != "A" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for k, want := range map[string]string{"a": "A", "c": "C"} {
+		if v, ok := c.Get(k); !ok || string(v) != want {
+			t.Fatalf("Get(%s) = %q, %v", k, v, ok)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUUpdateInPlace(t *testing.T) {
+	c := newLRU(4)
+	c.Put("k", []byte("v1"))
+	c.Put("k", []byte("v2"))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if v, _ := c.Get("k"); string(v) != "v2" {
+		t.Fatalf("Get(k) = %q, want v2", v)
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRU(64)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%100)
+				c.Put(k, []byte(k))
+				if v, ok := c.Get(k); ok && string(v) != k {
+					panic("corrupted entry")
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if n := c.Len(); n > 64 {
+		t.Fatalf("Len = %d exceeds capacity", n)
+	}
+}

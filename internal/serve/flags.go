@@ -1,0 +1,34 @@
+package serve
+
+import (
+	"flag"
+	"io"
+	"time"
+)
+
+// newFlagSet builds the lognic-serve flag set.
+func newFlagSet(stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet("lognic-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+// parseFlags parses daemon flags into a Config.
+func parseFlags(fs *flag.FlagSet, args []string) (Config, error) {
+	var cfg Config
+	fs.StringVar(&cfg.Addr, "addr", "127.0.0.1:8080", "listen address (\":0\" picks a free port)")
+	fs.IntVar(&cfg.Workers, "workers", 0, "concurrent evaluations (default GOMAXPROCS)")
+	fs.IntVar(&cfg.QueueDepth, "queue", 0, "max requests waiting for a worker (default 16×workers)")
+	fs.IntVar(&cfg.CacheEntries, "cache", 1024, "result cache entries (negative disables)")
+	fs.DurationVar(&cfg.RequestTimeout, "timeout", 30*time.Second, "per-request evaluation timeout")
+	fs.DurationVar(&cfg.DrainTimeout, "drain", 30*time.Second, "graceful-shutdown drain timeout")
+	fs.Int64Var(&cfg.MaxBodyBytes, "max-body", 8<<20, "max request body bytes")
+	var maxEvents uint64
+	fs.Uint64Var(&maxEvents, "max-sim-events", 50e6, "default event budget per /v1/simulate request")
+	fs.BoolVar(&cfg.Pprof, "pprof", false, "mount /debug/pprof")
+	if err := fs.Parse(args); err != nil {
+		return Config{}, err
+	}
+	cfg.MaxSimEvents = maxEvents
+	return cfg, nil
+}

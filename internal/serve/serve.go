@@ -1,0 +1,421 @@
+// Package serve implements lognic-serve, the model-evaluation daemon: an
+// HTTP/JSON front end over the analytical estimator (POST /v1/estimate),
+// the knob optimizer (POST /v1/optimize) and the discrete-event simulator
+// (POST /v1/simulate). Requests carry the same JSON spec documents the
+// CLIs load from disk.
+//
+// The daemon is built for repeated evaluation of overlapping
+// configurations — a sweep driver or CI gate hammering variations of one
+// model — so it puts three mechanisms in front of the evaluators:
+//
+//   - A canonical-hash result cache. Each decoded request re-marshals to a
+//     canonical byte form (units normalized, field order fixed) and its
+//     SHA-256 keys an LRU of serialized response bodies; a hit replays the
+//     stored bytes verbatim, guaranteeing byte-identical responses for
+//     equivalent requests. Simulation results are cacheable because equal
+//     seeds give equal runs.
+//   - A bounded worker pool with queue-depth backpressure. At most Workers
+//     evaluations run concurrently; up to QueueDepth more wait. Beyond
+//     that the daemon sheds load with HTTP 429 + Retry-After instead of
+//     collapsing under unbounded concurrency.
+//   - Per-request timeouts and graceful drain: every evaluation runs under
+//     a context with RequestTimeout, and SIGTERM/SIGINT stops accepting
+//     new connections while in-flight requests finish (up to
+//     DrainTimeout).
+//
+// Observability rides on internal/obs: request counts and latency
+// histograms per endpoint, cache hit/miss counters and hit-ratio gauges,
+// queue-depth gauges and per-request spans, exposed at /metrics (with
+// ?format=json) alongside /healthz and optional /debug/pprof.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"lognic/internal/obs"
+	"lognic/internal/optimizer"
+	"lognic/internal/sim"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:8080"; ":0" picks a
+	// free port).
+	Addr string
+	// Workers caps concurrent evaluations (default GOMAXPROCS).
+	Workers int
+	// QueueDepth caps requests waiting for a worker slot (default
+	// 16×Workers). Requests beyond Workers+QueueDepth in flight are
+	// rejected with 429.
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 1024; negative
+	// disables caching).
+	CacheEntries int
+	// RequestTimeout bounds each evaluation (default 30s).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful-shutdown drain (default 30s).
+	DrainTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxSimEvents is the default event budget for /v1/simulate requests
+	// that don't set max_events (default 50e6); it converts a pathological
+	// spec into HTTP 422 instead of a pinned worker.
+	MaxSimEvents uint64
+	// Registry receives request metrics and serves /metrics (default: a
+	// fresh registry).
+	Registry *obs.Registry
+	// Tracer, when set, receives one span per request.
+	Tracer *obs.Tracer
+	// Pprof mounts /debug/pprof when true.
+	Pprof bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8080"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16 * c.Workers
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxSimEvents == 0 {
+		c.MaxSimEvents = 50e6
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is one daemon instance.
+type Server struct {
+	cfg   Config
+	cache *lruCache
+	// sem holds one token per running evaluation; queued counts requests
+	// waiting for a token. queued > QueueDepth ⇒ shed load.
+	sem    chan struct{}
+	queued atomic.Int64
+	ln     net.Listener
+	start  time.Time
+	reqID  atomic.Uint64
+
+	latency  map[string]*obs.Histogram
+	hits     *obs.Counter
+	misses   *obs.Counter
+	rejected *obs.Counter
+	entries  *obs.Gauge
+	hitRatio *obs.Gauge
+	inflight *obs.Gauge
+	queueLen *obs.Gauge
+
+	// testDelay, when set by tests, runs inside the worker slot before the
+	// evaluation — a deterministic way to hold requests in flight for
+	// backpressure and drain tests.
+	testDelay func(endpoint string)
+}
+
+// endpoints, in route order.
+var endpoints = []string{"estimate", "optimize", "simulate"}
+
+// NewServer builds a daemon from the config (it does not listen yet).
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.Workers),
+		start: time.Now(),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newLRU(cfg.CacheEntries)
+	}
+	reg := cfg.Registry
+	s.latency = make(map[string]*obs.Histogram, len(endpoints))
+	for _, ep := range endpoints {
+		s.latency[ep] = reg.Histogram("lognic_serve_request_seconds",
+			"request latency by endpoint",
+			obs.ExpBuckets(1e-5, 4, 14), obs.Labels{"endpoint": ep})
+	}
+	s.hits = reg.Counter("lognic_serve_cache_hits_total", "result cache hits", nil)
+	s.misses = reg.Counter("lognic_serve_cache_misses_total", "result cache misses", nil)
+	s.rejected = reg.Counter("lognic_serve_rejected_total", "requests shed with 429", nil)
+	s.entries = reg.Gauge("lognic_serve_cache_entries", "result cache occupancy", nil)
+	s.hitRatio = reg.Gauge("lognic_serve_cache_hit_ratio", "hits / (hits+misses)", nil)
+	s.inflight = reg.Gauge("lognic_serve_inflight", "evaluations running", nil)
+	s.queueLen = reg.Gauge("lognic_serve_queue_depth", "requests waiting for a worker", nil)
+	return s
+}
+
+// Handler returns the daemon's routing handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/estimate", s.handle("estimate", s.prepareEstimate))
+	mux.HandleFunc("POST /v1/optimize", s.handle("optimize", s.prepareOptimize))
+	mux.HandleFunc("POST /v1/simulate", s.handle("simulate", s.prepareSimulate))
+	mux.Handle("/metrics", s.cfg.Registry)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","uptime_seconds":%.3f}`+"\n", time.Since(s.start).Seconds())
+	})
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+// statusFor maps an evaluation error to an HTTP status.
+func statusFor(err error) int {
+	var br badRequest
+	switch {
+	case errors.As(err, &br):
+		return http.StatusBadRequest
+	case errors.Is(err, optimizer.ErrNoFeasible),
+		errors.Is(err, sim.ErrBudgetExceeded),
+		errors.Is(err, sim.ErrStalled):
+		// The request was well-formed but the model rejected it: no
+		// feasible configuration, or a simulation that blew its budget.
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handle wraps one endpoint's prepare function with the shared request
+// path: body limit → decode/validate → cache probe → admission control →
+// evaluate under timeout → serialize, cache, reply.
+func (s *Server) handle(endpoint string, prepare func([]byte) (prepared, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		timer := s.latency[endpoint].StartTimer()
+		code := http.StatusOK
+		defer func() {
+			timer.ObserveDuration()
+			s.cfg.Registry.Counter("lognic_serve_requests_total", "requests by endpoint and status",
+				obs.Labels{"endpoint": endpoint, "code": fmt.Sprint(code)}).Inc()
+		}()
+		if s.cfg.Tracer != nil {
+			startAt := time.Since(s.start).Seconds()
+			id := s.reqID.Add(1)
+			defer func() {
+				s.cfg.Tracer.Emit(obs.Span{
+					Name:  endpoint,
+					Cat:   "request",
+					Track: id,
+					Start: startAt,
+					Dur:   time.Since(s.start).Seconds() - startAt,
+					Args:  map[string]any{"code": code},
+				})
+			}()
+		}
+
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			code = http.StatusBadRequest
+			writeError(w, code, fmt.Errorf("serve: reading body: %w", err))
+			return
+		}
+		p, err := prepare(body)
+		if err != nil {
+			code = statusFor(err)
+			writeError(w, code, err)
+			return
+		}
+
+		// Cache probe. Hits bypass the worker pool entirely: replaying
+		// cached bytes is cheap and must stay available under saturation.
+		if s.cache != nil {
+			if cached, ok := s.cache.Get(p.key); ok {
+				s.hits.Inc()
+				s.updateCacheGauges()
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("X-Cache", "hit")
+				_, _ = w.Write(cached)
+				return
+			}
+		}
+
+		// Admission: bound the number of requests waiting for a worker.
+		if q := s.queued.Add(1); q > int64(s.cfg.QueueDepth) {
+			s.queued.Add(-1)
+			s.rejected.Inc()
+			code = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+			writeError(w, code, fmt.Errorf("serve: %s queue full (%d waiting)", endpoint, q-1))
+			return
+		}
+		s.queueLen.Set(float64(s.queued.Load()))
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			s.queueLen.Set(float64(s.queued.Load()))
+			code = statusFor(ctx.Err())
+			writeError(w, code, fmt.Errorf("serve: timed out waiting for a worker: %w", ctx.Err()))
+			return
+		}
+		s.queued.Add(-1)
+		s.queueLen.Set(float64(s.queued.Load()))
+		s.inflight.Add(1)
+		result, err := func() (any, error) {
+			defer func() { <-s.sem; s.inflight.Add(-1) }()
+			if s.testDelay != nil {
+				s.testDelay(endpoint)
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return p.run(ctx)
+		}()
+		if err != nil {
+			code = statusFor(err)
+			writeError(w, code, err)
+			return
+		}
+
+		out, err := json.Marshal(result)
+		if err != nil {
+			code = http.StatusInternalServerError
+			writeError(w, code, err)
+			return
+		}
+		out = append(out, '\n')
+		s.misses.Inc()
+		if s.cache != nil {
+			s.cache.Put(p.key, out)
+		}
+		s.updateCacheGauges()
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "miss")
+		_, _ = w.Write(out)
+	}
+}
+
+func (s *Server) updateCacheGauges() {
+	if s.cache != nil {
+		s.entries.Set(float64(s.cache.Len()))
+	}
+	h, m := s.hits.Value(), s.misses.Value()
+	if h+m > 0 {
+		s.hitRatio.Set(h / (h + m))
+	}
+}
+
+// Listen binds the configured address. Call before Serve to learn the
+// bound port (Addr) — e.g. with Addr ":0".
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr reports the bound listen address ("" before Listen).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve runs the daemon until the context is canceled or SIGTERM/SIGINT
+// arrives, then drains: the listener closes, in-flight requests get up to
+// DrainTimeout to finish, and Serve returns nil on a clean drain. Listen
+// is called implicitly if it hasn't been.
+func (s *Server) Serve(ctx context.Context) error {
+	if s.ln == nil {
+		if err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(s.ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Stop catching signals so a second SIGTERM kills a stuck drain.
+	stop()
+	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("serve: drain incomplete: %w", err)
+	}
+	return nil
+}
+
+// Main is the lognic-serve entry point (also reachable as `lognic serve`).
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet(stderr)
+	cfg, err := parseFlags(fs, args)
+	if err != nil {
+		return 2
+	}
+	srv := NewServer(cfg)
+	if err := srv.Listen(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "lognic-serve listening on http://%s (workers %d, queue %d, cache %d)\n",
+		srv.Addr(), srv.cfg.Workers, srv.cfg.QueueDepth, srv.cfg.CacheEntries)
+	if err := srv.Serve(context.Background()); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "lognic-serve drained cleanly")
+	return 0
+}

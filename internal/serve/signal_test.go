@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// A real SIGTERM (delivered to the test process) must stop the listener,
+// drain the in-flight request to completion, and return nil from Serve.
+// Serve's signal.NotifyContext intercepts the signal, so the process
+// survives; the test blocks the in-flight request with testDelay until
+// after the signal lands to prove the drain waits.
+func TestSIGTERMGracefulDrain(t *testing.T) {
+	s := NewServer(Config{Addr: "127.0.0.1:0", CacheEntries: -1, DrainTimeout: 10 * time.Second})
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.testDelay = func(string) {
+		entered <- struct{}{}
+		<-release
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(nil) }()
+
+	reqDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post("http://"+s.Addr()+"/v1/estimate", "application/json",
+			strings.NewReader(estimateBody(sampleSpec)))
+		if err != nil {
+			reqDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		reqDone <- resp.StatusCode
+	}()
+	// The request being inside the worker proves Serve is running and its
+	// signal handler is registered — only then is SIGTERM safe to send.
+	<-entered
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Drain must wait for the blocked request, not abort it.
+	select {
+	case err := <-served:
+		t.Fatalf("Serve returned %v with a request still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if code := <-reqDone; code != http.StatusOK {
+		t.Fatalf("in-flight request status %d, want 200", code)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v, want nil after clean drain", err)
+	}
+
+	// The listener is closed: new requests must fail to connect.
+	if _, err := http.Post("http://"+s.Addr()+"/v1/estimate", "application/json",
+		strings.NewReader(estimateBody(sampleSpec))); err == nil {
+		t.Fatal("post-drain request should fail to connect")
+	}
+}

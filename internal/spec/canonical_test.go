@@ -1,0 +1,89 @@
+package spec
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestCanonicalInvariantToSpelling(t *testing.T) {
+	base, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same document, different whitespace, unit spellings, and key order
+	// within an object.
+	variant := strings.NewReplacer(
+		`"50Gbps"`, `6.25e9`,
+		`"8Gbps"`, `1e9`,
+		`"4KB"`, `4096`,
+		`"from": "rx", "to": "cores"`, `"to": "cores", "from": "rx"`,
+		"\n", "", "  ", " ",
+	).Replace(sample)
+	alt, err := Parse([]byte(variant))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := base.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := alt.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cb) != string(ca) {
+		t.Fatalf("canonical forms differ:\n%s\n%s", cb, ca)
+	}
+	hb, _ := base.Hash()
+	ha, _ := alt.Hash()
+	if hb != ha {
+		t.Fatalf("hashes differ: %s vs %s", hb, ha)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(hb) {
+		t.Fatalf("hash %q is not hex sha256", hb)
+	}
+}
+
+func TestHashDistinguishesSpecs(t *testing.T) {
+	a, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a
+	b.Traffic.IngressBW *= 2
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha == hb {
+		t.Fatal("distinct specs must hash differently")
+	}
+}
+
+func TestCanonicalStableAcrossRoundTrip(t *testing.T) {
+	f, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := f.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-parsing the canonical bytes must be a fixed point.
+	f2, err := Parse(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := f2.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c1) != string(c2) {
+		t.Fatal("canonical form is not a fixed point under re-parse")
+	}
+}
