@@ -2,21 +2,27 @@
 // HTTP/JSON API over the analytical estimator, the knob optimizer and the
 // discrete-event simulator, with a canonical-hash result cache, a bounded
 // worker pool that sheds load with 429 + Retry-After, per-request
-// timeouts, and graceful SIGTERM drain. See internal/serve and
-// docs/SERVE.md.
+// timeouts, graceful SIGTERM drain, and a crash-safe async job API whose
+// accepted jobs survive kill -9 via a journaled, checkpointed durability
+// directory. See internal/serve, internal/jobs and docs/SERVE.md.
 //
 // Usage:
 //
 //	lognic-serve [-addr host:port] [-workers n] [-queue n] [-cache n]
 //	             [-timeout d] [-drain d] [-max-body n] [-max-sim-events n] [-pprof]
+//	             [-jobs-dir path] [-jobs-workers n] [-job-attempts n]
+//	             [-job-backoff d] [-job-backoff-max d] [-job-checkpoint-every n]
 //
 // Endpoints:
 //
-//	POST /v1/estimate  {"spec": <model spec>}
-//	POST /v1/optimize  {"spec": ..., "goal": "latency|throughput|goodput", "knobs": [...]}
-//	POST /v1/simulate  {"spec": ..., "duration": seconds, "seed": n, ...}
-//	GET  /healthz      liveness
-//	GET  /metrics      Prometheus text (add ?format=json for JSON)
+//	POST   /v1/estimate  {"spec": <model spec>}
+//	POST   /v1/optimize  {"spec": ..., "goal": "latency|throughput|goodput", "knobs": [...]}
+//	POST   /v1/simulate  {"spec": ..., "duration": seconds, "seed": n, ...}
+//	POST   /v1/jobs      {"kind": "estimate|optimize|simulate", "request": <endpoint body>}
+//	GET    /v1/jobs/{id} poll an async job (DELETE cancels, GET /v1/jobs lists)
+//	GET    /healthz      liveness
+//	GET    /readyz       readiness (503 during journal replay and drain)
+//	GET    /metrics      Prometheus text (add ?format=json for JSON)
 package main
 
 import (

@@ -10,7 +10,7 @@
 //	lognic -optimize latency|throughput|goodput -knob v.parallelism=1..16 [-knob ...] model.json
 //	lognic faults [-json] [-sim] [-duration s] [-seed n] model.json scenario.json
 //	lognic trace [-out trace.json] [-metrics file] [-duration s] [-seed n] model.json
-//	lognic serve [-addr host:port] [-workers n] [-queue n] [-cache n] [-pprof]
+//	lognic serve [-addr host:port] [-workers n] [-queue n] [-cache n] [-jobs-dir path] [-pprof]
 //
 // With -sweep, the ingress bandwidth is swept across the given range
 // (accepts unit strings, e.g. -sweep 1Gbps:25Gbps:10) and one row per
@@ -32,7 +32,9 @@
 // against the measured run.
 //
 // The serve subcommand starts lognic-serve, the HTTP/JSON evaluation
-// daemon (see cmd/lognic-serve and internal/serve).
+// daemon, including its crash-safe async job API (with -jobs-dir,
+// accepted jobs survive kill -9 and interrupted simulations resume from
+// checkpoints). See cmd/lognic-serve, internal/serve and internal/jobs.
 package main
 
 import (

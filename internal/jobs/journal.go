@@ -1,0 +1,148 @@
+package jobs
+
+// The durable journal: an append-only file of CRC-framed records that
+// makes accepted jobs survive kill -9. Every state transition the manager
+// must not forget — submission, terminal completion, terminal failure,
+// cancellation, and per-attempt failures (so retry budgets survive a
+// crash) — is framed, appended and fsynced before the transition is
+// acknowledged.
+//
+// Frame format, little-endian:
+//
+//	+---------+----------+------------------+
+//	| len u32 | crc32c u32 | payload (len B) |
+//	+---------+----------+------------------+
+//
+// crc32c is the Castagnoli CRC of the payload. Replay reads frames until
+// the first hole — a short header, a length beyond the file, a CRC
+// mismatch, or an oversized length field — and recovers every record
+// before it; the file is then truncated back to the last good frame so
+// new appends never interleave with a torn tail. A kill -9 can tear at
+// most the frame being written, which was by definition unacknowledged.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// maxRecordLen bounds one record's payload. Journal records are small
+// JSON documents (a submitted spec, a serialized result); anything past
+// this is a corrupt length field, not a record — replay must not trust a
+// torn u32 enough to allocate 4 GiB.
+const maxRecordLen = 64 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrRecordTooLarge reports an Append payload over maxRecordLen.
+var ErrRecordTooLarge = errors.New("jobs: journal record exceeds size cap")
+
+// ReplayRecords reads CRC-framed records from r until EOF or the first
+// corrupt frame. It returns the intact records and the byte offset of
+// the first hole (== bytes consumed by intact frames). Corruption is not
+// an error: a torn tail is the expected crash signature, and everything
+// before it is trustworthy. The reader is consumed; errors other than
+// frame corruption (I/O failures) are returned alongside the records
+// recovered so far.
+func ReplayRecords(r io.Reader) (records [][]byte, goodBytes int64, err error) {
+	br := bufio.NewReader(r)
+	var head [8]byte
+	for {
+		if _, err := io.ReadFull(br, head[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return records, goodBytes, nil // clean end or torn header
+			}
+			return records, goodBytes, err
+		}
+		n := binary.LittleEndian.Uint32(head[0:4])
+		sum := binary.LittleEndian.Uint32(head[4:8])
+		if n > maxRecordLen {
+			return records, goodBytes, nil // corrupt length field
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return records, goodBytes, nil // torn payload
+			}
+			return records, goodBytes, err
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			return records, goodBytes, nil // bit rot or torn overwrite
+		}
+		records = append(records, payload)
+		goodBytes += 8 + int64(n)
+	}
+}
+
+// Journal is an append-only CRC-framed record log.
+type Journal struct {
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (or creates) the journal at path, replays its intact
+// records, and truncates any torn tail so subsequent appends start at a
+// clean frame boundary.
+func OpenJournal(path string) (*Journal, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: opening journal: %w", err)
+	}
+	records, good, err := ReplayRecords(f)
+	if err != nil {
+		f.Close()
+		return nil, records, fmt.Errorf("jobs: replaying journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, records, fmt.Errorf("jobs: stat journal: %w", err)
+	}
+	if st.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, records, fmt.Errorf("jobs: truncating torn journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, records, fmt.Errorf("jobs: seeking journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, records, nil
+}
+
+// frameHeader builds the 8-byte frame header for payload.
+func frameHeader(payload []byte) []byte {
+	head := make([]byte, 8)
+	binary.LittleEndian.PutUint32(head[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(head[4:8], crc32.Checksum(payload, crcTable))
+	return head
+}
+
+// Append frames, writes and fsyncs one record. An error means the record
+// may not be durable; the caller decides whether to degrade to
+// memory-only operation or refuse the transition.
+func (j *Journal) Append(payload []byte) error {
+	if len(payload) > maxRecordLen {
+		return ErrRecordTooLarge
+	}
+	// One Write call per frame section; a torn frame is recovered by
+	// replay's CRC check regardless of where the tear lands.
+	if _, err := j.f.Write(frameHeader(payload)); err != nil {
+		return fmt.Errorf("jobs: journal write: %w", err)
+	}
+	if _, err := j.f.Write(payload); err != nil {
+		return fmt.Errorf("jobs: journal write: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: journal fsync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.f.Close() }

@@ -1,0 +1,586 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"lognic/internal/obs"
+)
+
+// EvalFunc executes one evaluation attempt. id, kind and body are the
+// values passed to Submit; ck gives the attempt access to the job's
+// checkpoint slot (Load a previous simulation snapshot, Save periodic
+// ones). The returned bytes are the job's result, stored and replayed
+// verbatim.
+type EvalFunc func(ctx context.Context, id, kind string, body []byte, ck CheckpointStore) ([]byte, error)
+
+// CheckpointStore is one job's checkpoint slot. Save is best-effort: on
+// a disk error the manager degrades to an in-memory slot (the degraded
+// gauge goes up) so retries in this process still resume; only a crash
+// then loses the checkpoint, never the job.
+type CheckpointStore interface {
+	// Load returns the most recent checkpoint, if any.
+	Load() ([]byte, bool)
+	// Save replaces the job's checkpoint.
+	Save([]byte)
+}
+
+// ErrClosed reports an operation on a closed manager.
+var ErrClosed = errors.New("jobs: manager closed")
+
+// Config tunes a Manager.
+type Config struct {
+	// Dir is the durability directory (journal + checkpoints). Empty
+	// runs memory-only: jobs work, nothing survives a restart.
+	Dir string
+	// Workers caps concurrent evaluations (default 2).
+	Workers int
+	// MaxAttempts is the per-job attempt budget (default 3).
+	MaxAttempts int
+	// BackoffBase is the first retry delay (default 200ms); attempt k
+	// waits min(BackoffBase·2^(k-1), BackoffMax), jittered to [d/2, d).
+	BackoffBase time.Duration
+	// BackoffMax caps the retry delay (default 10s).
+	BackoffMax time.Duration
+	// Evaluate runs one attempt. Required.
+	Evaluate EvalFunc
+	// Registry receives job metrics (default: a fresh registry).
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Evaluate == nil {
+		return c, errors.New("jobs: Config.Evaluate is required")
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 200 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 10 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c, nil
+}
+
+// job is the manager's mutable record; all fields are guarded by
+// Manager.mu except the fields copied into Job snapshots.
+type job struct {
+	id, kind string
+	body     []byte
+	state    State
+	attempts int
+	coal     int
+	result   []byte
+	errMsg   string
+	resumed  bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	// cancel aborts the running attempt; non-nil only while running.
+	cancel context.CancelFunc
+	// userCancelled distinguishes DELETE /v1/jobs from a shutdown
+	// cancellation: the first is terminal, the second leaves the job
+	// queued so a restart resumes it.
+	userCancelled bool
+	// memCkpt is the in-memory checkpoint fallback (degraded mode, or
+	// memory-only managers).
+	memCkpt []byte
+}
+
+// Manager runs the job subsystem.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*job
+	pending  []string // FIFO of job ids ready for a worker
+	timers   map[*time.Timer]struct{}
+	journal  *Journal
+	degraded bool
+	closed   bool
+	started  bool
+	rng      *rand.Rand
+
+	closeCtx  context.Context
+	closeStop context.CancelFunc
+	wg        sync.WaitGroup
+
+	// metrics
+	stateG    map[State]*obs.Gauge
+	degradedG *obs.Gauge
+	submitted *obs.Counter
+	coalesced *obs.Counter
+	retries   *obs.Counter
+	evals     *obs.Counter
+	resumes   *obs.Counter
+	replayed  *obs.Counter
+	jErrors   *obs.Counter
+	fsyncH    *obs.Histogram
+}
+
+// NewManager builds a manager. It performs no I/O; call Start to open
+// and replay the journal and launch the workers.
+func NewManager(cfg Config) (*Manager, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:    cfg,
+		jobs:   map[string]*job{},
+		timers: map[*time.Timer]struct{}{},
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.closeCtx, m.closeStop = context.WithCancel(context.Background())
+
+	reg := cfg.Registry
+	m.stateG = make(map[State]*obs.Gauge, len(states))
+	for _, st := range states {
+		m.stateG[st] = reg.Gauge("lognic_jobs_state", "jobs by lifecycle state",
+			obs.Labels{"state": string(st)})
+	}
+	m.degradedG = reg.Gauge("lognic_jobs_degraded",
+		"1 when a durability failure forced memory-only operation", nil)
+	m.submitted = reg.Counter("lognic_jobs_submitted_total", "job submissions accepted", nil)
+	m.coalesced = reg.Counter("lognic_jobs_coalesced_total",
+		"submissions folded into an existing job by canonical-hash identity", nil)
+	m.retries = reg.Counter("lognic_jobs_retries_total", "attempts re-scheduled after a failure", nil)
+	m.evals = reg.Counter("lognic_jobs_evaluations_total", "evaluation attempts started", nil)
+	m.resumes = reg.Counter("lognic_jobs_resumed_total",
+		"attempts that restored a simulation checkpoint", nil)
+	m.replayed = reg.Counter("lognic_jobs_replayed_total", "journal records replayed at startup", nil)
+	m.jErrors = reg.Counter("lognic_jobs_journal_errors_total", "journal/checkpoint write failures", nil)
+	m.fsyncH = reg.Histogram("lognic_jobs_journal_fsync_seconds",
+		"journal append+fsync latency", obs.ExpBuckets(1e-5, 4, 12), nil)
+	return m, nil
+}
+
+// Start opens and replays the journal (when Config.Dir is set),
+// re-enqueues every job without a terminal record, and launches the
+// worker pool. A journal that cannot be opened degrades the manager to
+// memory-only operation instead of failing Start; the returned error is
+// then nil and the degraded gauge reports the condition.
+func (m *Manager) Start() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if m.started {
+		return errors.New("jobs: manager already started")
+	}
+	m.started = true
+
+	if m.cfg.Dir != "" {
+		if err := os.MkdirAll(m.cfg.Dir, 0o755); err != nil {
+			m.degradeLocked(fmt.Errorf("creating jobs dir: %w", err))
+		} else {
+			jr, records, err := OpenJournal(filepath.Join(m.cfg.Dir, "journal.wal"))
+			if err != nil {
+				m.degradeLocked(err)
+			} else {
+				m.journal = jr
+				m.replayLocked(records)
+			}
+		}
+	}
+	for i := 0; i < m.cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return nil
+}
+
+// replayLocked rebuilds job state from journal records, in order.
+func (m *Manager) replayLocked(records [][]byte) {
+	for _, rec := range records {
+		var r record
+		if err := json.Unmarshal(rec, &r); err != nil || r.ID == "" {
+			continue // an old or foreign record shape; framing already vouched for integrity
+		}
+		m.replayed.Inc()
+		j := m.jobs[r.ID]
+		switch r.Type {
+		case "submit":
+			if j == nil {
+				j = &job{id: r.ID, created: time.Unix(0, r.Unix)}
+				m.jobs[r.ID] = j
+			}
+			// A submit record also reopens a previously terminal job
+			// (resubmission after failure/cancel).
+			j.kind = r.Kind
+			j.body = append([]byte(nil), r.Body...)
+			j.state = StateQueued
+			j.attempts = 0
+			j.result = nil
+			j.errMsg = ""
+			j.userCancelled = false
+		case "attempt":
+			if j != nil {
+				j.attempts = r.Attempts
+				j.errMsg = r.Error
+			}
+		case "done":
+			if j != nil {
+				j.state = StateSucceeded
+				j.result = append([]byte(nil), r.Result...)
+				j.finished = time.Unix(0, r.Unix)
+			}
+		case "fail":
+			if j != nil {
+				j.state = StateFailed
+				j.errMsg = r.Error
+				j.attempts = r.Attempts
+				j.finished = time.Unix(0, r.Unix)
+			}
+		case "cancel":
+			if j != nil {
+				j.state = StateCancelled
+				j.userCancelled = true
+				j.finished = time.Unix(0, r.Unix)
+			}
+		}
+	}
+	for id, j := range m.jobs {
+		if j.state == StateQueued {
+			m.pending = append(m.pending, id)
+		}
+	}
+	// Deterministic re-enqueue order (map iteration is not).
+	sort.Strings(m.pending)
+	m.refreshStateGauges()
+}
+
+// append journals one record, degrading to memory-only on failure. The
+// caller holds mu.
+func (m *Manager) appendLocked(r record) {
+	if m.journal == nil {
+		return
+	}
+	r.Unix = time.Now().UnixNano()
+	payload, err := json.Marshal(r)
+	if err != nil {
+		m.degradeLocked(err)
+		return
+	}
+	timer := m.fsyncH.StartTimer()
+	err = m.journal.Append(payload)
+	timer.ObserveDuration()
+	if err != nil {
+		m.degradeLocked(err)
+	}
+}
+
+// degradeLocked switches to memory-only mode: the journal is closed, the
+// gauge goes loud, and traffic keeps flowing without durability.
+func (m *Manager) degradeLocked(err error) {
+	m.jErrors.Inc()
+	if m.degraded {
+		return
+	}
+	m.degraded = true
+	m.degradedG.Set(1)
+	if m.journal != nil {
+		m.journal.Close()
+		m.journal = nil
+	}
+	fmt.Fprintf(os.Stderr, "lognic-jobs: DEGRADED to memory-only mode: %v\n", err)
+}
+
+// Degraded reports whether a durability failure forced memory-only mode.
+func (m *Manager) Degraded() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.degraded
+}
+
+// Evaluations returns the number of evaluation attempts started — the
+// observable the coalescing tests assert on.
+func (m *Manager) Evaluations() float64 { return m.evals.Value() }
+
+// snapshotLocked copies a job into its public form.
+func (j *job) snapshot(maxAttempts int) Job {
+	out := Job{
+		ID: j.id, Kind: j.kind, State: j.state,
+		Attempts: j.attempts, MaxAttempts: maxAttempts, Coalesced: j.coal,
+		Error: j.errMsg, Resumed: j.resumed,
+		Created: j.created, Started: j.started, Finished: j.finished,
+	}
+	if j.result != nil {
+		out.Result = append([]byte(nil), j.result...)
+	}
+	return out
+}
+
+// Submit admits one job. id must be the canonical request hash: an id
+// already known returns the existing job (coalescing — no second
+// evaluation runs) unless that job ended failed or cancelled, in which
+// case the submission reopens it with a fresh attempt budget. isNew
+// reports whether this call enqueued work.
+func (m *Manager) Submit(kind, id string, body []byte) (snap Job, isNew bool, err error) {
+	if kind == "" || id == "" {
+		return Job{}, false, errors.New("jobs: submit needs a kind and an id")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Job{}, false, ErrClosed
+	}
+	if j, ok := m.jobs[id]; ok && !(j.state == StateFailed || j.state == StateCancelled) {
+		j.coal++
+		m.coalesced.Inc()
+		return j.snapshot(m.cfg.MaxAttempts), false, nil
+	}
+	j := m.jobs[id]
+	if j == nil {
+		j = &job{id: id, created: time.Now()}
+		m.jobs[id] = j
+	}
+	j.kind = kind
+	j.body = append([]byte(nil), body...)
+	j.state = StateQueued
+	j.attempts = 0
+	j.result = nil
+	j.errMsg = ""
+	j.resumed = false
+	j.userCancelled = false
+	j.finished = time.Time{}
+	m.submitted.Inc()
+	m.appendLocked(record{Type: "submit", ID: id, Kind: kind, Body: body})
+	m.enqueueLocked(id)
+	m.refreshStateGauges()
+	return j.snapshot(m.cfg.MaxAttempts), true, nil
+}
+
+// Get returns a job snapshot.
+func (m *Manager) Get(id string) (Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return j.snapshot(m.cfg.MaxAttempts), true
+}
+
+// Cancel requests cancellation: a queued job goes terminal immediately, a
+// running job's context is cancelled (it goes terminal when the attempt
+// unwinds). Cancelling a terminal job is a no-op returning its state.
+func (m *Manager) Cancel(id string) (Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	if j.state.Terminal() {
+		return j.snapshot(m.cfg.MaxAttempts), true
+	}
+	j.userCancelled = true
+	m.appendLocked(record{Type: "cancel", ID: id})
+	if j.state == StateRunning && j.cancel != nil {
+		j.cancel() // the worker finalizes the state transition
+	} else {
+		j.state = StateCancelled
+		j.finished = time.Now()
+		m.dropCheckpointLocked(j)
+	}
+	m.refreshStateGauges()
+	return j.snapshot(m.cfg.MaxAttempts), true
+}
+
+// Jobs lists snapshots of every known job, newest first.
+func (m *Manager) Jobs() []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j.snapshot(m.cfg.MaxAttempts))
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].Created.Equal(out[b].Created) {
+			return out[a].Created.After(out[b].Created)
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+func (m *Manager) enqueueLocked(id string) {
+	m.pending = append(m.pending, id)
+	m.cond.Signal()
+}
+
+// next blocks until a job id is pending or the manager closes.
+func (m *Manager) next() (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.pending) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if m.closed {
+		return "", false
+	}
+	id := m.pending[0]
+	m.pending = m.pending[1:]
+	return id, true
+}
+
+// worker is one pool goroutine: dequeue, run one attempt, decide the
+// job's fate.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		id, ok := m.next()
+		if !ok {
+			return
+		}
+		m.runAttempt(id)
+	}
+}
+
+func (m *Manager) runAttempt(id string) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok || j.state != StateQueued {
+		// Cancelled (or resubmission-superseded) while waiting.
+		m.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.attempts++
+	if j.started.IsZero() {
+		j.started = time.Now()
+	}
+	ctx, cancel := context.WithCancel(m.closeCtx)
+	j.cancel = cancel
+	kind, body := j.kind, j.body
+	m.evals.Inc()
+	m.refreshStateGauges()
+	m.mu.Unlock()
+
+	result, err := m.cfg.Evaluate(ctx, id, kind, body, &ckptSlot{m: m, id: id})
+	cancel()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mj := m.jobs[id]; mj != j {
+		return // resubmitted out from under us; the new incarnation owns the state
+	}
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = StateSucceeded
+		j.result = result
+		j.errMsg = ""
+		j.finished = time.Now()
+		m.appendLocked(record{Type: "done", ID: id, Result: result, Attempts: j.attempts})
+		m.dropCheckpointLocked(j)
+	case j.userCancelled:
+		j.state = StateCancelled
+		j.finished = time.Now()
+		m.dropCheckpointLocked(j) // the cancel record was journaled in Cancel
+	case m.closed || m.closeCtx.Err() != nil:
+		// Shutdown interrupted the attempt: leave the job queued with the
+		// attempt uncounted, exactly like a crash, so a restart resumes it.
+		j.state = StateQueued
+		j.attempts--
+	case j.attempts >= m.cfg.MaxAttempts:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		j.finished = time.Now()
+		m.appendLocked(record{Type: "fail", ID: id, Error: err.Error(), Attempts: j.attempts})
+		m.dropCheckpointLocked(j)
+	default:
+		// Retry with capped exponential backoff + jitter. The job shows
+		// as queued (with the last error) while it waits.
+		j.state = StateQueued
+		j.errMsg = err.Error()
+		m.appendLocked(record{Type: "attempt", ID: id, Error: err.Error(), Attempts: j.attempts})
+		m.retries.Inc()
+		d := m.backoffLocked(j.attempts)
+		var tm *time.Timer
+		tm = time.AfterFunc(d, func() {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			delete(m.timers, tm)
+			if m.closed {
+				return
+			}
+			if jj, ok := m.jobs[id]; ok && jj.state == StateQueued {
+				m.enqueueLocked(id)
+			}
+		})
+		m.timers[tm] = struct{}{}
+	}
+	m.refreshStateGauges()
+}
+
+// backoffLocked computes the delay before retry attempt n+1: the capped
+// exponential, jittered uniformly into [d/2, d) so synchronized failures
+// don't retry in lockstep.
+func (m *Manager) backoffLocked(attempts int) time.Duration {
+	d := m.cfg.BackoffBase
+	for i := 1; i < attempts && d < m.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > m.cfg.BackoffMax {
+		d = m.cfg.BackoffMax
+	}
+	half := d / 2
+	return half + time.Duration(m.rng.Int63n(int64(half)+1))
+}
+
+// Close stops the workers, cancels running attempts (their jobs stay
+// queued for the next start, mirroring crash semantics), stops retry
+// timers and closes the journal.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	for tm := range m.timers {
+		tm.Stop()
+	}
+	m.closeStop()
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.wg.Wait()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.journal != nil {
+		m.journal.Close()
+		m.journal = nil
+	}
+}
+
+func (m *Manager) refreshStateGauges() {
+	counts := map[State]int{}
+	for _, j := range m.jobs {
+		counts[j.state]++
+	}
+	for _, st := range states {
+		m.stateG[st].Set(float64(counts[st]))
+	}
+}

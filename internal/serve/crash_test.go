@@ -1,0 +1,200 @@
+package serve
+
+// The kill -9 test — the tentpole's acceptance criterion, end to end. A
+// real lognic-serve process (this test binary re-exec'd into Main via
+// TestMain) accepts a multi-second simulation job, is SIGKILLed
+// mid-evaluation after its first on-disk checkpoint, and is restarted
+// over the same jobs directory. The restarted daemon must replay the
+// journal, resume the simulation from the checkpoint, and finish with a
+// result byte-identical to an uninterrupted evaluation.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+const helperEnv = "LOGNIC_SERVE_CRASH_HELPER"
+const helperArgsEnv = "LOGNIC_SERVE_CRASH_HELPER_ARGS"
+
+// TestMain lets this test binary double as the lognic-serve executable
+// for crash tests: with the helper env set it runs Main instead of the
+// test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv(helperEnv) == "1" {
+		args := strings.Split(os.Getenv(helperArgsEnv), "\x1f")
+		os.Exit(Main(args, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+var listenLine = regexp.MustCompile(`lognic-serve listening on http://(\S+)`)
+
+// startServeProcess launches this test binary as a lognic-serve daemon
+// and returns the process and its base URL.
+func startServeProcess(t *testing.T, args []string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		helperEnv+"=1",
+		helperArgsEnv+"="+strings.Join(args, "\x1f"))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if m := listenLine.FindStringSubmatch(sc.Text()); m != nil {
+			// Keep draining stdout so the child never blocks on a full pipe.
+			go io.Copy(io.Discard, stdout)
+			return cmd, "http://" + m[1]
+		}
+	}
+	t.Fatalf("serve process exited before announcing its address (scan err: %v)", sc.Err())
+	return nil, ""
+}
+
+// waitReadyURL polls /readyz on a raw URL until 200.
+func waitReadyURL(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("serve process never became ready")
+}
+
+// nopCkpt is a checkpoint slot that stores nothing — for computing the
+// uninterrupted baseline in-process.
+type nopCkpt struct{}
+
+func (nopCkpt) Load() ([]byte, bool) { return nil, false }
+func (nopCkpt) Save([]byte)          {}
+
+func TestKillNineLosesNoJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary and runs multi-second simulations")
+	}
+	dir := t.TempDir()
+	// ~2.5s of wall clock for the full simulation, checkpointing every
+	// 50k events (~every 40ms), so the SIGKILL reliably lands mid-run
+	// with plenty of checkpoints behind it.
+	simReq := `{"spec": ` + sampleSpec + `, "duration": 4.0, "seed": 42}`
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-jobs-dir", dir,
+		"-job-checkpoint-every", "50000",
+		"-cache", "-1",
+	}
+
+	// Uninterrupted baseline, computed in-process through the same
+	// evaluator the daemon uses.
+	base := NewServer(Config{CacheEntries: -1})
+	defer base.Close()
+	want, err := base.evalJob(context.Background(), "baseline", "simulate", []byte(simReq), nopCkpt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 1: submit, wait for a checkpoint to hit disk, kill -9.
+	cmd1, url1 := startServeProcess(t, args)
+	waitReadyURL(t, url1)
+	body := fmt.Sprintf(`{"kind": "simulate", "request": %s}`, simReq)
+	resp, err := http.Post(url1+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, out)
+	}
+	var v JobView
+	if err := json.Unmarshal(out, &v); err != nil {
+		t.Fatal(err)
+	}
+
+	ckPath := filepath.Join(dir, "ckpt-"+v.ID+".bin")
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if st, err := os.Stat(ckPath); err == nil && st.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint reached disk before the deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// SIGKILL: no drain, no journal finalization — the crash the journal
+	// and checkpoint store exist to survive.
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+
+	// Round 2: a fresh process over the same directory must finish the job.
+	_, url2 := startServeProcess(t, args)
+	waitReadyURL(t, url2)
+	var got JobView
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(url2 + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job lost across kill -9: %d %s", resp.StatusCode, out)
+		}
+		if err := json.Unmarshal(out, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.State == "succeeded" || got.State == "failed" || got.State == "cancelled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished after restart: %+v", got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got.State != "succeeded" {
+		t.Fatalf("job after restart: %+v", got)
+	}
+	if !got.Resumed {
+		t.Fatal("job completed but did not resume from the checkpoint")
+	}
+	if !bytes.Equal(bytes.TrimRight(got.Result, "\n"), bytes.TrimRight(want, "\n")) {
+		t.Fatal("resumed result is not byte-identical to the uninterrupted evaluation")
+	}
+	// The checkpoint is garbage-collected once the job succeeds.
+	if _, err := os.Stat(ckPath); !os.IsNotExist(err) {
+		t.Errorf("checkpoint file not cleaned up: %v", err)
+	}
+}

@@ -26,9 +26,17 @@ func parseFlags(fs *flag.FlagSet, args []string) (Config, error) {
 	var maxEvents uint64
 	fs.Uint64Var(&maxEvents, "max-sim-events", 50e6, "default event budget per /v1/simulate request")
 	fs.BoolVar(&cfg.Pprof, "pprof", false, "mount /debug/pprof")
+	fs.StringVar(&cfg.JobsDir, "jobs-dir", "", "async-job durability directory (empty: jobs are memory-only)")
+	fs.IntVar(&cfg.JobsWorkers, "jobs-workers", 2, "concurrent async-job evaluations")
+	fs.IntVar(&cfg.JobMaxAttempts, "job-attempts", 3, "attempt budget per async job")
+	fs.DurationVar(&cfg.JobBackoff, "job-backoff", 200*time.Millisecond, "base retry backoff for failed job attempts")
+	fs.DurationVar(&cfg.JobBackoffMax, "job-backoff-max", 10*time.Second, "retry backoff cap")
+	var ckptEvery uint64
+	fs.Uint64Var(&ckptEvery, "job-checkpoint-every", 1_000_000, "simulation checkpoint cadence in events for async jobs")
 	if err := fs.Parse(args); err != nil {
 		return Config{}, err
 	}
 	cfg.MaxSimEvents = maxEvents
+	cfg.JobCheckpointEvery = ckptEvery
 	return cfg, nil
 }

@@ -1,0 +1,303 @@
+package serve
+
+// The async job API: POST /v1/jobs submits an estimate/optimize/simulate
+// request for background evaluation, GET /v1/jobs/{id} polls it, DELETE
+// /v1/jobs/{id} cancels it. Jobs exist for work that outlives a request
+// timeout — long simulations especially — so attempts run without the
+// synchronous RequestTimeout; a simulation is bounded by its event budget
+// and periodically checkpointed, and an interrupted attempt (retry,
+// restart, kill -9) resumes from the last checkpoint with results
+// byte-identical to an uninterrupted run (internal/sim's guarantee).
+//
+// The job ID is the same canonical hash that keys the result cache, so
+// submissions are idempotent: N clients posting equivalent specs get one
+// job, one evaluation, and the same /v1/jobs/{id} to poll. Durability,
+// retries with backoff, and the degraded memory-only mode live in
+// internal/jobs; this file is the HTTP surface plus the evaluator that
+// maps job kinds back onto the endpoint preparers.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"lognic/internal/jobs"
+	"lognic/internal/sim"
+	"lognic/internal/traffic"
+	"lognic/internal/unit"
+)
+
+// jobKinds maps a submission kind to its request preparer (validation +
+// canonical hash). The evaluator dispatches on the same names.
+func (s *Server) jobPreparer(kind string) func([]byte) (prepared, error) {
+	switch kind {
+	case "estimate":
+		return s.prepareEstimate
+	case "optimize":
+		return s.prepareOptimize
+	case "simulate":
+		return s.prepareSimulate
+	default:
+		return nil
+	}
+}
+
+// JobSubmitRequest is the body of POST /v1/jobs.
+type JobSubmitRequest struct {
+	// Kind is "estimate", "optimize" or "simulate".
+	Kind string `json:"kind"`
+	// Request is the body the matching synchronous endpoint would take.
+	Request json.RawMessage `json:"request"`
+}
+
+// JobView is the wire shape of one job, returned by every /v1/jobs
+// endpoint.
+type JobView struct {
+	ID          string          `json:"id"`
+	Kind        string          `json:"kind"`
+	State       string          `json:"state"`
+	Attempts    int             `json:"attempts"`
+	MaxAttempts int             `json:"max_attempts"`
+	Coalesced   int             `json:"coalesced,omitempty"`
+	Resumed     bool            `json:"resumed,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	Created     time.Time       `json:"created"`
+	Started     *time.Time      `json:"started,omitempty"`
+	Finished    *time.Time      `json:"finished,omitempty"`
+}
+
+func jobView(j jobs.Job) JobView {
+	v := JobView{
+		ID: j.ID, Kind: j.Kind, State: string(j.State),
+		Attempts: j.Attempts, MaxAttempts: j.MaxAttempts,
+		Coalesced: j.Coalesced, Resumed: j.Resumed,
+		Error: j.Error, Created: j.Created,
+	}
+	if len(j.Result) > 0 {
+		v.Result = json.RawMessage(j.Result)
+	}
+	if !j.Started.IsZero() {
+		t := j.Started
+		v.Started = &t
+	}
+	if !j.Finished.IsZero() {
+		t := j.Finished
+		v.Finished = &t
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// jobsUnready rejects job traffic with 503 until the journal replay has
+// finished (accepting a submission before the journal is open would make
+// it silently non-durable) and once the drain has begun.
+func (s *Server) jobsUnready(w http.ResponseWriter) bool {
+	switch {
+	case s.draining.Load():
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: draining"))
+		return true
+	case !s.jobsReady.Load():
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: job journal replay in progress"))
+		return true
+	}
+	return false
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.jobsUnready(w) {
+		return
+	}
+	body, err := readBody(w, r, s.cfg.MaxBodyBytes)
+	if err != nil {
+		writeError(w, bodyStatus(err), err)
+		return
+	}
+	var env JobSubmitRequest
+	if err := decodeStrict(body, &env); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	prep := s.jobPreparer(env.Kind)
+	if prep == nil {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: unknown job kind %q (want estimate, optimize or simulate)", env.Kind))
+		return
+	}
+	// Validate now so a malformed spec fails the submission, not the
+	// attempt; the preparer also yields the canonical hash = job ID.
+	p, err := prep(env.Request)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	snap, isNew, err := s.jobs.Submit(env.Kind, p.key, env.Request)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if err == jobs.ErrClosed {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+snap.ID)
+	code := http.StatusOK // coalesced into an existing job
+	if isNew {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, jobView(snap))
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if s.jobsUnready(w) {
+		return
+	}
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobView(j))
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	if s.jobsUnready(w) {
+		return
+	}
+	list := s.jobs.Jobs()
+	views := make([]JobView, 0, len(list))
+	for _, j := range list {
+		// Results can be large; the listing is an index, poll the job for
+		// its payload.
+		j.Result = nil
+		views = append(views, jobView(j))
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if s.jobsUnready(w) {
+		return
+	}
+	j, ok := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobView(j))
+}
+
+// handleReadyz is the readiness probe: distinct from /healthz (liveness),
+// it reports 503 while the job journal replay is still rebuilding state
+// and once the shutdown drain has begun, so load balancers stop routing
+// before the listener actually closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case !s.jobsReady.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "replaying-journal"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+// evalJob is the jobs.Manager evaluator: it maps a journaled (kind, body)
+// back onto the endpoint logic. Attempts deliberately run without
+// RequestTimeout — outliving synchronous limits is what jobs are for —
+// bounded instead by the simulation event budget and shutdown.
+func (s *Server) evalJob(ctx context.Context, id, kind string, body []byte, ck jobs.CheckpointStore) ([]byte, error) {
+	var result any
+	var err error
+	switch kind {
+	case "simulate":
+		result, err = s.runSimulateJob(ctx, id, body, ck)
+	case "estimate", "optimize":
+		p, perr := s.jobPreparer(kind)(body)
+		if perr != nil {
+			return nil, perr
+		}
+		result, err = p.run(ctx)
+	default:
+		return nil, badRequest{fmt.Errorf("serve: unknown job kind %q", kind)}
+	}
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.Marshal(result)
+	if err != nil {
+		return nil, err
+	}
+	// Identical serialization to the synchronous endpoints, so an async
+	// result is byte-for-byte the response /v1/simulate would have sent.
+	return append(out, '\n'), nil
+}
+
+// runSimulateJob runs one simulation attempt with checkpointing: periodic
+// snapshots go to the job's checkpoint slot, and an attempt that finds a
+// snapshot resumes from it instead of starting over.
+func (s *Server) runSimulateJob(ctx context.Context, id string, body []byte, ck jobs.CheckpointStore) (any, error) {
+	var req SimulateRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	m, err := req.Spec.Model()
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	if req.Duration <= 0 {
+		return nil, badRequest{fmt.Errorf("serve: simulate needs duration > 0 seconds")}
+	}
+	maxEvents := req.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = s.cfg.MaxSimEvents
+	}
+	cfg := sim.Config{
+		Graph:    m.Graph,
+		Hardware: m.Hardware,
+		Profile: traffic.Fixed(m.Graph.Name(),
+			unit.Bandwidth(m.Traffic.IngressBW), unit.Size(m.Traffic.Granularity)),
+		Seed:                 req.Seed,
+		Duration:             req.Duration,
+		Warmup:               req.Warmup,
+		DeterministicService: req.Deterministic,
+		MaxEvents:            maxEvents,
+	}
+	if s.cfg.JobCheckpointEvery > 0 {
+		cfg.CheckpointEvery = s.cfg.JobCheckpointEvery
+		cfg.CheckpointSink = func(c *sim.Checkpoint) error {
+			b, err := c.Encode()
+			if err != nil {
+				return nil // best-effort: a snapshot we can't encode just isn't saved
+			}
+			ck.Save(b)
+			return nil
+		}
+	}
+	var sm *sim.Simulator
+	if b, ok := ck.Load(); ok {
+		// A stale or undecodable snapshot (server upgraded, knob changed)
+		// falls through to a fresh run — correct, just slower.
+		if ckpt, derr := sim.DecodeCheckpoint(b); derr == nil {
+			if resumed, rerr := sim.Resume(cfg, ckpt); rerr == nil {
+				sm = resumed
+				s.jobs.MarkResumed(id)
+			}
+		}
+	}
+	if sm == nil {
+		if sm, err = sim.New(cfg); err != nil {
+			return nil, badRequest{err}
+		}
+	}
+	return sm.RunContext(ctx)
+}

@@ -23,10 +23,19 @@
 //     new connections while in-flight requests finish (up to
 //     DrainTimeout).
 //
+// For work that outlives a request timeout — long simulations above all —
+// the daemon also exposes a crash-safe async job API (jobs.go,
+// internal/jobs): POST /v1/jobs submits a spec for background evaluation,
+// GET /v1/jobs/{id} polls it, DELETE cancels it. Accepted jobs survive
+// kill -9 via an fsynced journal, interrupted simulations resume from
+// periodic checkpoints with byte-identical results, failures retry with
+// capped backoff, and identical submissions coalesce into one evaluation.
+//
 // Observability rides on internal/obs: request counts and latency
 // histograms per endpoint, cache hit/miss counters and hit-ratio gauges,
 // queue-depth gauges and per-request spans, exposed at /metrics (with
-// ?format=json) alongside /healthz and optional /debug/pprof.
+// ?format=json) alongside /healthz, /readyz (503 during journal replay
+// and shutdown drain) and optional /debug/pprof.
 package serve
 
 import (
@@ -45,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"lognic/internal/jobs"
 	"lognic/internal/obs"
 	"lognic/internal/optimizer"
 	"lognic/internal/sim"
@@ -81,6 +91,22 @@ type Config struct {
 	Tracer *obs.Tracer
 	// Pprof mounts /debug/pprof when true.
 	Pprof bool
+
+	// JobsDir is the async-job durability directory (journal +
+	// checkpoints). Empty runs the job API memory-only: jobs work but do
+	// not survive a restart.
+	JobsDir string
+	// JobsWorkers caps concurrent async evaluations (default 2).
+	JobsWorkers int
+	// JobMaxAttempts is the per-job attempt budget (default 3).
+	JobMaxAttempts int
+	// JobBackoff and JobBackoffMax shape the retry delay: attempt k waits
+	// min(JobBackoff·2^(k-1), JobBackoffMax), jittered (defaults 200ms/10s).
+	JobBackoff    time.Duration
+	JobBackoffMax time.Duration
+	// JobCheckpointEvery is the simulation checkpoint cadence in processed
+	// events for async jobs (0 selects the default 1e6).
+	JobCheckpointEvery uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +137,12 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
+	if c.JobsWorkers <= 0 {
+		c.JobsWorkers = 2
+	}
+	if c.JobCheckpointEvery == 0 {
+		c.JobCheckpointEvery = 1_000_000
+	}
 	return c
 }
 
@@ -125,6 +157,13 @@ type Server struct {
 	ln     net.Listener
 	start  time.Time
 	reqID  atomic.Uint64
+
+	// jobs is the async job subsystem; jobsReady flips once its journal
+	// replay finished, draining once shutdown began. /readyz and the
+	// /v1/jobs endpoints key off both.
+	jobs      *jobs.Manager
+	jobsReady atomic.Bool
+	draining  atomic.Bool
 
 	latency  map[string]*obs.Histogram
 	hits     *obs.Counter
@@ -169,7 +208,37 @@ func NewServer(cfg Config) *Server {
 	s.hitRatio = reg.Gauge("lognic_serve_cache_hit_ratio", "hits / (hits+misses)", nil)
 	s.inflight = reg.Gauge("lognic_serve_inflight", "evaluations running", nil)
 	s.queueLen = reg.Gauge("lognic_serve_queue_depth", "requests waiting for a worker", nil)
+
+	// The async job manager. NewManager only errors on a nil evaluator,
+	// which we always supply.
+	s.jobs, _ = jobs.NewManager(jobs.Config{
+		Dir:         cfg.JobsDir,
+		Workers:     cfg.JobsWorkers,
+		MaxAttempts: cfg.JobMaxAttempts,
+		BackoffBase: cfg.JobBackoff,
+		BackoffMax:  cfg.JobBackoffMax,
+		Evaluate:    s.evalJob,
+		Registry:    reg,
+	})
+	// Journal replay happens off the constructor so a large journal never
+	// delays binding the listener; /readyz and the job endpoints report
+	// 503 until it completes.
+	go func() {
+		if err := s.jobs.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "lognic-serve: job manager start: %v\n", err)
+			return
+		}
+		s.jobsReady.Store(true)
+	}()
 	return s
+}
+
+// Close releases the server's background resources — the job manager's
+// workers, retry timers and journal. Running job attempts are interrupted
+// and stay queued, exactly as a crash would leave them, so a successor
+// over the same JobsDir resumes them.
+func (s *Server) Close() {
+	s.jobs.Close()
 }
 
 // Handler returns the daemon's routing handler.
@@ -178,11 +247,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/estimate", s.handle("estimate", s.prepareEstimate))
 	mux.HandleFunc("POST /v1/optimize", s.handle("optimize", s.prepareOptimize))
 	mux.HandleFunc("POST /v1/simulate", s.handle("simulate", s.prepareSimulate))
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.Handle("/metrics", s.cfg.Registry)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"status":"ok","uptime_seconds":%.3f}`+"\n", time.Since(s.start).Seconds())
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if s.cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -202,6 +276,25 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+// readBody drains a request body under the size cap.
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading body: %w", err)
+	}
+	return body, nil
+}
+
+// bodyStatus maps a body-read failure to its status: 413 for an
+// over-limit body, 400 for anything else.
+func bodyStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // statusFor maps an evaluation error to an HTTP status.
@@ -250,10 +343,10 @@ func (s *Server) handle(endpoint string, prepare func([]byte) (prepared, error))
 			}()
 		}
 
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		body, err := readBody(w, r, s.cfg.MaxBodyBytes)
 		if err != nil {
-			code = http.StatusBadRequest
-			writeError(w, code, fmt.Errorf("serve: reading body: %w", err))
+			code = bodyStatus(err)
+			writeError(w, code, err)
 			return
 		}
 		p, err := prepare(body)
@@ -380,7 +473,14 @@ func (s *Server) Serve(ctx context.Context) error {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := &http.Server{Handler: s.Handler()}
+	// Slow-client hardening: a peer that trickles its header or parks an
+	// idle keep-alive connection must not pin a goroutine forever. Request
+	// bodies are separately bounded by MaxBytesReader in the handlers.
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(s.ln) }()
 	select {
@@ -388,11 +488,19 @@ func (s *Server) Serve(ctx context.Context) error {
 		return err
 	case <-ctx.Done():
 	}
-	// Stop catching signals so a second SIGTERM kills a stuck drain.
+	// Flip readiness first so /readyz steers load balancers away while
+	// in-flight requests finish, then stop catching signals so a second
+	// SIGTERM kills a stuck drain.
+	s.draining.Store(true)
 	stop()
 	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
-	if err := srv.Shutdown(shutCtx); err != nil {
+	err := srv.Shutdown(shutCtx)
+	// Stop the job workers after the HTTP drain: interrupted attempts stay
+	// journaled as queued, so a restart resumes them from their last
+	// checkpoint — the same contract as a crash, minus the torn tail.
+	s.jobs.Close()
+	if err != nil {
 		return fmt.Errorf("serve: drain incomplete: %w", err)
 	}
 	return nil
@@ -410,8 +518,12 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "lognic-serve listening on http://%s (workers %d, queue %d, cache %d)\n",
-		srv.Addr(), srv.cfg.Workers, srv.cfg.QueueDepth, srv.cfg.CacheEntries)
+	jobsDir := srv.cfg.JobsDir
+	if jobsDir == "" {
+		jobsDir = "memory-only"
+	}
+	fmt.Fprintf(stdout, "lognic-serve listening on http://%s (workers %d, queue %d, cache %d, jobs %s)\n",
+		srv.Addr(), srv.cfg.Workers, srv.cfg.QueueDepth, srv.cfg.CacheEntries, jobsDir)
 	if err := srv.Serve(context.Background()); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(stderr, err)
 		return 1

@@ -59,6 +59,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	s := NewServer(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
 	return s, ts
 }
 
@@ -436,8 +437,8 @@ func TestPprofMounted(t *testing.T) {
 func TestBodyLimit(t *testing.T) {
 	_, ts := newTestServer(t, Config{MaxBodyBytes: 128})
 	resp, _ := post(t, ts.Client(), ts.URL+"/v1/estimate", estimateBody(sampleSpec))
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("oversized body status %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status %d, want 413", resp.StatusCode)
 	}
 }
 

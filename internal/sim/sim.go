@@ -101,6 +101,18 @@ type Config struct {
 	// MaxEvents bounds the number of events the run may process; zero
 	// means unbounded. Exceeding it aborts with ErrBudgetExceeded.
 	MaxEvents uint64
+	// CheckpointEvery, when positive, snapshots the run every that many
+	// processed events and hands the snapshot to CheckpointSink. A
+	// snapshot taken between events captures the complete run state —
+	// event heap, in-flight packets, queue contents, RNG stream positions,
+	// windowed statistics — so Resume can continue the run byte-identical
+	// to one that was never interrupted (see checkpoint.go).
+	CheckpointEvery uint64
+	// CheckpointSink receives periodic snapshots when CheckpointEvery is
+	// set. A non-nil error aborts the run with that error; sinks that
+	// persist on a best-effort basis (degraded mode) should swallow their
+	// own write failures and return nil.
+	CheckpointSink func(*Checkpoint) error
 }
 
 // RoutePolicy selects a vertex's fan-out discipline.
@@ -386,10 +398,16 @@ type routeChoice struct {
 type Simulator struct {
 	cfg    Config
 	rng    *rand.Rand
+	rngSrc *countingSource // s.rng's source, counted for checkpointing
 	events eventQueue
 	seq    uint64
 	now    float64
 	gen    *traffic.Generator // arrival stream, set by RunContext
+	// resumed marks a simulator rebuilt by Resume: its heap, statistics
+	// and RNG positions were restored from a Checkpoint, so RunContext
+	// must not re-seed the arrival pump or the fault schedule.
+	resumed  bool
+	lastCkpt uint64 // processed count at the last snapshot
 
 	nodes     map[string]*node
 	order     []string
@@ -467,11 +485,16 @@ func New(cfg Config) (*Simulator, error) {
 		}
 	}
 
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointSink == nil {
+		return nil, errors.New("sim: CheckpointEvery set without a CheckpointSink")
+	}
+	src := newCountingSource(SeedStream(cfg.Seed, engineStreamTag))
 	s := &Simulator{
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(SeedStream(cfg.Seed, engineStreamTag))),
-		nodes: map[string]*node{},
-		links: map[string]*link{},
+		cfg:    cfg,
+		rng:    rand.New(src),
+		rngSrc: src,
+		nodes:  map[string]*node{},
+		links:  map[string]*link{},
 	}
 	if cfg.Hardware.InterfaceBW > 0 {
 		s.intf = newLink(cfg.Hardware.InterfaceBW)
@@ -627,34 +650,50 @@ func (s *Simulator) Run() (Result, error) {
 // progress watchdog sees the simulated clock pinned at one timestamp —
 // both turn a pathological config into a typed error instead of a hang.
 func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
-	// The traffic stream is a hashed derivation of the base seed, not
-	// seed arithmetic: with the old cfg.Seed+1 scheme, run N's traffic
-	// stream was identical to run N+1's engine stream, correlating
-	// replications that sweeps treat as independent.
-	gen, err := traffic.NewGenerator(s.cfg.Profile, SeedStream(s.cfg.Seed, trafficStreamTag))
-	if err != nil {
-		return Result{}, err
+	if !s.resumed {
+		// The traffic stream is a hashed derivation of the base seed, not
+		// seed arithmetic: with the old cfg.Seed+1 scheme, run N's traffic
+		// stream was identical to run N+1's engine stream, correlating
+		// replications that sweeps treat as independent.
+		gen, err := traffic.NewGenerator(s.cfg.Profile, SeedStream(s.cfg.Seed, trafficStreamTag))
+		if err != nil {
+			return Result{}, err
+		}
+		s.gen = gen
+		// Seed the arrival pump, then the fault schedule.
+		first := gen.Next()
+		s.schedule(first.Time, event{kind: evArrival, a: first.Size, flow: first.Flow})
+		s.scheduleFaults()
+		// Restart every utilization window at the warmup cutoff, so link and
+		// vertex statistics cover the same measurement window as throughput
+		// and latency instead of averaging over the absolute elapsed time.
+		s.schedule(s.warmEnd, event{kind: evWarmup})
 	}
-	s.gen = gen
-	// Seed the arrival pump, then the fault schedule.
-	first := gen.Next()
-	s.schedule(first.Time, event{kind: evArrival, a: first.Size, flow: first.Flow})
-	s.scheduleFaults()
-	// Restart every utilization window at the warmup cutoff, so link and
-	// vertex statistics cover the same measurement window as throughput
-	// and latency instead of averaging over the absolute elapsed time.
-	s.schedule(s.warmEnd, event{kind: evWarmup})
+	// A resumed simulator skips the seeding above: its heap (pending
+	// arrival pump, fault schedule, warmup rebase included), generator
+	// position and statistics were all restored from the snapshot, and
+	// s.processed continues the interrupted run's event count so the
+	// MaxEvents budget spans the whole logical run.
 
-	var processed uint64
 	var stalled int
 	for s.events.len() > 0 {
-		if processed%ctxCheckInterval == 0 {
+		if s.processed%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
-				return Result{}, fmt.Errorf("sim: run aborted at t=%v after %d events: %w", s.now, processed, err)
+				return Result{}, fmt.Errorf("sim: run aborted at t=%v after %d events: %w", s.now, s.processed, err)
 			}
 		}
-		if s.cfg.MaxEvents > 0 && processed >= s.cfg.MaxEvents {
+		if s.cfg.MaxEvents > 0 && s.processed >= s.cfg.MaxEvents {
 			return Result{}, fmt.Errorf("%w: budget %d at t=%v", ErrBudgetExceeded, s.cfg.MaxEvents, s.now)
+		}
+		if s.cfg.CheckpointEvery > 0 && s.processed > s.lastCkpt &&
+			s.processed%s.cfg.CheckpointEvery == 0 {
+			// Snapshot between events: the heap holds every future event,
+			// so the captured state is exactly the state an uninterrupted
+			// run passes through here.
+			s.lastCkpt = s.processed
+			if err := s.cfg.CheckpointSink(s.snapshot()); err != nil {
+				return Result{}, fmt.Errorf("sim: checkpoint sink at t=%v: %w", s.now, err)
+			}
 		}
 		e := s.events.pop()
 		if e.time > s.cfg.Duration {
@@ -667,10 +706,9 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 		}
 		s.now = e.time
 		s.dispatch(&e)
-		processed++
+		s.processed++
 	}
 	s.now = s.cfg.Duration
-	s.processed = processed
 	return s.collect(), nil
 }
 

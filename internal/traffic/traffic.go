@@ -218,3 +218,11 @@ func (g *Generator) Next() Packet {
 
 // Profile returns the generator's profile.
 func (g *Generator) Profile() Profile { return g.profile }
+
+// Seq returns the number of packets generated so far — the generator's
+// position in its deterministic stream. A fresh generator with the same
+// profile and seed reproduces this generator's exact state (internal RNG,
+// clock, burst and flow counters) after Seq() calls to Next(), which is
+// how sim.Resume fast-forwards the arrival stream when restoring a
+// checkpointed run.
+func (g *Generator) Seq() uint64 { return g.seq }
