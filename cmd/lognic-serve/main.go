@@ -9,6 +9,7 @@
 // Usage:
 //
 //	lognic-serve [-addr host:port] [-workers n] [-queue n] [-cache n]
+//	             [-cache-bytes n] [-cache-warm-from file|url]
 //	             [-timeout d] [-drain d] [-max-body n] [-max-sim-events n] [-pprof]
 //	             [-jobs-dir path] [-jobs-workers n] [-job-attempts n]
 //	             [-job-backoff d] [-job-backoff-max d] [-job-checkpoint-every n]
@@ -20,6 +21,7 @@
 //	POST   /v1/simulate  {"spec": ..., "duration": seconds, "seed": n, ...}
 //	POST   /v1/jobs      {"kind": "estimate|optimize|simulate", "request": <endpoint body>}
 //	GET    /v1/jobs/{id} poll an async job (DELETE cancels, GET /v1/jobs lists)
+//	GET    /v1/cache/snapshot  stream the result cache for peer warm-start
 //	GET    /healthz      liveness
 //	GET    /readyz       readiness (503 during journal replay and drain)
 //	GET    /metrics      Prometheus text (add ?format=json for JSON)

@@ -1,0 +1,199 @@
+// Command lognic-storm load-tests a lognic-serve fleet: it generates a
+// spec corpus (device × scenario × load permutations; -unique controls
+// the cache hit ratio), drives it at one or many replicas with N workers
+// in a closed loop (-rps 0, capacity probe) or an open loop at offered
+// rates (-rps 500, or a sweep -rps 100:2000:5), honors the daemon's
+// 429 + Retry-After backpressure, and reports throughput, error and shed
+// rates, and p50/p90/p99/p999 latency per endpoint as a human table plus
+// a JSON report.
+//
+// Usage:
+//
+//	lognic-storm -targets http://h1:8080,http://h2:8080
+//	             [-workers n] [-duration d] [-rps 0|x|lo:hi:steps]
+//	             [-endpoint estimate|simulate|optimize] [-unique n]
+//	             [-sim-duration s] [-routing rr|hash] [-seed n]
+//	             [-json file] [-metrics file] [-pprof addr]
+//
+// Routing "hash" keys on the canonical spec hash — the same hash the
+// daemon caches by — so every occurrence of a spec lands on one replica
+// and the fleet's caches partition instead of duplicating.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"lognic/internal/cli"
+	"lognic/internal/obs"
+	"lognic/internal/storm"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("lognic-storm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	targets := fs.String("targets", "http://127.0.0.1:8080", "comma-separated replica base URLs")
+	workers := fs.Int("workers", 8, "concurrent request workers")
+	duration := fs.Duration("duration", 10*time.Second, "wall time per load step")
+	rps := fs.String("rps", "0", "offered rate: 0 (closed loop), a rate, or lo:hi:steps for a sweep")
+	endpoint := fs.String("endpoint", "estimate", "endpoint to drive: estimate, simulate or optimize")
+	unique := fs.Int("unique", 64, "distinct specs in the corpus (smaller = higher cache hit ratio)")
+	simDuration := fs.Float64("sim-duration", 0.002, "simulated seconds per /v1/simulate request")
+	routing := fs.String("routing", "rr", "replica selection: rr (round-robin) or hash (spec-hash affinity)")
+	seed := fs.Int64("seed", 1, "corpus seed (feeds per-item simulation seeds)")
+	jsonOut := fs.String("json", "", "write the JSON report here ('-' for stdout) in addition to the table")
+	metricsOut := fs.String("metrics", "", "write final metrics (Prometheus text format) to this file")
+	pprofAddr := fs.String("pprof", "", "serve /debug/pprof and live /metrics on this address while running")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	rates, err := parseRates(*rps)
+	if err != nil {
+		fmt.Fprintf(stderr, "lognic-storm: %v\n", err)
+		return 2
+	}
+	corpus, err := storm.BuildCorpus(storm.CorpusConfig{
+		Endpoint:    *endpoint,
+		Unique:      *unique,
+		SimDuration: *simDuration,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "lognic-storm: %v\n", err)
+		return 2
+	}
+
+	reg := obs.NewRegistry()
+	if *pprofAddr != "" {
+		ln, err := cli.StartDebugServer(*pprofAddr, reg)
+		if err != nil {
+			fmt.Fprintf(stderr, "lognic-storm: %v\n", err)
+			return 1
+		}
+		defer ln.Close()
+		fmt.Fprintf(stderr, "lognic-storm: debug server on http://%s\n", ln.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := storm.Config{
+		Targets:  splitTargets(*targets),
+		Workers:  *workers,
+		Duration: *duration,
+		Routing:  *routing,
+		Corpus:   corpus,
+		Registry: reg,
+	}
+	fmt.Fprintf(stderr, "lognic-storm: %d targets, %d workers, %d-spec %s corpus, %d step(s) of %s\n",
+		len(cfg.Targets), cfg.Workers, len(corpus), *endpoint, len(rates), duration)
+
+	reports, err := storm.Sweep(ctx, cfg, rates)
+	if err != nil && len(reports) == 0 {
+		fmt.Fprintf(stderr, "lognic-storm: %v\n", err)
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "lognic-storm: sweep interrupted after %d step(s): %v\n", len(reports), err)
+	}
+
+	fmt.Fprint(stdout, storm.Table(reports))
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, stdout, reports); err != nil {
+			fmt.Fprintf(stderr, "lognic-storm: %v\n", err)
+			return 1
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = reg.WritePrometheus(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "lognic-storm: writing metrics: %v\n", err)
+			return 1
+		}
+	}
+
+	// A run that completed nothing is a failed run, whatever the table says.
+	var completed uint64
+	for _, r := range reports {
+		completed += r.Completed
+	}
+	if completed == 0 {
+		fmt.Fprintln(stderr, "lognic-storm: no requests completed")
+		return 1
+	}
+	return 0
+}
+
+func splitTargets(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, strings.TrimRight(t, "/"))
+		}
+	}
+	return out
+}
+
+// parseRates parses -rps: "0" (closed loop), a single rate, or
+// "lo:hi:steps" for a linear sweep, endpoints included.
+func parseRates(s string) ([]float64, error) {
+	parts := strings.Split(s, ":")
+	switch len(parts) {
+	case 1:
+		r, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil || r < 0 {
+			return nil, fmt.Errorf("bad -rps %q", s)
+		}
+		return []float64{r}, nil
+	case 3:
+		lo, err1 := strconv.ParseFloat(parts[0], 64)
+		hi, err2 := strconv.ParseFloat(parts[1], 64)
+		steps, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil || lo <= 0 || hi < lo || steps < 2 {
+			return nil, fmt.Errorf("bad -rps sweep %q (want lo:hi:steps, lo>0, hi≥lo, steps≥2)", s)
+		}
+		rates := make([]float64, steps)
+		for i := range rates {
+			rates[i] = lo + (hi-lo)*float64(i)/float64(steps-1)
+		}
+		return rates, nil
+	default:
+		return nil, fmt.Errorf("bad -rps %q (want 0, a rate, or lo:hi:steps)", s)
+	}
+}
+
+// writeJSON writes the report list as one JSON document.
+func writeJSON(path string, stdout *os.File, reports []*storm.Report) error {
+	var enc *json.Encoder
+	if path == "-" {
+		enc = json.NewEncoder(stdout)
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+	}
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}

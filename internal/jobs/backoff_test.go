@@ -1,0 +1,65 @@
+package jobs
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestBackoffBounds pins the retry-delay envelope: every draw must land
+// in [exp/2, min(exp, BackoffMax)] where exp is the capped exponential —
+// in particular the jitter must never exceed BackoffMax, attempts below
+// one must behave like the first retry instead of skipping the schedule,
+// and a huge attempt count must saturate at the cap rather than overflow.
+func TestBackoffBounds(t *testing.T) {
+	cases := []struct {
+		name     string
+		base     time.Duration
+		max      time.Duration
+		attempts int
+		lo, hi   time.Duration
+	}{
+		{"first retry", 200 * time.Millisecond, 10 * time.Second, 1,
+			100 * time.Millisecond, 200 * time.Millisecond},
+		{"second retry doubles", 200 * time.Millisecond, 10 * time.Second, 2,
+			200 * time.Millisecond, 400 * time.Millisecond},
+		{"fifth retry", 200 * time.Millisecond, 10 * time.Second, 5,
+			1600 * time.Millisecond, 3200 * time.Millisecond},
+		{"saturates at cap", 200 * time.Millisecond, 10 * time.Second, 12,
+			5 * time.Second, 10 * time.Second},
+		{"cap not power-of-two aligned", 300 * time.Millisecond, time.Second, 4,
+			500 * time.Millisecond, time.Second},
+		{"zero attempts acts like first", 200 * time.Millisecond, 10 * time.Second, 0,
+			100 * time.Millisecond, 200 * time.Millisecond},
+		{"negative attempts acts like first", 200 * time.Millisecond, 10 * time.Second, -3,
+			100 * time.Millisecond, 200 * time.Millisecond},
+		{"base above cap clamps", 5 * time.Second, time.Second, 1,
+			500 * time.Millisecond, time.Second},
+		{"huge attempt count does not overflow", time.Second, math.MaxInt64, 500,
+			math.MaxInt64 / 2, math.MaxInt64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := NewManager(Config{
+				BackoffBase: tc.base,
+				BackoffMax:  tc.max,
+				Evaluate: func(context.Context, string, string, []byte, CheckpointStore) ([]byte, error) {
+					return nil, nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 300; i++ {
+				d := m.backoffLocked(tc.attempts)
+				if d < tc.lo || d > tc.hi {
+					t.Fatalf("attempts=%d draw %v outside [%v, %v]", tc.attempts, d, tc.lo, tc.hi)
+				}
+				if d > tc.max {
+					t.Fatalf("attempts=%d draw %v exceeds BackoffMax %v", tc.attempts, d, tc.max)
+				}
+			}
+		})
+	}
+}

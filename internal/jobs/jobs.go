@@ -69,6 +69,11 @@ type Job struct {
 	// and Finished are zero until the first attempt begins / the job
 	// reaches a terminal state.
 	Created, Started, Finished time.Time
+	// RetryAt is the scheduled time of the next attempt while the job is
+	// queued waiting out a retry backoff; zero otherwise. It lets the
+	// HTTP surface answer polls with an honest Retry-After instead of a
+	// fixed guess.
+	RetryAt time.Time
 }
 
 // Terminal reports whether the state accepts no further transitions

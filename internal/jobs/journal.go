@@ -123,6 +123,23 @@ func frameHeader(payload []byte) []byte {
 	return head
 }
 
+// WriteFrame writes one CRC-framed record to w in the journal's frame
+// format (len u32 | crc32c u32 | payload, little-endian). It is the
+// streaming counterpart of ReplayRecords for consumers that frame records
+// over something other than the job journal — lognic-serve's cache
+// snapshots use it so a snapshot stream gets the same torn-tail and
+// bit-rot detection the journal has.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxRecordLen {
+		return ErrRecordTooLarge
+	}
+	if _, err := w.Write(frameHeader(payload)); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
 // Append frames, writes and fsyncs one record. An error means the record
 // may not be durable; the caller decides whether to degrade to
 // memory-only operation or refuse the transition.

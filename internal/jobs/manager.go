@@ -92,6 +92,8 @@ type job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	// retryAt is the scheduled next-attempt time while queued in backoff.
+	retryAt time.Time
 	// cancel aborts the running attempt; non-nil only while running.
 	cancel context.CancelFunc
 	// userCancelled distinguishes DELETE /v1/jobs from a shutdown
@@ -323,6 +325,7 @@ func (j *job) snapshot(maxAttempts int) Job {
 		Attempts: j.attempts, MaxAttempts: maxAttempts, Coalesced: j.coal,
 		Error: j.errMsg, Resumed: j.resumed,
 		Created: j.created, Started: j.started, Finished: j.finished,
+		RetryAt: j.retryAt,
 	}
 	if j.result != nil {
 		out.Result = append([]byte(nil), j.result...)
@@ -363,6 +366,7 @@ func (m *Manager) Submit(kind, id string, body []byte) (snap Job, isNew bool, er
 	j.resumed = false
 	j.userCancelled = false
 	j.finished = time.Time{}
+	j.retryAt = time.Time{}
 	m.submitted.Inc()
 	m.appendLocked(record{Type: "submit", ID: id, Kind: kind, Body: body})
 	m.enqueueLocked(id)
@@ -467,6 +471,7 @@ func (m *Manager) runAttempt(id string) {
 	}
 	j.state = StateRunning
 	j.attempts++
+	j.retryAt = time.Time{}
 	if j.started.IsZero() {
 		j.started = time.Now()
 	}
@@ -517,6 +522,7 @@ func (m *Manager) runAttempt(id string) {
 		m.appendLocked(record{Type: "attempt", ID: id, Error: err.Error(), Attempts: j.attempts})
 		m.retries.Inc()
 		d := m.backoffLocked(j.attempts)
+		j.retryAt = time.Now().Add(d)
 		var tm *time.Timer
 		tm = time.AfterFunc(d, func() {
 			m.mu.Lock()
@@ -526,6 +532,7 @@ func (m *Manager) runAttempt(id string) {
 				return
 			}
 			if jj, ok := m.jobs[id]; ok && jj.state == StateQueued {
+				jj.retryAt = time.Time{} // backoff served; now genuinely pending
 				m.enqueueLocked(id)
 			}
 		})
@@ -535,18 +542,33 @@ func (m *Manager) runAttempt(id string) {
 }
 
 // backoffLocked computes the delay before retry attempt n+1: the capped
-// exponential, jittered uniformly into [d/2, d) so synchronized failures
-// don't retry in lockstep.
+// exponential, jittered uniformly into [d/2, d] so synchronized failures
+// don't retry in lockstep. The result is always within
+// [BackoffBase/2, BackoffMax]: the doubling saturates at BackoffMax
+// before it can overflow, attempts below 1 are treated as the first
+// retry, and the jittered value is clamped so no draw can exceed the
+// configured cap.
 func (m *Manager) backoffLocked(attempts int) time.Duration {
+	if attempts < 1 {
+		attempts = 1
+	}
 	d := m.cfg.BackoffBase
 	for i := 1; i < attempts && d < m.cfg.BackoffMax; i++ {
+		if d > m.cfg.BackoffMax/2 {
+			d = m.cfg.BackoffMax // doubling would overshoot (or overflow)
+			break
+		}
 		d *= 2
 	}
 	if d > m.cfg.BackoffMax {
 		d = m.cfg.BackoffMax
 	}
 	half := d / 2
-	return half + time.Duration(m.rng.Int63n(int64(half)+1))
+	jittered := half + time.Duration(m.rng.Int63n(int64(half)+1))
+	if jittered > m.cfg.BackoffMax {
+		jittered = m.cfg.BackoffMax
+	}
+	return jittered
 }
 
 // Close stops the workers, cancels running attempts (their jobs stay

@@ -20,6 +20,8 @@ func parseFlags(fs *flag.FlagSet, args []string) (Config, error) {
 	fs.IntVar(&cfg.Workers, "workers", 0, "concurrent evaluations (default GOMAXPROCS)")
 	fs.IntVar(&cfg.QueueDepth, "queue", 0, "max requests waiting for a worker (default 16×workers)")
 	fs.IntVar(&cfg.CacheEntries, "cache", 1024, "result cache entries (negative disables)")
+	fs.Int64Var(&cfg.CacheBytes, "cache-bytes", 256<<20, "result cache byte budget (negative disables the byte bound)")
+	fs.StringVar(&cfg.CacheWarmFrom, "cache-warm-from", "", "warm-start the cache from a snapshot: file path or peer /v1/cache/snapshot URL")
 	fs.DurationVar(&cfg.RequestTimeout, "timeout", 30*time.Second, "per-request evaluation timeout")
 	fs.DurationVar(&cfg.DrainTimeout, "drain", 30*time.Second, "graceful-shutdown drain timeout")
 	fs.Int64Var(&cfg.MaxBodyBytes, "max-body", 8<<20, "max request body bytes")

@@ -67,6 +67,9 @@ type JobView struct {
 	Created     time.Time       `json:"created"`
 	Started     *time.Time      `json:"started,omitempty"`
 	Finished    *time.Time      `json:"finished,omitempty"`
+	// RetryAt is the scheduled time of the next attempt while the job
+	// waits out a retry backoff.
+	RetryAt *time.Time `json:"retry_at,omitempty"`
 }
 
 func jobView(j jobs.Job) JobView {
@@ -87,6 +90,10 @@ func jobView(j jobs.Job) JobView {
 		t := j.Finished
 		v.Finished = &t
 	}
+	if !j.RetryAt.IsZero() {
+		t := j.RetryAt
+		v.RetryAt = &t
+	}
 	return v
 }
 
@@ -98,15 +105,21 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // jobsUnready rejects job traffic with 503 until the journal replay has
 // finished (accepting a submission before the journal is open would make
-// it silently non-durable) and once the drain has begun.
+// it silently non-durable) and once the drain has begun. The Retry-After
+// hint is derived from the actual state, not hardcoded: during the drain
+// it reports the drain time left (after which either the process is gone
+// — retry lands on a peer — or a stuck drain got killed); during replay
+// it scales with how long the replay has already run, a standard
+// elapsed-time predictor for a task of unknown length.
 func (s *Server) jobsUnready(w http.ResponseWriter) bool {
 	switch {
 	case s.draining.Load():
-		w.Header().Set("Retry-After", "1")
+		remaining := s.cfg.DrainTimeout - time.Since(time.Unix(0, s.drainStart.Load()))
+		w.Header().Set("Retry-After", retryAfterValue(remaining))
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: draining"))
 		return true
 	case !s.jobsReady.Load():
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterValue(time.Since(s.start)/2))
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: job journal replay in progress"))
 		return true
 	}
@@ -165,6 +178,13 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no such job"))
 		return
+	}
+	// A job waiting out its retry backoff won't change state before the
+	// scheduled attempt: tell compliant pollers exactly when to come back.
+	if j.State == jobs.StateQueued && !j.RetryAt.IsZero() {
+		if until := time.Until(j.RetryAt); until > 0 {
+			w.Header().Set("Retry-After", retryAfterValue(until))
+		}
 	}
 	writeJSON(w, http.StatusOK, jobView(j))
 }

@@ -44,12 +44,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -71,9 +73,19 @@ type Config struct {
 	// 16×Workers). Requests beyond Workers+QueueDepth in flight are
 	// rejected with 429.
 	QueueDepth int
-	// CacheEntries bounds the result cache (default 1024; negative
-	// disables caching).
+	// CacheEntries bounds the result cache's entry count (default 1024;
+	// negative disables caching).
 	CacheEntries int
+	// CacheBytes bounds the result cache's total body bytes (default
+	// 256 MiB; negative disables the byte bound). The byte budget is the
+	// primary limit — entry counts alone let a few multi-MB simulation
+	// responses exhaust memory.
+	CacheBytes int64
+	// CacheWarmFrom, when set, warm-starts the cache from a snapshot at
+	// startup: a file path or an http(s) URL of a peer replica's
+	// /v1/cache/snapshot endpoint. Warm-start failures are logged, not
+	// fatal — a dead peer must not block a fresh replica.
+	CacheWarmFrom string
 	// RequestTimeout bounds each evaluation (default 30s).
 	RequestTimeout time.Duration
 	// DrainTimeout bounds the graceful-shutdown drain (default 30s).
@@ -122,6 +134,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 1024
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
@@ -150,6 +165,13 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	cache *lruCache
+	// l1 maps exact request bytes (endpoint NUL body) to the canonical
+	// cache key, short-circuiting the hit path: a repeated identical
+	// request skips JSON decode, spec validation and canonical hashing
+	// entirely. It is an index over cache, not a second copy of the
+	// responses — a canonical entry evicted from cache falls through to
+	// the full prepare path regardless of what l1 remembers.
+	l1 *lruCache
 	// sem holds one token per running evaluation; queued counts requests
 	// waiting for a token. queued > QueueDepth ⇒ shed load.
 	sem    chan struct{}
@@ -158,6 +180,14 @@ type Server struct {
 	start  time.Time
 	reqID  atomic.Uint64
 
+	// svcMean is an EWMA of recent evaluation wall times (float64 bits),
+	// feeding the Retry-After estimate: a shed request should come back
+	// roughly when the queue ahead of it has drained.
+	svcMean atomic.Uint64
+	// drainStart is the drain's start time in unix nanos (0 before it),
+	// so Retry-After during the drain reports the time actually left.
+	drainStart atomic.Int64
+
 	// jobs is the async job subsystem; jobsReady flips once its journal
 	// replay finished, draining once shutdown began. /readyz and the
 	// /v1/jobs endpoints key off both.
@@ -165,14 +195,16 @@ type Server struct {
 	jobsReady atomic.Bool
 	draining  atomic.Bool
 
-	latency  map[string]*obs.Histogram
-	hits     *obs.Counter
-	misses   *obs.Counter
-	rejected *obs.Counter
-	entries  *obs.Gauge
-	hitRatio *obs.Gauge
-	inflight *obs.Gauge
-	queueLen *obs.Gauge
+	latency    map[string]*obs.Histogram
+	hits       *obs.Counter
+	l1Hits     *obs.Counter
+	misses     *obs.Counter
+	rejected   *obs.Counter
+	entries    *obs.Gauge
+	cacheBytes *obs.Gauge
+	hitRatio   *obs.Gauge
+	inflight   *obs.Gauge
+	queueLen   *obs.Gauge
 
 	// testDelay, when set by tests, runs inside the worker slot before the
 	// evaluation — a deterministic way to hold requests in flight for
@@ -192,7 +224,15 @@ func NewServer(cfg Config) *Server {
 		start: time.Now(),
 	}
 	if cfg.CacheEntries > 0 {
-		s.cache = newLRU(cfg.CacheEntries)
+		s.cache = newLRU(cfg.CacheEntries, cfg.CacheBytes)
+		// The L1 keys on whole request bodies, so it gets a quarter of the
+		// byte budget — enough to index every hot entry without competing
+		// with the responses themselves for memory.
+		l1Bytes := cfg.CacheBytes / 4
+		if cfg.CacheBytes <= 0 {
+			l1Bytes = 0
+		}
+		s.l1 = newLRU(cfg.CacheEntries, l1Bytes)
 	}
 	reg := cfg.Registry
 	s.latency = make(map[string]*obs.Histogram, len(endpoints))
@@ -202,9 +242,11 @@ func NewServer(cfg Config) *Server {
 			obs.ExpBuckets(1e-5, 4, 14), obs.Labels{"endpoint": ep})
 	}
 	s.hits = reg.Counter("lognic_serve_cache_hits_total", "result cache hits", nil)
+	s.l1Hits = reg.Counter("lognic_serve_cache_l1_hits_total", "hits served from the exact-body L1 index, skipping request parsing", nil)
 	s.misses = reg.Counter("lognic_serve_cache_misses_total", "result cache misses", nil)
 	s.rejected = reg.Counter("lognic_serve_rejected_total", "requests shed with 429", nil)
 	s.entries = reg.Gauge("lognic_serve_cache_entries", "result cache occupancy", nil)
+	s.cacheBytes = reg.Gauge("lognic_serve_cache_bytes", "result cache body bytes", nil)
 	s.hitRatio = reg.Gauge("lognic_serve_cache_hit_ratio", "hits / (hits+misses)", nil)
 	s.inflight = reg.Gauge("lognic_serve_inflight", "evaluations running", nil)
 	s.queueLen = reg.Gauge("lognic_serve_queue_depth", "requests waiting for a worker", nil)
@@ -251,6 +293,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/cache/snapshot", s.handleCacheSnapshot)
 	mux.Handle("/metrics", s.cfg.Registry)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -349,6 +392,27 @@ func (s *Server) handle(endpoint string, prepare func([]byte) (prepared, error))
 			writeError(w, code, err)
 			return
 		}
+
+		// L1 probe: a byte-identical repeat of a cached request is served
+		// before the body is even parsed. Safe because the L1 only ever
+		// redirects into the canonical cache — a stale index entry just
+		// misses and falls through to the full path.
+		var l1key string
+		if s.cache != nil {
+			l1key = endpoint + "\x00" + string(body)
+			if ck, ok := s.l1.Get(l1key); ok {
+				if cached, ok := s.cache.Get(string(ck)); ok {
+					s.hits.Inc()
+					s.l1Hits.Inc()
+					s.updateCacheGauges()
+					w.Header().Set("Content-Type", "application/json")
+					w.Header().Set("X-Cache", "hit")
+					_, _ = w.Write(cached)
+					return
+				}
+			}
+		}
+
 		p, err := prepare(body)
 		if err != nil {
 			code = statusFor(err)
@@ -361,6 +425,7 @@ func (s *Server) handle(endpoint string, prepare func([]byte) (prepared, error))
 		if s.cache != nil {
 			if cached, ok := s.cache.Get(p.key); ok {
 				s.hits.Inc()
+				s.l1.Put(l1key, []byte(p.key))
 				s.updateCacheGauges()
 				w.Header().Set("Content-Type", "application/json")
 				w.Header().Set("X-Cache", "hit")
@@ -374,7 +439,7 @@ func (s *Server) handle(endpoint string, prepare func([]byte) (prepared, error))
 			s.queued.Add(-1)
 			s.rejected.Inc()
 			code = http.StatusTooManyRequests
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfterValue(s.queueDrainEstimate()))
 			writeError(w, code, fmt.Errorf("serve: %s queue full (%d waiting)", endpoint, q-1))
 			return
 		}
@@ -402,7 +467,10 @@ func (s *Server) handle(endpoint string, prepare func([]byte) (prepared, error))
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			return p.run(ctx)
+			evalStart := time.Now()
+			res, err := p.run(ctx)
+			s.observeServiceTime(time.Since(evalStart))
+			return res, err
 		}()
 		if err != nil {
 			code = statusFor(err)
@@ -420,6 +488,7 @@ func (s *Server) handle(endpoint string, prepare func([]byte) (prepared, error))
 		s.misses.Inc()
 		if s.cache != nil {
 			s.cache.Put(p.key, out)
+			s.l1.Put(l1key, []byte(p.key))
 		}
 		s.updateCacheGauges()
 		w.Header().Set("Content-Type", "application/json")
@@ -431,11 +500,58 @@ func (s *Server) handle(endpoint string, prepare func([]byte) (prepared, error))
 func (s *Server) updateCacheGauges() {
 	if s.cache != nil {
 		s.entries.Set(float64(s.cache.Len()))
+		s.cacheBytes.Set(float64(s.cache.Bytes()))
 	}
 	h, m := s.hits.Value(), s.misses.Value()
 	if h+m > 0 {
 		s.hitRatio.Set(h / (h + m))
 	}
+}
+
+// observeServiceTime folds one evaluation's wall time into the EWMA that
+// backs the Retry-After estimate. α=0.2 keeps it "recent": ~5 evaluations
+// of history, so a shift in the workload mix reshapes the hint quickly.
+func (s *Server) observeServiceTime(d time.Duration) {
+	sec := d.Seconds()
+	for {
+		old := s.svcMean.Load()
+		mean := math.Float64frombits(old)
+		if mean <= 0 {
+			mean = sec
+		} else {
+			mean = 0.8*mean + 0.2*sec
+		}
+		if s.svcMean.CompareAndSwap(old, math.Float64bits(mean)) {
+			return
+		}
+	}
+}
+
+// queueDrainEstimate predicts how long a shed request should wait before
+// retrying: the queue ahead of it divided across the worker pool, at the
+// recent mean service time. Before any evaluation completes it assumes a
+// cheap one — better to invite an early retry than park clients a minute.
+func (s *Server) queueDrainEstimate() time.Duration {
+	mean := math.Float64frombits(s.svcMean.Load())
+	if mean <= 0 {
+		mean = 0.05
+	}
+	drain := float64(s.queued.Load()) * mean / float64(s.cfg.Workers)
+	return time.Duration(drain * float64(time.Second))
+}
+
+// retryAfterValue renders a drain estimate as a Retry-After header value:
+// whole seconds, rounded up, clamped to [1, 60] — a shed client should
+// neither hammer sub-second nor be parked past a minute on a guess.
+func retryAfterValue(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // Listen binds the configured address. Call before Serve to learn the
@@ -491,6 +607,7 @@ func (s *Server) Serve(ctx context.Context) error {
 	// Flip readiness first so /readyz steers load balancers away while
 	// in-flight requests finish, then stop catching signals so a second
 	// SIGTERM kills a stuck drain.
+	s.drainStart.Store(time.Now().UnixNano())
 	s.draining.Store(true)
 	stop()
 	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
@@ -518,12 +635,23 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
+	if cfg.CacheWarmFrom != "" {
+		n, nbytes, err := srv.WarmCache(cfg.CacheWarmFrom)
+		if err != nil {
+			// Warm-start is an optimization: a dead peer or a stale file
+			// must not block a fresh replica from serving cold.
+			fmt.Fprintf(stderr, "lognic-serve: cache warm-start from %s failed: %v\n", cfg.CacheWarmFrom, err)
+		} else {
+			fmt.Fprintf(stdout, "lognic-serve: cache warmed with %d entries (%d bytes) from %s\n",
+				n, nbytes, cfg.CacheWarmFrom)
+		}
+	}
 	jobsDir := srv.cfg.JobsDir
 	if jobsDir == "" {
 		jobsDir = "memory-only"
 	}
-	fmt.Fprintf(stdout, "lognic-serve listening on http://%s (workers %d, queue %d, cache %d, jobs %s)\n",
-		srv.Addr(), srv.cfg.Workers, srv.cfg.QueueDepth, srv.cfg.CacheEntries, jobsDir)
+	fmt.Fprintf(stdout, "lognic-serve listening on http://%s (workers %d, queue %d, cache %d entries/%d bytes, jobs %s)\n",
+		srv.Addr(), srv.cfg.Workers, srv.cfg.QueueDepth, srv.cfg.CacheEntries, srv.cfg.CacheBytes, jobsDir)
 	if err := srv.Serve(context.Background()); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(stderr, err)
 		return 1

@@ -1,0 +1,146 @@
+package serve
+
+// Cache snapshots — the shared tier behind per-replica L1 caches. A
+// replica streams its result cache as a length-prefixed, CRC-framed dump
+// (GET /v1/cache/snapshot, reusing the internal/jobs journal framing), and
+// a fresh replica warm-starts from a peer's snapshot file or URL
+// (Config.CacheWarmFrom / -cache-warm-from). Because cache entries are the
+// exact serialized response bodies, a warm-started replica's first hit is
+// byte-identical to the cold evaluation that populated the peer — the same
+// guarantee the L1 gives, extended across the fleet.
+//
+// Stream layout: frame 0 is the magic/version record; every further frame
+// is one entry, payload = key bytes | 0x00 | body bytes, ordered least
+// recently used first so replaying Puts reconstructs the donor's
+// recency order. A torn tail (snapshot taken mid-crash, truncated
+// download) loses only the most recently used suffix — ReplayRecords
+// stops at the first bad frame — and never poisons an entry: bodies are
+// CRC-covered end to end.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"lognic/internal/jobs"
+)
+
+// snapshotMagic is frame 0 of every cache snapshot stream; readers reject
+// streams that don't open with it (wrong file, wrong endpoint, future
+// incompatible version).
+const snapshotMagic = "lognic-cache-snapshot v1"
+
+// handleCacheSnapshot streams the result cache. The dump reflects one
+// consistent moment of the LRU order (Entries snapshots under the cache
+// lock); bodies stream without re-marshaling.
+func (s *Server) handleCacheSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: result cache disabled"))
+		return
+	}
+	entries := s.cache.Entries()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Cache-Entries", fmt.Sprint(len(entries)))
+	if err := writeCacheSnapshot(w, entries); err != nil {
+		// Headers are gone; the client's replay stops at the torn frame and
+		// keeps the prefix — exactly the journal's crash contract.
+		return
+	}
+}
+
+// writeCacheSnapshot frames the magic record and one record per entry.
+func writeCacheSnapshot(w io.Writer, entries []cacheEntry) error {
+	if err := jobs.WriteFrame(w, []byte(snapshotMagic)); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		payload := make([]byte, 0, len(e.key)+1+len(e.body))
+		payload = append(payload, e.key...)
+		payload = append(payload, 0)
+		payload = append(payload, e.body...)
+		if err := jobs.WriteFrame(w, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readCacheSnapshot parses a snapshot stream back into entries, stopping
+// silently at the first corrupt frame (the replay contract: everything
+// before a tear is trustworthy, the tear itself was unacknowledged).
+func readCacheSnapshot(r io.Reader) ([]cacheEntry, error) {
+	records, _, err := jobs.ReplayRecords(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 || string(records[0]) != snapshotMagic {
+		return nil, fmt.Errorf("serve: not a cache snapshot stream (bad magic)")
+	}
+	entries := make([]cacheEntry, 0, len(records)-1)
+	for _, rec := range records[1:] {
+		sep := bytes.IndexByte(rec, 0)
+		if sep <= 0 {
+			return nil, fmt.Errorf("serve: malformed snapshot entry (no key separator)")
+		}
+		entries = append(entries, cacheEntry{
+			key:  string(rec[:sep]),
+			body: append([]byte(nil), rec[sep+1:]...),
+		})
+	}
+	return entries, nil
+}
+
+// WarmCache populates the result cache from a snapshot source — a file
+// path or an http(s) URL (typically a peer replica's /v1/cache/snapshot).
+// Entries replay in the donor's LRU order, so the warmed cache evicts in
+// the same order the donor would have; entries over this replica's byte
+// budget are skipped, not errors. Returns how many entries and accounted
+// bytes (keys plus bodies) were admitted.
+func (s *Server) WarmCache(src string) (entries int, admittedBytes int64, err error) {
+	if s.cache == nil {
+		return 0, 0, fmt.Errorf("serve: result cache disabled")
+	}
+	rc, err := openSnapshotSource(src)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer rc.Close()
+	es, err := readCacheSnapshot(rc)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, e := range es {
+		if s.cache.Put(e.key, e.body) {
+			entries++
+			admittedBytes += int64(len(e.key)) + int64(len(e.body))
+		}
+	}
+	s.updateCacheGauges()
+	return entries, admittedBytes, nil
+}
+
+// openSnapshotSource opens a warm-start source: URLs fetch with a bounded
+// client, anything else is a local file path.
+func openSnapshotSource(src string) (io.ReadCloser, error) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		client := &http.Client{Timeout: 2 * time.Minute}
+		resp, err := client.Get(src)
+		if err != nil {
+			return nil, fmt.Errorf("serve: fetching snapshot: %w", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("serve: snapshot peer answered %s", resp.Status)
+		}
+		return resp.Body, nil
+	}
+	f, err := os.Open(src)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening snapshot: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// snapshotOf GETs a server's cache snapshot stream.
+func snapshotOf(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/cache/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// A replica warm-started from a peer's snapshot must serve its first
+// request for a warmed spec as a cache hit, byte-identical to the peer's
+// cold evaluation — for every endpoint, via both a file and a URL source.
+func TestWarmStartByteIdentical(t *testing.T) {
+	_, donor := newTestServer(t, Config{})
+	reqs := []struct{ path, body string }{
+		{"/v1/estimate", estimateBody(sampleSpec)},
+		{"/v1/optimize", `{"spec": ` + sampleSpec + `, "goal": "latency", "knobs": [{"vertex":"cores","param":"parallelism","lo":1,"hi":4}]}`},
+		{"/v1/simulate", `{"spec": ` + sampleSpec + `, "duration": 0.002, "seed": 3}`},
+	}
+	cold := make([][]byte, len(reqs))
+	for i, rq := range reqs {
+		resp, body := post(t, donor.Client(), donor.URL+rq.path, rq.body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: cold status %d: %s", rq.path, resp.StatusCode, body)
+		}
+		cold[i] = body
+	}
+
+	raw := snapshotOf(t, donor.URL)
+	snapPath := filepath.Join(t.TempDir(), "cache.snap")
+	if err := os.WriteFile(snapPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, src := range []struct{ name, src string }{
+		{"from file", snapPath},
+		{"from peer URL", donor.URL + "/v1/cache/snapshot"},
+	} {
+		t.Run(src.name, func(t *testing.T) {
+			fresh, ts := newTestServer(t, Config{})
+			n, nbytes, err := fresh.WarmCache(src.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(reqs) || nbytes <= 0 {
+				t.Fatalf("warmed %d entries / %d bytes, want %d entries", n, nbytes, len(reqs))
+			}
+			if fresh.cache.Bytes() != nbytes {
+				t.Fatalf("cache accounts %d bytes, WarmCache reported %d", fresh.cache.Bytes(), nbytes)
+			}
+			for i, rq := range reqs {
+				resp, body := post(t, ts.Client(), ts.URL+rq.path, rq.body)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("%s: warm status %d", rq.path, resp.StatusCode)
+				}
+				if resp.Header.Get("X-Cache") != "hit" {
+					t.Fatalf("%s: first warmed request should be a cache hit", rq.path)
+				}
+				if !bytes.Equal(body, cold[i]) {
+					t.Fatalf("%s: warm-started hit differs from donor's cold evaluation:\n%s\n%s",
+						rq.path, body, cold[i])
+				}
+			}
+		})
+	}
+}
+
+// A truncated snapshot (torn download, donor crash mid-stream) must warm
+// the intact prefix and lose only the tail — never error, never admit a
+// corrupt body.
+func TestWarmStartTornTail(t *testing.T) {
+	_, donor := newTestServer(t, Config{})
+	for seed := int64(1); seed <= 3; seed++ {
+		body := `{"spec": ` + sampleSpec + `, "duration": 0.002, "seed": ` + string(rune('0'+seed)) + `}`
+		if resp, out := post(t, donor.Client(), donor.URL+"/v1/simulate", body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("cold status %d: %s", resp.StatusCode, out)
+		}
+	}
+	raw := snapshotOf(t, donor.URL)
+	torn := raw[:len(raw)-7] // tear inside the last frame's body
+
+	snapPath := filepath.Join(t.TempDir(), "torn.snap")
+	if err := os.WriteFile(snapPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := newTestServer(t, Config{})
+	n, _, err := fresh.WarmCache(snapPath)
+	if err != nil {
+		t.Fatalf("torn tail must not fail the warm-start: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("warmed %d entries from torn snapshot, want the 2 intact ones", n)
+	}
+}
+
+// Entries over the warming replica's byte budget are skipped, not errors;
+// a non-snapshot stream is rejected loudly.
+func TestWarmStartBudgetAndBadMagic(t *testing.T) {
+	_, donor := newTestServer(t, Config{})
+	post(t, donor.Client(), donor.URL+"/v1/estimate", estimateBody(sampleSpec))
+	raw := snapshotOf(t, donor.URL)
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "cache.snap")
+	if err := os.WriteFile(snapPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tiny := NewServer(Config{CacheBytes: 8}) // every real body is bigger
+	t.Cleanup(tiny.Close)
+	if n, _, err := tiny.WarmCache(snapPath); err != nil || n != 0 {
+		t.Fatalf("over-budget entries should be skipped: n=%d err=%v", n, err)
+	}
+
+	badPath := filepath.Join(dir, "bad.snap")
+	if err := os.WriteFile(badPath, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewServer(Config{})
+	t.Cleanup(fresh.Close)
+	if _, _, err := fresh.WarmCache(badPath); err == nil {
+		t.Fatal("bad magic must be rejected")
+	}
+}
+
+// The snapshot endpoint on a cache-disabled server answers 404.
+func TestSnapshotCacheDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheEntries: -1})
+	resp, err := http.Get(ts.URL + "/v1/cache/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,91 @@
+package storm
+
+// An HDR-style latency histogram: geometric buckets at 2% resolution from
+// 1µs to ~100s, so p999 of a millisecond-scale distribution resolves to a
+// couple percent without storing raw samples. Each worker owns one (no
+// locks on the hot path); the runner merges them after the run.
+
+import "math"
+
+const (
+	histMin     = 1e-6 // seconds; floor of the tracked range
+	histGrowth  = 1.02
+	histBuckets = 932 // 1µs·1.02^932 ≈ 108s
+)
+
+var invLogGrowth = 1 / math.Log(histGrowth)
+
+// hist records a latency distribution.
+type hist struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    float64
+	max    float64
+}
+
+// bucketFor maps a latency in seconds to its bucket index.
+func bucketFor(sec float64) int {
+	if sec <= histMin {
+		return 0
+	}
+	i := int(math.Log(sec/histMin) * invLogGrowth)
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// observe records one sample.
+func (h *hist) observe(sec float64) {
+	h.counts[bucketFor(sec)]++
+	h.count++
+	h.sum += sec
+	if sec > h.max {
+		h.max = sec
+	}
+}
+
+// merge folds another histogram into this one.
+func (h *hist) merge(o *hist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// quantile returns the q-th quantile (0 < q ≤ 1) as seconds: the
+// geometric midpoint of the bucket holding the ceil(q·count)-th sample.
+// Returns 0 with no samples.
+func (h *hist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			mid := histMin * math.Pow(histGrowth, float64(i)+0.5)
+			if mid > h.max && h.max > 0 {
+				mid = h.max
+			}
+			return mid
+		}
+	}
+	return h.max
+}
+
+// mean returns the arithmetic mean in seconds (0 with no samples).
+func (h *hist) mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}

@@ -1,0 +1,433 @@
+// Package storm is a fleet load generator for lognic-serve: N workers
+// drive a generated spec corpus against one or many replicas in a closed
+// loop (back-to-back, measures capacity) or an open loop (paced arrivals
+// at an offered rate, measures behavior under overload), honoring the
+// daemon's 429+Retry-After backpressure and reporting throughput, error
+// and shed rates, and HDR-style latency percentiles per endpoint.
+package storm
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"lognic/internal/obs"
+)
+
+// Config is one load step.
+type Config struct {
+	// Targets are replica base URLs (e.g. http://127.0.0.1:8080). At least
+	// one is required.
+	Targets []string
+	// Workers is the number of concurrent request loops (default 8).
+	Workers int
+	// Duration is the step's wall time (default 10s).
+	Duration time.Duration
+	// Rate is the offered arrival rate in requests/s. 0 runs a closed
+	// loop: every worker issues back-to-back requests, measuring the
+	// fleet's capacity rather than its behavior at a fixed load.
+	Rate float64
+	// Routing picks the replica per request: "rr" (round-robin, default)
+	// or "hash" (affinity on the canonical spec hash, so each spec's
+	// cache entry lives on exactly one replica).
+	Routing string
+	// Corpus is the request mix (BuildCorpus).
+	Corpus []Item
+	// Client overrides the HTTP client (tests); nil builds one with
+	// per-host connection reuse sized to Workers.
+	Client *http.Client
+	// Registry, when non-nil, receives storm_* counters after the step.
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Routing == "" {
+		c.Routing = "rr"
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        c.Workers * 2,
+				MaxIdleConnsPerHost: c.Workers * 2,
+			},
+			Timeout: 30 * time.Second,
+		}
+	}
+	return c
+}
+
+// LatencySummary is one endpoint's latency distribution, milliseconds.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Report is one load step's outcome.
+type Report struct {
+	// OfferedRPS is the configured arrival rate; 0 means closed loop.
+	OfferedRPS float64 `json:"offered_rps"`
+	// DurationSec is the measured wall time of the step.
+	DurationSec float64 `json:"duration_sec"`
+	// Completed counts 200 responses; Throughput is Completed/Duration.
+	// CompletedEvals weights each response by its item's Evals (an
+	// optimize request covers a whole knob sweep), so EvalThroughput is
+	// comparable across endpoints.
+	Completed      uint64  `json:"completed"`
+	Throughput     float64 `json:"throughput_rps"`
+	CompletedEvals uint64  `json:"completed_evals"`
+	EvalThroughput float64 `json:"eval_throughput_per_sec"`
+	// Shed counts 429 responses; Dropped counts open-loop arrivals the
+	// workers could not absorb (the generator's own admission queue was
+	// full — offered load the fleet never saw). ShedRate is
+	// (Shed+Dropped)/attempted arrivals.
+	Shed     uint64  `json:"shed"`
+	Dropped  uint64  `json:"dropped"`
+	ShedRate float64 `json:"shed_rate"`
+	// Errors4xx excludes 429s (those are Shed).
+	Errors4xx uint64 `json:"errors_4xx"`
+	Errors5xx uint64 `json:"errors_5xx"`
+	NetErrors uint64 `json:"net_errors"`
+	// CacheHits/CacheMisses count the daemon's X-Cache header on 200s.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// Latency holds per-endpoint percentiles over completed requests.
+	Latency map[string]*LatencySummary `json:"latency"`
+}
+
+// workerStats is one worker's private tally — no sharing until the merge.
+type workerStats struct {
+	completed, evals, shed, e4xx, e5xx, netErr uint64
+	hits, misses                               uint64
+	hists                                      map[string]*hist
+}
+
+func newWorkerStats() *workerStats {
+	return &workerStats{hists: make(map[string]*hist)}
+}
+
+// Run executes one load step and reports it.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("storm: at least one target required")
+	}
+	if len(cfg.Corpus) == 0 {
+		return nil, fmt.Errorf("storm: empty corpus")
+	}
+	if cfg.Routing != "rr" && cfg.Routing != "hash" {
+		return nil, fmt.Errorf("storm: unknown routing %q (want rr or hash)", cfg.Routing)
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	var rr atomic.Uint64
+	pick := func(it *Item) string {
+		if cfg.Routing == "hash" {
+			h := fnv.New32a()
+			io.WriteString(h, it.SpecHash)
+			return cfg.Targets[h.Sum32()%uint32(len(cfg.Targets))]
+		}
+		return cfg.Targets[(rr.Add(1)-1)%uint64(len(cfg.Targets))]
+	}
+
+	// Open loop: a pacer emits arrival tokens at cfg.Rate; workers absorb
+	// them. A token nobody can take (all workers busy, buffer full) is a
+	// dropped arrival — offered load the fleet would have shed anyway.
+	var work chan struct{}
+	var dropped atomic.Uint64
+	openLoop := cfg.Rate > 0
+	if openLoop {
+		work = make(chan struct{}, cfg.Workers*2)
+		go pace(ctx, cfg.Rate, work, &dropped)
+	}
+
+	stats := make([]*workerStats, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		stats[w] = newWorkerStats()
+		wg.Add(1)
+		go func(w int, st *workerStats) {
+			defer wg.Done()
+			// Stride through the corpus so the workers jointly cover it
+			// evenly and deterministically.
+			idx := w
+			for {
+				if openLoop {
+					select {
+					case <-ctx.Done():
+						return
+					case _, ok := <-work:
+						if !ok {
+							return
+						}
+					}
+				} else if ctx.Err() != nil {
+					return
+				}
+				it := &cfg.Corpus[idx%len(cfg.Corpus)]
+				idx += cfg.Workers
+				shoot(ctx, cfg.Client, pick(it), it, st, !openLoop)
+			}
+		}(w, stats[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Arrivals still buffered at shutdown were offered but never served.
+	if openLoop {
+		for range work {
+			dropped.Add(1)
+		}
+	}
+
+	rep := buildReport(cfg, stats, elapsed, dropped.Load())
+	if cfg.Registry != nil {
+		publish(cfg.Registry, rep)
+	}
+	return rep, nil
+}
+
+// pace emits arrival tokens into work at rate/s until ctx expires, then
+// closes the channel. Tokens accrue fractionally so rates below the tick
+// frequency still average out exactly.
+func pace(ctx context.Context, rate float64, work chan<- struct{}, dropped *atomic.Uint64) {
+	defer close(work)
+	tick := time.Duration(float64(time.Second) / rate)
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	var tokens float64
+	last := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			tokens += rate * now.Sub(last).Seconds()
+			last = now
+			for ; tokens >= 1; tokens-- {
+				select {
+				case work <- struct{}{}:
+				default:
+					dropped.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// shoot issues one request and tallies it. In a closed loop a 429's
+// Retry-After is honored (bounded, so a long hint can't stall the run);
+// open-loop arrivals are externally timed, so a shed request just counts.
+func shoot(ctx context.Context, client *http.Client, target string, it *Item, st *workerStats, closedLoop bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/"+it.Endpoint, bytes.NewReader(it.Body))
+	if err != nil {
+		st.netErr++
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			st.netErr++
+		}
+		return
+	}
+	lat := time.Since(t0).Seconds()
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		st.completed++
+		if it.Evals > 0 {
+			st.evals += uint64(it.Evals)
+		} else {
+			st.evals++
+		}
+		h := st.hists[it.Endpoint]
+		if h == nil {
+			h = &hist{}
+			st.hists[it.Endpoint] = h
+		}
+		h.observe(lat)
+		switch resp.Header.Get("X-Cache") {
+		case "hit":
+			st.hits++
+		case "miss":
+			st.misses++
+		}
+	case resp.StatusCode == http.StatusTooManyRequests:
+		st.shed++
+		if closedLoop {
+			backoff := retryAfterOf(resp)
+			if backoff > 50*time.Millisecond {
+				backoff = 50 * time.Millisecond // bounded: trust the hint's sign, not its scale
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(backoff):
+			}
+		}
+	case resp.StatusCode >= 500:
+		st.e5xx++
+	default:
+		st.e4xx++
+	}
+}
+
+// retryAfterOf parses a 429's Retry-After seconds (default 1).
+func retryAfterOf(resp *http.Response) time.Duration {
+	if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+		return time.Duration(s) * time.Second
+	}
+	return time.Second
+}
+
+func buildReport(cfg Config, stats []*workerStats, elapsed time.Duration, dropped uint64) *Report {
+	rep := &Report{
+		OfferedRPS:  cfg.Rate,
+		DurationSec: elapsed.Seconds(),
+		Dropped:     dropped,
+		Latency:     make(map[string]*LatencySummary),
+	}
+	merged := make(map[string]*hist)
+	for _, st := range stats {
+		rep.Completed += st.completed
+		rep.CompletedEvals += st.evals
+		rep.Shed += st.shed
+		rep.Errors4xx += st.e4xx
+		rep.Errors5xx += st.e5xx
+		rep.NetErrors += st.netErr
+		rep.CacheHits += st.hits
+		rep.CacheMisses += st.misses
+		for ep, h := range st.hists {
+			m := merged[ep]
+			if m == nil {
+				m = &hist{}
+				merged[ep] = m
+			}
+			m.merge(h)
+		}
+	}
+	if rep.DurationSec > 0 {
+		rep.Throughput = float64(rep.Completed) / rep.DurationSec
+		rep.EvalThroughput = float64(rep.CompletedEvals) / rep.DurationSec
+	}
+	attempted := rep.Completed + rep.Shed + rep.Errors4xx + rep.Errors5xx + rep.NetErrors + rep.Dropped
+	if attempted > 0 {
+		rep.ShedRate = float64(rep.Shed+rep.Dropped) / float64(attempted)
+	}
+	for ep, h := range merged {
+		rep.Latency[ep] = &LatencySummary{
+			Count:  h.count,
+			MeanMs: h.mean() * 1e3,
+			P50Ms:  h.quantile(0.50) * 1e3,
+			P90Ms:  h.quantile(0.90) * 1e3,
+			P99Ms:  h.quantile(0.99) * 1e3,
+			P999Ms: h.quantile(0.999) * 1e3,
+			MaxMs:  h.max * 1e3,
+		}
+	}
+	return rep
+}
+
+// publish folds a report into an obs registry, post-step so the request
+// hot path never touches shared metric state.
+func publish(reg *obs.Registry, rep *Report) {
+	reg.Counter("storm_requests_completed_total", "Requests answered 200.", nil).Add(float64(rep.Completed))
+	reg.Counter("storm_requests_shed_total", "Requests answered 429 plus dropped arrivals.", nil).Add(float64(rep.Shed + rep.Dropped))
+	reg.Counter("storm_requests_error_total", "Requests answered 4xx/5xx or failed at the transport.", nil).
+		Add(float64(rep.Errors4xx + rep.Errors5xx + rep.NetErrors))
+	reg.Gauge("storm_throughput_rps", "Completed requests per second, last step.", nil).Set(rep.Throughput)
+	reg.Gauge("storm_eval_throughput", "Completed model evaluations per second, last step.", nil).Set(rep.EvalThroughput)
+	reg.Gauge("storm_shed_rate", "Shed fraction of attempted arrivals, last step.", nil).Set(rep.ShedRate)
+	for ep, l := range rep.Latency {
+		labels := obs.Labels{"endpoint": ep}
+		reg.Gauge("storm_latency_p50_ms", "p50 latency, last step.", labels).Set(l.P50Ms)
+		reg.Gauge("storm_latency_p99_ms", "p99 latency, last step.", labels).Set(l.P99Ms)
+	}
+}
+
+// Sweep runs one step per offered rate, reusing cfg for everything else.
+// A rate of 0 is a closed-loop capacity probe.
+func Sweep(ctx context.Context, cfg Config, rates []float64) ([]*Report, error) {
+	reports := make([]*Report, 0, len(rates))
+	for _, r := range rates {
+		if ctx.Err() != nil {
+			return reports, ctx.Err()
+		}
+		step := cfg
+		step.Rate = r
+		rep, err := Run(ctx, step)
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// Table renders reports as an aligned human-readable table.
+func Table(reports []*Report) string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "offered_rps\tthroughput\tevals/s\tcompleted\tshed%\terr\thit%\tp50ms\tp90ms\tp99ms\tp999ms\tendpoint")
+	for _, r := range reports {
+		offered := "closed"
+		if r.OfferedRPS > 0 {
+			offered = strconv.FormatFloat(r.OfferedRPS, 'f', 0, 64)
+		}
+		hitPct := 0.0
+		if n := r.CacheHits + r.CacheMisses; n > 0 {
+			hitPct = 100 * float64(r.CacheHits) / float64(n)
+		}
+		// One row per endpoint; endpoints sorted for stable output.
+		eps := make([]string, 0, len(r.Latency))
+		for ep := range r.Latency {
+			eps = append(eps, ep)
+		}
+		sort.Strings(eps)
+		if len(eps) == 0 {
+			eps = []string{"-"}
+		}
+		for _, ep := range eps {
+			l := r.Latency[ep]
+			if l == nil {
+				l = &LatencySummary{}
+			}
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%d\t%.1f\t%d\t%.0f\t%.3f\t%.3f\t%.3f\t%.3f\t%s\n",
+				offered, r.Throughput, r.EvalThroughput, r.Completed, 100*r.ShedRate,
+				r.Errors4xx+r.Errors5xx+r.NetErrors, hitPct,
+				l.P50Ms, l.P90Ms, l.P99Ms, l.P999Ms, ep)
+		}
+	}
+	tw.Flush()
+	return b.String()
+}

@@ -1,0 +1,221 @@
+package storm
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lognic/internal/serve"
+)
+
+func newReplica(t *testing.T, cfg serve.Config) *httptest.Server {
+	t.Helper()
+	s := serve.NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+	return ts
+}
+
+func corpus(t *testing.T, cfg CorpusConfig) []Item {
+	t.Helper()
+	items, err := BuildCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return items
+}
+
+// Every corpus item must be accepted by the daemon — a 4xx here means the
+// generator's request DTOs drifted from serve's.
+func TestCorpusItemsAreValid(t *testing.T) {
+	ts := newReplica(t, serve.Config{})
+	for _, ep := range []string{"estimate", "simulate", "optimize"} {
+		items := corpus(t, CorpusConfig{Endpoint: ep, Unique: 70, SimDuration: 0.0005})
+		seen := map[string]bool{}
+		for i, it := range items {
+			if seen[it.SpecHash] {
+				t.Fatalf("%s: corpus item %d repeats spec hash %s", ep, i, it.SpecHash)
+			}
+			seen[it.SpecHash] = true
+		}
+		rep, err := Run(context.Background(), Config{
+			Targets:  []string{ts.URL},
+			Workers:  4,
+			Duration: 300 * time.Millisecond,
+			Corpus:   items,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Errors4xx != 0 || rep.Errors5xx != 0 || rep.NetErrors != 0 {
+			t.Fatalf("%s: corpus drew errors: %+v", ep, rep)
+		}
+		if rep.Completed == 0 {
+			t.Fatalf("%s: no requests completed", ep)
+		}
+		wantEvals := rep.Completed
+		if ep == "optimize" {
+			wantEvals *= 8 // one request sweeps parallelism 1..8
+		}
+		if rep.CompletedEvals != wantEvals {
+			t.Fatalf("%s: evals=%d for %d requests, want %d", ep, rep.CompletedEvals, rep.Completed, wantEvals)
+		}
+	}
+}
+
+// Closed-loop round trip against a healthy replica: work completes, no
+// server errors, the report carries percentiles, and its JSON encoding is
+// valid and includes them.
+func TestClosedLoopRoundTrip(t *testing.T) {
+	ts := newReplica(t, serve.Config{})
+	items := corpus(t, CorpusConfig{Endpoint: "estimate", Unique: 32})
+	rep, err := Run(context.Background(), Config{
+		Targets:  []string{ts.URL},
+		Workers:  8,
+		Duration: 500 * time.Millisecond,
+		Corpus:   items,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors5xx != 0 {
+		t.Fatalf("server errors under normal load: %d", rep.Errors5xx)
+	}
+	if rep.Completed == 0 || rep.Throughput <= 0 {
+		t.Fatalf("no work done: %+v", rep)
+	}
+	// 32 unique specs against a 1024-entry cache: after the first pass
+	// everything is a hit.
+	if rep.CacheHits == 0 {
+		t.Fatal("expected cache hits on a small corpus")
+	}
+	l := rep.Latency["estimate"]
+	if l == nil || l.Count != rep.Completed {
+		t.Fatalf("latency summary missing or miscounted: %+v", rep.Latency)
+	}
+	if l.P50Ms <= 0 || l.P50Ms > l.P99Ms+1e-9 || l.P99Ms > l.P999Ms+1e-9 || l.P999Ms > l.MaxMs*1.03 {
+		t.Fatalf("implausible percentiles: %+v", l)
+	}
+
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	lat := decoded["latency"].(map[string]any)["estimate"].(map[string]any)
+	for _, k := range []string{"p50_ms", "p90_ms", "p99_ms", "p999_ms"} {
+		if _, ok := lat[k]; !ok {
+			t.Fatalf("JSON report missing %s: %s", k, raw)
+		}
+	}
+	if Table([]*Report{rep}) == "" {
+		t.Fatal("empty table")
+	}
+}
+
+// Past saturation the shed rate must grow with offered load: a
+// 1-worker/tiny-queue/no-cache replica saturates in the tens of RPS, so
+// sweeping well past that must show monotonically non-decreasing shed —
+// and zero 5xx throughout (overload is 429's job, never 500's).
+func TestOpenLoopShedMonotone(t *testing.T) {
+	ts := newReplica(t, serve.Config{Workers: 1, QueueDepth: 1, CacheEntries: -1})
+	items := corpus(t, CorpusConfig{Endpoint: "simulate", Unique: 16, SimDuration: 0.02})
+	reports, err := Sweep(context.Background(), Config{
+		Targets:  []string{ts.URL},
+		Workers:  4,
+		Duration: 600 * time.Millisecond,
+		Corpus:   items,
+	}, []float64{50, 400, 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reports {
+		if rep.Errors5xx != 0 {
+			t.Fatalf("step %d: overload must shed, not 500: %+v", i, rep)
+		}
+		if i > 0 && rep.ShedRate+0.05 < reports[i-1].ShedRate {
+			t.Fatalf("shed rate fell past saturation: step %d %.3f -> step %d %.3f",
+				i-1, reports[i-1].ShedRate, i, rep.ShedRate)
+		}
+	}
+	last := reports[len(reports)-1]
+	if last.Shed+last.Dropped == 0 {
+		t.Fatalf("3000 rps against a 1-worker uncached replica must shed: %+v", last)
+	}
+}
+
+// Hash routing must send every occurrence of a spec to the same replica.
+func TestHashRoutingAffinity(t *testing.T) {
+	a := newReplica(t, serve.Config{})
+	b := newReplica(t, serve.Config{})
+	items := corpus(t, CorpusConfig{Endpoint: "estimate", Unique: 8})
+	rep, err := Run(context.Background(), Config{
+		Targets:  []string{a.URL, b.URL},
+		Workers:  4,
+		Duration: 400 * time.Millisecond,
+		Routing:  "hash",
+		Corpus:   items,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With affinity, each spec misses exactly once fleet-wide.
+	if rep.CacheMisses > uint64(len(items)) {
+		t.Fatalf("affinity routing saw %d misses for %d specs", rep.CacheMisses, len(items))
+	}
+	if rep.Errors5xx != 0 || rep.Errors4xx != 0 {
+		t.Fatalf("errors under hash routing: %+v", rep)
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := &hist{}
+	if h.quantile(0.5) != 0 || h.mean() != 0 {
+		t.Fatal("empty hist must report zeros")
+	}
+	// 1..1000 ms uniform: p50 ≈ 500ms, p99 ≈ 990ms, within bucket
+	// resolution (2%) of exact.
+	for i := 1; i <= 1000; i++ {
+		h.observe(float64(i) / 1000)
+	}
+	for _, tc := range []struct{ q, want float64 }{{0.50, 0.500}, {0.90, 0.900}, {0.99, 0.990}, {0.999, 0.999}} {
+		got := h.quantile(tc.q)
+		if math.Abs(got-tc.want)/tc.want > 0.03 {
+			t.Fatalf("q%.3f = %.4fs, want %.4fs ±3%%", tc.q, got, tc.want)
+		}
+	}
+	if h.max != 1.0 {
+		t.Fatalf("max %.4f", h.max)
+	}
+	if m := h.mean(); math.Abs(m-0.5005) > 1e-9 {
+		t.Fatalf("mean %.6f", m)
+	}
+
+	// Merge keeps counts and extremes.
+	h2 := &hist{}
+	h2.observe(2.0)
+	h.merge(h2)
+	if h.count != 1001 || h.max != 2.0 {
+		t.Fatalf("merge lost samples: count=%d max=%.1f", h.count, h.max)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	items := corpus(t, CorpusConfig{Endpoint: "estimate", Unique: 1})
+	if _, err := Run(context.Background(), Config{Corpus: items}); err == nil {
+		t.Fatal("no targets must error")
+	}
+	if _, err := Run(context.Background(), Config{Targets: []string{"http://x"}}); err == nil {
+		t.Fatal("empty corpus must error")
+	}
+	if _, err := Run(context.Background(), Config{Targets: []string{"http://x"}, Corpus: items, Routing: "nope"}); err == nil {
+		t.Fatal("bad routing must error")
+	}
+}
