@@ -38,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"sort"
@@ -46,8 +47,13 @@ import (
 	"lognic/internal/cli"
 	"lognic/internal/experiments"
 	"lognic/internal/obs"
+	"lognic/internal/obs/olog"
 	"lognic/internal/report"
 )
+
+// lg is the process logger; every error surfaces through it as a
+// structured record, and fatal paths exit via olog.Fatal.
+var lg = olog.Discard()
 
 // runSummary is the end-of-run JSON record: enough to spot a regressed or
 // runaway benchmark run from logs alone.
@@ -72,7 +78,9 @@ func main() {
 	traceOut := flag.String("trace", "", "sample packet spans into this Chrome trace_event file")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /metrics and /runtime on this address while running")
 	summaryOut := flag.String("run-summary", "", "write the final JSON run summary to this file instead of stderr")
+	logOpts := olog.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	lg = mustLogger(logOpts)
 
 	// The registry is always on: it feeds the run summary's sweep-point
 	// count, and -metrics/-pprof expose it. Attaching it never changes
@@ -85,11 +93,10 @@ func main() {
 	if *pprofAddr != "" {
 		ln, err := cli.StartDebugServer(*pprofAddr, reg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			olog.Fatal(lg, "debug server failed", olog.KeyComponent, "bench", "error", err.Error())
 		}
 		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "lognic-bench: debug server on http://%s/\n", ln.Addr())
+		lg.Info("debug server up", olog.KeyComponent, "bench", "addr", "http://"+ln.Addr().String()+"/")
 	}
 
 	opts := experiments.Options{
@@ -110,7 +117,7 @@ func main() {
 		sum.SweepPoints = sumGauge(reg, "lognic_sweep_points_done")
 		if *metricsOut != "" {
 			if err := writeFile(*metricsOut, reg.WritePrometheus); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				lg.Error("writing metrics failed", olog.KeyComponent, "bench", "error", err.Error())
 				failed = true
 			}
 		}
@@ -118,7 +125,7 @@ func main() {
 			if err := writeFile(*traceOut, func(w io.Writer) error {
 				return tracer.WriteChromeTrace(w, "lognic-bench")
 			}); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				lg.Error("writing trace failed", olog.KeyComponent, "bench", "error", err.Error())
 				failed = true
 			}
 		}
@@ -134,7 +141,7 @@ func main() {
 	if *summary {
 		rows, err := report.Summary(opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			lg.Error("summary failed", olog.KeyComponent, "bench", "error", err.Error())
 			finish(true)
 		}
 		fmt.Print(report.SummaryMarkdown(rows))
@@ -176,7 +183,7 @@ func main() {
 	for i, id := range ids {
 		res := results[i]
 		if res.err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, res.err)
+			lg.Error("figure failed", olog.KeyComponent, "bench", "figure", id, "error", res.err.Error())
 			failed = true
 			continue
 		}
@@ -224,7 +231,7 @@ func writeFile(path string, render func(io.Writer) error) error {
 func emitSummary(sum runSummary, path string) {
 	out, err := json.Marshal(sum)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lognic-bench: run summary:", err)
+		lg.Error("run summary failed", olog.KeyComponent, "bench", "error", err.Error())
 		return
 	}
 	out = append(out, '\n')
@@ -233,7 +240,7 @@ func emitSummary(sum runSummary, path string) {
 		return
 	}
 	if err := os.WriteFile(path, out, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "lognic-bench: run summary:", err)
+		lg.Error("run summary failed", olog.KeyComponent, "bench", "error", err.Error())
 	}
 }
 
@@ -244,7 +251,7 @@ func printAnchors(id string) {
 	case "fig9":
 		sat, err := experiments.Fig9SaturationCores()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fig9 anchors: %v\n", err)
+			lg.Warn("fig9 anchors failed", olog.KeyComponent, "bench", "error", err.Error())
 			return
 		}
 		fmt.Printf("# model-derived saturation parallelism (paper: md5=9 kasumi=8 hfa=11):\n")
@@ -252,7 +259,7 @@ func printAnchors(id string) {
 	case "fig15":
 		credits, err := experiments.Fig15SuggestedCredits()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fig15 anchors: %v\n", err)
+			lg.Warn("fig15 anchors failed", olog.KeyComponent, "bench", "error", err.Error())
 			return
 		}
 		fmt.Printf("# LogNIC-suggested minimal credits (paper: 5/4/4/4):\n")
@@ -260,7 +267,7 @@ func printAnchors(id string) {
 	case "fig18", "fig19":
 		lanes, err := experiments.Fig18SuggestedLanes()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fig18 anchors: %v\n", err)
+			lg.Warn("fig18 anchors failed", olog.KeyComponent, "bench", "error", err.Error())
 			return
 		}
 		fmt.Printf("# LogNIC-suggested IP4 parallel degrees (paper: 6 and 4):\n")
@@ -278,4 +285,15 @@ func printIntMap(m map[string]int) {
 		fmt.Printf("#   %-28s %d\n", k, m[k])
 	}
 	fmt.Println()
+}
+
+// mustLogger builds the stderr logger from -log-level/-log-format; bad
+// values are a usage error.
+func mustLogger(opts *olog.Options) *slog.Logger {
+	l, err := opts.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lognic-bench:", err)
+		os.Exit(2)
+	}
+	return l
 }

@@ -19,11 +19,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"lognic/internal/cli"
 	"lognic/internal/obs"
+	"lognic/internal/obs/olog"
 )
+
+// lg is the process logger; fatal() is the single structured exit path.
+var lg = olog.Discard()
 
 func main() {
 	duration := flag.Float64("duration", 0.2, "simulated seconds")
@@ -33,7 +38,9 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write run metrics (Prometheus text format) to this file")
 	traceOut := flag.String("trace", "", "write packet spans (Chrome trace_event JSON) to this file")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof, /metrics and /runtime on this address (e.g. localhost:6060)")
+	logOpts := olog.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	lg = mustLogger(logOpts)
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: lognic-sim [-duration s] [-seed n] [-det] [-json] [-metrics file] [-trace file] [-pprof addr] model.json")
 		os.Exit(2)
@@ -52,7 +59,7 @@ func main() {
 			fatal(err)
 		}
 		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "lognic-sim: debug server on http://%s/\n", ln.Addr())
+		lg.Info("debug server up", olog.KeyComponent, "sim", "addr", "http://"+ln.Addr().String()+"/")
 	}
 	err = cli.RunSim(os.Stdout, m, cli.SimOptions{
 		Duration:      *duration,
@@ -69,6 +76,16 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lognic-sim:", err)
-	os.Exit(1)
+	olog.Fatal(lg, "fatal error", olog.KeyComponent, "sim", "error", err.Error())
+}
+
+// mustLogger builds the stderr logger from -log-level/-log-format; bad
+// values are a usage error.
+func mustLogger(opts *olog.Options) *slog.Logger {
+	l, err := opts.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lognic-sim:", err)
+		os.Exit(2)
+	}
+	return l
 }

@@ -14,6 +14,14 @@
 //	             [-endpoint estimate|simulate|optimize] [-unique n]
 //	             [-sim-duration s] [-routing rr|hash] [-seed n]
 //	             [-json file] [-metrics file] [-pprof addr]
+//	             [-trace-sample f] [-trace-out trace.json]
+//	             [-slo-availability f] [-slo-latency f]
+//	             [-slo-latency-threshold d] [-log-level l] [-log-format f]
+//
+// With -trace-sample, sampled requests carry W3C traceparent headers the
+// daemon joins; -trace-out merges the client spans with every replica's
+// /v1/trace export into one Perfetto file. Each step is also graded
+// against availability/latency SLOs and the verdict printed per step.
 //
 // Routing "hash" keys on the canonical spec hash — the same hash the
 // daemon caches by — so every occurrence of a spec lands on one replica
@@ -34,6 +42,8 @@ import (
 
 	"lognic/internal/cli"
 	"lognic/internal/obs"
+	"lognic/internal/obs/olog"
+	"lognic/internal/obs/slo"
 	"lognic/internal/storm"
 )
 
@@ -56,13 +66,25 @@ func run(args []string, stdout, stderr *os.File) int {
 	jsonOut := fs.String("json", "", "write the JSON report here ('-' for stdout) in addition to the table")
 	metricsOut := fs.String("metrics", "", "write final metrics (Prometheus text format) to this file")
 	pprofAddr := fs.String("pprof", "", "serve /debug/pprof and live /metrics on this address while running")
+	traceSample := fs.Float64("trace-sample", 0, "fraction of requests that originate a W3C trace (1 traces everything)")
+	traceOut := fs.String("trace-out", "", "write the merged client+fleet Perfetto trace here (requires -trace-sample > 0)")
+	sloAvail := fs.Float64("slo-availability", 0.999, "availability objective for the run verdict (negative disables)")
+	sloLatency := fs.Float64("slo-latency", 0.99, "latency objective for the run verdict (negative disables)")
+	sloThreshold := fs.Duration("slo-latency-threshold", time.Second, "latency objective cutoff")
+	logOpts := olog.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	lg, err := logOpts.Logger(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	lg = lg.With(olog.KeyComponent, "storm")
 
 	rates, err := parseRates(*rps)
 	if err != nil {
-		fmt.Fprintf(stderr, "lognic-storm: %v\n", err)
+		olog.Fail(lg, "bad flags", "error", err.Error())
 		return 2
 	}
 	corpus, err := storm.BuildCorpus(storm.CorpusConfig{
@@ -72,7 +94,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		Seed:        *seed,
 	})
 	if err != nil {
-		fmt.Fprintf(stderr, "lognic-storm: %v\n", err)
+		olog.Fail(lg, "corpus build failed", "error", err.Error())
 		return 2
 	}
 
@@ -80,42 +102,72 @@ func run(args []string, stdout, stderr *os.File) int {
 	if *pprofAddr != "" {
 		ln, err := cli.StartDebugServer(*pprofAddr, reg)
 		if err != nil {
-			fmt.Fprintf(stderr, "lognic-storm: %v\n", err)
-			return 1
+			return olog.Fail(lg, "debug server failed", "error", err.Error())
 		}
 		defer ln.Close()
-		fmt.Fprintf(stderr, "lognic-storm: debug server on http://%s\n", ln.Addr())
+		lg.Info("debug server up", "addr", "http://"+ln.Addr().String())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := storm.Config{
-		Targets:  splitTargets(*targets),
-		Workers:  *workers,
-		Duration: *duration,
-		Routing:  *routing,
-		Corpus:   corpus,
-		Registry: reg,
+	var tracer *obs.Tracer
+	if *traceSample > 0 {
+		// Built here, not in storm.Run, so every sweep step shares one
+		// ring and the merged export covers the whole run.
+		tracer = obs.NewTracer(0)
+	} else if *traceOut != "" {
+		olog.Fail(lg, "-trace-out needs -trace-sample > 0")
+		return 2
 	}
-	fmt.Fprintf(stderr, "lognic-storm: %d targets, %d workers, %d-spec %s corpus, %d step(s) of %s\n",
-		len(cfg.Targets), cfg.Workers, len(corpus), *endpoint, len(rates), duration)
+	cfg := storm.Config{
+		Targets:     splitTargets(*targets),
+		Workers:     *workers,
+		Duration:    *duration,
+		Routing:     *routing,
+		Corpus:      corpus,
+		Registry:    reg,
+		TraceSample: *traceSample,
+		Tracer:      tracer,
+		SLO: slo.Config{
+			AvailabilityTarget: max(*sloAvail, 0),
+			LatencyTarget:      max(*sloLatency, 0),
+			LatencyThreshold:   *sloThreshold,
+		},
+	}
+	lg.Info("starting sweep",
+		"targets", len(cfg.Targets), "workers", cfg.Workers,
+		"corpus", len(corpus), "endpoint", *endpoint,
+		"steps", len(rates), "step_duration", duration.String(),
+		"trace_sample", *traceSample)
 
 	reports, err := storm.Sweep(ctx, cfg, rates)
 	if err != nil && len(reports) == 0 {
-		fmt.Fprintf(stderr, "lognic-storm: %v\n", err)
-		return 1
+		return olog.Fail(lg, "sweep failed", "error", err.Error())
 	}
 	if err != nil {
-		fmt.Fprintf(stderr, "lognic-storm: sweep interrupted after %d step(s): %v\n", len(reports), err)
+		lg.Warn("sweep interrupted", "completed_steps", len(reports), "error", err.Error())
 	}
 
 	fmt.Fprint(stdout, storm.Table(reports))
+	printVerdicts(stdout, reports)
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, stdout, reports); err != nil {
-			fmt.Fprintf(stderr, "lognic-storm: %v\n", err)
-			return 1
+			return olog.Fail(lg, "writing JSON report failed", "error", err.Error())
 		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = storm.WriteMergedTrace(f, tracer, cfg.Targets, cfg.Client)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return olog.Fail(lg, "writing merged trace failed", "error", err.Error())
+		}
+		lg.Info("merged trace written", "path", *traceOut)
 	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
@@ -126,8 +178,7 @@ func run(args []string, stdout, stderr *os.File) int {
 			}
 		}
 		if err != nil {
-			fmt.Fprintf(stderr, "lognic-storm: writing metrics: %v\n", err)
-			return 1
+			return olog.Fail(lg, "writing metrics failed", "error", err.Error())
 		}
 	}
 
@@ -137,10 +188,23 @@ func run(args []string, stdout, stderr *os.File) int {
 		completed += r.Completed
 	}
 	if completed == 0 {
-		fmt.Fprintln(stderr, "lognic-storm: no requests completed")
-		return 1
+		return olog.Fail(lg, "no requests completed")
 	}
 	return 0
+}
+
+// printVerdicts appends one SLO line per graded step to the table.
+func printVerdicts(stdout *os.File, reports []*storm.Report) {
+	for i, r := range reports {
+		if r.SLO == nil || len(r.SLO.Windows) == 0 {
+			continue
+		}
+		w := r.SLO.Windows[0]
+		fmt.Fprintf(stdout,
+			"slo step %d: verdict=%s availability=%.5f (burn %.2f) latency_compliance=%.5f (burn %.2f) traced=%d\n",
+			i+1, r.SLO.Verdict, w.Availability, w.AvailabilityBurn,
+			w.LatencyCompliance, w.LatencyBurn, r.Traced)
+	}
 }
 
 func splitTargets(s string) []string {

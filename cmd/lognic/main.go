@@ -40,15 +40,21 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"lognic/internal/cli"
+	"lognic/internal/obs/olog"
 )
 
 type knobList []string
 
 func (k *knobList) String() string     { return fmt.Sprint(*k) }
 func (k *knobList) Set(v string) error { *k = append(*k, v); return nil }
+
+// lg is the process logger; every fatal path exits through fatal() so
+// errors come out as structured records on one code path.
+var lg = olog.Discard()
 
 func main() {
 	if len(os.Args) > 1 && (os.Args[1] == "faults" || os.Args[1] == "trace" || os.Args[1] == "serve") {
@@ -60,7 +66,9 @@ func main() {
 	mixOut := flag.Bool("mix", false, "evaluate the spec's traffic mix (Extension #2)")
 	var knobs knobList
 	flag.Var(&knobs, "knob", "optimizer knob vertex.param=lo..hi (repeatable; param: parallelism|queue)")
+	logOpts := olog.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	lg = mustLogger(logOpts)
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: lognic [-json] [-sweep lo:hi:steps] model.json")
 		os.Exit(2)
@@ -97,6 +105,16 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lognic:", err)
-	os.Exit(1)
+	olog.Fatal(lg, "fatal error", olog.KeyComponent, "lognic", "error", err.Error())
+}
+
+// mustLogger builds the stderr logger from -log-level/-log-format; bad
+// values are a usage error.
+func mustLogger(opts *olog.Options) *slog.Logger {
+	l, err := opts.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lognic:", err)
+		os.Exit(2)
+	}
+	return l
 }

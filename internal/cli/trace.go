@@ -157,6 +157,9 @@ func StartDebugServer(addr string, reg *obs.Registry) (net.Listener, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	if reg != nil {
+		// Every binary's debug surface reports what build it is — the
+		// first question of any fleet investigation.
+		obs.RegisterBuildInfo(reg)
 		mux.Handle("/metrics", reg)
 	}
 	mux.HandleFunc("/runtime", func(w http.ResponseWriter, _ *http.Request) {

@@ -14,6 +14,8 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+
+	"lognic/internal/obs"
 )
 
 // ckptName maps a job id to its checkpoint filename. Job ids are hex
@@ -68,6 +70,7 @@ func (c *ckptSlot) Save(b []byte) {
 	c.m.mu.Lock()
 	degraded := c.m.degraded
 	dir := c.m.cfg.Dir
+	c.m.noteCheckpointLocked(c.id, len(b))
 	c.m.mu.Unlock()
 
 	if dir != "" && !degraded {
@@ -130,6 +133,31 @@ func (m *Manager) dropCheckpointLocked(j *job) {
 	}
 }
 
+// noteCheckpointLocked books one checkpoint save: a checkpoint event on
+// the job's feed and a point span under the running attempt. Caller
+// holds mu.
+func (m *Manager) noteCheckpointLocked(id string, bytes int) {
+	j := m.jobs[id]
+	if j == nil {
+		return
+	}
+	j.ckptSaves++
+	m.publishLocked(id, Event{Type: EventCheckpoint, State: j.state,
+		Attempt: j.attempts, Checkpoints: j.ckptSaves})
+	if m.cfg.Tracer != nil {
+		var traceID string
+		if tc, err := obs.ParseTraceparent(j.trace); err == nil {
+			traceID = tc.TraceID
+		}
+		m.cfg.Tracer.Emit(obs.Span{
+			Name: "checkpoint", Cat: "job",
+			Track: jobTrack(id), Start: m.cfg.SpanTime(), Dur: 0,
+			Args:    map[string]any{"job_id": id, "bytes": bytes},
+			TraceID: traceID, ParentID: j.attemptSpanID,
+		})
+	}
+}
+
 // MarkResumed records that an attempt restored a checkpoint (surfaced on
 // the Job snapshot and the resumed counter). Evaluators call it via the
 // manager reference they close over.
@@ -138,6 +166,9 @@ func (m *Manager) MarkResumed(id string) {
 	defer m.mu.Unlock()
 	if j := m.jobs[id]; j != nil && !j.resumed {
 		j.resumed = true
+		m.jobLogger(j).Info("attempt resumed from checkpoint", "attempt", j.attempts)
+		m.publishLocked(id, Event{Type: EventResumed, State: j.state,
+			Attempt: j.attempts, Resumed: true})
 	}
 	m.resumes.Inc()
 }

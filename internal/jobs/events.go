@@ -1,0 +1,273 @@
+package jobs
+
+// Live job event streaming. Every job carries an ordered event feed —
+// state transitions, attempt starts, backoff scheduling, checkpoint
+// saves, in-run progress frames, degradation — that lognic-serve exposes
+// as Server-Sent Events at GET /v1/jobs/{id}/events.
+//
+// Subscriptions buffer events in a bounded per-subscriber queue. A slow
+// consumer never blocks the manager and never stalls other subscribers:
+// when the queue fills, the oldest *droppable* frame (progress or
+// checkpoint — snapshots superseded by any later one) is evicted, while
+// state transitions, attempts, backoffs and the terminal result are
+// never dropped. Dropped counts are reported on the subscription so the
+// stream can disclose the gap.
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// EventType classifies job events.
+const (
+	// EventState is a lifecycle transition; the terminal one carries the
+	// result (succeeded) or error (failed/cancelled) and Terminal=true.
+	EventState = "state"
+	// EventAttempt marks an evaluation attempt starting.
+	EventAttempt = "attempt"
+	// EventBackoff marks a retry scheduled after a failed attempt.
+	EventBackoff = "backoff"
+	// EventProgress is a periodic in-run snapshot (events simulated,
+	// sim-time, checkpoints) fed from sim.Config.Progress. Droppable.
+	EventProgress = "progress"
+	// EventCheckpoint marks a checkpoint save. Droppable.
+	EventCheckpoint = "checkpoint"
+	// EventResumed marks an attempt restoring a checkpoint instead of
+	// starting over.
+	EventResumed = "resumed"
+	// EventDegraded reports the manager losing durability (broadcast to
+	// every subscriber).
+	EventDegraded = "degraded"
+)
+
+// Event is one entry in a job's event feed.
+type Event struct {
+	// Seq orders events across the whole manager; gaps in a stream mean
+	// dropped progress frames, never missed transitions.
+	Seq uint64 `json:"seq"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// JobID is the subject job.
+	JobID string `json:"job_id"`
+	// State is the job's lifecycle state after the event.
+	State State `json:"state,omitempty"`
+	// Attempt is the attempt count after the event.
+	Attempt int `json:"attempt,omitempty"`
+	// Error carries attempt or terminal failure detail.
+	Error string `json:"error,omitempty"`
+	// Resumed reports that some attempt restored a checkpoint.
+	Resumed bool `json:"resumed,omitempty"`
+	// RetryAt is the scheduled next attempt (backoff events).
+	RetryAt time.Time `json:"retry_at,omitempty"`
+	// Events, SimTime and Checkpoints are the progress snapshot.
+	Events      uint64  `json:"events,omitempty"`
+	SimTime     float64 `json:"sim_time,omitempty"`
+	Checkpoints uint64  `json:"checkpoints,omitempty"`
+	// Result is the serialized evaluation result (terminal success).
+	Result []byte `json:"result,omitempty"`
+	// Terminal marks the feed's final event; the stream ends after it.
+	Terminal bool `json:"terminal,omitempty"`
+}
+
+// droppable reports whether a full buffer may evict this event: only
+// snapshot-style frames a later frame supersedes.
+func (e Event) droppable() bool {
+	return e.Type == EventProgress || e.Type == EventCheckpoint
+}
+
+// DefaultSubscriptionBuffer bounds a subscription's queue when Subscribe
+// is called with buf <= 0.
+const DefaultSubscriptionBuffer = 64
+
+// Subscription is one subscriber's bounded event feed.
+// Lock order: Manager.mu may be held while taking Subscription.mu,
+// never the reverse.
+type Subscription struct {
+	m  *Manager
+	id string
+
+	mu      sync.Mutex
+	queue   []Event
+	max     int
+	closed  bool
+	dropped uint64
+	// notify has capacity 1: publishers make a non-blocking send, Next
+	// drains it. A slow consumer therefore costs publishers nothing.
+	notify chan struct{}
+}
+
+// Subscribe opens an event feed for a job and returns it with the job's
+// current snapshot (so the caller can render state-so-far before any new
+// event arrives). ok is false for unknown jobs.
+func (m *Manager) Subscribe(id string, buf int) (sub *Subscription, snap Job, ok bool) {
+	if buf <= 0 {
+		buf = DefaultSubscriptionBuffer
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, exists := m.jobs[id]
+	if !exists {
+		return nil, Job{}, false
+	}
+	sub = &Subscription{m: m, id: id, max: buf, notify: make(chan struct{}, 1)}
+	m.subs[id] = append(m.subs[id], sub)
+	return sub, j.snapshot(m.cfg.MaxAttempts), true
+}
+
+// Subscribers reports how many feeds are currently attached to a job —
+// the observable side of a client disconnecting mid-stream.
+func (m *Manager) Subscribers(id string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.subs[id])
+}
+
+// Next blocks until an event is available, the context ends, or the
+// subscription closes. It returns ok=false with the context's error on
+// cancellation and ok=false, nil error when the feed closed cleanly.
+func (s *Subscription) Next(ctx context.Context) (Event, bool, error) {
+	for {
+		s.mu.Lock()
+		if len(s.queue) > 0 {
+			e := s.queue[0]
+			s.queue = s.queue[1:]
+			s.mu.Unlock()
+			return e, true, nil
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return Event{}, false, nil
+		}
+		select {
+		case <-ctx.Done():
+			return Event{}, false, ctx.Err()
+		case <-s.notify:
+		}
+	}
+}
+
+// Dropped counts progress/checkpoint frames evicted because this
+// subscriber fell behind.
+func (s *Subscription) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Close detaches the subscription from the manager. Pending events stay
+// readable; Next returns ok=false once drained.
+func (s *Subscription) Close() {
+	s.m.mu.Lock()
+	subs := s.m.subs[s.id]
+	for i, other := range subs {
+		if other == s {
+			s.m.subs[s.id] = append(subs[:i], subs[i+1:]...)
+			break
+		}
+	}
+	if len(s.m.subs[s.id]) == 0 {
+		delete(s.m.subs, s.id)
+	}
+	s.m.mu.Unlock()
+	s.closeFeed()
+}
+
+// closeFeed marks the feed finished and wakes the reader.
+func (s *Subscription) closeFeed() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// push enqueues one event, evicting the oldest droppable frame when the
+// buffer is full. Non-droppable events always enter the queue: the
+// buffer can exceed max only by the handful of lifecycle events a job
+// can ever emit, so it stays bounded.
+func (s *Subscription) push(e Event) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if len(s.queue) >= s.max {
+		evicted := false
+		for i, old := range s.queue {
+			if old.droppable() {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				s.dropped++
+				evicted = true
+				break
+			}
+		}
+		if !evicted && e.droppable() {
+			// Queue full of must-deliver events: shed the new snapshot
+			// instead.
+			s.dropped++
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.queue = append(s.queue, e)
+	terminal := e.Terminal
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+	if terminal {
+		s.closeFeed()
+	}
+}
+
+// publishLocked fans one event out to the job's subscribers. Caller
+// holds m.mu. Terminal events close the feeds after delivery.
+func (m *Manager) publishLocked(id string, e Event) {
+	subs := m.subs[id]
+	if len(subs) == 0 && e.Type != EventDegraded {
+		return
+	}
+	m.eventSeq++
+	e.Seq = m.eventSeq
+	e.JobID = id
+	if j := m.jobs[id]; j != nil {
+		e.Resumed = e.Resumed || j.resumed
+	}
+	for _, sub := range subs {
+		sub.push(e)
+	}
+	if e.Terminal {
+		delete(m.subs, id)
+	}
+}
+
+// broadcastLocked sends an event to every subscriber of every job —
+// manager-wide conditions like durability loss. Caller holds m.mu.
+func (m *Manager) broadcastLocked(e Event) {
+	for id, subs := range m.subs {
+		m.eventSeq++
+		out := e
+		out.Seq = m.eventSeq
+		out.JobID = id
+		for _, sub := range subs {
+			sub.push(out)
+		}
+	}
+}
+
+// Progress publishes an in-run progress frame for a running job.
+// lognic-serve wires sim.Config.Progress here (throttled to a sane
+// wall-clock cadence).
+func (m *Manager) Progress(id string, events uint64, simTime float64, checkpoints uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.publishLocked(id, Event{
+		Type: EventProgress, State: StateRunning,
+		Events: events, SimTime: simTime, Checkpoints: checkpoints,
+	})
+}

@@ -1,0 +1,182 @@
+package jobs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// drainUntilTerminal reads the subscription until the terminal event or
+// the feed closes, returning every event seen.
+func drainUntilTerminal(t *testing.T, sub *Subscription) []Event {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var out []Event
+	for {
+		e, ok, err := sub.Next(ctx)
+		if !ok {
+			if err != nil {
+				t.Fatalf("Next: %v (got %d events)", err, len(out))
+			}
+			return out
+		}
+		out = append(out, e)
+		if e.Terminal {
+			return out
+		}
+	}
+}
+
+// A slow consumer's bounded queue sheds the oldest progress frames but
+// never a state transition, and reports exactly what it shed.
+func TestSubscriptionDropsOldestProgressNeverState(t *testing.T) {
+	release := make(chan struct{})
+	m := newTestManager(t, "", func(ctx context.Context, id, kind string, body []byte, ck CheckpointStore) ([]byte, error) {
+		<-release
+		return []byte("done"), nil
+	})
+	if _, isNew, err := m.Submit("estimate", "slowsub", []byte("x")); err != nil || !isNew {
+		t.Fatalf("Submit: isNew=%v err=%v", isNew, err)
+	}
+	waitState(t, m, "slowsub", StateRunning)
+
+	const buf = 4
+	sub, snap, ok := m.Subscribe("slowsub", buf)
+	if !ok || snap.State != StateRunning {
+		t.Fatalf("Subscribe: ok=%v snap=%+v", ok, snap)
+	}
+	defer sub.Close()
+
+	// 20 progress frames into a queue of 4: the 16 oldest are evicted
+	// while the consumer sleeps.
+	const frames = 20
+	for i := 0; i < frames; i++ {
+		m.Progress("slowsub", uint64(i+1), float64(i+1), 0)
+	}
+	// The terminal state event must enter even though the queue is full —
+	// it evicts one more progress frame.
+	close(release)
+	waitState(t, m, "slowsub", StateSucceeded)
+
+	events := drainUntilTerminal(t, sub)
+	last := events[len(events)-1]
+	if last.Type != EventState || last.State != StateSucceeded || !last.Terminal {
+		t.Fatalf("final event %+v, want terminal succeeded state", last)
+	}
+	if string(last.Result) != "done" {
+		t.Fatalf("terminal result %q", last.Result)
+	}
+	wantDropped := uint64(frames - buf + 1)
+	if got := sub.Dropped(); got != wantDropped {
+		t.Fatalf("Dropped() = %d, want %d", got, wantDropped)
+	}
+	// The surviving progress frames are the newest, still in order.
+	var progress []Event
+	for _, e := range events {
+		if e.Type == EventProgress {
+			progress = append(progress, e)
+		}
+	}
+	if len(progress) != buf-1 {
+		t.Fatalf("%d progress frames survived, want %d", len(progress), buf-1)
+	}
+	for i, p := range progress {
+		if want := uint64(frames - (buf - 1) + i + 1); p.Events != want {
+			t.Fatalf("progress[%d].Events = %d, want %d (oldest-first eviction)", i, p.Events, want)
+		}
+	}
+	// Seq must be strictly increasing across the survivors.
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("seq not increasing: %d then %d", events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+// With the smallest possible buffer the terminal transition still
+// displaces a queued snapshot rather than being lost.
+func TestSubscriptionTerminalDisplacesProgress(t *testing.T) {
+	release := make(chan struct{})
+	m := newTestManager(t, "", func(ctx context.Context, id, kind string, body []byte, ck CheckpointStore) ([]byte, error) {
+		<-release
+		return []byte("r"), nil
+	})
+	m.Submit("estimate", "tiny", []byte("x"))
+	waitState(t, m, "tiny", StateRunning)
+	sub, _, ok := m.Subscribe("tiny", 1)
+	if !ok {
+		t.Fatal("Subscribe failed")
+	}
+	defer sub.Close()
+	m.Progress("tiny", 1, 0.5, 0)
+	close(release)
+	waitState(t, m, "tiny", StateSucceeded)
+
+	events := drainUntilTerminal(t, sub)
+	if len(events) != 1 || !events[0].Terminal || events[0].State != StateSucceeded {
+		t.Fatalf("events %+v, want exactly the terminal state", events)
+	}
+	if sub.Dropped() != 1 {
+		t.Fatalf("Dropped() = %d, want 1 (the displaced progress frame)", sub.Dropped())
+	}
+}
+
+// Close detaches the subscriber from the manager; pending events stay
+// readable and Next reports a clean end once drained.
+func TestSubscriptionCloseDetaches(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	m := newTestManager(t, "", func(ctx context.Context, id, kind string, body []byte, ck CheckpointStore) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	m.Submit("estimate", "bye", []byte("x"))
+	waitState(t, m, "bye", StateRunning)
+	sub, _, _ := m.Subscribe("bye", 8)
+	if got := m.Subscribers("bye"); got != 1 {
+		t.Fatalf("Subscribers = %d, want 1", got)
+	}
+	m.Progress("bye", 7, 1, 0)
+	sub.Close()
+	if got := m.Subscribers("bye"); got != 0 {
+		t.Fatalf("Subscribers after Close = %d, want 0", got)
+	}
+	// Events published after Close never arrive.
+	m.Progress("bye", 8, 2, 0)
+
+	ctx := context.Background()
+	e, ok, err := sub.Next(ctx)
+	if !ok || err != nil || e.Events != 7 {
+		t.Fatalf("pending event after Close: %+v ok=%v err=%v", e, ok, err)
+	}
+	if _, ok, err := sub.Next(ctx); ok || err != nil {
+		t.Fatalf("drained feed: ok=%v err=%v, want clean close", ok, err)
+	}
+}
+
+func TestSubscriptionNextContextCancel(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	m := newTestManager(t, "", func(ctx context.Context, id, kind string, body []byte, ck CheckpointStore) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	m.Submit("estimate", "ctx", []byte("x"))
+	sub, _, _ := m.Subscribe("ctx", 8)
+	defer sub.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok, err := sub.Next(ctx); ok || err != context.Canceled {
+		t.Fatalf("Next on canceled ctx: ok=%v err=%v, want canceled", ok, err)
+	}
+}
+
+func TestSubscribeUnknownJob(t *testing.T) {
+	m := newTestManager(t, "", func(ctx context.Context, id, kind string, body []byte, ck CheckpointStore) ([]byte, error) {
+		return nil, nil
+	})
+	if _, _, ok := m.Subscribe("nope", 0); ok {
+		t.Fatal("Subscribe to an unknown job must report ok=false")
+	}
+}

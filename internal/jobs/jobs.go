@@ -97,6 +97,9 @@ type record struct {
 	Error string `json:"error,omitempty"`
 	// Attempts is the attempt count after the recorded event.
 	Attempts int `json:"attempts,omitempty"`
+	// Trace is the submitting request's traceparent header (submit
+	// records), so post-crash attempts rejoin the originating trace.
+	Trace string `json:"trace,omitempty"`
 	// Unix is the event's wall-clock time in nanoseconds, informational.
 	Unix int64 `json:"unix,omitempty"`
 }

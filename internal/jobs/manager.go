@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"log/slog"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -13,6 +15,7 @@ import (
 	"time"
 
 	"lognic/internal/obs"
+	"lognic/internal/obs/olog"
 )
 
 // EvalFunc executes one evaluation attempt. id, kind and body are the
@@ -54,6 +57,17 @@ type Config struct {
 	Evaluate EvalFunc
 	// Registry receives job metrics (default: a fresh registry).
 	Registry *obs.Registry
+	// Logger receives the manager's structured log records (default:
+	// discard). Job-scoped records carry the job_id attribute.
+	Logger *slog.Logger
+	// Tracer, when set, receives attempt/backoff/checkpoint spans so a
+	// job's execution shows up in the merged Perfetto export alongside
+	// the serve request and sim vertex spans.
+	Tracer *obs.Tracer
+	// SpanTime supplies span timestamps in seconds; lognic-serve passes
+	// its request-span clock so job and request spans share one timeline.
+	// Default: seconds since the manager was built.
+	SpanTime func() float64
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -74,6 +88,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = olog.Discard()
 	}
 	return c, nil
 }
@@ -103,6 +120,14 @@ type job struct {
 	// memCkpt is the in-memory checkpoint fallback (degraded mode, or
 	// memory-only managers).
 	memCkpt []byte
+	// trace is the originating request's traceparent header, journaled so
+	// attempts after a crash still join the submitter's trace.
+	trace string
+	// attemptSpanID is the current attempt's span id while running, the
+	// parent for checkpoint spans saved during the attempt.
+	attemptSpanID string
+	// ckptSaves counts checkpoint saves for this job in this process.
+	ckptSaves uint64
 }
 
 // Manager runs the job subsystem.
@@ -119,6 +144,13 @@ type Manager struct {
 	closed   bool
 	started  bool
 	rng      *rand.Rand
+
+	// subscriptions: job id → live event feeds (events.go).
+	subs     map[string][]*Subscription
+	eventSeq uint64
+
+	// spanEpoch anchors the default SpanTime clock.
+	spanEpoch time.Time
 
 	closeCtx  context.Context
 	closeStop context.CancelFunc
@@ -145,10 +177,15 @@ func NewManager(cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	m := &Manager{
-		cfg:    cfg,
-		jobs:   map[string]*job{},
-		timers: map[*time.Timer]struct{}{},
-		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		cfg:       cfg,
+		jobs:      map[string]*job{},
+		timers:    map[*time.Timer]struct{}{},
+		subs:      map[string][]*Subscription{},
+		spanEpoch: time.Now(),
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	if m.cfg.SpanTime == nil {
+		m.cfg.SpanTime = func() float64 { return time.Since(m.spanEpoch).Seconds() }
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.closeCtx, m.closeStop = context.WithCancel(context.Background())
@@ -235,6 +272,7 @@ func (m *Manager) replayLocked(records [][]byte) {
 			j.result = nil
 			j.errMsg = ""
 			j.userCancelled = false
+			j.trace = r.Trace
 		case "attempt":
 			if j != nil {
 				j.attempts = r.Attempts
@@ -304,7 +342,9 @@ func (m *Manager) degradeLocked(err error) {
 		m.journal.Close()
 		m.journal = nil
 	}
-	fmt.Fprintf(os.Stderr, "lognic-jobs: DEGRADED to memory-only mode: %v\n", err)
+	m.cfg.Logger.Error("degraded to memory-only mode: durability lost until restart",
+		olog.KeyComponent, "jobs", "error", err.Error())
+	m.broadcastLocked(Event{Type: EventDegraded, Error: err.Error()})
 }
 
 // Degraded reports whether a durability failure forced memory-only mode.
@@ -339,6 +379,14 @@ func (j *job) snapshot(maxAttempts int) Job {
 // case the submission reopens it with a fresh attempt budget. isNew
 // reports whether this call enqueued work.
 func (m *Manager) Submit(kind, id string, body []byte) (snap Job, isNew bool, err error) {
+	return m.SubmitTrace(kind, id, body, "")
+}
+
+// SubmitTrace is Submit carrying the originating request's traceparent
+// header: attempts run inside the submitter's distributed trace, and the
+// header is journaled so even post-crash attempts rejoin it. Coalesced
+// submissions keep the first submitter's trace.
+func (m *Manager) SubmitTrace(kind, id string, body []byte, traceparent string) (snap Job, isNew bool, err error) {
 	if kind == "" || id == "" {
 		return Job{}, false, errors.New("jobs: submit needs a kind and an id")
 	}
@@ -367,11 +415,30 @@ func (m *Manager) Submit(kind, id string, body []byte) (snap Job, isNew bool, er
 	j.userCancelled = false
 	j.finished = time.Time{}
 	j.retryAt = time.Time{}
+	j.trace = traceparent
 	m.submitted.Inc()
-	m.appendLocked(record{Type: "submit", ID: id, Kind: kind, Body: body})
+	m.appendLocked(record{Type: "submit", ID: id, Kind: kind, Body: body, Trace: traceparent})
 	m.enqueueLocked(id)
 	m.refreshStateGauges()
+	m.jobLogger(j).Info("job submitted", "kind", kind, "state", StateQueued)
+	m.publishLocked(id, Event{Type: EventState, State: StateQueued})
 	return j.snapshot(m.cfg.MaxAttempts), true, nil
+}
+
+// jobLogger tags the configured logger with one job's identity.
+func (m *Manager) jobLogger(j *job) *slog.Logger {
+	l := olog.WithJob(m.cfg.Logger, j.id).With(olog.KeyComponent, "jobs")
+	if tc, err := obs.ParseTraceparent(j.trace); err == nil {
+		l = l.With(olog.KeyTraceID, tc.TraceID)
+	}
+	return l
+}
+
+// jobTrack maps a job id to a span track.
+func jobTrack(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
 }
 
 // Get returns a job snapshot.
@@ -406,6 +473,8 @@ func (m *Manager) Cancel(id string) (Job, bool) {
 		j.state = StateCancelled
 		j.finished = time.Now()
 		m.dropCheckpointLocked(j)
+		m.jobLogger(j).Info("job cancelled", "state", StateCancelled)
+		m.publishLocked(id, Event{Type: EventState, State: StateCancelled, Terminal: true})
 	}
 	m.refreshStateGauges()
 	return j.snapshot(m.cfg.MaxAttempts), true
@@ -478,12 +547,30 @@ func (m *Manager) runAttempt(id string) {
 	ctx, cancel := context.WithCancel(m.closeCtx)
 	j.cancel = cancel
 	kind, body := j.kind, j.body
+	attempt := j.attempts
+	log := m.jobLogger(j)
+	// Mint the attempt's trace position: a child span of the submitting
+	// request, carried on the attempt context so the evaluator (and the
+	// simulator under it) parent their spans here. Ids come from
+	// crypto/rand — never simulator randomness.
+	var attemptTC obs.TraceContext
+	var parentSpan string
+	if tc, terr := obs.ParseTraceparent(j.trace); terr == nil {
+		parentSpan = tc.SpanID
+		attemptTC = tc.Child()
+		j.attemptSpanID = attemptTC.SpanID
+		ctx = obs.ContextWithTrace(ctx, attemptTC)
+	}
 	m.evals.Inc()
 	m.refreshStateGauges()
+	log.Info("attempt starting", "attempt", attempt, "kind", kind)
+	m.publishLocked(id, Event{Type: EventAttempt, State: StateRunning, Attempt: attempt})
 	m.mu.Unlock()
 
+	attemptStart := m.cfg.SpanTime()
 	result, err := m.cfg.Evaluate(ctx, id, kind, body, &ckptSlot{m: m, id: id})
 	cancel()
+	attemptEnd := m.cfg.SpanTime()
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -491,6 +578,17 @@ func (m *Manager) runAttempt(id string) {
 		return // resubmitted out from under us; the new incarnation owns the state
 	}
 	j.cancel = nil
+	j.attemptSpanID = ""
+	outcome := "ok"
+	if err != nil {
+		outcome = err.Error()
+	}
+	m.emitSpanLocked(j, obs.Span{
+		Name: fmt.Sprintf("attempt %d", attempt), Cat: "job",
+		Track: jobTrack(id), Start: attemptStart, Dur: attemptEnd - attemptStart,
+		Args:    map[string]any{"job_id": id, "kind": kind, "attempt": attempt, "outcome": outcome},
+		TraceID: attemptTC.TraceID, SpanID: attemptTC.SpanID, ParentID: parentSpan,
+	})
 	switch {
 	case err == nil:
 		j.state = StateSucceeded
@@ -499,21 +597,32 @@ func (m *Manager) runAttempt(id string) {
 		j.finished = time.Now()
 		m.appendLocked(record{Type: "done", ID: id, Result: result, Attempts: j.attempts})
 		m.dropCheckpointLocked(j)
+		log.Info("job succeeded", "attempt", attempt, "result_bytes", len(result))
+		m.publishLocked(id, Event{Type: EventState, State: StateSucceeded, Attempt: attempt,
+			Result: result, Terminal: true})
 	case j.userCancelled:
 		j.state = StateCancelled
 		j.finished = time.Now()
 		m.dropCheckpointLocked(j) // the cancel record was journaled in Cancel
+		log.Info("job cancelled mid-attempt", "attempt", attempt)
+		m.publishLocked(id, Event{Type: EventState, State: StateCancelled, Attempt: attempt,
+			Terminal: true})
 	case m.closed || m.closeCtx.Err() != nil:
 		// Shutdown interrupted the attempt: leave the job queued with the
 		// attempt uncounted, exactly like a crash, so a restart resumes it.
 		j.state = StateQueued
 		j.attempts--
+		m.publishLocked(id, Event{Type: EventState, State: StateQueued, Error: "shutdown"})
 	case j.attempts >= m.cfg.MaxAttempts:
 		j.state = StateFailed
 		j.errMsg = err.Error()
 		j.finished = time.Now()
 		m.appendLocked(record{Type: "fail", ID: id, Error: err.Error(), Attempts: j.attempts})
 		m.dropCheckpointLocked(j)
+		log.Error("job failed: attempt budget exhausted",
+			"attempt", attempt, "max_attempts", m.cfg.MaxAttempts, "error", err.Error())
+		m.publishLocked(id, Event{Type: EventState, State: StateFailed, Attempt: attempt,
+			Error: err.Error(), Terminal: true})
 	default:
 		// Retry with capped exponential backoff + jitter. The job shows
 		// as queued (with the last error) while it waits.
@@ -523,6 +632,16 @@ func (m *Manager) runAttempt(id string) {
 		m.retries.Inc()
 		d := m.backoffLocked(j.attempts)
 		j.retryAt = time.Now().Add(d)
+		log.Warn("attempt failed; retry scheduled",
+			"attempt", attempt, "error", err.Error(), "retry_in", d.String())
+		m.publishLocked(id, Event{Type: EventBackoff, State: StateQueued, Attempt: attempt,
+			Error: err.Error(), RetryAt: j.retryAt})
+		m.emitSpanLocked(j, obs.Span{
+			Name: "backoff", Cat: "job",
+			Track: jobTrack(id), Start: attemptEnd, Dur: d.Seconds(),
+			Args:    map[string]any{"job_id": id, "attempt": attempt},
+			TraceID: attemptTC.TraceID, ParentID: parentSpan,
+		})
 		var tm *time.Timer
 		tm = time.AfterFunc(d, func() {
 			m.mu.Lock()
@@ -539,6 +658,16 @@ func (m *Manager) runAttempt(id string) {
 		m.timers[tm] = struct{}{}
 	}
 	m.refreshStateGauges()
+}
+
+// emitSpanLocked hands a span to the configured tracer, if any. Spans
+// with no trace identity (the job was submitted without a traceparent)
+// are still emitted — they render on the job's track, just unlinked.
+func (m *Manager) emitSpanLocked(j *job, s obs.Span) {
+	if m.cfg.Tracer == nil {
+		return
+	}
+	m.cfg.Tracer.Emit(s)
 }
 
 // backoffLocked computes the delay before retry attempt n+1: the capped

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo reports the running binary's identity from the build metadata
+// the Go linker embeds: module version, toolchain version and VCS
+// revision. Fields that the build did not record (e.g. `go run` without
+// VCS stamping) come back as "unknown".
+func BuildInfo() (version, goVersion, revision string) {
+	version, goVersion, revision = "unknown", runtime.Version(), "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, goVersion, revision
+	}
+	if v := bi.Main.Version; v != "" {
+		version = v
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+			if len(revision) > 12 {
+				revision = revision[:12]
+			}
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty && revision != "unknown" {
+		revision += "-dirty"
+	}
+	return version, goVersion, revision
+}
+
+// RegisterBuildInfo registers the lognic_build_info gauge: constant 1,
+// with the binary's identity as labels — the standard Prometheus idiom
+// for joining version metadata onto any other series. Every binary's
+// debug server and lognic-serve's registry call this once at startup.
+func RegisterBuildInfo(reg *Registry) {
+	version, goVersion, revision := BuildInfo()
+	reg.Gauge("lognic_build_info",
+		"build identity of the running binary; the value is always 1",
+		Labels{"version": version, "go_version": goVersion, "revision": revision}).Set(1)
+}

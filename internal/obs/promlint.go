@@ -1,0 +1,354 @@
+package obs
+
+// A self-contained linter for the Prometheus text exposition format
+// (version 0.0.4) — the checks promtool would run, without the
+// dependency. The exposition-format regression test scrapes
+// Registry.WritePrometheus through this, so a change that breaks
+// HELP/TYPE ordering, label escaping or histogram invariants fails the
+// build instead of a production scrape.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// lintFamily accumulates what the linter learned about one family.
+type lintFamily struct {
+	typ      string
+	helpSeen bool
+	typeSeen bool
+	samples  bool
+	closed   bool // a different family started after this one
+	// histogram bookkeeping, keyed by the series' labels minus "le"
+	buckets map[string][]bucketSample
+	sums    map[string]bool
+	counts  map[string]float64
+}
+
+type bucketSample struct {
+	le    float64
+	value float64
+}
+
+// LintExposition validates a Prometheus text-format payload and returns
+// every violation found. It checks:
+//
+//   - line grammar: HELP/TYPE comments, samples `name{labels} value`
+//   - metric and label names against the Prometheus charset
+//   - label values quoted with only \\, \" and \n escapes
+//   - HELP before TYPE, TYPE before samples, one contiguous block per
+//     family (no interleaving, no re-opening)
+//   - counter samples are non-negative and never NaN
+//   - histogram families expand to _bucket/_sum/_count, bucket counts
+//     are cumulative (non-decreasing in le), an le="+Inf" bucket exists
+//     and equals _count
+//
+// A nil return means the payload is clean.
+func LintExposition(data []byte) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+	fams := map[string]*lintFamily{}
+	current := ""
+	open := func(line int, name string) *lintFamily {
+		f := fams[name]
+		if f == nil {
+			f = &lintFamily{buckets: map[string][]bucketSample{}, sums: map[string]bool{}, counts: map[string]float64{}}
+			fams[name] = f
+		}
+		if name != current {
+			if f.closed {
+				fail(line, "family %q reopened: all of a family's lines must be contiguous", name)
+			}
+			if cf := fams[current]; cf != nil {
+				cf.closed = true
+			}
+			current = name
+		}
+		return f
+	}
+
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := i + 1
+		if raw == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(raw, "# HELP "):
+			rest := raw[len("# HELP "):]
+			name, _, _ := strings.Cut(rest, " ")
+			if !validName(name) {
+				fail(line, "HELP for invalid metric name %q", name)
+				continue
+			}
+			f := open(line, name)
+			if f.helpSeen {
+				fail(line, "duplicate HELP for %q", name)
+			}
+			if f.typeSeen || f.samples {
+				fail(line, "HELP for %q after its TYPE or samples", name)
+			}
+			f.helpSeen = true
+		case strings.HasPrefix(raw, "# TYPE "):
+			fields := strings.Fields(raw[len("# TYPE "):])
+			if len(fields) != 2 {
+				fail(line, "malformed TYPE line %q", raw)
+				continue
+			}
+			name, typ := fields[0], fields[1]
+			if !validName(name) {
+				fail(line, "TYPE for invalid metric name %q", name)
+				continue
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				fail(line, "unknown TYPE %q for %q", typ, name)
+			}
+			f := open(line, name)
+			if f.typeSeen {
+				fail(line, "duplicate TYPE for %q", name)
+			}
+			if f.samples {
+				fail(line, "TYPE for %q after its samples", name)
+			}
+			f.typeSeen = true
+			f.typ = typ
+		case strings.HasPrefix(raw, "#"):
+			// Free-form comment: legal anywhere.
+		default:
+			name, labels, value, err := parseSample(raw)
+			if err != nil {
+				fail(line, "%v", err)
+				continue
+			}
+			famName, sub := sampleFamily(name, fams)
+			f := fams[famName]
+			if f == nil || !f.typeSeen {
+				fail(line, "sample %q without a preceding TYPE", name)
+				continue
+			}
+			open(line, famName)
+			f.samples = true
+			switch f.typ {
+			case "counter":
+				if math.IsNaN(value) || value < 0 {
+					fail(line, "counter %q sample %v (must be a non-negative number)", name, value)
+				}
+				if sub != "" {
+					fail(line, "counter family %q has suffixed sample %q", famName, name)
+				}
+			case "histogram":
+				key := labelKeyWithout(labels, "le")
+				switch sub {
+				case "_bucket":
+					le, ok := labels["le"]
+					if !ok {
+						fail(line, "histogram bucket %q missing le label", name)
+						continue
+					}
+					b, err := parseFloatProm(le)
+					if err != nil {
+						fail(line, "histogram bucket %q has unparseable le=%q", name, le)
+						continue
+					}
+					f.buckets[key] = append(f.buckets[key], bucketSample{le: b, value: value})
+				case "_sum":
+					f.sums[key] = true
+				case "_count":
+					f.counts[key] = value
+				default:
+					fail(line, "histogram family %q has non-histogram sample %q", famName, name)
+				}
+			default:
+				if sub != "" {
+					fail(line, "family %q has suffixed sample %q", famName, name)
+				}
+			}
+		}
+	}
+
+	// Per-series histogram invariants.
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if f.typ != "histogram" || !f.samples {
+			continue
+		}
+		for key, buckets := range f.buckets {
+			loc := fmt.Sprintf("histogram %s{%s}", n, key)
+			last := math.Inf(-1)
+			lastCount := -1.0
+			hasInf := false
+			for _, b := range buckets {
+				if b.le <= last {
+					errs = append(errs, fmt.Errorf("%s: bucket bounds not strictly increasing at le=%v", loc, b.le))
+				}
+				last = b.le
+				if b.value < lastCount {
+					errs = append(errs, fmt.Errorf("%s: bucket counts not cumulative at le=%v", loc, b.le))
+				}
+				lastCount = b.value
+				if math.IsInf(b.le, 1) {
+					hasInf = true
+					if c, ok := f.counts[key]; ok && b.value != c {
+						errs = append(errs, fmt.Errorf("%s: le=+Inf bucket %v != _count %v", loc, b.value, c))
+					}
+				}
+			}
+			if !hasInf {
+				errs = append(errs, fmt.Errorf("%s: missing le=+Inf bucket", loc))
+			}
+			if !f.sums[key] {
+				errs = append(errs, fmt.Errorf("%s: missing _sum", loc))
+			}
+			if _, ok := f.counts[key]; !ok {
+				errs = append(errs, fmt.Errorf("%s: missing _count", loc))
+			}
+		}
+	}
+	return errs
+}
+
+// sampleFamily resolves a sample name to its family: either an exact
+// family name, or a histogram family plus a _bucket/_sum/_count suffix.
+func sampleFamily(name string, fams map[string]*lintFamily) (family, suffix string) {
+	if f, ok := fams[name]; ok && f.typ != "" {
+		return name, ""
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		if f, ok := fams[base]; ok && (f.typ == "histogram" || f.typ == "summary") {
+			return base, suf
+		}
+	}
+	return name, ""
+}
+
+// parseSample splits one sample line into name, labels and value.
+func parseSample(line string) (name string, labels Labels, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	labels = Labels{}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if rest == "" {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
+			}
+			lname := strings.TrimSpace(rest[:eq])
+			if !validName(lname) || strings.Contains(lname, ":") {
+				return "", nil, 0, fmt.Errorf("invalid label name %q in %q", lname, line)
+			}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			val, remainder, verr := parseQuoted(rest)
+			if verr != nil {
+				return "", nil, 0, fmt.Errorf("%v in %q", verr, line)
+			}
+			labels[lname] = val
+			rest = remainder
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			}
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", nil, 0, fmt.Errorf("malformed value in %q", line)
+	}
+	value, err = parseFloatProm(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q in %q", fields[0], line)
+	}
+	return name, labels, value, nil
+}
+
+// parseQuoted consumes a double-quoted label value allowing exactly the
+// exposition format's escapes: \\, \" and \n.
+func parseQuoted(s string) (value, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling backslash")
+			}
+			switch s[i+1] {
+			case '\\', '"':
+				b.WriteByte(s[i+1])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("illegal escape \\%c", s[i+1])
+			}
+			i++
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\n':
+			return "", "", fmt.Errorf("raw newline in label value")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// parseFloatProm parses a sample or le value, accepting the exposition
+// spellings of the non-finite values.
+func parseFloatProm(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// labelKeyWithout renders labels canonically, excluding one name —
+// histogram series identity ignores "le".
+func labelKeyWithout(l Labels, drop string) string {
+	if len(l) == 0 {
+		return ""
+	}
+	cp := Labels{}
+	for k, v := range l {
+		if k != drop {
+			cp[k] = v
+		}
+	}
+	return labelKey(cp)
+}

@@ -49,6 +49,14 @@ type Span struct {
 	// Args carries extra key/value detail (packet size, drop reason, the
 	// downstream vertex of a transfer).
 	Args map[string]any `json:"args,omitempty"`
+	// TraceID, SpanID and ParentID place the span in a distributed trace
+	// (W3C Trace Context identifiers; see traceparent.go). They are
+	// optional: single-process simulator runs leave them empty, while the
+	// serving fleet stamps them so a merged export links client, server,
+	// job and simulation spans into one tree.
+	TraceID  string `json:"trace_id,omitempty"`
+	SpanID   string `json:"span_id,omitempty"`
+	ParentID string `json:"parent_id,omitempty"`
 }
 
 // Tracer retains spans in a fixed-capacity ring buffer. The zero value is
@@ -157,10 +165,28 @@ func (t *Tracer) WriteChromeTrace(w io.Writer, processName string) error {
 		trace.OtherData = map[string]any{"dropped_spans": t.Dropped()}
 	}
 	for _, s := range spans {
+		args := s.Args
+		// Distributed-trace identity rides in args so Perfetto shows it on
+		// span click and jq can group a merged export by trace id.
+		if s.TraceID != "" || s.SpanID != "" || s.ParentID != "" {
+			args = make(map[string]any, len(s.Args)+3)
+			for k, v := range s.Args {
+				args[k] = v
+			}
+			if s.TraceID != "" {
+				args["trace_id"] = s.TraceID
+			}
+			if s.SpanID != "" {
+				args["span_id"] = s.SpanID
+			}
+			if s.ParentID != "" {
+				args["parent_span_id"] = s.ParentID
+			}
+		}
 		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
 			Name: s.Name, Cat: s.Cat, Ph: "X",
 			TS: s.Start * 1e6, Dur: s.Dur * 1e6,
-			PID: 1, TID: s.Track, Args: s.Args,
+			PID: 1, TID: s.Track, Args: args,
 		})
 	}
 	return json.NewEncoder(w).Encode(trace)

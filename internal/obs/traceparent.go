@@ -1,0 +1,151 @@
+package obs
+
+// Cross-process trace identity, carried between lognic-storm, lognic-serve
+// and the simulator as a W3C Trace Context "traceparent" header
+// (https://www.w3.org/TR/trace-context/):
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-span-id>-<2 hex flags>
+//
+// The client (lognic-storm, or any curl) originates a trace id; each hop
+// mints a child span id under the same trace id and records the hop it
+// came from as the parent. Because every span carries the trace id, a
+// merged Chrome trace export renders client request, server request, job
+// attempt and simulator vertex spans as one causally-linked tree.
+//
+// Identifiers come from crypto/rand, never from simulator RNG streams:
+// trace propagation must not perturb simulation results.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceContext is one position in a distributed trace: the trace the
+// request belongs to and the span identifying this hop.
+type TraceContext struct {
+	// TraceID is 32 lowercase hex characters, non-zero.
+	TraceID string
+	// SpanID is 16 lowercase hex characters, non-zero: the id of the
+	// current hop's span (the parent-id field when rendered as a
+	// traceparent header for the next hop).
+	SpanID string
+	// Sampled mirrors the header's sampled flag bit.
+	Sampled bool
+}
+
+// Valid reports whether both identifiers are well-formed and non-zero.
+func (tc TraceContext) Valid() bool {
+	return validHexID(tc.TraceID, 32) && validHexID(tc.SpanID, 16)
+}
+
+// Traceparent renders the context as a version-00 traceparent header
+// value.
+func (tc TraceContext) Traceparent() string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-" + flags
+}
+
+// Child returns a context in the same trace with a freshly minted span
+// id — the span the receiving hop owns, parented (by the caller) on
+// tc.SpanID.
+func (tc TraceContext) Child() TraceContext {
+	return TraceContext{TraceID: tc.TraceID, SpanID: NewSpanID(), Sampled: tc.Sampled}
+}
+
+// NewTraceContext mints a fresh sampled trace root: new trace id, new
+// span id.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: newHexID(16), SpanID: NewSpanID(), Sampled: true}
+}
+
+// NewSpanID mints a random 16-hex-char span id.
+func NewSpanID() string { return newHexID(8) }
+
+// ParseTraceparent parses a traceparent header value. Unknown versions
+// are accepted if the version-00 fields parse (per spec, forward
+// compatibility); malformed or all-zero ids are errors.
+func ParseTraceparent(h string) (TraceContext, error) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: want version-traceid-parentid-flags", h)
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || !isHex(version) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: bad version", h)
+	}
+	if version == "ff" {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: forbidden version ff", h)
+	}
+	if !validHexID(traceID, 32) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: bad trace-id", h)
+	}
+	if !validHexID(spanID, 16) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: bad parent-id", h)
+	}
+	if len(flags) != 2 || !isHex(flags) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: bad flags", h)
+	}
+	var b byte
+	fmt.Sscanf(flags, "%02x", &b)
+	return TraceContext{TraceID: traceID, SpanID: spanID, Sampled: b&1 == 1}, nil
+}
+
+// newHexID returns 2n lowercase hex chars of crypto/rand entropy,
+// guaranteed non-zero.
+func newHexID(n int) string {
+	buf := make([]byte, n)
+	for {
+		if _, err := rand.Read(buf); err != nil {
+			// crypto/rand never fails on supported platforms; if it somehow
+			// does, a constant non-zero id keeps tracing functional.
+			for i := range buf {
+				buf[i] = 0xab
+			}
+		}
+		for _, c := range buf {
+			if c != 0 {
+				return hex.EncodeToString(buf)
+			}
+		}
+	}
+}
+
+func isHex(s string) bool {
+	for _, r := range s {
+		if !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// validHexID reports whether s is exactly n lowercase hex chars and not
+// all zeros.
+func validHexID(s string, n int) bool {
+	if len(s) != n || !isHex(s) {
+		return false
+	}
+	return strings.Trim(s, "0") != ""
+}
+
+// traceCtxKey keys a TraceContext in a context.Context.
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches a trace context to ctx; downstream layers
+// (the simulator's span emission, the job evaluator) read it back with
+// TraceFromContext to stamp their spans.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext returns the attached trace context, if any.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceContextRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatalf("NewTraceContext not valid: %+v", tc)
+	}
+	if !tc.Sampled {
+		t.Fatalf("fresh root should be sampled")
+	}
+	got, err := ParseTraceparent(tc.Traceparent())
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", tc.Traceparent(), err)
+	}
+	if got != tc {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, tc)
+	}
+}
+
+func TestChildSharesTrace(t *testing.T) {
+	root := NewTraceContext()
+	child := root.Child()
+	if child.TraceID != root.TraceID {
+		t.Fatalf("child changed trace id: %q != %q", child.TraceID, root.TraceID)
+	}
+	if child.SpanID == root.SpanID {
+		t.Fatalf("child reused parent span id %q", root.SpanID)
+	}
+	if !child.Valid() {
+		t.Fatalf("child not valid: %+v", child)
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	tc, err := ParseTraceparent(valid)
+	if err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+	if tc.TraceID != "0af7651916cd43dd8448eb211c80319c" || tc.SpanID != "b7ad6b7169203331" || !tc.Sampled {
+		t.Fatalf("bad parse: %+v", tc)
+	}
+	if tc.Traceparent() != valid {
+		t.Fatalf("re-render mismatch: %q", tc.Traceparent())
+	}
+
+	unsampled, err := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00")
+	if err != nil || unsampled.Sampled {
+		t.Fatalf("unsampled parse: %+v, %v", unsampled, err)
+	}
+
+	// Future versions with extra fields must parse (forward compat).
+	if _, err := ParseTraceparent("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"); err != nil {
+		t.Fatalf("future version rejected: %v", err)
+	}
+
+	bad := []string{
+		"",
+		"garbage",
+		"00-short-b7ad6b7169203331-01",
+		"00-0af7651916cd43dd8448eb211c80319c-short-01",
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span id
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // forbidden version
+		"00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01", // uppercase
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0g",
+	}
+	for _, h := range bad {
+		if _, err := ParseTraceparent(h); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted malformed header", h)
+		}
+	}
+}
+
+func TestContextCarriesTrace(t *testing.T) {
+	if _, ok := TraceFromContext(context.Background()); ok {
+		t.Fatalf("empty context should carry no trace")
+	}
+	tc := NewTraceContext()
+	ctx := ContextWithTrace(context.Background(), tc)
+	got, ok := TraceFromContext(ctx)
+	if !ok || got != tc {
+		t.Fatalf("TraceFromContext = %+v, %v; want %+v", got, ok, tc)
+	}
+}
+
+func TestNewHexIDShape(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		id := NewSpanID()
+		if !validHexID(id, 16) {
+			t.Fatalf("NewSpanID produced %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("NewSpanID repeated %q", id)
+		}
+		seen[id] = true
+	}
+	if id := newHexID(16); !validHexID(id, 32) || strings.ToLower(id) != id {
+		t.Fatalf("newHexID(16) produced %q", id)
+	}
+}
+
+func TestBuildInfoNeverEmpty(t *testing.T) {
+	version, goVersion, revision := BuildInfo()
+	if version == "" || goVersion == "" || revision == "" {
+		t.Fatalf("BuildInfo returned empty field: %q %q %q", version, goVersion, revision)
+	}
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "lognic_build_info{") {
+		t.Fatalf("lognic_build_info not exposed:\n%s", sb.String())
+	}
+	if errs := LintExposition([]byte(sb.String())); errs != nil {
+		t.Fatalf("build info exposition fails lint: %v", errs)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"lognic/internal/core"
+	"lognic/internal/obs"
 	"lognic/internal/optimizer"
 	"lognic/internal/sim"
 	"lognic/internal/spec"
@@ -264,7 +265,7 @@ func (s *Server) prepareSimulate(body []byte) (prepared, error) {
 		return prepared{}, err
 	}
 	return prepared{key: key, run: func(ctx context.Context) (any, error) {
-		sm, err := sim.New(sim.Config{
+		cfg := sim.Config{
 			Graph:    m.Graph,
 			Hardware: m.Hardware,
 			Profile: traffic.Fixed(m.Graph.Name(),
@@ -274,7 +275,17 @@ func (s *Server) prepareSimulate(body []byte) (prepared, error) {
 			Warmup:               req.Warmup,
 			DeterministicService: req.Deterministic,
 			MaxEvents:            maxEvents,
-		})
+		}
+		// Synchronous simulations join the request's trace: vertex spans
+		// parent under the server's request span. (Cache hits skip the
+		// evaluation entirely, so a traced run is only guaranteed on a
+		// cold key.)
+		if tc, ok := obs.TraceFromContext(ctx); ok {
+			cfg.TraceID = tc.TraceID
+			cfg.ParentSpanID = tc.SpanID
+			cfg.Spans = s.cfg.Tracer
+		}
+		sm, err := sim.New(cfg)
 		if err != nil {
 			return nil, badRequest{err}
 		}

@@ -2,8 +2,11 @@ package serve
 
 import (
 	"flag"
+	"fmt"
 	"io"
 	"time"
+
+	"lognic/internal/obs/olog"
 )
 
 // newFlagSet builds the lognic-serve flag set.
@@ -13,7 +16,9 @@ func newFlagSet(stderr io.Writer) *flag.FlagSet {
 	return fs
 }
 
-// parseFlags parses daemon flags into a Config.
+// parseFlags parses daemon flags into a Config. The structured logger is
+// built here too (from -log-level/-log-format), writing to the flag
+// set's output — stderr in the real binary.
 func parseFlags(fs *flag.FlagSet, args []string) (Config, error) {
 	var cfg Config
 	fs.StringVar(&cfg.Addr, "addr", "127.0.0.1:8080", "listen address (\":0\" picks a free port)")
@@ -28,6 +33,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (Config, error) {
 	var maxEvents uint64
 	fs.Uint64Var(&maxEvents, "max-sim-events", 50e6, "default event budget per /v1/simulate request")
 	fs.BoolVar(&cfg.Pprof, "pprof", false, "mount /debug/pprof")
+	fs.IntVar(&cfg.TraceSpans, "trace-spans", 0, "span ring capacity for GET /v1/trace (0 disables tracing)")
 	fs.StringVar(&cfg.JobsDir, "jobs-dir", "", "async-job durability directory (empty: jobs are memory-only)")
 	fs.IntVar(&cfg.JobsWorkers, "jobs-workers", 2, "concurrent async-job evaluations")
 	fs.IntVar(&cfg.JobMaxAttempts, "job-attempts", 3, "attempt budget per async job")
@@ -35,10 +41,20 @@ func parseFlags(fs *flag.FlagSet, args []string) (Config, error) {
 	fs.DurationVar(&cfg.JobBackoffMax, "job-backoff-max", 10*time.Second, "retry backoff cap")
 	var ckptEvery uint64
 	fs.Uint64Var(&ckptEvery, "job-checkpoint-every", 1_000_000, "simulation checkpoint cadence in events for async jobs")
+	fs.Float64Var(&cfg.SLOAvailability, "slo-availability", 0.999, "availability objective: fraction of admitted requests that must not 5xx (negative disables)")
+	fs.Float64Var(&cfg.SLOLatency, "slo-latency", 0.99, "latency objective: fraction of successes that must beat -slo-latency-threshold (negative disables)")
+	fs.DurationVar(&cfg.SLOLatencyThreshold, "slo-latency-threshold", time.Second, "latency objective cutoff")
+	logOpts := olog.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return Config{}, err
 	}
 	cfg.MaxSimEvents = maxEvents
 	cfg.JobCheckpointEvery = ckptEvery
+	logger, err := logOpts.Logger(fs.Output())
+	if err != nil {
+		fmt.Fprintln(fs.Output(), err)
+		return Config{}, err
+	}
+	cfg.Logger = logger
 	return cfg, nil
 }

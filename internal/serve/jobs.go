@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"lognic/internal/jobs"
+	"lognic/internal/obs"
 	"lognic/internal/sim"
 	"lognic/internal/traffic"
 	"lognic/internal/unit"
@@ -153,7 +154,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	snap, isNew, err := s.jobs.Submit(env.Kind, p.key, env.Request)
+	// The job rides the submitting request's trace (minted here when the
+	// client sent none), so post-crash attempts in a future process still
+	// rejoin the originating trace — the traceparent is journaled with
+	// the submit record.
+	tc, _ := s.requestTrace(r)
+	w.Header().Set("X-Request-Id", tc.SpanID)
+	snap, isNew, err := s.jobs.SubmitTrace(env.Kind, p.key, env.Request, tc.Traceparent())
 	if err != nil {
 		code := http.StatusInternalServerError
 		if err == jobs.ErrClosed {
@@ -291,6 +298,22 @@ func (s *Server) runSimulateJob(ctx context.Context, id string, body []byte, ck 
 		Warmup:               req.Warmup,
 		DeterministicService: req.Deterministic,
 		MaxEvents:            maxEvents,
+	}
+	// The manager stamps the attempt's trace context on the context; the
+	// simulation's vertex spans parent under the attempt span, and live
+	// progress frames feed the job's SSE subscribers (throttled to wall
+	// clock — the sim polls far faster than any human or dashboard).
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		cfg.TraceID = tc.TraceID
+		cfg.ParentSpanID = tc.SpanID
+		cfg.Spans = s.cfg.Tracer
+	}
+	var lastProgress time.Time
+	cfg.Progress = func(p sim.Progress) {
+		if now := time.Now(); now.Sub(lastProgress) >= 50*time.Millisecond {
+			lastProgress = now
+			s.jobs.Progress(id, p.Events, p.SimTime, p.Checkpoints)
+		}
 	}
 	if s.cfg.JobCheckpointEvery > 0 {
 		cfg.CheckpointEvery = s.cfg.JobCheckpointEvery

@@ -1,0 +1,51 @@
+package serve
+
+// Request-level observability surface: the per-request trace-context
+// derivation, the SLO judgement endpoint (GET /v1/slo) and the merged
+// span export (GET /v1/trace). The underlying machinery — W3C trace
+// context, the burn-rate monitor, the span ring — lives in internal/obs.
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"lognic/internal/obs"
+)
+
+// requestTrace derives the server-side trace context for one request: a
+// child of the client's traceparent when the header parses, a freshly
+// minted root otherwise. parentSpan is the client's span id ("" for
+// roots).
+func (s *Server) requestTrace(r *http.Request) (tc obs.TraceContext, parentSpan string) {
+	if parent, err := obs.ParseTraceparent(r.Header.Get("traceparent")); err == nil {
+		return parent.Child(), parent.SpanID
+	}
+	return obs.NewTraceContext(), ""
+}
+
+// handleSLO serves the monitor's current judgement. A poll is forced at
+// most once a second so the response reflects requests that finished
+// after the last background sample, without letting a hammering client
+// grow the sample ring.
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	now := time.Now().UnixNano()
+	last := s.sloPolled.Load()
+	if now-last >= int64(time.Second) && s.sloPolled.CompareAndSwap(last, now) {
+		s.slo.Poll()
+	}
+	writeJSON(w, http.StatusOK, s.slo.Status())
+}
+
+// handleTrace exports the retained span ring as Chrome trace_event JSON
+// — one file Perfetto loads directly, with request, job and simulation
+// spans carrying their W3C trace identity in args so a client-side
+// export (lognic-storm's) merges into the same tree.
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Tracer == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: tracing disabled (start with -trace-spans)"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.cfg.Tracer.WriteChromeTrace(w, "lognic-serve")
+}

@@ -44,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -52,12 +53,15 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"lognic/internal/jobs"
 	"lognic/internal/obs"
+	"lognic/internal/obs/olog"
+	"lognic/internal/obs/slo"
 	"lognic/internal/optimizer"
 	"lognic/internal/sim"
 )
@@ -99,10 +103,28 @@ type Config struct {
 	// Registry receives request metrics and serves /metrics (default: a
 	// fresh registry).
 	Registry *obs.Registry
-	// Tracer, when set, receives one span per request.
+	// Tracer, when set, receives one span per request plus the job and
+	// simulation spans nested under it; the merged tree is exported at
+	// GET /v1/trace in Chrome trace_event form.
 	Tracer *obs.Tracer
+	// TraceSpans, when > 0 and Tracer is nil, builds a Tracer with that
+	// ring capacity (the -trace-spans flag).
+	TraceSpans int
+	// Logger receives the daemon's structured log records (default:
+	// discard). Request- and job-scoped records carry request_id,
+	// trace_id, endpoint and job_id attributes.
+	Logger *slog.Logger
 	// Pprof mounts /debug/pprof when true.
 	Pprof bool
+
+	// SLOAvailability is the fraction of admitted requests that must not
+	// fail with a 5xx (default 0.999; negative disables the objective).
+	SLOAvailability float64
+	// SLOLatency is the fraction of successful requests that must finish
+	// under SLOLatencyThreshold (default 0.99; negative disables).
+	SLOLatency float64
+	// SLOLatencyThreshold is the latency objective's cutoff (default 1s).
+	SLOLatencyThreshold time.Duration
 
 	// JobsDir is the async-job durability directory (journal +
 	// checkpoints). Empty runs the job API memory-only: jobs work but do
@@ -152,6 +174,25 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
+	if c.Tracer == nil && c.TraceSpans > 0 {
+		c.Tracer = obs.NewTracer(c.TraceSpans)
+	}
+	if c.Logger == nil {
+		c.Logger = olog.Discard()
+	}
+	if c.SLOAvailability == 0 {
+		c.SLOAvailability = 0.999
+	} else if c.SLOAvailability < 0 {
+		c.SLOAvailability = 0
+	}
+	if c.SLOLatency == 0 {
+		c.SLOLatency = 0.99
+	} else if c.SLOLatency < 0 {
+		c.SLOLatency = 0
+	}
+	if c.SLOLatencyThreshold <= 0 {
+		c.SLOLatencyThreshold = time.Second
+	}
 	if c.JobsWorkers <= 0 {
 		c.JobsWorkers = 2
 	}
@@ -195,6 +236,21 @@ type Server struct {
 	jobsReady atomic.Bool
 	draining  atomic.Bool
 
+	logger *slog.Logger
+
+	// slo grades the request stream against the configured objectives;
+	// the counters feed its Source and count admitted requests only —
+	// load-shed 429s never consume error budget.
+	slo       *slo.Monitor
+	sloTotal  atomic.Uint64
+	sloErrors atomic.Uint64
+	sloSlow   atomic.Uint64
+	// sloPolled rate-limits on-demand polls from /v1/slo (unix nanos of
+	// the last forced sample).
+	sloPolled atomic.Int64
+
+	closeOnce sync.Once
+
 	latency    map[string]*obs.Histogram
 	hits       *obs.Counter
 	l1Hits     *obs.Counter
@@ -234,7 +290,9 @@ func NewServer(cfg Config) *Server {
 		}
 		s.l1 = newLRU(cfg.CacheEntries, l1Bytes)
 	}
+	s.logger = cfg.Logger
 	reg := cfg.Registry
+	obs.RegisterBuildInfo(reg)
 	s.latency = make(map[string]*obs.Histogram, len(endpoints))
 	for _, ep := range endpoints {
 		s.latency[ep] = reg.Histogram("lognic_serve_request_seconds",
@@ -251,8 +309,27 @@ func NewServer(cfg Config) *Server {
 	s.inflight = reg.Gauge("lognic_serve_inflight", "evaluations running", nil)
 	s.queueLen = reg.Gauge("lognic_serve_queue_depth", "requests waiting for a worker", nil)
 
+	// The SLO monitor samples the request counters on its own cadence;
+	// /v1/slo serves its judgement.
+	s.slo = slo.NewMonitor(slo.Config{
+		AvailabilityTarget: cfg.SLOAvailability,
+		LatencyTarget:      cfg.SLOLatency,
+		LatencyThreshold:   cfg.SLOLatencyThreshold,
+		Source: func() slo.Sample {
+			return slo.Sample{
+				Total:  s.sloTotal.Load(),
+				Errors: s.sloErrors.Load(),
+				Slow:   s.sloSlow.Load(),
+			}
+		},
+		Registry: reg,
+	})
+	s.slo.Start()
+
 	// The async job manager. NewManager only errors on a nil evaluator,
-	// which we always supply.
+	// which we always supply. It shares the request tracer and the
+	// request-span clock, so job and simulation spans land on the same
+	// timeline as the requests that submitted them.
 	s.jobs, _ = jobs.NewManager(jobs.Config{
 		Dir:         cfg.JobsDir,
 		Workers:     cfg.JobsWorkers,
@@ -261,13 +338,16 @@ func NewServer(cfg Config) *Server {
 		BackoffMax:  cfg.JobBackoffMax,
 		Evaluate:    s.evalJob,
 		Registry:    reg,
+		Logger:      cfg.Logger,
+		Tracer:      cfg.Tracer,
+		SpanTime:    func() float64 { return time.Since(s.start).Seconds() },
 	})
 	// Journal replay happens off the constructor so a large journal never
 	// delays binding the listener; /readyz and the job endpoints report
 	// 503 until it completes.
 	go func() {
 		if err := s.jobs.Start(); err != nil {
-			fmt.Fprintf(os.Stderr, "lognic-serve: job manager start: %v\n", err)
+			s.logger.Error("job manager start failed", olog.KeyComponent, "serve", "error", err.Error())
 			return
 		}
 		s.jobsReady.Store(true)
@@ -276,11 +356,13 @@ func NewServer(cfg Config) *Server {
 }
 
 // Close releases the server's background resources — the job manager's
-// workers, retry timers and journal. Running job attempts are interrupted
-// and stay queued, exactly as a crash would leave them, so a successor
-// over the same JobsDir resumes them.
+// workers, retry timers and journal, and the SLO monitor's poll loop.
+// Running job attempts are interrupted and stay queued, exactly as a
+// crash would leave them, so a successor over the same JobsDir resumes
+// them.
 func (s *Server) Close() {
 	s.jobs.Close()
+	s.closeOnce.Do(s.slo.Close)
 }
 
 // Handler returns the daemon's routing handler.
@@ -292,12 +374,22 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/cache/snapshot", s.handleCacheSnapshot)
+	mux.HandleFunc("GET /v1/slo", s.handleSLO)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	mux.Handle("/metrics", s.cfg.Registry)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		version, goVersion, revision := obs.BuildInfo()
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"status":"ok","uptime_seconds":%.3f}`+"\n", time.Since(s.start).Seconds())
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(s.start).Seconds(),
+			"version":        version,
+			"go_version":     goVersion,
+			"revision":       revision,
+		})
 	})
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if s.cfg.Pprof {
@@ -366,22 +458,51 @@ func (s *Server) handle(endpoint string, prepare func([]byte) (prepared, error))
 	return func(w http.ResponseWriter, r *http.Request) {
 		timer := s.latency[endpoint].StartTimer()
 		code := http.StatusOK
+
+		// Accept the client's W3C trace context or mint a fresh one; the
+		// server span is a child of the client's span, and its span id is
+		// echoed as X-Request-Id so client logs and server logs correlate.
+		tc, parentSpan := s.requestTrace(r)
+		w.Header().Set("X-Request-Id", tc.SpanID)
+		rl := olog.WithRequest(s.logger, tc.SpanID, tc.TraceID, endpoint, r.Header.Get("X-Tenant"))
+		ctx0 := olog.NewContext(obs.ContextWithTrace(r.Context(), tc), rl)
+		r = r.WithContext(ctx0)
+
 		defer func() {
-			timer.ObserveDuration()
+			d := timer.ObserveDuration()
 			s.cfg.Registry.Counter("lognic_serve_requests_total", "requests by endpoint and status",
 				obs.Labels{"endpoint": endpoint, "code": fmt.Sprint(code)}).Inc()
+			// SLO accounting: 429s are load shedding, not budget burn;
+			// 5xx burns availability; slow successes burn latency.
+			if code != http.StatusTooManyRequests {
+				s.sloTotal.Add(1)
+				switch {
+				case code >= 500:
+					s.sloErrors.Add(1)
+				case code < 400 && d > s.cfg.SLOLatencyThreshold:
+					s.sloSlow.Add(1)
+				}
+			}
+			lvl := slog.LevelDebug
+			if code >= 500 {
+				lvl = slog.LevelWarn
+			}
+			rl.Log(r.Context(), lvl, "request complete", "code", code, "duration_seconds", d.Seconds())
 		}()
 		if s.cfg.Tracer != nil {
 			startAt := time.Since(s.start).Seconds()
 			id := s.reqID.Add(1)
 			defer func() {
 				s.cfg.Tracer.Emit(obs.Span{
-					Name:  endpoint,
-					Cat:   "request",
-					Track: id,
-					Start: startAt,
-					Dur:   time.Since(s.start).Seconds() - startAt,
-					Args:  map[string]any{"code": code},
+					Name:     endpoint,
+					Cat:      "request",
+					Track:    id,
+					Start:    startAt,
+					Dur:      time.Since(s.start).Seconds() - startAt,
+					Args:     map[string]any{"code": code},
+					TraceID:  tc.TraceID,
+					SpanID:   tc.SpanID,
+					ParentID: parentSpan,
 				})
 			}()
 		}
@@ -616,7 +737,7 @@ func (s *Server) Serve(ctx context.Context) error {
 	// Stop the job workers after the HTTP drain: interrupted attempts stay
 	// journaled as queued, so a restart resumes them from their last
 	// checkpoint — the same contract as a crash, minus the torn tail.
-	s.jobs.Close()
+	s.Close()
 	if err != nil {
 		return fmt.Errorf("serve: drain incomplete: %w", err)
 	}
@@ -631,16 +752,17 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	srv := NewServer(cfg)
+	lg := srv.logger
 	if err := srv.Listen(); err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
+		return olog.Fail(lg, "listen failed", olog.KeyComponent, "serve", "error", err.Error())
 	}
 	if cfg.CacheWarmFrom != "" {
 		n, nbytes, err := srv.WarmCache(cfg.CacheWarmFrom)
 		if err != nil {
 			// Warm-start is an optimization: a dead peer or a stale file
 			// must not block a fresh replica from serving cold.
-			fmt.Fprintf(stderr, "lognic-serve: cache warm-start from %s failed: %v\n", cfg.CacheWarmFrom, err)
+			lg.Warn("cache warm-start failed", olog.KeyComponent, "serve",
+				"source", cfg.CacheWarmFrom, "error", err.Error())
 		} else {
 			fmt.Fprintf(stdout, "lognic-serve: cache warmed with %d entries (%d bytes) from %s\n",
 				n, nbytes, cfg.CacheWarmFrom)
@@ -653,8 +775,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "lognic-serve listening on http://%s (workers %d, queue %d, cache %d entries/%d bytes, jobs %s)\n",
 		srv.Addr(), srv.cfg.Workers, srv.cfg.QueueDepth, srv.cfg.CacheEntries, srv.cfg.CacheBytes, jobsDir)
 	if err := srv.Serve(context.Background()); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(stderr, err)
-		return 1
+		return olog.Fail(lg, "serve failed", olog.KeyComponent, "serve", "error", err.Error())
 	}
 	fmt.Fprintln(stdout, "lognic-serve drained cleanly")
 	return 0

@@ -1,0 +1,109 @@
+package serve
+
+// GET /v1/jobs/{id}/events — a live Server-Sent Events feed of one job's
+// lifecycle: state transitions, attempt starts, retry backoffs,
+// checkpoint saves, periodic in-run progress frames and the terminal
+// result. The stream opens with a synthetic state frame built from the
+// job's current snapshot (so a late subscriber still sees state-so-far),
+// then relays the manager's event feed until the terminal event or the
+// client disconnects.
+//
+// Flow control is the subscription's job (internal/jobs/events.go): a
+// slow consumer's queue drops superseded progress/checkpoint frames but
+// never transitions; the stream discloses drops with a comment line.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"lognic/internal/jobs"
+)
+
+// sseFrame writes one SSE frame: event type, JSON data, sequence id.
+func sseFrame(w http.ResponseWriter, e jobs.Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\nid: %d\n\n", e.Type, data, e.Seq)
+	return err
+}
+
+// snapshotEvent synthesizes the stream's opening frame from a job
+// snapshot, shaped exactly like a live state event so clients need one
+// decoder.
+func snapshotEvent(j jobs.Job) jobs.Event {
+	e := jobs.Event{
+		Type: jobs.EventState, JobID: j.ID, State: j.State,
+		Attempt: j.Attempts, Resumed: j.Resumed,
+		Terminal: j.State.Terminal(),
+	}
+	if !j.RetryAt.IsZero() {
+		e.RetryAt = j.RetryAt
+	}
+	switch j.State {
+	case jobs.StateSucceeded:
+		e.Result = j.Result
+	case jobs.StateFailed, jobs.StateCancelled:
+		e.Error = j.Error
+	}
+	return e
+}
+
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	if s.jobsUnready(w) {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("serve: streaming unsupported by this connection"))
+		return
+	}
+	id := r.PathValue("id")
+	sub, snap, ok := s.jobs.Subscribe(id, 0)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no such job"))
+		return
+	}
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	first := snapshotEvent(snap)
+	if err := sseFrame(w, first); err != nil {
+		return
+	}
+	fl.Flush()
+	if first.Terminal {
+		return
+	}
+
+	var disclosed uint64
+	for {
+		e, ok, err := sub.Next(r.Context())
+		if !ok {
+			// err != nil: the client went away (context canceled) — just
+			// stop; the subscription's deferred Close detaches it. err ==
+			// nil: the feed closed after a terminal event we already
+			// relayed.
+			_ = err
+			return
+		}
+		if d := sub.Dropped(); d > disclosed {
+			fmt.Fprintf(w, ": dropped %d superseded snapshot frames\n\n", d-disclosed)
+			disclosed = d
+		}
+		if err := sseFrame(w, e); err != nil {
+			return
+		}
+		fl.Flush()
+		if e.Terminal {
+			return
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lognic/internal/jobs"
+)
+
+// sseFrameRead is one parsed Server-Sent Events frame.
+type sseFrameRead struct {
+	name     string
+	id       string
+	event    jobs.Event
+	comments []string
+}
+
+// readSSEFrame parses the next frame off the stream; io.EOF means the
+// server ended it.
+func readSSEFrame(br *bufio.Reader) (sseFrameRead, error) {
+	var f sseFrameRead
+	seen := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return f, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if seen {
+				return f, nil
+			}
+			// Blank line after a comment-only block: keep scanning.
+		case strings.HasPrefix(line, ":"):
+			f.comments = append(f.comments, strings.TrimSpace(line[1:]))
+		case strings.HasPrefix(line, "event: "):
+			f.name = line[len("event: "):]
+			seen = true
+		case strings.HasPrefix(line, "id: "):
+			f.id = line[len("id: "):]
+			seen = true
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &f.event); err != nil {
+				return f, fmt.Errorf("bad data line %q: %w", line, err)
+			}
+			seen = true
+		}
+	}
+}
+
+// openStream issues the events GET and returns the response plus a
+// buffered reader over the body. The caller owns resp.Body.
+func openStream(t *testing.T, ctx context.Context, client *http.Client, url, id string) (*http.Response, *bufio.Reader) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, bufio.NewReader(resp.Body)
+}
+
+// A subscriber attached near submission sees the live lifecycle: an
+// opening state frame, in-run progress, and the terminal result — with
+// monotonic sequence ids.
+func TestJobEventsLiveStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	waitReady(t, ts.Client(), ts.URL)
+
+	// ~0.6s of wall clock: long enough that the stream reliably attaches
+	// mid-run and sees progress frames.
+	long := `{"spec": ` + sampleSpec + `, "duration": 1.0, "seed": 11}`
+	code, v := submitJob(t, ts.Client(), ts.URL, "simulate", long)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resp, br := openStream(t, ctx, ts.Client(), ts.URL, v.ID)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "text/event-stream" {
+		t.Fatalf("Content-Type %q", got)
+	}
+
+	var frames []sseFrameRead
+	for {
+		f, err := readSSEFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+		if f.event.Terminal {
+			break
+		}
+	}
+	if len(frames) == 0 {
+		t.Fatal("stream delivered no frames")
+	}
+	first, last := frames[0], frames[len(frames)-1]
+	if first.name != jobs.EventState {
+		t.Fatalf("opening frame type %q, want state snapshot", first.name)
+	}
+	if last.name != jobs.EventState || last.event.State != jobs.StateSucceeded || !last.event.Terminal {
+		t.Fatalf("final frame %+v, want terminal succeeded state", last.event)
+	}
+	if len(last.event.Result) == 0 {
+		t.Fatal("terminal frame carries no result")
+	}
+	if last.event.Resumed {
+		t.Fatal("uninterrupted job reported resumed=true")
+	}
+	progress := 0
+	for _, f := range frames {
+		if f.name == jobs.EventProgress {
+			progress++
+			if f.event.Events == 0 || f.event.SimTime <= 0 {
+				t.Fatalf("empty progress frame: %+v", f.event)
+			}
+		}
+	}
+	if progress == 0 {
+		t.Fatal("no progress frames during a ~600ms simulation")
+	}
+	// Live frames carry strictly increasing sequence ids (the snapshot
+	// frame has Seq 0 and no id line).
+	var prev uint64
+	for _, f := range frames[1:] {
+		if f.event.Seq <= prev {
+			t.Fatalf("seq not increasing: %d after %d", f.event.Seq, prev)
+		}
+		prev = f.event.Seq
+	}
+
+	// After the terminal frame the server ends the stream.
+	if _, err := readSSEFrame(br); err != io.EOF {
+		t.Fatalf("after terminal frame: %v, want EOF", err)
+	}
+}
+
+// Subscribing to a finished job yields exactly one frame — the terminal
+// snapshot with the result — then EOF.
+func TestJobEventsTerminalSnapshot(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	waitReady(t, ts.Client(), ts.URL)
+	_, v := submitJob(t, ts.Client(), ts.URL, "estimate", estimateBody(sampleSpec))
+	done := pollJob(t, ts.Client(), ts.URL, v.ID)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, br := openStream(t, ctx, ts.Client(), ts.URL, v.ID)
+	defer resp.Body.Close()
+	f, err := readSSEFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.name != jobs.EventState || !f.event.Terminal || f.event.State != jobs.StateSucceeded {
+		t.Fatalf("snapshot frame %+v", f.event)
+	}
+	if string(f.event.Result) != strings.TrimRight(string(done.Result), "\n")+"\n" &&
+		string(f.event.Result) != string(done.Result) {
+		t.Fatal("snapshot result differs from the polled result")
+	}
+	if _, err := readSSEFrame(br); err != io.EOF {
+		t.Fatalf("terminal snapshot must end the stream, got %v", err)
+	}
+}
+
+func TestJobEventsUnknownJob404(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	waitReady(t, ts.Client(), ts.URL)
+	resp, _ := get(t, ts.Client(), ts.URL+"/v1/jobs/ffffffffffffffff/events")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// A client that disconnects mid-stream detaches its subscription without
+// disturbing the job, and a later subscriber still gets the ending.
+func TestJobEventsClientDisconnect(t *testing.T) {
+	s, ts := newTestServer(t, Config{JobCheckpointEvery: 1})
+	waitReady(t, ts.Client(), ts.URL)
+	long := `{"spec": ` + sampleSpec + `, "duration": 60, "seed": 1}`
+	code, v := submitJob(t, ts.Client(), ts.URL, "simulate", long)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	resp, br := openStream(t, ctx, ts.Client(), ts.URL, v.ID)
+	if _, err := readSSEFrame(br); err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	waitFor(t, func() bool { return s.jobs.Subscribers(v.ID) == 1 })
+
+	// Drop the connection mid-stream; the handler must notice and detach.
+	cancel()
+	resp.Body.Close()
+	waitFor(t, func() bool { return s.jobs.Subscribers(v.ID) == 0 })
+
+	// The job is unaffected: cancel it and stream the terminal state.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	dresp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	done := pollJob(t, ts.Client(), ts.URL, v.ID)
+	if done.State != "cancelled" {
+		t.Fatalf("job after disconnect+cancel: %+v", done)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	resp2, br2 := openStream(t, ctx2, ts.Client(), ts.URL, v.ID)
+	defer resp2.Body.Close()
+	f, err := readSSEFrame(br2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.event.Terminal || f.event.State != jobs.StateCancelled {
+		t.Fatalf("late subscriber frame %+v, want terminal cancelled", f.event)
+	}
+}
+
+// The stream survives kill -9: a fresh process over the same jobs
+// directory resumes the simulation from its checkpoint and a subscriber
+// on the new process sees progress and a terminal frame with
+// resumed=true.
+func TestKillNineStreamReportsResumed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary and runs multi-second simulations")
+	}
+	dir := t.TempDir()
+	simReq := `{"spec": ` + sampleSpec + `, "duration": 4.0, "seed": 21}`
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-jobs-dir", dir,
+		"-job-checkpoint-every", "50000",
+		"-cache", "-1",
+	}
+
+	cmd1, url1 := startServeProcess(t, args)
+	waitReadyURL(t, url1)
+	body := fmt.Sprintf(`{"kind": "simulate", "request": %s}`, simReq)
+	resp, err := http.Post(url1+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, out)
+	}
+	var v JobView
+	if err := json.Unmarshal(out, &v); err != nil {
+		t.Fatal(err)
+	}
+	waitForCheckpoint(t, dir, v.ID)
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+
+	_, url2 := startServeProcess(t, args)
+	waitReadyURL(t, url2)
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	resp2, br := openStream(t, ctx, http.DefaultClient, url2, v.ID)
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("stream on restarted process: %d", resp2.StatusCode)
+	}
+	var last sseFrameRead
+	sawProgress := false
+	for {
+		f, err := readSSEFrame(br)
+		if err != nil {
+			t.Fatalf("stream after restart: %v (last %+v)", err, last.event)
+		}
+		last = f
+		if f.name == jobs.EventProgress {
+			sawProgress = true
+		}
+		if f.event.Terminal {
+			break
+		}
+	}
+	if last.event.State != jobs.StateSucceeded {
+		t.Fatalf("terminal frame %+v, want succeeded", last.event)
+	}
+	if !last.event.Resumed {
+		t.Fatal("terminal frame must report resumed=true after a checkpoint resume")
+	}
+	if !sawProgress {
+		t.Fatal("no progress frames streamed from the resumed run")
+	}
+}
+
+// waitForCheckpoint blocks until the job's checkpoint file is on disk.
+func waitForCheckpoint(t *testing.T, dir, id string) {
+	t.Helper()
+	path := filepath.Join(dir, "ckpt-"+id+".bin")
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint reached disk before the deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

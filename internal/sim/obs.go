@@ -81,6 +81,7 @@ func (s *Simulator) span(name, cat string, p *packet, start, dur float64, args m
 	}
 	s.cfg.Spans.Emit(obs.Span{
 		Name: name, Cat: cat, Track: p.id, Start: start, Dur: dur, Args: args,
+		TraceID: s.cfg.TraceID, ParentID: s.cfg.ParentSpanID,
 	})
 }
 

@@ -113,6 +113,33 @@ type Config struct {
 	// persist on a best-effort basis (degraded mode) should swallow their
 	// own write failures and return nil.
 	CheckpointSink func(*Checkpoint) error
+	// Progress, when set, receives in-run progress snapshots on the
+	// context-poll cadence (every ctxCheckInterval events). Like Trace and
+	// Spans it observes without perturbing the run: it consumes no
+	// simulator randomness, and disabled it costs one nil check per poll,
+	// not per event. lognic-serve feeds these to the live job-event
+	// stream.
+	Progress ProgressFunc
+	// TraceID and ParentSpanID, when set, stamp every span this run emits
+	// with distributed-trace identity (W3C Trace Context; see
+	// internal/obs/traceparent.go), parenting the simulation under the
+	// serving request or job attempt that launched it.
+	TraceID      string
+	ParentSpanID string
+}
+
+// ProgressFunc observes in-run progress.
+type ProgressFunc func(Progress)
+
+// Progress is one in-run snapshot handed to Config.Progress.
+type Progress struct {
+	// Events is the number of discrete events processed so far.
+	Events uint64
+	// SimTime is the current simulation clock (seconds).
+	SimTime float64
+	// Checkpoints counts snapshots taken by this run (resumed runs
+	// restart the count at zero for their own attempt).
+	Checkpoints uint64
 }
 
 // RoutePolicy selects a vertex's fan-out discipline.
@@ -408,6 +435,7 @@ type Simulator struct {
 	// must not re-seed the arrival pump or the fault schedule.
 	resumed  bool
 	lastCkpt uint64 // processed count at the last snapshot
+	ckpts    uint64 // snapshots taken by this run, reported via Progress
 
 	nodes     map[string]*node
 	order     []string
@@ -681,6 +709,9 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 			if err := ctx.Err(); err != nil {
 				return Result{}, fmt.Errorf("sim: run aborted at t=%v after %d events: %w", s.now, s.processed, err)
 			}
+			if s.cfg.Progress != nil {
+				s.cfg.Progress(Progress{Events: s.processed, SimTime: s.now, Checkpoints: s.ckpts})
+			}
 		}
 		if s.cfg.MaxEvents > 0 && s.processed >= s.cfg.MaxEvents {
 			return Result{}, fmt.Errorf("%w: budget %d at t=%v", ErrBudgetExceeded, s.cfg.MaxEvents, s.now)
@@ -691,6 +722,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 			// so the captured state is exactly the state an uninterrupted
 			// run passes through here.
 			s.lastCkpt = s.processed
+			s.ckpts++
 			if err := s.cfg.CheckpointSink(s.snapshot()); err != nil {
 				return Result{}, fmt.Errorf("sim: checkpoint sink at t=%v: %w", s.now, err)
 			}

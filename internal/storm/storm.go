@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"lognic/internal/obs"
+	"lognic/internal/obs/slo"
 )
 
 // Config is one load step.
@@ -48,6 +49,18 @@ type Config struct {
 	Client *http.Client
 	// Registry, when non-nil, receives storm_* counters after the step.
 	Registry *obs.Registry
+	// TraceSample is the fraction of requests that originate a W3C trace
+	// context (0 disables, 1 traces everything). A sampled request sends
+	// a traceparent header and records a client span in Tracer, so the
+	// daemon's /v1/trace export and the client spans merge into one tree.
+	TraceSample float64
+	// Tracer receives the client spans of sampled requests. Nil with
+	// TraceSample > 0 builds one at the default capacity.
+	Tracer *obs.Tracer
+	// SLO grades the whole run as a single window with slo.Evaluate —
+	// the same arithmetic lognic-serve applies to its 5m/1h windows.
+	// Zero targets disable grading.
+	SLO slo.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +81,12 @@ func (c Config) withDefaults() Config {
 			},
 			Timeout: 30 * time.Second,
 		}
+	}
+	if c.TraceSample > 0 && c.Tracer == nil {
+		c.Tracer = obs.NewTracer(0)
+	}
+	if c.SLO.LatencyThreshold <= 0 {
+		c.SLO.LatencyThreshold = time.Second
 	}
 	return c
 }
@@ -111,14 +130,21 @@ type Report struct {
 	// CacheHits/CacheMisses count the daemon's X-Cache header on 200s.
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
+	// Slow counts completed requests over the SLO latency threshold.
+	Slow uint64 `json:"slow,omitempty"`
+	// Traced counts requests that originated a trace context.
+	Traced uint64 `json:"traced,omitempty"`
 	// Latency holds per-endpoint percentiles over completed requests.
 	Latency map[string]*LatencySummary `json:"latency"`
+	// SLO is the run graded as one window against the configured
+	// objectives (nil when grading is disabled).
+	SLO *slo.Status `json:"slo,omitempty"`
 }
 
 // workerStats is one worker's private tally — no sharing until the merge.
 type workerStats struct {
 	completed, evals, shed, e4xx, e5xx, netErr uint64
-	hits, misses                               uint64
+	hits, misses, slow, traced                 uint64
 	hists                                      map[string]*hist
 }
 
@@ -171,6 +197,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		wg.Add(1)
 		go func(w int, st *workerStats) {
 			defer wg.Done()
+			g := &gun{
+				client: cfg.Client, st: st, closedLoop: !openLoop,
+				epoch: start, track: uint64(w + 1),
+				tracer: cfg.Tracer, sample: cfg.TraceSample,
+				slowAfter: cfg.SLO.LatencyThreshold,
+			}
 			// Stride through the corpus so the workers jointly cover it
 			// evenly and deterministically.
 			idx := w
@@ -189,7 +221,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				}
 				it := &cfg.Corpus[idx%len(cfg.Corpus)]
 				idx += cfg.Workers
-				shoot(ctx, cfg.Client, pick(it), it, st, !openLoop)
+				g.shoot(ctx, pick(it), it)
 			}
 		}(w, stats[w])
 	}
@@ -241,18 +273,46 @@ func pace(ctx context.Context, rate float64, work chan<- struct{}, dropped *atom
 	}
 }
 
+// gun is one worker's firing state: its private stats plus the trace
+// sampler. Sampling is deterministic — a token bucket accrues sample
+// per request and fires on whole tokens — so a given rate traces the
+// same request positions every run.
+type gun struct {
+	client     *http.Client
+	st         *workerStats
+	closedLoop bool
+	epoch      time.Time
+	track      uint64
+	tracer     *obs.Tracer
+	sample     float64
+	tokens     float64
+	slowAfter  time.Duration
+}
+
 // shoot issues one request and tallies it. In a closed loop a 429's
 // Retry-After is honored (bounded, so a long hint can't stall the run);
 // open-loop arrivals are externally timed, so a shed request just counts.
-func shoot(ctx context.Context, client *http.Client, target string, it *Item, st *workerStats, closedLoop bool) {
+func (g *gun) shoot(ctx context.Context, target string, it *Item) {
+	st := g.st
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/"+it.Endpoint, bytes.NewReader(it.Body))
 	if err != nil {
 		st.netErr++
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	var tc obs.TraceContext
+	traced := false
+	if g.tracer != nil && g.sample > 0 {
+		if g.tokens += g.sample; g.tokens >= 1 {
+			g.tokens--
+			traced = true
+			tc = obs.NewTraceContext()
+			req.Header.Set("traceparent", tc.Traceparent())
+			st.traced++
+		}
+	}
 	t0 := time.Now()
-	resp, err := client.Do(req)
+	resp, err := g.client.Do(req)
 	if err != nil {
 		if ctx.Err() == nil {
 			st.netErr++
@@ -263,6 +323,23 @@ func shoot(ctx context.Context, client *http.Client, target string, it *Item, st
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 
+	if traced {
+		// The client span is the trace root; the daemon's request span
+		// points back at it via parent_span_id, and X-Request-Id is that
+		// server span's id — recorded here so one args lookup links the
+		// two exports.
+		g.tracer.Emit(obs.Span{
+			Name: it.Endpoint, Cat: "client", Track: g.track,
+			Start: t0.Sub(g.epoch).Seconds(), Dur: lat,
+			Args: map[string]any{
+				"code":       resp.StatusCode,
+				"target":     target,
+				"request_id": resp.Header.Get("X-Request-Id"),
+			},
+			TraceID: tc.TraceID, SpanID: tc.SpanID,
+		})
+	}
+
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		st.completed++
@@ -270,6 +347,9 @@ func shoot(ctx context.Context, client *http.Client, target string, it *Item, st
 			st.evals += uint64(it.Evals)
 		} else {
 			st.evals++
+		}
+		if g.slowAfter > 0 && lat > g.slowAfter.Seconds() {
+			st.slow++
 		}
 		h := st.hists[it.Endpoint]
 		if h == nil {
@@ -285,7 +365,7 @@ func shoot(ctx context.Context, client *http.Client, target string, it *Item, st
 		}
 	case resp.StatusCode == http.StatusTooManyRequests:
 		st.shed++
-		if closedLoop {
+		if g.closedLoop {
 			backoff := retryAfterOf(resp)
 			if backoff > 50*time.Millisecond {
 				backoff = 50 * time.Millisecond // bounded: trust the hint's sign, not its scale
@@ -327,6 +407,8 @@ func buildReport(cfg Config, stats []*workerStats, elapsed time.Duration, droppe
 		rep.NetErrors += st.netErr
 		rep.CacheHits += st.hits
 		rep.CacheMisses += st.misses
+		rep.Slow += st.slow
+		rep.Traced += st.traced
 		for ep, h := range st.hists {
 			m := merged[ep]
 			if m == nil {
@@ -353,6 +435,22 @@ func buildReport(cfg Config, stats []*workerStats, elapsed time.Duration, droppe
 			P99Ms:  h.quantile(0.99) * 1e3,
 			P999Ms: h.quantile(0.999) * 1e3,
 			MaxMs:  h.max * 1e3,
+		}
+	}
+	if cfg.SLO.AvailabilityTarget > 0 || cfg.SLO.LatencyTarget > 0 {
+		// Grade the run as one SLO window. The denominator is admitted
+		// requests (shed 429s and dropped arrivals never burn budget);
+		// errors are 5xx plus transport failures — both client-visible
+		// unavailability.
+		total := rep.Completed + rep.Errors4xx + rep.Errors5xx + rep.NetErrors
+		errs := rep.Errors5xx + rep.NetErrors
+		win := slo.Evaluate("run", elapsed, total, errs, rep.Slow, cfg.SLO)
+		rep.SLO = &slo.Status{
+			AvailabilityTarget:      cfg.SLO.AvailabilityTarget,
+			LatencyTarget:           cfg.SLO.LatencyTarget,
+			LatencyThresholdSeconds: cfg.SLO.LatencyThreshold.Seconds(),
+			Windows:                 []slo.WindowStatus{win},
+			Verdict:                 slo.Verdict([]slo.WindowStatus{win}, cfg.SLO),
 		}
 	}
 	return rep

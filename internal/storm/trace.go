@@ -1,0 +1,87 @@
+package storm
+
+// Merged fleet trace export. A traced run leaves spans in two places:
+// the client spans in storm's own tracer, and the server-side request,
+// job-attempt and simulation-vertex spans in each replica's ring
+// (GET /v1/trace). WriteMergedTrace stitches them into a single Chrome
+// trace_event document — storm as process 1, each replica as its own
+// process — with every span's W3C trace identity preserved in args, so
+// Perfetto (or jq over args.trace_id) reads one request's client →
+// server → job → simulation tree across processes.
+//
+// The processes run on different clocks (storm's run epoch vs each
+// daemon's uptime), so the merged file aligns spans per process, not
+// globally; the cross-process linkage is the trace/span ids, not the
+// timestamps.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"lognic/internal/obs"
+)
+
+// chromeDoc is a pass-through view of a Chrome trace_event JSON object:
+// events stay generic maps so replica exports survive the round trip
+// unmodified except for the process id.
+type chromeDoc struct {
+	TraceEvents     []map[string]any `json:"traceEvents"`
+	DisplayTimeUnit string           `json:"displayTimeUnit"`
+	OtherData       map[string]any   `json:"otherData,omitempty"`
+}
+
+// WriteMergedTrace writes one trace_event document combining the client
+// tracer's spans (process 1) with each target's /v1/trace export
+// (process 2+). A replica that cannot be fetched fails the export — a
+// partial merge would silently hide the very spans the caller asked for.
+func WriteMergedTrace(w io.Writer, tracer *obs.Tracer, targets []string, client *http.Client) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&buf, "lognic-storm"); err != nil {
+		return err
+	}
+	var merged chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &merged); err != nil {
+		return err
+	}
+	for i, target := range targets {
+		doc, err := fetchTrace(client, target)
+		if err != nil {
+			return fmt.Errorf("storm: trace export from %s: %w", target, err)
+		}
+		pid := i + 2
+		for _, ev := range doc.TraceEvents {
+			ev["pid"] = pid
+			// Keep each replica's process row distinguishable.
+			if ev["name"] == "process_name" {
+				if args, ok := ev["args"].(map[string]any); ok {
+					args["name"] = fmt.Sprintf("%v %s", args["name"], target)
+				}
+			}
+			merged.TraceEvents = append(merged.TraceEvents, ev)
+		}
+	}
+	return json.NewEncoder(w).Encode(merged)
+}
+
+func fetchTrace(client *http.Client, target string) (chromeDoc, error) {
+	resp, err := client.Get(target + "/v1/trace")
+	if err != nil {
+		return chromeDoc{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return chromeDoc{}, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	var doc chromeDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return chromeDoc{}, err
+	}
+	return doc, nil
+}

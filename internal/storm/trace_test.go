@@ -1,0 +1,132 @@
+package storm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"lognic/internal/obs"
+	"lognic/internal/obs/slo"
+	"lognic/internal/serve"
+)
+
+// End to end through real HTTP: storm samples every request into its own
+// tracer, the replica joins the traces server-side, and the merged
+// export contains client and server spans sharing trace ids, with the
+// replica's events remapped to their own process row.
+func TestMergedTraceSharesTraceIDs(t *testing.T) {
+	ts := newReplica(t, serve.Config{TraceSpans: 8192})
+	items := corpus(t, CorpusConfig{Endpoint: "estimate", Unique: 8})
+	tracer := obs.NewTracer(0)
+	rep, err := Run(context.Background(), Config{
+		Targets:     []string{ts.URL},
+		Workers:     2,
+		Duration:    200 * time.Millisecond,
+		Corpus:      items,
+		TraceSample: 1,
+		Tracer:      tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Traced counts sampled attempts; a couple may still be in flight when
+	// the step deadline lands, so it can exceed Completed but never trail it.
+	if rep.Traced == 0 || rep.Traced < rep.Completed {
+		t.Fatalf("Traced=%d Completed=%d, want every request traced at sample 1", rep.Traced, rep.Completed)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteMergedTrace(&buf, tracer, []string{ts.URL}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Index trace ids by process; metadata events carry no args.trace_id.
+	traceIDs := func(pid int) map[string]bool {
+		ids := map[string]bool{}
+		for _, ev := range doc.TraceEvents {
+			if int(ev["pid"].(float64)) != pid {
+				continue
+			}
+			if args, ok := ev["args"].(map[string]any); ok {
+				if id, ok := args["trace_id"].(string); ok {
+					ids[id] = true
+				}
+			}
+		}
+		return ids
+	}
+	client, server := traceIDs(1), traceIDs(2)
+	if len(client) == 0 || len(server) == 0 {
+		t.Fatalf("client %d / server %d trace ids, want both populated", len(client), len(server))
+	}
+	shared := 0
+	for id := range client {
+		if server[id] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no trace id appears on both sides of the merge")
+	}
+
+	// Both process rows are named, the replica's with its target URL.
+	var names []string
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "process_name" {
+			args := ev["args"].(map[string]any)
+			names = append(names, args["name"].(string))
+		}
+	}
+	if len(names) != 2 || names[0] != "lognic-storm" || !strings.Contains(names[1], ts.URL) {
+		t.Fatalf("process names %v, want storm + replica tagged with its URL", names)
+	}
+}
+
+// A replica without tracing enabled fails the export loudly instead of
+// producing a silently partial merge.
+func TestMergedTraceFailsOnUntracedReplica(t *testing.T) {
+	ts := newReplica(t, serve.Config{}) // no tracer: /v1/trace 404s
+	tracer := obs.NewTracer(0)
+	tracer.Emit(obs.Span{Name: "estimate", Cat: "client", Track: 1})
+	err := WriteMergedTrace(&bytes.Buffer{}, tracer, []string{ts.URL}, nil)
+	if err == nil || !strings.Contains(err.Error(), "status 404") {
+		t.Fatalf("err = %v, want a 404 export failure", err)
+	}
+}
+
+// A graded run carries an SLO verdict computed from the run window.
+func TestRunSLOVerdict(t *testing.T) {
+	ts := newReplica(t, serve.Config{})
+	items := corpus(t, CorpusConfig{Endpoint: "estimate", Unique: 8})
+	rep, err := Run(context.Background(), Config{
+		Targets:  []string{ts.URL},
+		Workers:  2,
+		Duration: 200 * time.Millisecond,
+		Corpus:   items,
+		SLO: slo.Config{
+			AvailabilityTarget: 0.999,
+			LatencyTarget:      0.99,
+			LatencyThreshold:   time.Minute,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SLO == nil || len(rep.SLO.Windows) != 1 {
+		t.Fatalf("SLO = %+v, want one graded run window", rep.SLO)
+	}
+	w := rep.SLO.Windows[0]
+	if w.Window != "run" || w.Total != rep.Completed || w.Errors != 0 {
+		t.Fatalf("run window %+v vs report %+v", w, rep)
+	}
+	if w.Availability != 1 || rep.SLO.Verdict != "ok" {
+		t.Fatalf("healthy run graded %q (availability %v)", rep.SLO.Verdict, w.Availability)
+	}
+}
