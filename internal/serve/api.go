@@ -105,6 +105,11 @@ type SimulateRequest struct {
 	Deterministic bool `json:"deterministic,omitempty"`
 	// MaxEvents bounds the event budget (0 uses the server default).
 	MaxEvents uint64 `json:"max_events,omitempty"`
+	// Shards, when above 1, runs the simulation on the sharded event
+	// engine. Results are byte-identical to serial runs (equal seeds
+	// still give equal, cacheable results); async jobs with Shards > 1
+	// skip checkpointing, so a crashed attempt restarts from the top.
+	Shards int `json:"shards,omitempty"`
 }
 
 // badRequest marks an error as the client's fault (HTTP 400): malformed
@@ -275,6 +280,7 @@ func (s *Server) prepareSimulate(body []byte) (prepared, error) {
 			Warmup:               req.Warmup,
 			DeterministicService: req.Deterministic,
 			MaxEvents:            maxEvents,
+			Shards:               req.Shards,
 		}
 		// Synchronous simulations join the request's trace: vertex spans
 		// parent under the server's request span. (Cache hits skip the

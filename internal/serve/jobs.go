@@ -298,6 +298,7 @@ func (s *Server) runSimulateJob(ctx context.Context, id string, body []byte, ck 
 		Warmup:               req.Warmup,
 		DeterministicService: req.Deterministic,
 		MaxEvents:            maxEvents,
+		Shards:               req.Shards,
 	}
 	// The manager stamps the attempt's trace context on the context; the
 	// simulation's vertex spans parent under the attempt span, and live
@@ -315,7 +316,9 @@ func (s *Server) runSimulateJob(ctx context.Context, id string, body []byte, ck 
 			s.jobs.Progress(id, p.Events, p.SimTime, p.Checkpoints)
 		}
 	}
-	if s.cfg.JobCheckpointEvery > 0 {
+	// Sharded runs cannot checkpoint (sim.ErrShardedCheckpoint); the job
+	// still runs crash-safe, it just restarts attempts from t=0.
+	if s.cfg.JobCheckpointEvery > 0 && req.Shards <= 1 {
 		cfg.CheckpointEvery = s.cfg.JobCheckpointEvery
 		cfg.CheckpointSink = func(c *sim.Checkpoint) error {
 			b, err := c.Encode()

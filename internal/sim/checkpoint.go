@@ -341,6 +341,12 @@ func (s *Simulator) snapshot() *Checkpoint {
 // CheckpointSink; calling it from a Trace/Spans hook mid-dispatch
 // captures a half-applied event.
 func (s *Simulator) Checkpoint() (*Checkpoint, error) {
+	if s.plan != nil {
+		// A multi-domain run has no serial-equivalent mid-run snapshot:
+		// per-domain clocks straddle the synchronization window. Typed
+		// error instead of a corrupt snapshot; see ErrShardedCheckpoint.
+		return nil, fmt.Errorf("sim: checkpoint of a %d-domain run: %w", len(s.plan.domains), ErrShardedCheckpoint)
+	}
 	if s.gen == nil {
 		return nil, errors.New("sim: checkpoint before the run started")
 	}
@@ -370,6 +376,9 @@ func Resume(cfg Config, ck *Checkpoint) (*Simulator, error) {
 	s, err := New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if s.plan != nil {
+		return nil, fmt.Errorf("sim: resume onto a %d-domain run: %w", len(s.plan.domains), ErrShardedCheckpoint)
 	}
 
 	// Stream positions: replay the engine source's raw draws and the

@@ -54,8 +54,8 @@ const (
 //	evArriveAt:     node = destination, from = upstream name, pkt
 //	evServiceDone:  node = server, pkt, a = queueing wait, b = service start
 //	evFault:        idx into cfg.Faults
-//	evLinkRestore:  link, from = link name (for the trace event)
-//	evStallRecover: node = stalled vertex
+//	evLinkRestore:  link, from = link name (for the trace event), idx
+//	evStallRecover: node = stalled vertex, idx = originating fault
 //	evWarmup:       no operands
 type event struct {
 	time float64
@@ -143,7 +143,15 @@ func (q *eventQueue) pop() event {
 // schedule stamps the event with the fire time and the next sequence
 // number and inserts it. The sequence counter is the determinism anchor:
 // equal-time events fire in schedule order, exactly like the seed engine.
+// Sharded domains stamp an intrinsic partition-invariant key instead (see
+// shard.go), so the (time, seq) order is identical at every shard count.
 func (s *Simulator) schedule(t float64, e event) {
+	if s.sh != nil {
+		e.time = t
+		e.seq = s.intrinsicKey(&e)
+		s.events.push(e)
+		return
+	}
 	s.seq++
 	e.time = t
 	e.seq = s.seq
@@ -161,7 +169,7 @@ func (s *Simulator) dispatch(e *event) {
 	case evArrival:
 		s.arrivalPump(e.a, e.flow)
 	case evFault:
-		s.applyFault(s.cfg.Faults[e.idx])
+		s.applyFault(s.cfg.Faults[e.idx], e.idx)
 	case evLinkRestore:
 		s.restoreLink(e.link, e.from)
 	case evStallRecover:

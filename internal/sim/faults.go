@@ -199,8 +199,10 @@ func (s *Simulator) scheduleFaults() {
 	}
 }
 
-// applyFault executes one injection at the current simulation time.
-func (s *Simulator) applyFault(f Fault) {
+// applyFault executes one injection at the current simulation time. idx is
+// the fault's index in the schedule: recovery events carry it so their
+// heap keys stay partition-invariant under sharding.
+func (s *Simulator) applyFault(f Fault, idx int32) {
 	switch f.Kind {
 	case EngineDown:
 		n := s.nodes[f.Vertex]
@@ -235,7 +237,7 @@ func (s *Simulator) applyFault(f Fault) {
 		s.faults.LinkDegradeEvents++
 		s.traceFault(TraceFaultInject, f.Link)
 		if f.Duration > 0 {
-			s.schedule(s.now+f.Duration, event{kind: evLinkRestore, link: l, from: f.Link})
+			s.schedule(s.now+f.Duration, event{kind: evLinkRestore, link: l, from: f.Link, idx: idx})
 		}
 	case VertexStall:
 		n := s.nodes[f.Vertex]
@@ -245,7 +247,7 @@ func (s *Simulator) applyFault(f Fault) {
 		}
 		s.faults.VertexStallEvents++
 		s.traceFault(TraceFaultInject, f.Vertex)
-		s.schedule(until, event{kind: evStallRecover, node: n})
+		s.schedule(until, event{kind: evStallRecover, node: n, idx: idx})
 	}
 }
 
@@ -284,7 +286,14 @@ func (s *Simulator) drain(n *node) {
 }
 
 // traceFault emits a packet-less trace event for a fault transition.
+// Sharded domains buffer it in emission order for the merged replay.
 func (s *Simulator) traceFault(kind TraceKind, where string) {
+	if s.sh != nil {
+		if s.sh.traceOn {
+			s.sh.addTrace(kind, s.now, where, 0, 0)
+		}
+		return
+	}
 	if s.cfg.Trace == nil {
 		return
 	}

@@ -1,0 +1,119 @@
+package sim_test
+
+// Differential golden suite for the sharded engine (shard.go): the
+// byte-identical contract extended across shard counts. Two families:
+//
+//   - Every (device, scenario, seed) digest from the serial golden suite,
+//     re-run at Shards ∈ {2, 3, 8} and checked against the *same* committed
+//     goldens — never re-recorded here. The golden scenarios' RNG and
+//     shared-link constraints collapse their partitions to one domain, so
+//     these runs double as a regression test that the constraint closure
+//     correctly refuses to shard a graph it cannot shard safely.
+//
+//   - The 64-tenant microservice mesh (mesh.go), whose partition genuinely
+//     splits: its Result and full trace-stream digests are pinned at
+//     Shards = 0 in testdata/mesh_digests.json and every sharded run must
+//     reproduce them bit-for-bit (shard-count invariance).
+
+import (
+	"testing"
+
+	"lognic/internal/sim"
+	"lognic/internal/simtest"
+)
+
+// diffShardCounts are the shard counts every differential digest is
+// checked at.
+var diffShardCounts = []int{2, 3, 8}
+
+// TestShardedGoldenDigests re-runs all committed golden scenarios with
+// sharding requested and asserts every digest unchanged. It never saves:
+// the goldens belong to the serial suite (golden_test.go), and a sharded
+// run that needs them re-recorded is a broken sharded run.
+func TestShardedGoldenDigests(t *testing.T) {
+	g := simtest.LoadGolden(t, "testdata/golden_digests.json")
+	for _, d := range goldenDevices(t) {
+		for _, seed := range []int64{1, 2, 3} {
+			for name, cfg := range goldenScenarios(t, d, seed) {
+				for _, shards := range diffShardCounts {
+					cfg := cfg
+					cfg.Shards = shards
+					th := simtest.NewTraceHasher()
+					cfg.Trace = th.Hook
+					s, err := sim.New(cfg)
+					if err != nil {
+						t.Fatalf("%s/%s/seed%d/shards%d: %v", d.name, name, seed, shards, err)
+					}
+					// The golden graphs are RNG-coupled (exponential
+					// service or δ-routing) or share interface/memory
+					// links: the constraint closure must collapse them.
+					if dom := s.Domains(); dom != 1 {
+						t.Fatalf("%s/%s/seed%d/shards%d: %d domains, want collapse to 1 (RNG/shared-link constraints)", d.name, name, seed, shards, dom)
+					}
+					res, err := s.Run()
+					if err != nil {
+						t.Fatalf("%s/%s/seed%d/shards%d: %v", d.name, name, seed, shards, err)
+					}
+					g.Check(t, simtest.Key(d.name, name, "seed", seed, "result"), simtest.ResultDigest(res))
+					g.Check(t, simtest.Key(d.name, name, "seed", seed, "trace"), th.Sum())
+				}
+			}
+		}
+	}
+}
+
+// meshDiffConfig is the differential-test instance of the 64-tenant mesh:
+// small enough to run at five shard counts in test time, large enough that
+// every domain carries real load.
+func meshDiffConfig(t *testing.T, seed int64) sim.Config {
+	t.Helper()
+	cfg, err := sim.MeshConfig(64, 0.7, seed, 2e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestMeshShardInvariance pins the mesh's serial digests and asserts every
+// sharded run — which really does fan out into multiple domains — is
+// byte-identical: same Result digest, same full trace stream.
+func TestMeshShardInvariance(t *testing.T) {
+	g := simtest.LoadGolden(t, "testdata/mesh_digests.json")
+	defer g.Save(t)
+	for _, seed := range []int64{1, 2} {
+		cfg := meshDiffConfig(t, seed)
+		th := simtest.NewTraceHasher()
+		cfg.Trace = th.Hook
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("seed%d serial: %v", seed, err)
+		}
+		if res.DeliveredPackets == 0 {
+			t.Fatalf("seed%d: mesh delivered no packets", seed)
+		}
+		resKey := simtest.Key("mesh64", "seed", seed, "result")
+		traceKey := simtest.Key("mesh64", "seed", seed, "trace")
+		g.Check(t, resKey, simtest.ResultDigest(res))
+		g.Check(t, traceKey, th.Sum())
+
+		for _, shards := range append([]int{1}, diffShardCounts...) {
+			scfg := cfg
+			scfg.Shards = shards
+			sth := simtest.NewTraceHasher()
+			scfg.Trace = sth.Hook
+			s, err := sim.New(scfg)
+			if err != nil {
+				t.Fatalf("seed%d shards%d: %v", seed, shards, err)
+			}
+			if shards > 1 && s.Domains() < 2 {
+				t.Fatalf("seed%d shards%d: mesh collapsed to %d domains — partitioner lost its parallelism", seed, shards, s.Domains())
+			}
+			sres, err := s.Run()
+			if err != nil {
+				t.Fatalf("seed%d shards%d: %v", seed, shards, err)
+			}
+			g.Check(t, resKey, simtest.ResultDigest(sres))
+			g.Check(t, traceKey, sth.Sum())
+		}
+	}
+}

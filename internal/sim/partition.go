@@ -1,0 +1,407 @@
+package sim
+
+// Execution-graph partitioning for the sharded event engine (shard.go).
+//
+// The partitioner splits the graph's vertices into domains that can run
+// independent event loops, synchronized only at cross-domain edges. It is
+// constraint-first: correctness constraints force vertices into the same
+// domain (union-find closure), and only the resulting atoms are balanced
+// across shards. The constraints encode exactly the state two vertices may
+// share on the serial engine's hot path:
+//
+//   - RNG consumers: every vertex whose events draw from the engine RNG
+//     stream (exponential service, ServiceTimer hooks, δ-routing with a
+//     real choice) must share one domain, plus the arrival pump when it
+//     draws (multiple ingresses). One domain then replays the serial
+//     draw sequence exactly.
+//   - The arrival pump and all ingresses: arriveAt runs inline from the
+//     pump, so ingress vertices live with it (the "root" domain).
+//   - Shared-interface users and shared-memory users: the FIFO busy-until
+//     state of a shared link is mutable state every α- (resp. β-) edge
+//     source touches on depart.
+//   - JSQ routers and their out-neighbors: pickRoute probes the
+//     downstream nodes' live queue lengths.
+//   - Zero-lookahead edges: an edge whose source has no computation-
+//     transfer overhead can deliver a packet at the current instant, so
+//     its endpoints merge instead of synchronizing (the conservative
+//     horizon needs strictly positive cross-edge lookahead).
+//
+// Atoms are then assigned to min(Shards, atoms) domains by largest-first
+// greedy balancing on expected event weight (visit probability), with an
+// affinity tie-break that keeps heavily-trafficked edges intra-domain —
+// the "min-cut-ish" part. The whole procedure is deterministic: equal
+// configs partition identically on every run and platform.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// eventsPerVisit scales a vertex's visit probability into an approximate
+// event count (arrive + service-start + done); the arrival pump itself
+// costs about one event per packet.
+const eventsPerVisit = 3.0
+
+// shardPlan is the output of buildPlan: the domain layout one sharded run
+// executes. A plan always has at least two domains — when the constraint
+// closure collapses to one, New keeps the serial engine instead.
+type shardPlan struct {
+	// domains lists each domain's vertices in graph order.
+	domains [][]string
+	// owner maps vertex name → domain index.
+	owner map[string]int
+	// rootDom runs the arrival pump (and owns every ingress).
+	rootDom int
+	// intfDom / memDom own the shared interface / memory link state.
+	intfDom, memDom int
+	// lookahead is the minimum computation-transfer overhead over all
+	// cross-domain edges: the conservative synchronization horizon.
+	// +Inf when no edge crosses domains.
+	lookahead float64
+	// crossEdges counts edges whose endpoints live in different domains.
+	crossEdges int
+}
+
+// unionFind is a deterministic disjoint-set over vertex indices.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// union merges two sets; the smaller root index wins, keeping the
+// representative (and everything derived from it) deterministic.
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+}
+
+// consumesRNG reports whether events at this vertex draw from the engine
+// RNG stream.
+func (s *Simulator) consumesRNG(n *node) bool {
+	if n.timer != nil {
+		return true // ServiceTimer hooks receive the rng
+	}
+	if n.meanWork > 0 && !s.cfg.DeterministicService {
+		return true // exponential service draw
+	}
+	// δ-routing draws only when there is a real choice.
+	return len(n.outEdges) > 1 && n.policy != RouteJSQ && n.policy != RouteFlowHash
+}
+
+// buildPlan partitions the simulator's graph into at most shards domains.
+// It never fails on a mergeable graph: constraints collapse domains instead
+// of erroring, and a fully-collapsed graph yields a one-domain plan the
+// caller treats as "stay serial".
+func buildPlan(s *Simulator, shards int) (*shardPlan, error) {
+	n := len(s.order)
+	idx := make(map[string]int, n)
+	for i, name := range s.order {
+		idx[name] = i
+	}
+	pump := n // virtual atom for the arrival pump
+	uf := newUnionFind(n + 1)
+
+	// RNG consumers form one clique (with the pump when it draws).
+	first := -1
+	for i, name := range s.order {
+		if s.consumesRNG(s.nodes[name]) {
+			if first < 0 {
+				first = i
+			} else {
+				uf.union(first, i)
+			}
+		}
+	}
+	if len(s.ingressPk) > 1 && first >= 0 {
+		uf.union(first, pump)
+	}
+
+	// The pump owns every ingress: arrivals are delivered inline.
+	for _, is := range s.ingressPk {
+		uf.union(pump, idx[is.n.v.Name])
+	}
+
+	// Shared-link users: every α-edge (β-edge) source shares the
+	// interface (memory) FIFO state.
+	intfFirst, memFirst := -1, -1
+	for i, name := range s.order {
+		nd := s.nodes[name]
+		usesIntf, usesMem := false, false
+		for _, rc := range nd.outEdges {
+			usesIntf = usesIntf || (s.intf != nil && rc.intfPerByte > 0)
+			usesMem = usesMem || (s.mem != nil && rc.memPerByte > 0)
+		}
+		if usesIntf {
+			if intfFirst < 0 {
+				intfFirst = i
+			} else {
+				uf.union(intfFirst, i)
+			}
+		}
+		if usesMem {
+			if memFirst < 0 {
+				memFirst = i
+			} else {
+				uf.union(memFirst, i)
+			}
+		}
+	}
+
+	// JSQ routers probe downstream queue lengths; zero-overhead edges have
+	// no lookahead to synchronize on. Both merge endpoints.
+	for i, name := range s.order {
+		nd := s.nodes[name]
+		jsq := nd.policy == RouteJSQ && len(nd.outEdges) > 1
+		for _, rc := range nd.outEdges {
+			if jsq || rc.overhead <= 0 {
+				uf.union(i, idx[rc.to])
+			}
+		}
+	}
+
+	// Collect atoms in deterministic order and weight them by expected
+	// event volume (visit probability × events per visit).
+	visitP, edgeP, err := s.visitWeights()
+	if err != nil {
+		return nil, err
+	}
+	atomOf := make([]int, n+1)
+	var atomMembers [][]int // vertex indices; pump is index n
+	var atomWeight []float64
+	rootToAtom := map[int]int{}
+	for i := 0; i <= n; i++ {
+		r := uf.find(i)
+		a, ok := rootToAtom[r]
+		if !ok {
+			a = len(atomMembers)
+			rootToAtom[r] = a
+			atomMembers = append(atomMembers, nil)
+			atomWeight = append(atomWeight, 0)
+		}
+		atomOf[i] = a
+		atomMembers[a] = append(atomMembers[a], i)
+		if i == pump {
+			atomWeight[a] += 1.0
+		} else {
+			atomWeight[a] += eventsPerVisit * visitP[s.order[i]]
+		}
+	}
+
+	k := shards
+	if k > len(atomMembers) {
+		k = len(atomMembers)
+	}
+	assign := assignAtoms(atomMembers, atomWeight, atomOf, edgeP, s, idx, k)
+
+	// Compact to non-empty domains (affinity can leave trailing shards
+	// unused) and materialize the plan.
+	compact := make([]int, k)
+	for i := range compact {
+		compact[i] = -1
+	}
+	pl := &shardPlan{owner: make(map[string]int, n), lookahead: math.Inf(1)}
+	domOf := func(atom int) int {
+		d := assign[atom]
+		if compact[d] < 0 {
+			compact[d] = len(pl.domains)
+			pl.domains = append(pl.domains, nil)
+		}
+		return compact[d]
+	}
+	for i, name := range s.order {
+		d := domOf(atomOf[i])
+		pl.owner[name] = d
+		pl.domains[d] = append(pl.domains[d], name)
+	}
+	pl.rootDom = domOf(atomOf[pump])
+	pl.intfDom, pl.memDom = pl.rootDom, pl.rootDom
+	if intfFirst >= 0 {
+		pl.intfDom = domOf(atomOf[intfFirst])
+	}
+	if memFirst >= 0 {
+		pl.memDom = domOf(atomOf[memFirst])
+	}
+
+	for _, name := range s.order {
+		from := pl.owner[name]
+		for _, rc := range s.nodes[name].outEdges {
+			if pl.owner[rc.to] == from {
+				continue
+			}
+			pl.crossEdges++
+			if rc.overhead <= 0 {
+				return nil, fmt.Errorf("sim: internal: cross-domain edge %s->%s has no lookahead", name, rc.to)
+			}
+			if rc.overhead < pl.lookahead {
+				pl.lookahead = rc.overhead
+			}
+		}
+	}
+	return pl, nil
+}
+
+// visitWeights recomputes per-vertex visit probabilities and per-edge
+// traversal probabilities from the path decomposition (the same weights
+// New uses for mean service times).
+func (s *Simulator) visitWeights() (map[string]float64, map[[2]string]float64, error) {
+	paths, err := s.cfg.Graph.Paths()
+	if err != nil {
+		return nil, nil, err
+	}
+	visitP := map[string]float64{}
+	edgeP := map[[2]string]float64{}
+	for _, p := range paths {
+		seen := map[string]bool{}
+		for i, v := range p.Vertices {
+			if !seen[v] {
+				visitP[v] += p.Weight
+				seen[v] = true
+			}
+			if i+1 < len(p.Vertices) {
+				edgeP[[2]string{v, p.Vertices[i+1]}] += p.Weight
+			}
+		}
+	}
+	return visitP, edgeP, nil
+}
+
+// assignAtoms places atoms onto k shards: largest-first greedy balancing,
+// breaking near-ties (within a quarter of the atom's own weight) toward
+// the shard with the most edge traffic to the atom — a cheap min-cut bias.
+func assignAtoms(members [][]int, weight []float64, atomOf []int, edgeP map[[2]string]float64, s *Simulator, idx map[string]int, k int) []int {
+	order := make([]int, len(members))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by weight descending, atom id ascending on ties:
+	// deterministic and tiny (atom counts are graph-sized).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j], order[j-1]
+			if weight[a] > weight[b] || (weight[a] == weight[b] && a < b) {
+				order[j], order[j-1] = order[j-1], order[j]
+			} else {
+				break
+			}
+		}
+	}
+
+	// affinity[atom][shard] accumulates traversal weight between the atom
+	// and already-placed atoms on that shard. A shard is a candidate for
+	// an atom while taking it keeps the shard within ~105% of the
+	// balanced average — so a service chain can keep stacking onto the
+	// shard that already holds its neighbors until that shard is full,
+	// instead of being round-robined apart by strict load order.
+	total := 0.0
+	for _, w := range weight {
+		total += w
+	}
+	target := 1.05 * total / float64(k)
+	load := make([]float64, k)
+	assign := make([]int, len(members))
+	for i := range assign {
+		assign[i] = -1
+	}
+	affinity := make([][]float64, len(members))
+	for _, a := range order {
+		best, bestScore := -1, math.Inf(-1)
+		for d := 0; d < k; d++ {
+			if load[d]+weight[a] > target {
+				continue
+			}
+			score := 0.0
+			if affinity[a] != nil {
+				score = affinity[a][d]
+			}
+			// Prefer affinity, then lighter load, then lower index.
+			if score > bestScore || (score == bestScore && load[d] < load[best]) {
+				best, bestScore = d, score
+			}
+		}
+		if best < 0 {
+			// No shard has room under the target (an oversized constraint
+			// clique, or the tail of a tight packing): fall back to pure
+			// balance.
+			best = 0
+			for d := 1; d < k; d++ {
+				if load[d] < load[best] {
+					best = d
+				}
+			}
+		}
+		assign[a] = best
+		load[best] += weight[a]
+		// Update neighbor affinities toward the chosen shard.
+		for _, vi := range members[a] {
+			if vi >= len(s.order) {
+				continue // pump atom has no graph edges
+			}
+			name := s.order[vi]
+			for _, rc := range s.nodes[name].outEdges {
+				touch(&affinity[atomOf[idx[rc.to]]], k, best, edgeP[[2]string{name, rc.to}])
+			}
+		}
+		for _, name := range s.order {
+			for _, rc := range s.nodes[name].outEdges {
+				if atomOf[idx[rc.to]] == a {
+					touch(&affinity[atomOf[idx[name]]], k, best, edgeP[[2]string{name, rc.to}])
+				}
+			}
+		}
+	}
+	return assign
+}
+
+// touch lazily allocates an affinity row and adds w to one shard's cell.
+func touch(row *[]float64, k, shard int, w float64) {
+	if w <= 0 {
+		return
+	}
+	if *row == nil {
+		*row = make([]float64, k)
+	}
+	(*row)[shard] += w
+}
+
+// faultDomain returns the domain that must execute one scheduled fault:
+// the target vertex's owner, or the owner of the degraded link's state.
+func (pl *shardPlan) faultDomain(f *Fault) int {
+	if f.Kind == LinkDegrade {
+		return pl.linkDomain(f.Link)
+	}
+	return pl.owner[f.Vertex]
+}
+
+// linkDomain returns the domain owning a named transmission resource.
+func (pl *shardPlan) linkDomain(name string) int {
+	switch name {
+	case "interface":
+		return pl.intfDom
+	case "memory":
+		return pl.memDom
+	}
+	if i := strings.Index(name, "->"); i >= 0 {
+		return pl.owner[name[:i]]
+	}
+	return pl.rootDom
+}

@@ -1,0 +1,231 @@
+package sim
+
+// FuzzPartition drives buildPlan over generated chain-fanout graphs and
+// asserts the partition invariants that make sharded execution safe:
+// every vertex owned exactly once, every edge preserved with positive
+// cross-domain lookahead, zero-overhead edges merged, RNG consumers and
+// shared-link users kept together, and the whole procedure deterministic.
+// For cheap inputs it also runs the strongest invariant there is — a tiny
+// differential simulation, serial versus sharded, compared field-for-field.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"lognic/internal/core"
+	"lognic/internal/traffic"
+	"lognic/internal/unit"
+)
+
+// fuzzPartitionGraph builds a C-chain fan-out graph from fuzz-chosen bits.
+// overheadBits selects which vertices get a positive computation-transfer
+// overhead (a zero bit forces the partitioner to merge that vertex with
+// its downstream neighbors); mediaBits routes chain edges over the shared
+// interface or memory medium, coupling their source vertices.
+func fuzzPartitionGraph(t *testing.T, chains, depth int, overheadBits, mediaBits uint16) (*core.Graph, bool) {
+	t.Helper()
+	b := core.NewBuilder("fuzz-partition").AddIngress("in").AddEgress("out")
+	share := 1 / float64(chains)
+	bit := 0
+	name := func(c, d int) string { return "c" + string(rune('a'+c)) + string(rune('0'+d)) }
+	for c := 0; c < chains; c++ {
+		prev := "in"
+		for d := 0; d < depth; d++ {
+			ov := 0.0
+			if overheadBits&(1<<(bit%16)) != 0 {
+				ov = 1e-6 * float64(1+bit)
+			}
+			b.AddVertex(core.Vertex{
+				Name: name(c, d), Kind: core.KindIP,
+				Throughput:  1e9 * (1 + 0.01*float64(bit)),
+				Parallelism: 1 + c%2, QueueCapacity: 8,
+				Overhead: ov,
+			})
+			e := core.Edge{From: prev, To: name(c, d), Delta: share}
+			switch {
+			case mediaBits&(1<<(bit%16)) != 0:
+				e.Alpha = 0.5 * share
+			case mediaBits&(1<<((bit+7)%16)) != 0:
+				e.Beta = 0.5 * share
+			}
+			b.AddEdge(e)
+			prev = name(c, d)
+			bit++
+		}
+		b.AddEdge(core.Edge{From: prev, To: "out", Delta: share})
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, false
+	}
+	return g, true
+}
+
+func FuzzPartition(f *testing.F) {
+	f.Add(uint8(3), uint8(2), uint16(0xffff), uint16(0), uint8(4), false, false)
+	f.Add(uint8(1), uint8(1), uint16(0), uint16(0), uint8(2), true, false)
+	f.Add(uint8(8), uint8(3), uint16(0xaaaa), uint16(0x0f0f), uint8(3), true, true)
+	f.Add(uint8(4), uint8(4), uint16(0xf0f0), uint16(0x00ff), uint8(8), false, true)
+	f.Fuzz(func(t *testing.T, nc, nd uint8, overheadBits, mediaBits uint16, nk uint8, deterministic, flowHash bool) {
+		chains := 1 + int(nc)%8
+		depth := 1 + int(nd)%4
+		shards := 2 + int(nk)%7
+		g, ok := fuzzPartitionGraph(t, chains, depth, overheadBits, mediaBits)
+		if !ok {
+			t.Skip("graph rejected")
+		}
+		// Prime packet sizes keep deterministic-service runs tie-free:
+		// with one fixed size, busy-period completions land exactly on
+		// unrelated arrivals and the serial/sharded engines break the tie
+		// differently (see meshSizes).
+		prof, perr := traffic.EqualSplit("f", unit.Bandwidth(0.4e9), 941, 1021, 1103, 1187)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		cfg := Config{
+			Graph:                g,
+			Hardware:             core.Hardware{InterfaceBW: 50e9, MemoryBW: 40e9},
+			Profile:              prof,
+			Seed:                 int64(overheadBits)<<16 | int64(mediaBits),
+			Duration:             5e-5,
+			DeterministicService: deterministic,
+			MaxEvents:            200_000,
+		}
+		if flowHash {
+			cfg.RoutePolicy = map[string]RoutePolicy{"in": RouteFlowHash}
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Skip("config rejected")
+		}
+		pl, err := buildPlan(s, shards)
+		if err != nil {
+			t.Fatalf("buildPlan: %v", err)
+		}
+
+		// Every vertex exactly once, owner table consistent.
+		seen := map[string]int{}
+		for d, dom := range pl.domains {
+			for _, v := range dom {
+				if prev, dup := seen[v]; dup {
+					t.Fatalf("vertex %s in domains %d and %d", v, prev, d)
+				}
+				seen[v] = d
+				if pl.owner[v] != d {
+					t.Fatalf("owner[%s]=%d but listed in domain %d", v, pl.owner[v], d)
+				}
+			}
+		}
+		if len(seen) != len(s.order) {
+			t.Fatalf("partition covers %d of %d vertices", len(seen), len(s.order))
+		}
+		if len(pl.domains) > shards {
+			t.Fatalf("%d domains from %d shards", len(pl.domains), shards)
+		}
+		for _, d := range []int{pl.rootDom, pl.intfDom, pl.memDom} {
+			if d < 0 || d >= len(pl.domains) {
+				t.Fatalf("special domain %d outside [0,%d)", d, len(pl.domains))
+			}
+		}
+		if pl.owner["in"] != pl.rootDom {
+			t.Fatalf("ingress owned by %d, root is %d", pl.owner["in"], pl.rootDom)
+		}
+
+		// Edge preservation: recompute the cross-edge census and the
+		// lookahead from scratch and compare; zero-overhead cross edges are
+		// forbidden outright.
+		cross, lmin := 0, math.Inf(1)
+		intfDom, memDom, rngDom := -1, -1, -1
+		for _, name := range s.order {
+			n := s.nodes[name]
+			for i := range n.outEdges {
+				rc := &n.outEdges[i]
+				if pl.owner[name] == pl.owner[rc.to] {
+					continue
+				}
+				cross++
+				if rc.overhead <= 0 {
+					t.Fatalf("zero-lookahead edge %s->%s crosses domains", name, rc.to)
+				}
+				if rc.overhead < lmin {
+					lmin = rc.overhead
+				}
+			}
+			for i := range n.outEdges {
+				if n.outEdges[i].intfPerByte > 0 {
+					if intfDom >= 0 && intfDom != pl.owner[name] {
+						t.Fatalf("interface users split across domains %d and %d", intfDom, pl.owner[name])
+					}
+					intfDom = pl.owner[name]
+				}
+				if n.outEdges[i].memPerByte > 0 {
+					if memDom >= 0 && memDom != pl.owner[name] {
+						t.Fatalf("memory users split across domains %d and %d", memDom, pl.owner[name])
+					}
+					memDom = pl.owner[name]
+				}
+			}
+			if s.consumesRNG(n) {
+				if rngDom >= 0 && rngDom != pl.owner[name] {
+					t.Fatalf("RNG consumers split across domains %d and %d", rngDom, pl.owner[name])
+				}
+				rngDom = pl.owner[name]
+			}
+		}
+		if cross != pl.crossEdges {
+			t.Fatalf("crossEdges=%d, recount=%d", pl.crossEdges, cross)
+		}
+		if cross > 0 && lmin != pl.lookahead {
+			t.Fatalf("lookahead=%v, recomputed min overhead=%v", pl.lookahead, lmin)
+		}
+		if intfDom >= 0 && intfDom != pl.intfDom {
+			t.Fatalf("intfDom=%d, interface users in %d", pl.intfDom, intfDom)
+		}
+		if memDom >= 0 && memDom != pl.memDom {
+			t.Fatalf("memDom=%d, memory users in %d", pl.memDom, memDom)
+		}
+
+		// Fault routing stays in range for every targetable vertex and link.
+		for _, name := range s.order {
+			if d := pl.faultDomain(&Fault{Kind: VertexStall, Vertex: name}); d < 0 || d >= len(pl.domains) {
+				t.Fatalf("faultDomain(%s)=%d out of range", name, d)
+			}
+		}
+		for name := range s.links {
+			if d := pl.linkDomain(name); d < 0 || d >= len(pl.domains) {
+				t.Fatalf("linkDomain(%s)=%d out of range", name, d)
+			}
+		}
+
+		// Determinism: a second build of the same plan is identical.
+		s2, err := New(cfg)
+		if err != nil {
+			t.Fatalf("second New: %v", err)
+		}
+		pl2, err := buildPlan(s2, shards)
+		if err != nil {
+			t.Fatalf("second buildPlan: %v", err)
+		}
+		if !reflect.DeepEqual(pl, pl2) {
+			t.Fatalf("plan not deterministic:\n%+v\n%+v", pl, pl2)
+		}
+
+		// Stats merge round-trip: a short differential run must agree
+		// field-for-field with the serial engine (multi-domain plans only;
+		// single-domain plans are the serial engine).
+		if len(pl.domains) < 2 {
+			return
+		}
+		serial, serr := Run(cfg)
+		scfg := cfg
+		scfg.Shards = shards
+		sharded, xerr := Run(scfg)
+		if (serr == nil) != (xerr == nil) {
+			t.Fatalf("serial err=%v, sharded err=%v", serr, xerr)
+		}
+		if serr == nil && !reflect.DeepEqual(serial, sharded) {
+			t.Fatalf("differential mismatch:\nserial  %+v\nsharded %+v", serial, sharded)
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package sim
+
+// White-box tests for the sharded engine's control surface and its
+// determinism contract: mid-run cancellation, the typed checkpoint
+// refusal, invariance under domain relabeling (a metamorphic probe of
+// the merge logic), and serial/sharded agreement at saturation, where
+// queue overflow makes event ordering consequential.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// meshCfg builds the 64-tenant mesh the sharded engine is pinned on.
+func meshCfg(t *testing.T, load float64, seed int64, shards int) Config {
+	t.Helper()
+	cfg, err := MeshConfig(64, load, seed, 2e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = shards
+	return cfg
+}
+
+func TestShardsValidation(t *testing.T) {
+	cfg := meshCfg(t, 0.7, 1, -1)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+}
+
+// TestShardedCancelMidRun cancels from the Progress hook — i.e. between
+// synchronization rounds, while every domain still holds pending events —
+// and expects the typed abort the serial engine produces.
+func TestShardedCancelMidRun(t *testing.T) {
+	cfg := meshCfg(t, 0.7, 1, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rounds := 0
+	cfg.Progress = func(Progress) {
+		if rounds++; rounds == 3 {
+			cancel()
+		}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Domains() < 2 {
+		t.Fatalf("mesh collapsed to %d domains", s.Domains())
+	}
+	_, err = s.RunContext(ctx)
+	if err == nil {
+		t.Fatal("cancelled sharded run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	if rounds < 3 {
+		t.Fatalf("run ended after %d rounds, before the cancel fired", rounds)
+	}
+}
+
+// TestShardedCheckpointRefusal covers every door into checkpointing a
+// sharded run: configuring periodic snapshots, asking a built simulator,
+// and resuming a serial snapshot onto a sharded config. All must fail
+// with ErrShardedCheckpoint, not corrupt state.
+func TestShardedCheckpointRefusal(t *testing.T) {
+	cfg := meshCfg(t, 0.7, 1, 8)
+	cfg.CheckpointEvery = 4096
+	cfg.CheckpointSink = func(*Checkpoint) error { return nil }
+	if _, err := New(cfg); !errors.Is(err, ErrShardedCheckpoint) {
+		t.Fatalf("New with Shards+CheckpointEvery: %v", err)
+	}
+
+	cfg.CheckpointEvery = 0
+	cfg.CheckpointSink = nil
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkpoint(); !errors.Is(err, ErrShardedCheckpoint) {
+		t.Fatalf("Checkpoint on a sharded simulator: %v", err)
+	}
+
+	// A serial run of the same scenario can checkpoint; that snapshot must
+	// not resume onto a sharded config.
+	serial := cfg
+	serial.Shards = 0
+	var ck *Checkpoint
+	serial.CheckpointEvery = 4096
+	serial.CheckpointSink = func(c *Checkpoint) error { ck = c; return nil }
+	if _, err := Run(serial); err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil {
+		t.Fatal("serial run took no checkpoint; lower CheckpointEvery")
+	}
+	if _, err := Resume(cfg, ck); !errors.Is(err, ErrShardedCheckpoint) {
+		t.Fatalf("Resume onto a sharded config: %v", err)
+	}
+}
+
+// rotatePlan relabels every domain d → (d+by) mod k. A domain label is an
+// arbitrary name: the run's observable behavior must not depend on it.
+func rotatePlan(pl *shardPlan, by int) {
+	k := len(pl.domains)
+	relabel := func(d int) int { return (d + by) % k }
+	domains := make([][]string, k)
+	for d, vs := range pl.domains {
+		domains[relabel(d)] = vs
+	}
+	pl.domains = domains
+	for v, d := range pl.owner {
+		pl.owner[v] = relabel(d)
+	}
+	pl.rootDom = relabel(pl.rootDom)
+	pl.intfDom = relabel(pl.intfDom)
+	pl.memDom = relabel(pl.memDom)
+}
+
+// TestShardedRelabelInvariance is the metamorphic twin of the differential
+// suite: permuting domain indices permutes goroutines, outbox slots and
+// merge input order, but must not change one bit of the Result or the
+// replayed trace.
+func TestShardedRelabelInvariance(t *testing.T) {
+	run := func(rotate int) (Result, []TraceEvent) {
+		cfg := meshCfg(t, 0.7, 2, 8)
+		var trace []TraceEvent
+		cfg.Trace = func(ev TraceEvent) { trace = append(trace, ev) }
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Domains() < 2 {
+			t.Fatalf("mesh collapsed to %d domains", s.Domains())
+		}
+		if rotate > 0 {
+			rotatePlan(s.plan, rotate)
+		}
+		res, err := s.RunContext(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, trace
+	}
+	baseRes, baseTrace := run(0)
+	for _, by := range []int{1, 3} {
+		res, trace := run(by)
+		if !reflect.DeepEqual(res, baseRes) {
+			t.Fatalf("rotate %d changed the Result:\nbase    %+v\nrotated %+v", by, baseRes, res)
+		}
+		if !reflect.DeepEqual(trace, baseTrace) {
+			t.Fatalf("rotate %d changed the trace (%d vs %d events)", by, len(baseTrace), len(trace))
+		}
+	}
+}
+
+// TestShardedSaturationConsistency overdrives the mesh (offered load 1.5×
+// aggregate stage capacity) so queues overflow and drop decisions depend
+// on exact event order — then requires serial and sharded runs to agree
+// field-for-field, and the scenario to actually saturate.
+func TestShardedSaturationConsistency(t *testing.T) {
+	cfg := meshCfg(t, 1.5, 3, 0)
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.DropRate == 0 {
+		t.Fatal("saturation scenario dropped nothing; raise the load")
+	}
+	maxUtil := 0.0
+	for _, vs := range serial.Vertices {
+		if vs.Utilization > maxUtil {
+			maxUtil = vs.Utilization
+		}
+	}
+	if maxUtil < 0.9 {
+		t.Fatalf("saturation scenario peaked at utilization %v; raise the load", maxUtil)
+	}
+	for _, shards := range []int{2, 8} {
+		c := cfg
+		c.Shards = shards
+		res, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, serial) {
+			t.Fatalf("shards=%d diverged at saturation:\nserial  %+v\nsharded %+v", shards, serial, res)
+		}
+	}
+}
