@@ -17,6 +17,14 @@
 //	             [-trace-sample f] [-trace-out trace.json]
 //	             [-slo-availability f] [-slo-latency f]
 //	             [-slo-latency-threshold d] [-log-level l] [-log-format f]
+//	             [-tenants n] [-tenant-weights w0,w1,...]
+//
+// With -tenants N, the run is multi-tenant: N synthetic tenants named
+// t0..tN-1 split the workers (closed loop) or the offered rate (open
+// loop) in proportion to -tenant-weights (default: equal weights), every
+// request carries its tenant in X-Lognic-Tenant, and the report and
+// verdict lines grow one row per tenant — each graded against the same
+// SLO objectives, so a fairness check reads straight off the output.
 //
 // With -trace-sample, sampled requests carry W3C traceparent headers the
 // daemon joins; -trace-out merges the client spans with every replica's
@@ -35,6 +43,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -71,6 +80,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	sloAvail := fs.Float64("slo-availability", 0.999, "availability objective for the run verdict (negative disables)")
 	sloLatency := fs.Float64("slo-latency", 0.99, "latency objective for the run verdict (negative disables)")
 	sloThreshold := fs.Duration("slo-latency-threshold", time.Second, "latency objective cutoff")
+	tenantsN := fs.Int("tenants", 0, "number of synthetic tenants t0..tN-1 (0 runs untenanted)")
+	tenantWeights := fs.String("tenant-weights", "", "comma-separated tenant weights, e.g. 10,1 (default: equal; requires -tenants)")
 	logOpts := olog.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,6 +94,11 @@ func run(args []string, stdout, stderr *os.File) int {
 	lg = lg.With(olog.KeyComponent, "storm")
 
 	rates, err := parseRates(*rps)
+	if err != nil {
+		olog.Fail(lg, "bad flags", "error", err.Error())
+		return 2
+	}
+	tenants, err := parseTenants(*tenantsN, *tenantWeights)
 	if err != nil {
 		olog.Fail(lg, "bad flags", "error", err.Error())
 		return 2
@@ -129,6 +145,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		Registry:    reg,
 		TraceSample: *traceSample,
 		Tracer:      tracer,
+		Tenants:     tenants,
 		SLO: slo.Config{
 			AvailabilityTarget: max(*sloAvail, 0),
 			LatencyTarget:      max(*sloLatency, 0),
@@ -193,7 +210,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	return 0
 }
 
-// printVerdicts appends one SLO line per graded step to the table.
+// printVerdicts appends one SLO line per graded step to the table, plus
+// one line per tenant in multi-tenant runs.
 func printVerdicts(stdout *os.File, reports []*storm.Report) {
 	for i, r := range reports {
 		if r.SLO == nil || len(r.SLO.Windows) == 0 {
@@ -204,7 +222,54 @@ func printVerdicts(stdout *os.File, reports []*storm.Report) {
 			"slo step %d: verdict=%s availability=%.5f (burn %.2f) latency_compliance=%.5f (burn %.2f) traced=%d\n",
 			i+1, r.SLO.Verdict, w.Availability, w.AvailabilityBurn,
 			w.LatencyCompliance, w.LatencyBurn, r.Traced)
+		names := make([]string, 0, len(r.Tenants))
+		for name := range r.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			tr := r.Tenants[name]
+			if tr.SLO == nil || len(tr.SLO.Windows) == 0 {
+				continue
+			}
+			tw := tr.SLO.Windows[0]
+			fmt.Fprintf(stdout,
+				"slo step %d tenant %s: verdict=%s availability=%.5f latency_compliance=%.5f completed=%d shed=%d shed_rate=%.3f\n",
+				i+1, name, tr.SLO.Verdict, tw.Availability, tw.LatencyCompliance,
+				tr.Completed, tr.Shed+tr.Dropped, tr.ShedRate)
+		}
 	}
+}
+
+// parseTenants builds the synthetic tenant set for -tenants/-tenant-weights:
+// n tenants named t0..tn-1, weights from the comma list (all 1 when empty,
+// exactly n positive values otherwise).
+func parseTenants(n int, weights string) ([]storm.TenantLoad, error) {
+	if n <= 0 {
+		if weights != "" {
+			return nil, fmt.Errorf("-tenant-weights requires -tenants > 0")
+		}
+		return nil, nil
+	}
+	out := make([]storm.TenantLoad, n)
+	for i := range out {
+		out[i] = storm.TenantLoad{Name: fmt.Sprintf("t%d", i), Weight: 1}
+	}
+	if weights == "" {
+		return out, nil
+	}
+	parts := strings.Split(weights, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("-tenant-weights has %d values, -tenants is %d", len(parts), n)
+	}
+	for i, p := range parts {
+		w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad tenant weight %q (want a positive number)", p)
+		}
+		out[i].Weight = w
+	}
+	return out, nil
 }
 
 func splitTargets(s string) []string {

@@ -94,6 +94,21 @@ func (c *lruCache) Put(key string, body []byte) bool {
 	return true
 }
 
+// Delete drops one entry, reporting whether it existed. The L1
+// maintenance path uses it: when the canonical tier has evicted a key,
+// the L1 entry pointing at it is dead weight — its key is a whole
+// request body — and would re-miss forever if left in place.
+func (c *lruCache) Delete(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.removeLocked(el)
+	return true
+}
+
 // removeLocked drops one entry, keeping the byte account in step.
 func (c *lruCache) removeLocked(el *list.Element) {
 	e := el.Value.(*cacheEntry)

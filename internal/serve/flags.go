@@ -27,6 +27,8 @@ func parseFlags(fs *flag.FlagSet, args []string) (Config, error) {
 	fs.IntVar(&cfg.CacheEntries, "cache", 1024, "result cache entries (negative disables)")
 	fs.Int64Var(&cfg.CacheBytes, "cache-bytes", 256<<20, "result cache byte budget (negative disables the byte bound)")
 	fs.StringVar(&cfg.CacheWarmFrom, "cache-warm-from", "", "warm-start the cache from a snapshot: file path or peer /v1/cache/snapshot URL")
+	tenantWeights := fs.String("tenant-weights", "", "enable multi-tenant fairness: comma-separated name:weight pairs, e.g. alpha:10,beta:1 (a \"default\" tenant with weight 1 is always added for unlabeled requests)")
+	fs.Float64Var(&cfg.TenantCacheSpill, "tenant-cache-spill", 0, "fraction of -cache-bytes shared as a spillover pool for entries larger than their tenant partition (0 disables, max 0.9)")
 	fs.DurationVar(&cfg.RequestTimeout, "timeout", 30*time.Second, "per-request evaluation timeout")
 	fs.DurationVar(&cfg.DrainTimeout, "drain", 30*time.Second, "graceful-shutdown drain timeout")
 	fs.Int64Var(&cfg.MaxBodyBytes, "max-body", 8<<20, "max request body bytes")
@@ -50,6 +52,14 @@ func parseFlags(fs *flag.FlagSet, args []string) (Config, error) {
 	}
 	cfg.MaxSimEvents = maxEvents
 	cfg.JobCheckpointEvery = ckptEvery
+	if *tenantWeights != "" {
+		tw, err := parseTenantWeights(*tenantWeights)
+		if err != nil {
+			fmt.Fprintln(fs.Output(), err)
+			return Config{}, err
+		}
+		cfg.TenantWeights = tw
+	}
 	logger, err := logOpts.Logger(fs.Output())
 	if err != nil {
 		fmt.Fprintln(fs.Output(), err)

@@ -24,17 +24,36 @@ func (s *Server) requestTrace(r *http.Request) (tc obs.TraceContext, parentSpan 
 	return obs.NewTraceContext(), ""
 }
 
-// handleSLO serves the monitor's current judgement. A poll is forced at
-// most once a second so the response reflects requests that finished
-// after the last background sample, without letting a hammering client
-// grow the sample ring.
+// handleSLO serves the monitor's current judgement — plus one row per
+// tenant when tenancy is enabled. A poll is forced at most once a second
+// so the response reflects requests that finished after the last
+// background sample, without letting a hammering client grow the sample
+// rings.
 func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
 	now := time.Now().UnixNano()
 	last := s.sloPolled.Load()
 	if now-last >= int64(time.Second) && s.sloPolled.CompareAndSwap(last, now) {
 		s.slo.Poll()
+		for _, t := range s.tenants {
+			t.slo.Poll()
+		}
 	}
-	writeJSON(w, http.StatusOK, s.slo.Status())
+	st := s.slo.Status()
+	if len(s.tenants) == 0 {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	out := sloReport{Status: st, Tenants: make(map[string]tenantSLO, len(s.tenants))}
+	for name, t := range s.tenants {
+		out.Tenants[name] = tenantSLO{
+			Weight:     t.weight,
+			Workers:    t.workerShare,
+			QueueDepth: t.queueShare,
+			CacheBytes: t.cacheBudget,
+			Status:     t.slo.Status(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleTrace exports the retained span ring as Chrome trace_event JSON

@@ -90,6 +90,21 @@ type Config struct {
 	// /v1/cache/snapshot endpoint. Warm-start failures are logged, not
 	// fatal — a dead peer must not block a fresh replica.
 	CacheWarmFrom string
+	// TenantWeights, when non-empty, enables multi-tenant fairness: each
+	// entry maps a tenant name to its relative weight, and requests
+	// carrying that name in X-Lognic-Tenant are held to weighted shares of
+	// Workers, QueueDepth and CacheBytes (see tenant.go). A "default"
+	// tenant (weight 1 unless listed) is always added and absorbs requests
+	// with no or an unrecognized tenant header. Names must satisfy
+	// validTenantName; parseTenantWeights enforces it for flag input and
+	// withDefaults drops invalid entries from programmatic configs. Empty
+	// disables tenancy entirely — the single-pool behavior is unchanged.
+	TenantWeights map[string]float64
+	// TenantCacheSpill is the fraction of CacheBytes set aside as a shared
+	// spillover pool for entries larger than their tenant's cache
+	// partition (0 disables; clamped to 0.9). Only meaningful with
+	// TenantWeights.
+	TenantCacheSpill float64
 	// RequestTimeout bounds each evaluation (default 30s).
 	RequestTimeout time.Duration
 	// DrainTimeout bounds the graceful-shutdown drain (default 30s).
@@ -199,6 +214,34 @@ func (c Config) withDefaults() Config {
 	if c.JobCheckpointEvery == 0 {
 		c.JobCheckpointEvery = 1_000_000
 	}
+	if len(c.TenantWeights) > 0 {
+		tw := make(map[string]float64, len(c.TenantWeights)+1)
+		for name, wt := range c.TenantWeights {
+			if wt > 0 && validTenantName(name) == nil {
+				tw[name] = wt
+			}
+		}
+		if _, ok := tw[defaultTenant]; !ok {
+			tw[defaultTenant] = 1
+		}
+		c.TenantWeights = tw
+		// Every tenant is guaranteed one worker and one queue slot, so the
+		// pools must be at least tenant-sized.
+		if c.Workers < len(tw) {
+			c.Workers = len(tw)
+		}
+		if c.QueueDepth < len(tw) {
+			c.QueueDepth = len(tw)
+		}
+		if c.TenantCacheSpill < 0 {
+			c.TenantCacheSpill = 0
+		} else if c.TenantCacheSpill > 0.9 {
+			c.TenantCacheSpill = 0.9
+		}
+	} else {
+		c.TenantWeights = nil
+		c.TenantCacheSpill = 0
+	}
 	return c
 }
 
@@ -213,8 +256,24 @@ type Server struct {
 	// responses — a canonical entry evicted from cache falls through to
 	// the full prepare path regardless of what l1 remembers.
 	l1 *lruCache
+	// cacheOn records whether caching is configured at all — with tenancy
+	// enabled the canonical tier lives in per-tenant partitions and both
+	// cache and l1 above stay nil.
+	cacheOn bool
+	// tenants maps configured tenant names to their state (empty when
+	// tenancy is disabled); tenantNames is the sorted key list, the stable
+	// iteration order for snapshots and /v1/slo. spill is the shared
+	// spillover pool for entries larger than their tenant's partition
+	// (nil unless TenantCacheSpill > 0).
+	tenants      map[string]*tenant
+	tenantNames  []string
+	spill        *lruCache
+	spillBytes   *obs.Gauge
+	spillEntries *obs.Gauge
 	// sem holds one token per running evaluation; queued counts requests
-	// waiting for a token. queued > QueueDepth ⇒ shed load.
+	// waiting for a token. queued > QueueDepth ⇒ shed load. With tenancy
+	// enabled admission runs on the per-tenant semaphores instead and sem
+	// sits idle; queued still tracks the global backlog.
 	sem    chan struct{}
 	queued atomic.Int64
 	ln     net.Listener
@@ -279,7 +338,8 @@ func NewServer(cfg Config) *Server {
 		sem:   make(chan struct{}, cfg.Workers),
 		start: time.Now(),
 	}
-	if cfg.CacheEntries > 0 {
+	s.cacheOn = cfg.CacheEntries > 0
+	if s.cacheOn && len(cfg.TenantWeights) == 0 {
 		s.cache = newLRU(cfg.CacheEntries, cfg.CacheBytes)
 		// The L1 keys on whole request bodies, so it gets a quarter of the
 		// byte budget — enough to index every hot entry without competing
@@ -308,6 +368,7 @@ func NewServer(cfg Config) *Server {
 	s.hitRatio = reg.Gauge("lognic_serve_cache_hit_ratio", "hits / (hits+misses)", nil)
 	s.inflight = reg.Gauge("lognic_serve_inflight", "evaluations running", nil)
 	s.queueLen = reg.Gauge("lognic_serve_queue_depth", "requests waiting for a worker", nil)
+	s.initTenants()
 
 	// The SLO monitor samples the request counters on its own cadence;
 	// /v1/slo serves its judgement.
@@ -362,7 +423,12 @@ func NewServer(cfg Config) *Server {
 // them.
 func (s *Server) Close() {
 	s.jobs.Close()
-	s.closeOnce.Do(s.slo.Close)
+	s.closeOnce.Do(func() {
+		s.slo.Close()
+		for _, t := range s.tenants {
+			t.slo.Close()
+		}
+	})
 }
 
 // Handler returns the daemon's routing handler.
@@ -464,23 +530,44 @@ func (s *Server) handle(endpoint string, prepare func([]byte) (prepared, error))
 		// echoed as X-Request-Id so client logs and server logs correlate.
 		tc, parentSpan := s.requestTrace(r)
 		w.Header().Set("X-Request-Id", tc.SpanID)
-		rl := olog.WithRequest(s.logger, tc.SpanID, tc.TraceID, endpoint, r.Header.Get("X-Tenant"))
+		// Tenant resolution: logs carry the claimed name verbatim, metrics
+		// and admission use the resolved bucket (bounded cardinality).
+		claimed := claimedTenant(r)
+		ten := s.tenantFor(claimed)
+		logTenant := claimed
+		if logTenant == "" && ten != nil {
+			logTenant = ten.name
+		}
+		rl := olog.WithRequest(s.logger, tc.SpanID, tc.TraceID, endpoint, logTenant)
 		ctx0 := olog.NewContext(obs.ContextWithTrace(r.Context(), tc), rl)
 		r = r.WithContext(ctx0)
 
 		defer func() {
 			d := timer.ObserveDuration()
+			labels := obs.Labels{"endpoint": endpoint, "code": fmt.Sprint(code)}
+			if ten != nil {
+				labels["tenant"] = ten.name
+			}
 			s.cfg.Registry.Counter("lognic_serve_requests_total", "requests by endpoint and status",
-				obs.Labels{"endpoint": endpoint, "code": fmt.Sprint(code)}).Inc()
+				labels).Inc()
 			// SLO accounting: 429s are load shedding, not budget burn;
 			// 5xx burns availability; slow successes burn latency.
 			if code != http.StatusTooManyRequests {
 				s.sloTotal.Add(1)
+				if ten != nil {
+					ten.sloTotal.Add(1)
+				}
 				switch {
 				case code >= 500:
 					s.sloErrors.Add(1)
+					if ten != nil {
+						ten.sloErrors.Add(1)
+					}
 				case code < 400 && d > s.cfg.SLOLatencyThreshold:
 					s.sloSlow.Add(1)
+					if ten != nil {
+						ten.sloSlow.Add(1)
+					}
 				}
 			}
 			lvl := slog.LevelDebug
@@ -493,13 +580,17 @@ func (s *Server) handle(endpoint string, prepare func([]byte) (prepared, error))
 			startAt := time.Since(s.start).Seconds()
 			id := s.reqID.Add(1)
 			defer func() {
+				args := map[string]any{"code": code}
+				if ten != nil {
+					args["tenant"] = ten.name
+				}
 				s.cfg.Tracer.Emit(obs.Span{
 					Name:     endpoint,
 					Cat:      "request",
 					Track:    id,
 					Start:    startAt,
 					Dur:      time.Since(s.start).Seconds() - startAt,
-					Args:     map[string]any{"code": code},
+					Args:     args,
 					TraceID:  tc.TraceID,
 					SpanID:   tc.SpanID,
 					ParentID: parentSpan,
@@ -519,18 +610,22 @@ func (s *Server) handle(endpoint string, prepare func([]byte) (prepared, error))
 		// redirects into the canonical cache — a stale index entry just
 		// misses and falls through to the full path.
 		var l1key string
-		if s.cache != nil {
+		if l1 := s.l1For(ten); l1 != nil {
 			l1key = endpoint + "\x00" + string(body)
-			if ck, ok := s.l1.Get(l1key); ok {
-				if cached, ok := s.cache.Get(string(ck)); ok {
-					s.hits.Inc()
-					s.l1Hits.Inc()
-					s.updateCacheGauges()
+			if ck, ok := l1.Get(l1key); ok {
+				if cached, ok := s.cacheGet(ten, string(ck)); ok {
+					s.countHit(ten, true)
 					w.Header().Set("Content-Type", "application/json")
 					w.Header().Set("X-Cache", "hit")
 					_, _ = w.Write(cached)
 					return
 				}
+				// The canonical tier evicted this key, so the index entry is
+				// dead weight: its key is a whole request body, it pins real
+				// memory in the L1 byte budget, and it can only ever re-miss.
+				// Prune it now; the full path re-creates it if the response
+				// is cached again.
+				l1.Delete(l1key)
 			}
 		}
 
@@ -543,21 +638,44 @@ func (s *Server) handle(endpoint string, prepare func([]byte) (prepared, error))
 
 		// Cache probe. Hits bypass the worker pool entirely: replaying
 		// cached bytes is cheap and must stay available under saturation.
-		if s.cache != nil {
-			if cached, ok := s.cache.Get(p.key); ok {
-				s.hits.Inc()
-				s.l1.Put(l1key, []byte(p.key))
-				s.updateCacheGauges()
-				w.Header().Set("Content-Type", "application/json")
-				w.Header().Set("X-Cache", "hit")
-				_, _ = w.Write(cached)
-				return
-			}
+		if cached, ok := s.cacheGet(ten, p.key); ok {
+			s.countHit(ten, false)
+			s.l1For(ten).Put(l1key, []byte(p.key))
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Cache", "hit")
+			_, _ = w.Write(cached)
+			return
 		}
 
 		// Admission: bound the number of requests waiting for a worker.
+		// With tenancy enabled the request is first held to its tenant's
+		// reserved share of the queue, so a saturating tenant sheds against
+		// its own budget while other tenants keep admitting.
+		if ten != nil {
+			if tq := ten.queued.Add(1); tq > int64(ten.queueShare) {
+				ten.queued.Add(-1)
+				ten.queueLen.Set(float64(ten.queued.Load()))
+				ten.rejected.Inc()
+				s.rejected.Inc()
+				code = http.StatusTooManyRequests
+				w.Header().Set("Retry-After", retryAfterValue(s.tenantDrainEstimate(ten)))
+				writeError(w, code, fmt.Errorf("serve: %s queue full for tenant %q (%d waiting)", endpoint, ten.name, tq-1))
+				return
+			}
+			ten.queueLen.Set(float64(ten.queued.Load()))
+		}
 		if q := s.queued.Add(1); q > int64(s.cfg.QueueDepth) {
 			s.queued.Add(-1)
+			// Refresh the gauge on the shed path too: under sustained
+			// saturation every request takes this branch, and without the
+			// refresh the gauge freezes at whatever the last admitted
+			// request set it to.
+			s.queueLen.Set(float64(s.queued.Load()))
+			if ten != nil {
+				ten.queued.Add(-1)
+				ten.queueLen.Set(float64(ten.queued.Load()))
+				ten.rejected.Inc()
+			}
 			s.rejected.Inc()
 			code = http.StatusTooManyRequests
 			w.Header().Set("Retry-After", retryAfterValue(s.queueDrainEstimate()))
@@ -568,20 +686,42 @@ func (s *Server) handle(endpoint string, prepare func([]byte) (prepared, error))
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		// With tenancy the evaluation slot comes from the tenant's reserved
+		// semaphore — a heavy tenant can exhaust its own slots but never
+		// occupies another tenant's.
+		sem := s.sem
+		if ten != nil {
+			sem = ten.sem
+		}
 		select {
-		case s.sem <- struct{}{}:
+		case sem <- struct{}{}:
 		case <-ctx.Done():
 			s.queued.Add(-1)
 			s.queueLen.Set(float64(s.queued.Load()))
+			if ten != nil {
+				ten.queued.Add(-1)
+				ten.queueLen.Set(float64(ten.queued.Load()))
+			}
 			code = statusFor(ctx.Err())
 			writeError(w, code, fmt.Errorf("serve: timed out waiting for a worker: %w", ctx.Err()))
 			return
 		}
 		s.queued.Add(-1)
 		s.queueLen.Set(float64(s.queued.Load()))
+		if ten != nil {
+			ten.queued.Add(-1)
+			ten.queueLen.Set(float64(ten.queued.Load()))
+			ten.inflight.Add(1)
+		}
 		s.inflight.Add(1)
 		result, err := func() (any, error) {
-			defer func() { <-s.sem; s.inflight.Add(-1) }()
+			defer func() {
+				<-sem
+				s.inflight.Add(-1)
+				if ten != nil {
+					ten.inflight.Add(-1)
+				}
+			}()
 			if s.testDelay != nil {
 				s.testDelay(endpoint)
 			}
@@ -606,12 +746,18 @@ func (s *Server) handle(endpoint string, prepare func([]byte) (prepared, error))
 			return
 		}
 		out = append(out, '\n')
-		s.misses.Inc()
-		if s.cache != nil {
-			s.cache.Put(p.key, out)
-			s.l1.Put(l1key, []byte(p.key))
+		// Miss accounting only applies when a cache exists to miss: a
+		// server started with caching disabled must report no cache
+		// traffic (and no 0.0 hit ratio for a cache that isn't there).
+		if s.cacheOn {
+			s.misses.Inc()
+			if ten != nil {
+				ten.misses.Inc()
+			}
+			s.cachePut(ten, p.key, out)
+			s.l1For(ten).Put(l1key, []byte(p.key))
+			s.updateCacheGauges()
 		}
-		s.updateCacheGauges()
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", "miss")
 		_, _ = w.Write(out)
@@ -619,7 +765,31 @@ func (s *Server) handle(endpoint string, prepare func([]byte) (prepared, error))
 }
 
 func (s *Server) updateCacheGauges() {
-	if s.cache != nil {
+	switch {
+	case len(s.tenants) > 0 && s.cacheOn:
+		// Partition gauges per tenant; the unlabeled aggregates stay the
+		// fleet-wide view (partitions plus spillover) so dashboards built
+		// on them keep working when tenancy is switched on.
+		var n int
+		var b int64
+		for _, name := range s.tenantNames {
+			t := s.tenants[name]
+			tn, tb := t.cache.Len(), t.cache.Bytes()
+			t.partEntries.Set(float64(tn))
+			t.partBytes.Set(float64(tb))
+			n += tn
+			b += tb
+		}
+		if s.spill != nil {
+			sn, sb := s.spill.Len(), s.spill.Bytes()
+			s.spillEntries.Set(float64(sn))
+			s.spillBytes.Set(float64(sb))
+			n += sn
+			b += sb
+		}
+		s.entries.Set(float64(n))
+		s.cacheBytes.Set(float64(b))
+	case s.cache != nil:
 		s.entries.Set(float64(s.cache.Len()))
 		s.cacheBytes.Set(float64(s.cache.Bytes()))
 	}

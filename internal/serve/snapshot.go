@@ -29,27 +29,58 @@ import (
 	"lognic/internal/jobs"
 )
 
-// snapshotMagic is frame 0 of every cache snapshot stream; readers reject
-// streams that don't open with it (wrong file, wrong endpoint, future
-// incompatible version).
+// snapshotMagic is frame 0 of an untenanted cache snapshot stream;
+// readers reject streams that don't open with a known magic (wrong file,
+// wrong endpoint, future incompatible version).
 const snapshotMagic = "lognic-cache-snapshot v1"
 
+// snapshotMagicV2 opens a partitioned snapshot: every entry frame is
+// prefixed with its tenant name (the spillover pool dumps under "*"), so
+// a warm-start restores each entry into the partition it came from. A
+// tenancy-enabled server always emits v2; an untenanted one always emits
+// v1, keeping its streams byte-compatible with older readers.
+const snapshotMagicV2 = "lognic-cache-snapshot v2"
+
+// snapEntry is one parsed snapshot entry. tenant is "" for v1 streams,
+// a tenant name or spillTenant for v2.
+type snapEntry struct {
+	tenant string
+	key    string
+	body   []byte
+}
+
 // handleCacheSnapshot streams the result cache. The dump reflects one
-// consistent moment of the LRU order (Entries snapshots under the cache
-// lock); bodies stream without re-marshaling.
+// consistent moment of each partition's LRU order (Entries snapshots
+// under the cache lock); bodies stream without re-marshaling.
 func (s *Server) handleCacheSnapshot(w http.ResponseWriter, r *http.Request) {
-	if s.cache == nil {
+	if !s.cacheOn {
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: result cache disabled"))
 		return
 	}
-	entries := s.cache.Entries()
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Cache-Entries", fmt.Sprint(len(entries)))
-	if err := writeCacheSnapshot(w, entries); err != nil {
-		// Headers are gone; the client's replay stops at the torn frame and
-		// keeps the prefix — exactly the journal's crash contract.
+	if len(s.tenants) == 0 {
+		entries := s.cache.Entries()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Cache-Entries", fmt.Sprint(len(entries)))
+		// On a mid-stream error the headers are gone; the client's replay
+		// stops at the torn frame and keeps the prefix — exactly the
+		// journal's crash contract.
+		_ = writeCacheSnapshot(w, entries)
 		return
 	}
+	var es []snapEntry
+	for _, name := range s.tenantNames {
+		for _, e := range s.tenants[name].cache.Entries() {
+			es = append(es, snapEntry{tenant: name, key: e.key, body: e.body})
+		}
+	}
+	if s.spill != nil {
+		for _, e := range s.spill.Entries() {
+			es = append(es, snapEntry{tenant: spillTenant, key: e.key, body: e.body})
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Cache-Entries", fmt.Sprint(len(es)))
+	_ = writeCacheSnapshotV2(w, es)
 }
 
 // writeCacheSnapshot frames the magic record and one record per entry.
@@ -69,27 +100,67 @@ func writeCacheSnapshot(w io.Writer, entries []cacheEntry) error {
 	return nil
 }
 
-// readCacheSnapshot parses a snapshot stream back into entries, stopping
-// silently at the first corrupt frame (the replay contract: everything
-// before a tear is trustworthy, the tear itself was unacknowledged).
-func readCacheSnapshot(r io.Reader) ([]cacheEntry, error) {
+// writeCacheSnapshotV2 frames the v2 magic and one tenant-prefixed
+// record per entry: tenant | 0x00 | key | 0x00 | body. Tenant names and
+// keys are NUL-free by construction (validTenantName; hex hashes), so
+// the first two separators are unambiguous even though bodies may
+// contain NULs.
+func writeCacheSnapshotV2(w io.Writer, entries []snapEntry) error {
+	if err := jobs.WriteFrame(w, []byte(snapshotMagicV2)); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		payload := make([]byte, 0, len(e.tenant)+1+len(e.key)+1+len(e.body))
+		payload = append(payload, e.tenant...)
+		payload = append(payload, 0)
+		payload = append(payload, e.key...)
+		payload = append(payload, 0)
+		payload = append(payload, e.body...)
+		if err := jobs.WriteFrame(w, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readCacheSnapshot parses a snapshot stream (either version) back into
+// entries, stopping silently at the first corrupt frame (the replay
+// contract: everything before a tear is trustworthy, the tear itself was
+// unacknowledged). v1 entries come back with tenant "".
+func readCacheSnapshot(r io.Reader) ([]snapEntry, error) {
 	records, _, err := jobs.ReplayRecords(r)
 	if err != nil {
 		return nil, err
 	}
-	if len(records) == 0 || string(records[0]) != snapshotMagic {
+	if len(records) == 0 {
 		return nil, fmt.Errorf("serve: not a cache snapshot stream (bad magic)")
 	}
-	entries := make([]cacheEntry, 0, len(records)-1)
+	v2 := false
+	switch string(records[0]) {
+	case snapshotMagic:
+	case snapshotMagicV2:
+		v2 = true
+	default:
+		return nil, fmt.Errorf("serve: not a cache snapshot stream (bad magic)")
+	}
+	entries := make([]snapEntry, 0, len(records)-1)
 	for _, rec := range records[1:] {
+		e := snapEntry{}
+		if v2 {
+			sep := bytes.IndexByte(rec, 0)
+			if sep < 0 {
+				return nil, fmt.Errorf("serve: malformed snapshot entry (no tenant separator)")
+			}
+			e.tenant = string(rec[:sep])
+			rec = rec[sep+1:]
+		}
 		sep := bytes.IndexByte(rec, 0)
 		if sep <= 0 {
 			return nil, fmt.Errorf("serve: malformed snapshot entry (no key separator)")
 		}
-		entries = append(entries, cacheEntry{
-			key:  string(rec[:sep]),
-			body: append([]byte(nil), rec[sep+1:]...),
-		})
+		e.key = string(rec[:sep])
+		e.body = append([]byte(nil), rec[sep+1:]...)
+		entries = append(entries, e)
 	}
 	return entries, nil
 }
@@ -100,8 +171,15 @@ func readCacheSnapshot(r io.Reader) ([]cacheEntry, error) {
 // the same order the donor would have; entries over this replica's byte
 // budget are skipped, not errors. Returns how many entries and accounted
 // bytes (keys plus bodies) were admitted.
+//
+// Restores are partition-faithful. On a tenancy-enabled replica a v2
+// entry lands in the partition named by its tenant prefix (the spill
+// section in the spillover pool), a v1 entry in the default partition,
+// and entries for tenants this replica doesn't configure are skipped —
+// guessing a partition would let one tenant's bytes evict another's. An
+// untenanted replica flattens every section into its single cache.
 func (s *Server) WarmCache(src string) (entries int, admittedBytes int64, err error) {
-	if s.cache == nil {
+	if !s.cacheOn {
 		return 0, 0, fmt.Errorf("serve: result cache disabled")
 	}
 	rc, err := openSnapshotSource(src)
@@ -114,7 +192,23 @@ func (s *Server) WarmCache(src string) (entries int, admittedBytes int64, err er
 		return 0, 0, err
 	}
 	for _, e := range es {
-		if s.cache.Put(e.key, e.body) {
+		var target *lruCache
+		switch {
+		case len(s.tenants) == 0:
+			target = s.cache
+		case e.tenant == spillTenant:
+			target = s.spill // nil when spillover is off: skip
+		case e.tenant == "":
+			target = s.tenants[defaultTenant].cache
+		default:
+			if t := s.tenants[e.tenant]; t != nil {
+				target = t.cache
+			}
+		}
+		if target == nil {
+			continue
+		}
+		if target.Put(e.key, e.body) {
 			entries++
 			admittedBytes += int64(len(e.key)) + int64(len(e.body))
 		}

@@ -1,0 +1,445 @@
+package serve
+
+// Multi-tenant fairness. A request carries a tenant identity in the
+// X-Lognic-Tenant header (the legacy X-Tenant spelling is accepted;
+// absent or unrecognized names fold into the "default" tenant), and a
+// server configured with TenantWeights holds every tenant to a weighted
+// share of three contended resources:
+//
+//   - Workers: each tenant owns a reserved slice of the worker pool (its
+//     own semaphore), so a saturating tenant can occupy at most its share
+//     of evaluation slots and never makes a light tenant wait behind it.
+//   - QueueDepth: each tenant queues against its own share; beyond it the
+//     tenant is shed with 429 + Retry-After scaled to its own backlog and
+//     worker slice, while other tenants keep admitting.
+//   - CacheBytes: the canonical result cache splits into per-tenant LRU
+//     partitions (byte sub-budgets), optionally with a shared spillover
+//     pool for entries larger than their partition, so one tenant's giant
+//     simulate bodies cannot evict everyone's warm entries. The L1
+//     exact-body index partitions the same way.
+//
+// Shares are apportioned by the largest-remainder (greatest-deficit)
+// method: floor of the exact weighted share, minimum one slot, remaining
+// slots to the tenants furthest below their exact share. The minimum-one
+// guarantee means the effective worker cap can exceed Workers by at most
+// the number of tenants whose exact share rounded below one;
+// withDefaults raises Workers/QueueDepth to at least the tenant count so
+// tiny pools still give everyone a slot.
+//
+// With TenantWeights unset, none of this machinery exists: requests flow
+// through the exact single-pool, single-cache path they always did,
+// byte for byte.
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"lognic/internal/obs"
+	"lognic/internal/obs/slo"
+)
+
+// defaultTenant absorbs requests with no (or an unconfigured) tenant
+// header. It always exists when tenancy is enabled, weight 1 unless
+// configured explicitly.
+const defaultTenant = "default"
+
+// spillTenant labels the shared spillover pool in metrics and snapshot
+// sections; it is reserved and never a valid tenant name.
+const spillTenant = "*"
+
+// tenantHeader carries the client's tenant identity.
+const tenantHeader = "X-Lognic-Tenant"
+
+// tenant is one tenant's runtime state.
+type tenant struct {
+	name   string
+	weight float64
+
+	// Admission: a reserved slice of the worker pool and the wait queue.
+	workerShare int
+	queueShare  int
+	sem         chan struct{}
+	queued      atomic.Int64
+
+	// Cache partition (nil when caching is disabled): strict LRU within
+	// the tenant's byte sub-budget, plus its slice of the L1 index.
+	cache       *lruCache
+	l1          *lruCache
+	cacheBudget int64
+
+	// SLO accounting mirrors the server-wide counters and feeds the
+	// tenant's own burn-rate monitor (the per-tenant rows under /v1/slo).
+	sloTotal, sloErrors, sloSlow atomic.Uint64
+	slo                          *slo.Monitor
+
+	queueLen    *obs.Gauge
+	inflight    *obs.Gauge
+	partBytes   *obs.Gauge
+	partBudget  *obs.Gauge
+	partEntries *obs.Gauge
+	hits        *obs.Counter
+	misses      *obs.Counter
+	rejected    *obs.Counter
+}
+
+// validTenantName restricts tenant names to a bounded, header- and
+// metric-safe charset. The spill label "*" is reserved.
+func validTenantName(name string) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty tenant name")
+	}
+	if name == spillTenant {
+		return fmt.Errorf("serve: tenant name %q is reserved for the spillover pool", spillTenant)
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("serve: bad tenant name %q (want [A-Za-z0-9._-])", name)
+		}
+	}
+	return nil
+}
+
+// parseTenantWeights parses the -tenant-weights flag: comma-separated
+// name:weight pairs, weights positive.
+func parseTenantWeights(s string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, ws, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("serve: bad tenant weight %q (want name:weight)", part)
+		}
+		w, err := strconv.ParseFloat(ws, 64)
+		if err != nil || w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+			return nil, fmt.Errorf("serve: bad tenant weight %q (weight must be a positive number)", part)
+		}
+		if err := validTenantName(name); err != nil {
+			return nil, err
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("serve: duplicate tenant %q in -tenant-weights", name)
+		}
+		out[name] = w
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("serve: -tenant-weights names no tenants")
+	}
+	return out, nil
+}
+
+// apportion splits total indivisible slots across names in proportion to
+// weight by the largest-remainder method: every name gets the floor of
+// its exact share but at least one slot; remaining slots go one each to
+// the names furthest below their exact share. Deterministic — ties break
+// by weight, then name. The minimum-one guarantee can push the sum past
+// total when total is small; callers that need a hard sum must size
+// total to at least len(names).
+func apportion(total int, names []string, weights map[string]float64) map[string]int {
+	out := make(map[string]int, len(names))
+	if len(names) == 0 {
+		return out
+	}
+	var sum float64
+	for _, n := range names {
+		sum += weights[n]
+	}
+	type deficit struct {
+		name string
+		gap  float64
+	}
+	deficits := make([]deficit, 0, len(names))
+	used := 0
+	for _, n := range names {
+		exact := float64(total) * weights[n] / sum
+		share := int(exact)
+		if share < 1 {
+			share = 1
+		}
+		out[n] = share
+		used += share
+		deficits = append(deficits, deficit{name: n, gap: exact - float64(share)})
+	}
+	sort.Slice(deficits, func(i, j int) bool {
+		if deficits[i].gap != deficits[j].gap {
+			return deficits[i].gap > deficits[j].gap
+		}
+		if weights[deficits[i].name] != weights[deficits[j].name] {
+			return weights[deficits[i].name] > weights[deficits[j].name]
+		}
+		return deficits[i].name < deficits[j].name
+	})
+	for i := 0; used < total; i++ {
+		out[deficits[i%len(deficits)].name]++
+		used++
+	}
+	return out
+}
+
+// apportionBytes is apportion for byte budgets. total <= 0 (byte bound
+// disabled) gives every partition 0, which newLRU reads as unbounded —
+// matching the untenanted cache's semantics. Otherwise every partition
+// gets at least one byte so a tiny budget never degrades to unbounded.
+func apportionBytes(total int64, names []string, weights map[string]float64) map[string]int64 {
+	out := make(map[string]int64, len(names))
+	if total <= 0 {
+		for _, n := range names {
+			out[n] = 0
+		}
+		return out
+	}
+	var sum float64
+	for _, n := range names {
+		sum += weights[n]
+	}
+	var used int64
+	for _, n := range names {
+		share := int64(float64(total) * weights[n] / sum)
+		if share < 1 {
+			share = 1
+		}
+		out[n] = share
+		used += share
+	}
+	// Hand the integer remainder to the heaviest tenants (stable order);
+	// at byte granularity the deficit refinement is noise.
+	if rem := total - used; rem > 0 {
+		sorted := append([]string(nil), names...)
+		sort.Slice(sorted, func(i, j int) bool {
+			if weights[sorted[i]] != weights[sorted[j]] {
+				return weights[sorted[i]] > weights[sorted[j]]
+			}
+			return sorted[i] < sorted[j]
+		})
+		for i := 0; rem > 0; i++ {
+			out[sorted[i%len(sorted)]]++
+			rem--
+		}
+	}
+	return out
+}
+
+// initTenants builds the per-tenant state from cfg.TenantWeights (no-op
+// when tenancy is disabled). Called once from NewServer, after the
+// server-wide metric handles exist.
+func (s *Server) initTenants() {
+	weights := s.cfg.TenantWeights
+	if len(weights) == 0 {
+		return
+	}
+	names := make([]string, 0, len(weights))
+	for name := range weights {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	workerShares := apportion(s.cfg.Workers, names, weights)
+	queueShares := apportion(s.cfg.QueueDepth, names, weights)
+
+	// Cache arithmetic: the spillover fraction comes off the top of the
+	// byte budget, the rest splits into weighted partitions. Entry counts
+	// split the same way (byte budgets are the operative bound; the entry
+	// split just keeps per-partition maps proportionate).
+	var spillBytes int64
+	cacheBudget := s.cfg.CacheBytes
+	if cacheBudget < 0 {
+		cacheBudget = 0 // byte bound disabled
+	}
+	if s.cacheOn && cacheBudget > 0 && s.cfg.TenantCacheSpill > 0 {
+		spillBytes = int64(float64(cacheBudget) * s.cfg.TenantCacheSpill)
+	}
+	byteShares := apportionBytes(cacheBudget-spillBytes, names, weights)
+	var entryShares map[string]int
+	if s.cacheOn {
+		entryShares = apportion(s.cfg.CacheEntries, names, weights)
+	}
+
+	reg := s.cfg.Registry
+	s.tenants = make(map[string]*tenant, len(names))
+	s.tenantNames = names
+	for _, name := range names {
+		t := &tenant{
+			name:        name,
+			weight:      weights[name],
+			workerShare: workerShares[name],
+			queueShare:  queueShares[name],
+		}
+		t.sem = make(chan struct{}, t.workerShare)
+		if s.cacheOn {
+			t.cacheBudget = byteShares[name]
+			t.cache = newLRU(entryShares[name], t.cacheBudget)
+			// Same layout as the untenanted L1: a quarter of the byte
+			// budget indexes the partition's hot entries.
+			l1Bytes := t.cacheBudget / 4
+			t.l1 = newLRU(entryShares[name], l1Bytes)
+		}
+		labels := obs.Labels{"tenant": name}
+		t.queueLen = reg.Gauge("lognic_serve_queue_depth", "requests waiting for a worker", labels)
+		t.inflight = reg.Gauge("lognic_serve_inflight", "evaluations running", labels)
+		t.hits = reg.Counter("lognic_serve_cache_hits_total", "result cache hits", labels)
+		t.misses = reg.Counter("lognic_serve_cache_misses_total", "result cache misses", labels)
+		t.rejected = reg.Counter("lognic_serve_rejected_total", "requests shed with 429", labels)
+		if s.cacheOn {
+			t.partBytes = reg.Gauge("lognic_serve_cache_partition_bytes",
+				"per-tenant cache partition occupancy in bytes", labels)
+			t.partBudget = reg.Gauge("lognic_serve_cache_partition_budget_bytes",
+				"per-tenant cache partition byte budget (0 = unbounded)", labels)
+			t.partEntries = reg.Gauge("lognic_serve_cache_partition_entries",
+				"per-tenant cache partition occupancy in entries", labels)
+			t.partBudget.Set(float64(t.cacheBudget))
+		}
+		// The tenant's own burn-rate monitor. No Registry: the lognic_slo_*
+		// series belong to the server-wide monitor; tenant judgements are
+		// served as /v1/slo rows instead.
+		t.slo = slo.NewMonitor(slo.Config{
+			AvailabilityTarget: s.cfg.SLOAvailability,
+			LatencyTarget:      s.cfg.SLOLatency,
+			LatencyThreshold:   s.cfg.SLOLatencyThreshold,
+			Source: func() slo.Sample {
+				return slo.Sample{
+					Total:  t.sloTotal.Load(),
+					Errors: t.sloErrors.Load(),
+					Slow:   t.sloSlow.Load(),
+				}
+			},
+		})
+		t.slo.Start()
+		s.tenants[name] = t
+	}
+	if spillBytes > 0 {
+		s.spill = newLRU(s.cfg.CacheEntries, spillBytes)
+		labels := obs.Labels{"tenant": spillTenant}
+		s.spillBytes = reg.Gauge("lognic_serve_cache_partition_bytes",
+			"per-tenant cache partition occupancy in bytes", labels)
+		s.spillEntries = reg.Gauge("lognic_serve_cache_partition_entries",
+			"per-tenant cache partition occupancy in entries", labels)
+		reg.Gauge("lognic_serve_cache_partition_budget_bytes",
+			"per-tenant cache partition byte budget (0 = unbounded)", labels).Set(float64(spillBytes))
+	}
+}
+
+// claimedTenant is the tenant name the client asserted ("" when absent).
+// Used verbatim in logs; metrics use the resolved bucket so cardinality
+// stays bounded by configuration, not by client behavior.
+func claimedTenant(r *http.Request) string {
+	if t := r.Header.Get(tenantHeader); t != "" {
+		return t
+	}
+	return r.Header.Get("X-Tenant")
+}
+
+// tenantFor resolves a claimed tenant name to its bucket — nil when
+// tenancy is disabled, the default tenant for unknown or absent names.
+func (s *Server) tenantFor(claimed string) *tenant {
+	if len(s.tenants) == 0 {
+		return nil
+	}
+	if t := s.tenants[claimed]; t != nil {
+		return t
+	}
+	return s.tenants[defaultTenant]
+}
+
+// l1For picks the request's L1 index: the tenant partition's slice under
+// tenancy, the shared index otherwise (nil when caching is disabled).
+func (s *Server) l1For(ten *tenant) *lruCache {
+	if ten != nil {
+		return ten.l1
+	}
+	return s.l1
+}
+
+// cacheGet probes the canonical tier for one request: the tenant's
+// partition first, then the shared spillover pool.
+func (s *Server) cacheGet(ten *tenant, key string) ([]byte, bool) {
+	if ten == nil {
+		if s.cache == nil {
+			return nil, false
+		}
+		return s.cache.Get(key)
+	}
+	if ten.cache == nil {
+		return nil, false
+	}
+	if body, ok := ten.cache.Get(key); ok {
+		return body, true
+	}
+	if s.spill != nil {
+		return s.spill.Get(key)
+	}
+	return nil, false
+}
+
+// cachePut stores one response. An entry too large for the tenant's
+// partition goes to the spillover pool (when configured), where it
+// competes with every tenant's oversized entries instead of evicting
+// this tenant's warm set.
+func (s *Server) cachePut(ten *tenant, key string, body []byte) {
+	if ten == nil {
+		if s.cache != nil {
+			s.cache.Put(key, body)
+		}
+		return
+	}
+	if ten.cache == nil {
+		return
+	}
+	if ten.cache.Put(key, body) {
+		return
+	}
+	if s.spill != nil {
+		s.spill.Put(key, body)
+	}
+}
+
+// countHit tallies a cache hit against the server and the tenant.
+func (s *Server) countHit(ten *tenant, l1 bool) {
+	s.hits.Inc()
+	if l1 {
+		s.l1Hits.Inc()
+	}
+	if ten != nil {
+		ten.hits.Inc()
+	}
+	s.updateCacheGauges()
+}
+
+// tenantDrainEstimate is queueDrainEstimate scoped to one tenant's
+// reserved slice of the pool: its backlog drained by its own workers at
+// the recent mean service time.
+func (s *Server) tenantDrainEstimate(t *tenant) time.Duration {
+	mean := math.Float64frombits(s.svcMean.Load())
+	if mean <= 0 {
+		mean = 0.05
+	}
+	drain := float64(t.queued.Load()) * mean / float64(t.workerShare)
+	return time.Duration(drain * float64(time.Second))
+}
+
+// sloReport is /v1/slo's shape when tenancy is enabled: the server-wide
+// judgement plus one row per tenant. Without tenants the plain
+// slo.Status is served, so existing consumers see an unchanged document.
+type sloReport struct {
+	slo.Status
+	Tenants map[string]tenantSLO `json:"tenants"`
+}
+
+// tenantSLO is one tenant's /v1/slo row: its configured shares plus its
+// own burn-rate judgement.
+type tenantSLO struct {
+	Weight     float64 `json:"weight"`
+	Workers    int     `json:"workers"`
+	QueueDepth int     `json:"queue_depth"`
+	CacheBytes int64   `json:"cache_bytes,omitempty"`
+	slo.Status
+}

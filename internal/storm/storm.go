@@ -61,6 +61,19 @@ type Config struct {
 	// the same arithmetic lognic-serve applies to its 5m/1h windows.
 	// Zero targets disable grading.
 	SLO slo.Config
+	// Tenants, when non-empty, runs a multi-tenant step: each tenant's
+	// requests carry its name in X-Lognic-Tenant and it receives a
+	// weight-proportional share of the workers (closed loop) or of the
+	// offered rate (open loop, with a weight-proportional worker split
+	// absorbing it). The report grows per-tenant rows, each graded
+	// against the same SLO config.
+	Tenants []TenantLoad
+}
+
+// TenantLoad is one synthetic tenant of a multi-tenant run.
+type TenantLoad struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
 }
 
 func (c Config) withDefaults() Config {
@@ -134,17 +147,46 @@ type Report struct {
 	Slow uint64 `json:"slow,omitempty"`
 	// Traced counts requests that originated a trace context.
 	Traced uint64 `json:"traced,omitempty"`
+	// ShedMissingRetryAfter counts 429s that arrived without a
+	// Retry-After header — the daemon's backpressure contract says zero.
+	ShedMissingRetryAfter uint64 `json:"shed_missing_retry_after,omitempty"`
 	// Latency holds per-endpoint percentiles over completed requests.
 	Latency map[string]*LatencySummary `json:"latency"`
 	// SLO is the run graded as one window against the configured
 	// objectives (nil when grading is disabled).
 	SLO *slo.Status `json:"slo,omitempty"`
+	// Tenants holds one row per configured tenant in a multi-tenant run
+	// (nil otherwise).
+	Tenants map[string]*TenantReport `json:"tenants,omitempty"`
+}
+
+// TenantReport is one tenant's slice of a multi-tenant step.
+type TenantReport struct {
+	Weight  float64 `json:"weight"`
+	Workers int     `json:"workers"`
+	// OfferedRPS is the tenant's share of the offered rate (0 in a
+	// closed loop, where Workers is the offered concurrency).
+	OfferedRPS            float64                    `json:"offered_rps,omitempty"`
+	Completed             uint64                     `json:"completed"`
+	Throughput            float64                    `json:"throughput_rps"`
+	Shed                  uint64                     `json:"shed"`
+	Dropped               uint64                     `json:"dropped"`
+	ShedRate              float64                    `json:"shed_rate"`
+	Errors4xx             uint64                     `json:"errors_4xx"`
+	Errors5xx             uint64                     `json:"errors_5xx"`
+	NetErrors             uint64                     `json:"net_errors"`
+	CacheHits             uint64                     `json:"cache_hits"`
+	CacheMisses           uint64                     `json:"cache_misses"`
+	Slow                  uint64                     `json:"slow,omitempty"`
+	ShedMissingRetryAfter uint64                     `json:"shed_missing_retry_after"`
+	Latency               map[string]*LatencySummary `json:"latency"`
+	SLO                   *slo.Status                `json:"slo,omitempty"`
 }
 
 // workerStats is one worker's private tally — no sharing until the merge.
 type workerStats struct {
 	completed, evals, shed, e4xx, e5xx, netErr uint64
-	hits, misses, slow, traced                 uint64
+	hits, misses, slow, traced, shedNoRetry    uint64
 	hists                                      map[string]*hist
 }
 
@@ -165,6 +207,38 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("storm: unknown routing %q (want rr or hash)", cfg.Routing)
 	}
 
+	// Multi-tenant setup: split the workers across tenants in proportion
+	// to weight (largest remainder, minimum one worker each), so the
+	// closed-loop concurrency — and the open-loop absorption capacity —
+	// matches the offered skew.
+	multi := len(cfg.Tenants) > 0
+	var tenantWorkers []int
+	assign := make([]int, 0, cfg.Workers) // worker index → tenant index
+	if multi {
+		seen := make(map[string]bool, len(cfg.Tenants))
+		for _, t := range cfg.Tenants {
+			if t.Name == "" {
+				return nil, fmt.Errorf("storm: tenant with empty name")
+			}
+			if seen[t.Name] {
+				return nil, fmt.Errorf("storm: duplicate tenant %q", t.Name)
+			}
+			seen[t.Name] = true
+			if t.Weight <= 0 {
+				return nil, fmt.Errorf("storm: tenant %q needs a positive weight", t.Name)
+			}
+		}
+		if cfg.Workers < len(cfg.Tenants) {
+			cfg.Workers = len(cfg.Tenants)
+		}
+		tenantWorkers = apportionWorkers(cfg.Workers, cfg.Tenants)
+		for ti, n := range tenantWorkers {
+			for i := 0; i < n; i++ {
+				assign = append(assign, ti)
+			}
+		}
+	}
+
 	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
 
@@ -181,12 +255,30 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	// Open loop: a pacer emits arrival tokens at cfg.Rate; workers absorb
 	// them. A token nobody can take (all workers busy, buffer full) is a
 	// dropped arrival — offered load the fleet would have shed anyway.
-	var work chan struct{}
-	var dropped atomic.Uint64
+	// Multi-tenant open loops run one pacer per tenant at its weighted
+	// rate share, feeding that tenant's workers only, so a saturated heavy
+	// tenant drops its own arrivals without stealing light-tenant tokens.
 	openLoop := cfg.Rate > 0
+	nTenants := len(cfg.Tenants)
+	if nTenants == 0 {
+		nTenants = 1
+	}
+	workChans := make([]chan struct{}, nTenants)
+	droppedPer := make([]atomic.Uint64, nTenants)
 	if openLoop {
-		work = make(chan struct{}, cfg.Workers*2)
-		go pace(ctx, cfg.Rate, work, &dropped)
+		if multi {
+			var wsum float64
+			for _, t := range cfg.Tenants {
+				wsum += t.Weight
+			}
+			for ti, t := range cfg.Tenants {
+				workChans[ti] = make(chan struct{}, tenantWorkers[ti]*2)
+				go pace(ctx, cfg.Rate*t.Weight/wsum, workChans[ti], &droppedPer[ti])
+			}
+		} else {
+			workChans[0] = make(chan struct{}, cfg.Workers*2)
+			go pace(ctx, cfg.Rate, workChans[0], &droppedPer[0])
+		}
 	}
 
 	stats := make([]*workerStats, cfg.Workers)
@@ -203,6 +295,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				tracer: cfg.Tracer, sample: cfg.TraceSample,
 				slowAfter: cfg.SLO.LatencyThreshold,
 			}
+			ti := 0
+			if multi {
+				ti = assign[w]
+				g.tenant = cfg.Tenants[ti].Name
+			}
+			work := workChans[ti]
 			// Stride through the corpus so the workers jointly cover it
 			// evenly and deterministically.
 			idx := w
@@ -230,16 +328,66 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	// Arrivals still buffered at shutdown were offered but never served.
 	if openLoop {
-		for range work {
-			dropped.Add(1)
+		for ti, work := range workChans {
+			if work == nil {
+				continue
+			}
+			for range work {
+				droppedPer[ti].Add(1)
+			}
 		}
 	}
 
-	rep := buildReport(cfg, stats, elapsed, dropped.Load())
+	droppedTenant := make([]uint64, nTenants)
+	var dropped uint64
+	for ti := range droppedPer {
+		droppedTenant[ti] = droppedPer[ti].Load()
+		dropped += droppedTenant[ti]
+	}
+
+	rep := buildReport(cfg, stats, elapsed, dropped)
+	if multi {
+		addTenantReports(cfg, rep, stats, assign, tenantWorkers, droppedTenant, elapsed)
+	}
 	if cfg.Registry != nil {
 		publish(cfg.Registry, rep)
 	}
 	return rep, nil
+}
+
+// apportionWorkers splits the worker pool across tenants by weight:
+// floor of the exact share, minimum one, remainder to the largest
+// deficits (ties to the earlier tenant — the order is caller-chosen).
+func apportionWorkers(total int, tenants []TenantLoad) []int {
+	var wsum float64
+	for _, t := range tenants {
+		wsum += t.Weight
+	}
+	out := make([]int, len(tenants))
+	gaps := make([]float64, len(tenants))
+	used := 0
+	for i, t := range tenants {
+		exact := float64(total) * t.Weight / wsum
+		share := int(exact)
+		if share < 1 {
+			share = 1
+		}
+		out[i] = share
+		used += share
+		gaps[i] = exact - float64(share)
+	}
+	for used < total {
+		best := 0
+		for i := 1; i < len(gaps); i++ {
+			if gaps[i] > gaps[best] {
+				best = i
+			}
+		}
+		out[best]++
+		gaps[best]--
+		used++
+	}
+	return out
 }
 
 // pace emits arrival tokens into work at rate/s until ctx expires, then
@@ -287,6 +435,8 @@ type gun struct {
 	sample     float64
 	tokens     float64
 	slowAfter  time.Duration
+	// tenant, when set, rides every request as X-Lognic-Tenant.
+	tenant string
 }
 
 // shoot issues one request and tallies it. In a closed loop a 429's
@@ -300,6 +450,9 @@ func (g *gun) shoot(ctx context.Context, target string, it *Item) {
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if g.tenant != "" {
+		req.Header.Set("X-Lognic-Tenant", g.tenant)
+	}
 	var tc obs.TraceContext
 	traced := false
 	if g.tracer != nil && g.sample > 0 {
@@ -365,6 +518,9 @@ func (g *gun) shoot(ctx context.Context, target string, it *Item) {
 		}
 	case resp.StatusCode == http.StatusTooManyRequests:
 		st.shed++
+		if resp.Header.Get("Retry-After") == "" {
+			st.shedNoRetry++ // contract violation: every shed carries a hint
+		}
 		if g.closedLoop {
 			backoff := retryAfterOf(resp)
 			if backoff > 50*time.Millisecond {
@@ -409,6 +565,7 @@ func buildReport(cfg Config, stats []*workerStats, elapsed time.Duration, droppe
 		rep.CacheMisses += st.misses
 		rep.Slow += st.slow
 		rep.Traced += st.traced
+		rep.ShedMissingRetryAfter += st.shedNoRetry
 		for ep, h := range st.hists {
 			m := merged[ep]
 			if m == nil {
@@ -456,6 +613,85 @@ func buildReport(cfg Config, stats []*workerStats, elapsed time.Duration, droppe
 	return rep
 }
 
+// addTenantReports merges each tenant's workers into a per-tenant row.
+// Workers are tenant-exclusive, so the per-tenant merge is the same
+// arithmetic as the aggregate one over a stats subset — including an
+// independent slo.Evaluate grade per tenant, which is what a fairness
+// check wants: the light tenant's verdict must hold even while the
+// heavy tenant's burns.
+func addTenantReports(cfg Config, rep *Report, stats []*workerStats, assign, tenantWorkers []int, droppedTenant []uint64, elapsed time.Duration) {
+	var wsum float64
+	for _, t := range cfg.Tenants {
+		wsum += t.Weight
+	}
+	rep.Tenants = make(map[string]*TenantReport, len(cfg.Tenants))
+	for ti, t := range cfg.Tenants {
+		tr := &TenantReport{
+			Weight:  t.Weight,
+			Workers: tenantWorkers[ti],
+			Dropped: droppedTenant[ti],
+			Latency: make(map[string]*LatencySummary),
+		}
+		if cfg.Rate > 0 {
+			tr.OfferedRPS = cfg.Rate * t.Weight / wsum
+		}
+		merged := make(map[string]*hist)
+		for w, st := range stats {
+			if assign[w] != ti {
+				continue
+			}
+			tr.Completed += st.completed
+			tr.Shed += st.shed
+			tr.Errors4xx += st.e4xx
+			tr.Errors5xx += st.e5xx
+			tr.NetErrors += st.netErr
+			tr.CacheHits += st.hits
+			tr.CacheMisses += st.misses
+			tr.Slow += st.slow
+			tr.ShedMissingRetryAfter += st.shedNoRetry
+			for ep, h := range st.hists {
+				m := merged[ep]
+				if m == nil {
+					m = &hist{}
+					merged[ep] = m
+				}
+				m.merge(h)
+			}
+		}
+		if sec := elapsed.Seconds(); sec > 0 {
+			tr.Throughput = float64(tr.Completed) / sec
+		}
+		attempted := tr.Completed + tr.Shed + tr.Errors4xx + tr.Errors5xx + tr.NetErrors + tr.Dropped
+		if attempted > 0 {
+			tr.ShedRate = float64(tr.Shed+tr.Dropped) / float64(attempted)
+		}
+		for ep, h := range merged {
+			tr.Latency[ep] = &LatencySummary{
+				Count:  h.count,
+				MeanMs: h.mean() * 1e3,
+				P50Ms:  h.quantile(0.50) * 1e3,
+				P90Ms:  h.quantile(0.90) * 1e3,
+				P99Ms:  h.quantile(0.99) * 1e3,
+				P999Ms: h.quantile(0.999) * 1e3,
+				MaxMs:  h.max * 1e3,
+			}
+		}
+		if cfg.SLO.AvailabilityTarget > 0 || cfg.SLO.LatencyTarget > 0 {
+			total := tr.Completed + tr.Errors4xx + tr.Errors5xx + tr.NetErrors
+			errs := tr.Errors5xx + tr.NetErrors
+			win := slo.Evaluate("run", elapsed, total, errs, tr.Slow, cfg.SLO)
+			tr.SLO = &slo.Status{
+				AvailabilityTarget:      cfg.SLO.AvailabilityTarget,
+				LatencyTarget:           cfg.SLO.LatencyTarget,
+				LatencyThresholdSeconds: cfg.SLO.LatencyThreshold.Seconds(),
+				Windows:                 []slo.WindowStatus{win},
+				Verdict:                 slo.Verdict([]slo.WindowStatus{win}, cfg.SLO),
+			}
+		}
+		rep.Tenants[t.Name] = tr
+	}
+}
+
 // publish folds a report into an obs registry, post-step so the request
 // hot path never touches shared metric state.
 func publish(reg *obs.Registry, rep *Report) {
@@ -470,6 +706,12 @@ func publish(reg *obs.Registry, rep *Report) {
 		labels := obs.Labels{"endpoint": ep}
 		reg.Gauge("storm_latency_p50_ms", "p50 latency, last step.", labels).Set(l.P50Ms)
 		reg.Gauge("storm_latency_p99_ms", "p99 latency, last step.", labels).Set(l.P99Ms)
+	}
+	for name, tr := range rep.Tenants {
+		labels := obs.Labels{"tenant": name}
+		reg.Counter("storm_tenant_completed_total", "Requests answered 200, by tenant.", labels).Add(float64(tr.Completed))
+		reg.Counter("storm_tenant_shed_total", "Requests answered 429 plus dropped arrivals, by tenant.", labels).Add(float64(tr.Shed + tr.Dropped))
+		reg.Gauge("storm_tenant_shed_rate", "Shed fraction of attempted arrivals, last step, by tenant.", labels).Set(tr.ShedRate)
 	}
 }
 

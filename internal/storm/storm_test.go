@@ -4,10 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"math"
+	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
+	"lognic/internal/obs/slo"
 	"lognic/internal/serve"
 )
 
@@ -217,5 +220,133 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := Run(context.Background(), Config{Targets: []string{"http://x"}, Corpus: items, Routing: "nope"}); err == nil {
 		t.Fatal("bad routing must error")
+	}
+
+	// Multi-tenant validation: names must be unique and non-empty, weights
+	// positive.
+	base := Config{Targets: []string{"http://x"}, Corpus: items}
+	for _, bad := range [][]TenantLoad{
+		{{Name: "", Weight: 1}},
+		{{Name: "a", Weight: 1}, {Name: "a", Weight: 2}},
+		{{Name: "a", Weight: 0}},
+		{{Name: "a", Weight: -1}},
+	} {
+		cfg := base
+		cfg.Tenants = bad
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Fatalf("tenant set %+v must error", bad)
+		}
+	}
+}
+
+func TestApportionWorkers(t *testing.T) {
+	cases := []struct {
+		total   int
+		tenants []TenantLoad
+		want    []int
+	}{
+		{11, []TenantLoad{{"heavy", 10}, {"light", 1}}, []int{10, 1}},
+		{4, []TenantLoad{{"a", 3}, {"b", 1}}, []int{3, 1}},
+		// Minimum one each, even when weight rounds to zero — the sum may
+		// exceed total.
+		{3, []TenantLoad{{"a", 100}, {"b", 1}, {"c", 1}}, []int{2, 1, 1}},
+		// Largest remainder: 10 at 1:1:1 → 4,3,3.
+		{10, []TenantLoad{{"a", 1}, {"b", 1}, {"c", 1}}, []int{4, 3, 3}},
+	}
+	for _, tc := range cases {
+		got := apportionWorkers(tc.total, tc.tenants)
+		if len(got) != len(tc.want) {
+			t.Fatalf("apportionWorkers(%d, %v) = %v", tc.total, tc.tenants, got)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("apportionWorkers(%d, %v) = %v, want %v", tc.total, tc.tenants, got, tc.want)
+			}
+		}
+	}
+}
+
+// A multi-tenant run must send each tenant's name on its requests, split
+// the workers by weight, and report one independently-graded row per
+// tenant.
+func TestMultiTenantRun(t *testing.T) {
+	var mu sync.Mutex
+	headerCounts := map[string]int{}
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		headerCounts[r.Header.Get("X-Lognic-Tenant")]++
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte("{}\n"))
+	}))
+	t.Cleanup(stub.Close)
+
+	items := corpus(t, CorpusConfig{Endpoint: "estimate", Unique: 4})
+	rep, err := Run(context.Background(), Config{
+		Targets:  []string{stub.URL},
+		Workers:  4,
+		Duration: 300 * time.Millisecond,
+		Corpus:   items,
+		Tenants:  []TenantLoad{{Name: "a", Weight: 3}, {Name: "b", Weight: 1}},
+		SLO:      slo.Config{AvailabilityTarget: 0.999, LatencyTarget: 0.99, LatencyThreshold: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if headerCounts["a"] == 0 || headerCounts["b"] == 0 {
+		t.Fatalf("both tenants must send their header: %v", headerCounts)
+	}
+	if headerCounts[""] != 0 {
+		t.Fatalf("%d requests went out untenanted", headerCounts[""])
+	}
+	a, b := rep.Tenants["a"], rep.Tenants["b"]
+	if a == nil || b == nil {
+		t.Fatalf("missing tenant rows: %+v", rep.Tenants)
+	}
+	if a.Workers != 3 || b.Workers != 1 {
+		t.Fatalf("worker split a=%d b=%d, want 3/1", a.Workers, b.Workers)
+	}
+	if a.Completed == 0 || b.Completed == 0 {
+		t.Fatalf("both tenants must complete work: a=%d b=%d", a.Completed, b.Completed)
+	}
+	if a.Completed+b.Completed != rep.Completed {
+		t.Fatalf("tenant rows (%d+%d) must sum to the aggregate (%d)",
+			a.Completed, b.Completed, rep.Completed)
+	}
+	if a.SLO == nil || b.SLO == nil || len(a.SLO.Windows) == 0 {
+		t.Fatal("tenant rows must carry their own SLO grade")
+	}
+	if a.Latency["estimate"] == nil || a.Latency["estimate"].Count != a.Completed {
+		t.Fatalf("tenant latency summary missing or miscounted: %+v", a.Latency)
+	}
+}
+
+// A 429 without Retry-After breaks the backpressure contract; the report
+// must count it, per tenant and in aggregate.
+func TestShedMissingRetryAfterCounted(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests) // deliberately no Retry-After
+	}))
+	t.Cleanup(stub.Close)
+	items := corpus(t, CorpusConfig{Endpoint: "estimate", Unique: 2})
+	rep, err := Run(context.Background(), Config{
+		Targets:  []string{stub.URL},
+		Workers:  2,
+		Duration: 250 * time.Millisecond,
+		Corpus:   items,
+		Tenants:  []TenantLoad{{Name: "only", Weight: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed == 0 || rep.ShedMissingRetryAfter != rep.Shed {
+		t.Fatalf("every hint-less 429 must be counted: shed=%d missing=%d",
+			rep.Shed, rep.ShedMissingRetryAfter)
+	}
+	only := rep.Tenants["only"]
+	if only == nil || only.ShedMissingRetryAfter != only.Shed || only.Shed == 0 {
+		t.Fatalf("tenant row must mirror the hint-less count: %+v", only)
 	}
 }
